@@ -1,0 +1,22 @@
+//! E2 bench — validating the Figure 2 hierarchy ODs over growing calendars.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use od_core::check::od_holds;
+use od_workload::{dates, generate_date_dim};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("date_hierarchy");
+    group.warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600)).sample_size(10);
+    for days in [365usize, 3 * 365, 10 * 365] {
+        let rel = generate_date_dim(1998, days, 2_450_000);
+        let ods = dates::figure_2_ods(rel.schema());
+        group.bench_with_input(BenchmarkId::new("validate_all_figure2_ods", days), &days, |b, _| {
+            b.iter(|| ods.iter().filter(|(_, od)| od_holds(&rel, od)).count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

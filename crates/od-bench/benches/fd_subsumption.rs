@@ -1,0 +1,35 @@
+//! E8 bench — constructing machine-checked OD proofs for FD consequences
+//! (Theorem 16) and the FD closure computation feeding `split(ℳ)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use od_core::{AttrId, AttrSet, FunctionalDependency, OrderDependency};
+use od_infer::closure::fd_closure;
+use od_infer::fd_bridge::prove_fd;
+use od_infer::OdSet;
+use std::time::Duration;
+
+fn chain(n: usize) -> OdSet {
+    OdSet::from_ods(
+        (0..n - 1).map(|i| OrderDependency::new(vec![AttrId(i as u32)], vec![AttrId(i as u32 + 1)])),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fd_subsumption");
+    group.warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800)).sample_size(10);
+    for n in [4usize, 8, 12] {
+        let m = chain(n);
+        let goal = FunctionalDependency::new([AttrId(0)], [AttrId(n as u32 - 1)]);
+        let start: AttrSet = [AttrId(0)].into_iter().collect();
+        group.bench_with_input(BenchmarkId::new("fd_closure", n), &n, |b, _| {
+            b.iter(|| fd_closure(&m, &start).len())
+        });
+        group.bench_with_input(BenchmarkId::new("prove_fd_as_od", n), &n, |b, _| {
+            b.iter(|| prove_fd(&m, &goal).map(|p| p.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E9 bench — the exact implication decider (two-tuple pattern search) as a
+//! function of the attribute-universe size, for implied and non-implied goals.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use od_core::{AttrId, OrderDependency};
+use od_infer::{Decider, OdSet};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("implication_scaling");
+    group.warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800)).sample_size(10);
+    for n in [4usize, 8, 12] {
+        let m = OdSet::from_ods(
+            (0..n - 1).map(|i| OrderDependency::new(vec![AttrId(i as u32)], vec![AttrId(i as u32 + 1)])),
+        );
+        let decider = Decider::new(&m);
+        let implied = OrderDependency::new(vec![AttrId(0)], vec![AttrId(n as u32 - 1)]);
+        let not_implied = OrderDependency::new(vec![AttrId(n as u32 - 1)], vec![AttrId(0)]);
+        group.bench_with_input(BenchmarkId::new("implied_goal", n), &n, |b, _| {
+            b.iter(|| decider.implies(&implied))
+        });
+        group.bench_with_input(BenchmarkId::new("counterexample_search", n), &n, |b, _| {
+            b.iter(|| decider.counterexample(&not_implied).is_some())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

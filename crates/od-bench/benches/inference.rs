@@ -1,0 +1,47 @@
+//! E6 bench — axiom-level proof construction (the derived theorems of
+//! Section 3.3) and proof verification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use od_core::{AttrId, AttrList, OrderDependency};
+use od_infer::{theorems, ProofBuilder};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference");
+    group.warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600)).sample_size(20);
+
+    let l = |ids: &[u32]| ids.iter().map(|&i| AttrId(i)).collect::<AttrList>();
+    let premises = vec![
+        OrderDependency::new(l(&[1]), l(&[2])),
+        OrderDependency::new(l(&[0, 1]), l(&[3, 4])),
+    ];
+
+    group.bench_function("build_left_eliminate_proof", |b| {
+        b.iter(|| {
+            let mut builder = ProofBuilder::new();
+            let p = builder.given(premises[0].clone());
+            theorems::left_eliminate(&mut builder, p, &l(&[0]), &l(&[5]));
+            builder.finish().len()
+        })
+    });
+    group.bench_function("build_permutation_proof", |b| {
+        b.iter(|| {
+            let mut builder = ProofBuilder::new();
+            let p = builder.given(premises[1].clone());
+            theorems::permutation(&mut builder, p, &l(&[1, 0]), &l(&[4, 3]));
+            builder.finish().len()
+        })
+    });
+    // Verification cost of a moderately sized proof.
+    let proof = {
+        let mut builder = ProofBuilder::new();
+        let p = builder.given(premises[1].clone());
+        theorems::permutation(&mut builder, p, &l(&[1, 0]), &l(&[4, 3]));
+        builder.finish()
+    };
+    group.bench_function("verify_permutation_proof", |b| b.iter(|| proof.verify(&premises).is_ok()));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

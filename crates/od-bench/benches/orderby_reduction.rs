@@ -1,0 +1,38 @@
+//! E3 bench — the Example 1 query: baseline sorting plan vs. the OD-rewritten
+//! index-order plan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use od_engine::{execute, Aggregate, Catalog};
+use od_optimizer::{aggregation_query, OdRegistry};
+use od_workload::daily_sales_table;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orderby_reduction");
+    group.warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1)).sample_size(10);
+
+    let table = daily_sales_table(2000, 3 * 365, 8, 7);
+    let schema = table.schema().clone();
+    let mut catalog = Catalog::new();
+    catalog.add_table(table);
+    let mut registry = OdRegistry::new();
+    registry.declare_od(&schema, &["month"], &["quarter"]);
+    let rev = schema.attr_by_name("revenue").unwrap();
+    let q = aggregation_query(
+        &catalog,
+        "daily_sales",
+        &["year", "quarter", "month"],
+        &["year", "quarter", "month"],
+        vec![Aggregate::Sum(rev), Aggregate::CountStar],
+    );
+    let baseline = q.plan_baseline(&mut registry);
+    let optimized = q.plan_optimized(&catalog, &mut registry);
+    assert_eq!(optimized.sort_count(), 0);
+
+    group.bench_function("baseline_sort_plan", |b| b.iter(|| execute(&baseline, &catalog).0.len()));
+    group.bench_function("od_index_order_plan", |b| b.iter(|| execute(&optimized, &catalog).0.len()));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

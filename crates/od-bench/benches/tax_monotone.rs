@@ -1,0 +1,44 @@
+//! E5 bench — the Example 5 taxes query: sort-based vs. income-index plans, and
+//! OD discovery on the taxes table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use od_discovery::{discover_ods, DiscoveryConfig};
+use od_engine::{execute, Aggregate, Catalog};
+use od_optimizer::{aggregation_query, OdRegistry};
+use od_workload::tax;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tax_monotone");
+    group.warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800)).sample_size(10);
+
+    let table = tax::tax_table(50_000, 3);
+    let schema = table.schema().clone();
+    let small_rel = tax::generate_taxes(2_000, 5);
+    let mut catalog = Catalog::new();
+    catalog.add_table(table);
+    let mut registry = OdRegistry::new();
+    registry.declare_od(&schema, &["income"], &["bracket"]);
+    registry.declare_od(&schema, &["income"], &["payable"]);
+    let payable = schema.attr_by_name("payable").unwrap();
+    let q = aggregation_query(
+        &catalog,
+        "taxes",
+        &["bracket"],
+        &["bracket", "payable"],
+        vec![Aggregate::CountStar, Aggregate::Sum(payable)],
+    );
+    let mut no_ods = OdRegistry::new();
+    let baseline = q.plan_baseline(&mut no_ods);
+    let optimized = q.plan_optimized(&catalog, &mut registry);
+
+    group.bench_function("orderby_via_sort", |b| b.iter(|| execute(&baseline, &catalog).0.len()));
+    group.bench_function("orderby_via_income_index", |b| b.iter(|| execute(&optimized, &catalog).0.len()));
+    group.bench_function("discover_ods_2000_rows", |b| {
+        b.iter(|| discover_ods(&small_rel, DiscoveryConfig::default()).ods.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E4 bench — the date-surrogate rewrite (reference [18]) over the 18-query
+//! suite: baseline join plans vs. rewritten range/partition-pruned plans.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use od_engine::execute;
+use od_workload::{build_warehouse, date_query_suite, WarehouseConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpcds_date_rewrite");
+    group.warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1)).sample_size(10);
+
+    let mut wh = build_warehouse(WarehouseConfig { fact_rows: 60_000, ..WarehouseConfig::default() });
+    let suite = date_query_suite(&wh);
+    let baselines: Vec<_> = suite.iter().map(|q| q.query.plan_baseline()).collect();
+    let rewritten: Vec<_> = suite
+        .iter()
+        .map(|q| q.query.plan_optimized(&wh.catalog, &mut wh.registry).expect("rewrite applies"))
+        .collect();
+
+    group.bench_function("suite_baseline", |b| {
+        b.iter(|| baselines.iter().map(|p| execute(p, &wh.catalog).0.len()).sum::<usize>())
+    });
+    group.bench_function("suite_rewritten", |b| {
+        b.iter(|| rewritten.iter().map(|p| execute(p, &wh.catalog).0.len()).sum::<usize>())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! `reproduce` — regenerate every figure and quantitative claim of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p od-bench --bin reproduce            # all experiments
+//! cargo run --release -p od-bench --bin reproduce -- e4      # a single experiment (e1..e9)
+//! cargo run --release -p od-bench --bin reproduce -- --tiny  # small data sizes (quick smoke run)
+//! ```
+
+use od_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let scale = if tiny { ExperimentScale::tiny() } else { ExperimentScale::default() };
+    let selected: Vec<String> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|a| a.to_lowercase()).collect();
+    let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
+
+    println!("Reproduction harness — 'Fundamentals of Order Dependencies' (VLDB 2012)");
+    println!("scale: {scale:?}\n");
+
+    if want("e1") {
+        println!("{}", exp_e1_figure1());
+    }
+    if want("e2") {
+        println!("{}", exp_e2_dates(scale));
+    }
+    if want("e3") {
+        println!("{}", exp_e3_example1(scale));
+    }
+    if want("e4") {
+        let (report, _) = exp_e4_tpcds(scale);
+        println!("{report}");
+    }
+    if want("e5") {
+        println!("{}", exp_e5_tax(scale));
+    }
+    if want("e6") {
+        println!("{}", exp_e6_soundness());
+    }
+    if want("e7") {
+        println!("{}", exp_e7_witness());
+    }
+    if want("e8") {
+        println!("{}", exp_e8_fd_subsumption());
+    }
+    if want("e9") {
+        println!("{}", exp_e9_implication());
+    }
+}

@@ -1,0 +1,245 @@
+//! Attributes and schemas.
+//!
+//! The paper works over a relation schema `R` with a set of attributes `U`
+//! (Table 1).  Attributes are interned into small integer ids ([`AttrId`]) so
+//! that attribute lists and sets are cheap to copy, hash and compare; the
+//! [`Schema`] owns the id ↔ name mapping and an optional [`DataType`] per
+//! attribute.
+
+use crate::error::{CoreError, Result};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A compact identifier for an attribute within a [`Schema`].
+///
+/// Ids are assigned densely starting from zero in insertion order, so they can
+/// double as column positions in a [`crate::Relation`] built from the same schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u32);
+
+impl AttrId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u32> for AttrId {
+    fn from(v: u32) -> Self {
+        AttrId(v)
+    }
+}
+
+/// Logical data type of an attribute.
+///
+/// Only the types needed by the paper's examples and the workload generators are
+/// modelled.  The type is advisory: [`crate::Value`]s carry their own runtime tag and
+/// ordering is defined on values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    #[default]
+    Integer,
+    /// 64-bit IEEE float with a total order (NaN sorts last).
+    Float,
+    /// UTF-8 string, ordered lexicographically (this is what makes the
+    /// `month-name` example of Section 1 go wrong: `"April" < "August" < ...`).
+    Text,
+    /// Calendar date stored as days since 1970-01-01.
+    Date,
+    /// Boolean.
+    Boolean,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Integer => "INTEGER",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+            DataType::Date => "DATE",
+            DataType::Boolean => "BOOLEAN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named, typed attribute of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Interned id of the attribute.
+    pub id: AttrId,
+    /// Human-readable name (unique within the schema).
+    pub name: String,
+    /// Declared data type.
+    pub data_type: DataType,
+}
+
+/// A relation schema: an ordered collection of named attributes.
+///
+/// The order of attributes in the schema defines column positions for
+/// [`crate::Relation`] instances, but carries no semantic ordering meaning — the
+/// ordering semantics of the paper live in [`crate::AttrList`] values.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    name: String,
+    attrs: Vec<Attribute>,
+    by_name: HashMap<String, AttrId>,
+}
+
+impl Schema {
+    /// Create an empty schema with the given relation name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Schema { name: name.into(), attrs: Vec::new(), by_name: HashMap::new() }
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add an attribute with the default type ([`DataType::Integer`]).
+    ///
+    /// Panics if the name is already present; use [`Schema::try_add_attr`] for a
+    /// fallible variant.
+    pub fn add_attr(&mut self, name: impl Into<String>) -> AttrId {
+        self.try_add_attr(name, DataType::Integer).expect("duplicate attribute name")
+    }
+
+    /// Add an attribute with an explicit type.
+    ///
+    /// Panics if the name is already present.
+    pub fn add_typed_attr(&mut self, name: impl Into<String>, dt: DataType) -> AttrId {
+        self.try_add_attr(name, dt).expect("duplicate attribute name")
+    }
+
+    /// Fallible attribute insertion.
+    pub fn try_add_attr(&mut self, name: impl Into<String>, dt: DataType) -> Result<AttrId> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(CoreError::DuplicateAttribute(name));
+        }
+        let id = AttrId(self.attrs.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.attrs.push(Attribute { id, name, data_type: dt });
+        Ok(id)
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True if the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// All attributes in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// All attribute ids in declaration order.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.attrs.iter().map(|a| a.id)
+    }
+
+    /// Look up an attribute by id.
+    pub fn attr(&self, id: AttrId) -> Result<&Attribute> {
+        self.attrs.get(id.index()).ok_or(CoreError::UnknownAttribute(id.0))
+    }
+
+    /// Look up an attribute id by name.
+    pub fn attr_by_name(&self, name: &str) -> Result<AttrId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| CoreError::UnknownAttributeName(name.to_string()))
+    }
+
+    /// Name of an attribute id, or `"?"` if unknown (used for diagnostics only).
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        self.attrs.get(id.index()).map(|a| a.name.as_str()).unwrap_or("?")
+    }
+
+    /// True if the id belongs to this schema.
+    pub fn contains(&self, id: AttrId) -> bool {
+        id.index() < self.attrs.len()
+    }
+
+    /// Render a list of attribute ids as `[name, name, ...]` for diagnostics.
+    pub fn render_ids<'a>(&self, ids: impl IntoIterator<Item = &'a AttrId>) -> String {
+        let names: Vec<&str> = ids.into_iter().map(|id| self.attr_name(*id)).collect();
+        format!("[{}]", names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup_attributes() {
+        let mut s = Schema::new("date_dim");
+        let year = s.add_attr("year");
+        let month = s.add_typed_attr("month", DataType::Integer);
+        let name = s.add_typed_attr("month_name", DataType::Text);
+
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.attr_by_name("year").unwrap(), year);
+        assert_eq!(s.attr_by_name("month").unwrap(), month);
+        assert_eq!(s.attr(name).unwrap().data_type, DataType::Text);
+        assert_eq!(s.attr_name(year), "year");
+        assert_eq!(year.index(), 0);
+        assert_eq!(month.index(), 1);
+    }
+
+    #[test]
+    fn duplicate_attribute_is_rejected() {
+        let mut s = Schema::new("t");
+        s.add_attr("a");
+        let err = s.try_add_attr("a", DataType::Integer).unwrap_err();
+        assert_eq!(err, CoreError::DuplicateAttribute("a".into()));
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let s = Schema::new("t");
+        assert!(matches!(s.attr_by_name("nope"), Err(CoreError::UnknownAttributeName(_))));
+        assert!(matches!(s.attr(AttrId(7)), Err(CoreError::UnknownAttribute(7))));
+        assert_eq!(s.attr_name(AttrId(7)), "?");
+    }
+
+    #[test]
+    fn render_ids_shows_names() {
+        let mut s = Schema::new("t");
+        let a = s.add_attr("a");
+        let b = s.add_attr("b");
+        assert_eq!(s.render_ids(&[a, b]), "[a, b]");
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(AttrId(3).to_string(), "#3");
+        assert_eq!(DataType::Text.to_string(), "TEXT");
+        assert_eq!(DataType::Date.to_string(), "DATE");
+    }
+
+    #[test]
+    fn attr_ids_iterates_in_order() {
+        let mut s = Schema::new("t");
+        let a = s.add_attr("a");
+        let b = s.add_attr("b");
+        let c = s.add_attr("c");
+        let ids: Vec<AttrId> = s.attr_ids().collect();
+        assert_eq!(ids, vec![a, b, c]);
+    }
+}

@@ -1,0 +1,344 @@
+//! Instance-level satisfaction checking for order dependencies.
+//!
+//! Theorem 15 of the paper shows that an OD `X ↦ Y` can be falsified by a table
+//! in exactly two ways:
+//!
+//! * a **split** (Definition 13): two tuples equal on `X` but not on `Y` — this is
+//!   a violation of the functional dependency `set(X) → set(Y)`;
+//! * a **swap** (Definition 14): two tuples `s`, `t` with `s ≺_X t` but `t ≺_Y s` —
+//!   a violation of order compatibility `X ~ Y`.
+//!
+//! [`check_od`] returns the first such violation found (or `Ok(())`), using an
+//! `O(n log n)` sort-based algorithm; [`check_od_naive`] is the quadratic literal
+//! transcription of Definition 4 used to cross-validate the fast path in tests.
+
+use crate::dep::{FunctionalDependency, OrderCompatibility, OrderDependency, OrderEquivalence};
+use crate::lex::{lex_cmp, lex_le};
+use crate::list::AttrList;
+use crate::relation::Relation;
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// A witness that a relation instance falsifies a dependency.
+///
+/// Indices refer to tuple positions in the checked [`Relation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Tuples `s` and `t` agree on the left-hand side but differ on the
+    /// right-hand side (falsifies the FD part `X ↦ XY`).
+    Split {
+        /// Index of the first tuple.
+        s: usize,
+        /// Index of the second tuple.
+        t: usize,
+    },
+    /// Tuple `s` strictly precedes `t` on the left-hand side, but `t` strictly
+    /// precedes `s` on the right-hand side (falsifies order compatibility).
+    Swap {
+        /// Index of the tuple that comes first under `ORDER BY X`.
+        s: usize,
+        /// Index of the tuple that comes first under `ORDER BY Y`.
+        t: usize,
+    },
+}
+
+impl Violation {
+    /// The pair of tuple indices involved.
+    pub fn pair(&self) -> (usize, usize) {
+        match *self {
+            Violation::Split { s, t } | Violation::Swap { s, t } => (s, t),
+        }
+    }
+
+    /// True if the violation is a split.
+    pub fn is_split(&self) -> bool {
+        matches!(self, Violation::Split { .. })
+    }
+
+    /// True if the violation is a swap.
+    pub fn is_swap(&self) -> bool {
+        matches!(self, Violation::Swap { .. })
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Split { s, t } => write!(f, "split between tuples {s} and {t}"),
+            Violation::Swap { s, t } => write!(f, "swap between tuples {s} and {t}"),
+        }
+    }
+}
+
+/// Check `X ↦ Y` on a relation instance; `Err` carries the first violation found.
+///
+/// Runs in `O(n log n · (|X| + |Y|))`: sort tuple indices by `X`, then verify that
+/// `Y` is constant within every `X`-tie group (otherwise a split) and
+/// non-decreasing across consecutive groups (otherwise a swap).
+pub fn check_od(rel: &Relation, od: &OrderDependency) -> Result<(), Violation> {
+    let n = rel.len();
+    if n < 2 {
+        return Ok(());
+    }
+    let tuples = rel.tuples();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| lex_cmp(&tuples[a], &tuples[b], &od.lhs));
+
+    let mut group_start = 0usize;
+    let mut prev_group_rep: Option<usize> = None;
+    for i in 1..=n {
+        let group_ended = i == n
+            || lex_cmp(&tuples[idx[i]], &tuples[idx[group_start]], &od.lhs) != Ordering::Equal;
+        if !group_ended {
+            // Same X-group: Y must agree with the group's first member.
+            if lex_cmp(&tuples[idx[i]], &tuples[idx[group_start]], &od.rhs) != Ordering::Equal {
+                return Err(Violation::Split { s: idx[group_start], t: idx[i] });
+            }
+            continue;
+        }
+        // Group [group_start, i) closed; compare its representative with the previous group's.
+        if let Some(prev) = prev_group_rep {
+            if lex_cmp(&tuples[prev], &tuples[idx[group_start]], &od.rhs) == Ordering::Greater {
+                return Err(Violation::Swap { s: prev, t: idx[group_start] });
+            }
+        }
+        prev_group_rep = Some(idx[group_start]);
+        group_start = i;
+    }
+    Ok(())
+}
+
+/// True if the relation satisfies `X ↦ Y`.
+pub fn od_holds(rel: &Relation, od: &OrderDependency) -> bool {
+    check_od(rel, od).is_ok()
+}
+
+/// Quadratic literal transcription of Definition 4, used for cross-validation.
+pub fn check_od_naive(rel: &Relation, od: &OrderDependency) -> Result<(), Violation> {
+    let tuples = rel.tuples();
+    for i in 0..tuples.len() {
+        for j in 0..tuples.len() {
+            if i == j {
+                continue;
+            }
+            let (s, t) = (&tuples[i], &tuples[j]);
+            if lex_le(s, t, &od.lhs) && !lex_le(s, t, &od.rhs) {
+                // Classify the violation per Theorem 15.
+                return if lex_cmp(s, t, &od.lhs) == Ordering::Equal {
+                    Err(Violation::Split { s: i, t: j })
+                } else {
+                    Err(Violation::Swap { s: i, t: j })
+                };
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check an order equivalence `X ↔ Y` (both directions).
+pub fn check_equivalence(rel: &Relation, eq: &OrderEquivalence) -> Result<(), Violation> {
+    for od in eq.as_ods() {
+        check_od(rel, &od)?;
+    }
+    Ok(())
+}
+
+/// True if the relation satisfies `X ↔ Y`.
+pub fn equivalence_holds(rel: &Relation, eq: &OrderEquivalence) -> bool {
+    check_equivalence(rel, eq).is_ok()
+}
+
+/// Check order compatibility `X ~ Y`, i.e. `XY ↔ YX` (Definition 5).
+pub fn check_compatibility(rel: &Relation, compat: &OrderCompatibility) -> Result<(), Violation> {
+    check_equivalence(rel, &compat.as_equivalence())
+}
+
+/// True if the relation satisfies `X ~ Y`.
+pub fn compatibility_holds(rel: &Relation, compat: &OrderCompatibility) -> bool {
+    check_compatibility(rel, compat).is_ok()
+}
+
+/// Check a functional dependency `X → Y` on the instance by hashing on the
+/// left-hand side. `Err` carries a split witness.
+pub fn check_fd(rel: &Relation, fd: &FunctionalDependency) -> Result<(), Violation> {
+    let lhs: AttrList = fd.lhs.iter().copied().collect();
+    let rhs: AttrList = fd.rhs.iter().copied().collect();
+    let mut seen: HashMap<Vec<Value>, usize> = HashMap::new();
+    for i in 0..rel.len() {
+        let key = rel.project_tuple(i, &lhs);
+        match seen.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let j = *e.get();
+                if rel.project_tuple(i, &rhs) != rel.project_tuple(j, &rhs) {
+                    return Err(Violation::Split { s: j, t: i });
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(i);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// True if the relation satisfies `X → Y`.
+pub fn fd_holds(rel: &Relation, fd: &FunctionalDependency) -> bool {
+    check_fd(rel, fd).is_ok()
+}
+
+/// Collect every violating pair (up to `limit`) for diagnostics and discovery.
+pub fn collect_violations(rel: &Relation, od: &OrderDependency, limit: usize) -> Vec<Violation> {
+    let tuples = rel.tuples();
+    let mut out = Vec::new();
+    'outer: for i in 0..tuples.len() {
+        for j in 0..tuples.len() {
+            if i == j {
+                continue;
+            }
+            let (s, t) = (&tuples[i], &tuples[j]);
+            if lex_le(s, t, &od.lhs) && !lex_le(s, t, &od.rhs) {
+                let v = if lex_cmp(s, t, &od.lhs) == Ordering::Equal {
+                    Violation::Split { s: i, t: j }
+                } else {
+                    Violation::Swap { s: i, t: j }
+                };
+                out.push(v);
+                if out.len() >= limit {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Schema;
+    use crate::fixtures;
+
+    fn rel_from(rows: &[&[i64]]) -> (Relation, Vec<crate::AttrId>) {
+        let mut schema = Schema::new("t");
+        let arity = rows.first().map(|r| r.len()).unwrap_or(0);
+        let ids: Vec<crate::AttrId> =
+            (0..arity).map(|i| schema.add_attr(format!("c{i}"))).collect();
+        let rel = Relation::from_rows(
+            schema,
+            rows.iter().map(|r| r.iter().map(|&v| Value::Int(v)).collect()),
+        )
+        .unwrap();
+        (rel, ids)
+    }
+
+    #[test]
+    fn empty_and_singleton_relations_satisfy_everything() {
+        let (rel, ids) = rel_from(&[&[1, 2]]);
+        let od = OrderDependency::new(vec![ids[0]], vec![ids[1]]);
+        assert!(od_holds(&rel, &od));
+        let (empty, _) = rel_from(&[]);
+        let od0 = OrderDependency::new(AttrList::empty(), AttrList::empty());
+        assert!(od_holds(&empty, &od0));
+    }
+
+    #[test]
+    fn detects_swap() {
+        // income orders bracket, but the third row breaks it.
+        let (rel, ids) = rel_from(&[&[10, 1], &[20, 2], &[30, 1]]);
+        let od = OrderDependency::new(vec![ids[0]], vec![ids[1]]);
+        let v = check_od(&rel, &od).unwrap_err();
+        assert!(v.is_swap());
+        // Cross-check against the naive checker (witness pair may differ, kind must not).
+        assert!(check_od_naive(&rel, &od).unwrap_err().is_swap());
+    }
+
+    #[test]
+    fn detects_split() {
+        let (rel, ids) = rel_from(&[&[10, 1], &[10, 2]]);
+        let od = OrderDependency::new(vec![ids[0]], vec![ids[1]]);
+        let v = check_od(&rel, &od).unwrap_err();
+        assert!(v.is_split());
+        assert_eq!(v.pair(), (0, 1));
+        assert!(check_od_naive(&rel, &od).unwrap_err().is_split());
+    }
+
+    #[test]
+    fn split_free_swap_free_od_holds() {
+        let (rel, ids) = rel_from(&[&[1, 10], &[2, 10], &[3, 20], &[4, 30]]);
+        let od = OrderDependency::new(vec![ids[0]], vec![ids[1]]);
+        assert!(od_holds(&rel, &od));
+        // The converse direction has splits (10 maps to incomes 1 and 2).
+        let back = od.reversed();
+        assert!(check_od(&rel, &back).unwrap_err().is_split());
+    }
+
+    #[test]
+    fn figure_1_example_2_and_3() {
+        let rel = fixtures::figure_1_relation();
+        let s = rel.schema().clone();
+        let a = |n: &str| s.attr_by_name(n).unwrap();
+        // Example 2: [A,B,C] ↦ [F,E,D] holds, [A,B,C] ↦ [F,D,E] is falsified.
+        let good = OrderDependency::new(vec![a("A"), a("B"), a("C")], vec![a("F"), a("E"), a("D")]);
+        assert!(od_holds(&rel, &good));
+        let bad = OrderDependency::new(vec![a("A"), a("B"), a("C")], vec![a("F"), a("D"), a("E")]);
+        let v = check_od(&rel, &bad).unwrap_err();
+        assert!(v.is_swap());
+        // Example 3: [A,B] ~ [F,C] holds, [A,C] ~ [F,D] is falsified.
+        let c1 = OrderCompatibility::new(vec![a("A"), a("B")], vec![a("F"), a("C")]);
+        assert!(compatibility_holds(&rel, &c1));
+        let c2 = OrderCompatibility::new(vec![a("A"), a("C")], vec![a("F"), a("D")]);
+        assert!(!compatibility_holds(&rel, &c2));
+    }
+
+    #[test]
+    fn fd_check_agrees_with_od_split_detection() {
+        let (rel, ids) = rel_from(&[&[1, 5, 7], &[1, 5, 8], &[2, 6, 9]]);
+        let fd = FunctionalDependency::new([ids[0]], [ids[2]]);
+        assert!(check_fd(&rel, &fd).unwrap_err().is_split());
+        let fd_ok = FunctionalDependency::new([ids[0]], [ids[1]]);
+        assert!(fd_holds(&rel, &fd_ok));
+        // Lemma 1: the OD version must also be falsified.
+        let od = OrderDependency::new(vec![ids[0]], vec![ids[0], ids[2]]);
+        assert!(!od_holds(&rel, &od));
+    }
+
+    #[test]
+    fn trivial_ods_always_hold() {
+        let (rel, ids) = rel_from(&[&[3, 1], &[1, 4], &[2, 2]]);
+        // XY ↦ X (Reflexivity shape).
+        let od = OrderDependency::new(vec![ids[0], ids[1]], vec![ids[0]]);
+        assert!(od_holds(&rel, &od));
+        // X ↦ [].
+        let od2 = OrderDependency::new(vec![ids[1]], AttrList::empty());
+        assert!(od_holds(&rel, &od2));
+        // [] ↦ X does NOT hold unless X is constant.
+        let od3 = OrderDependency::new(AttrList::empty(), vec![ids[0]]);
+        assert!(!od_holds(&rel, &od3));
+    }
+
+    #[test]
+    fn empty_lhs_requires_constant_rhs() {
+        let (rel, ids) = rel_from(&[&[7, 1], &[7, 2]]);
+        let od = OrderDependency::new(AttrList::empty(), vec![ids[0]]);
+        assert!(od_holds(&rel, &od));
+        let od2 = OrderDependency::new(AttrList::empty(), vec![ids[1]]);
+        assert!(!od_holds(&rel, &od2));
+    }
+
+    #[test]
+    fn collect_violations_respects_limit() {
+        let (rel, ids) = rel_from(&[&[1, 3], &[2, 2], &[3, 1]]);
+        let od = OrderDependency::new(vec![ids[0]], vec![ids[1]]);
+        let all = collect_violations(&rel, &od, 100);
+        assert!(all.len() >= 3);
+        let limited = collect_violations(&rel, &od, 2);
+        assert_eq!(limited.len(), 2);
+    }
+
+    #[test]
+    fn violation_display() {
+        assert_eq!(Violation::Split { s: 1, t: 2 }.to_string(), "split between tuples 1 and 2");
+        assert_eq!(Violation::Swap { s: 0, t: 3 }.to_string(), "swap between tuples 0 and 3");
+    }
+}

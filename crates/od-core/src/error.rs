@@ -1,0 +1,72 @@
+//! Error types shared by the core crate.
+
+use std::fmt;
+
+/// Errors raised by core operations (schema mismatches, unknown attributes, arity
+/// violations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A tuple was inserted whose arity differs from the schema arity.
+    ArityMismatch {
+        /// Number of attributes the schema declares.
+        expected: usize,
+        /// Number of values the offending tuple carried.
+        actual: usize,
+    },
+    /// An attribute id was used that the schema does not know about.
+    UnknownAttribute(u32),
+    /// An attribute name was looked up that the schema does not contain.
+    UnknownAttributeName(String),
+    /// An attribute with this name already exists in the schema.
+    DuplicateAttribute(String),
+    /// A dependency referenced an empty side where a non-empty list was required.
+    EmptyList(&'static str),
+    /// Two values of incomparable types were compared.
+    IncomparableValues(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ArityMismatch { expected, actual } => {
+                write!(f, "tuple arity {actual} does not match schema arity {expected}")
+            }
+            CoreError::UnknownAttribute(id) => write!(f, "unknown attribute id {id}"),
+            CoreError::UnknownAttributeName(name) => write!(f, "unknown attribute name '{name}'"),
+            CoreError::DuplicateAttribute(name) => {
+                write!(f, "attribute '{name}' already exists in the schema")
+            }
+            CoreError::EmptyList(what) => write!(f, "{what} must not be empty"),
+            CoreError::IncomparableValues(msg) => write!(f, "incomparable values: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience result alias used throughout the core crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CoreError::ArityMismatch { expected: 3, actual: 2 };
+        assert!(e.to_string().contains("arity 2"));
+        assert!(e.to_string().contains("arity 3"));
+        let e = CoreError::UnknownAttributeName("foo".into());
+        assert!(e.to_string().contains("foo"));
+        let e = CoreError::DuplicateAttribute("bar".into());
+        assert!(e.to_string().contains("bar"));
+        let e = CoreError::EmptyList("left-hand side");
+        assert!(e.to_string().contains("left-hand side"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(CoreError::UnknownAttribute(3), CoreError::UnknownAttribute(3));
+        assert_ne!(CoreError::UnknownAttribute(3), CoreError::UnknownAttribute(4));
+    }
+}

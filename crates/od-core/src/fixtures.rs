@@ -1,0 +1,120 @@
+//! Small fixture relations taken directly from the paper, used by tests,
+//! examples and the reproduction harness.
+
+use crate::attr::{DataType, Schema};
+use crate::relation::Relation;
+use crate::value::Value;
+
+/// The two-tuple relation of **Figure 1**:
+///
+/// ```text
+/// A B C D E F
+/// 3 2 0 4 7 9
+/// 3 2 1 3 8 9
+/// ```
+///
+/// Examples 2 and 3 of the paper evaluate ODs and order compatibilities against
+/// this instance.
+pub fn figure_1_relation() -> Relation {
+    let mut schema = Schema::new("figure_1");
+    for name in ["A", "B", "C", "D", "E", "F"] {
+        schema.add_typed_attr(name, DataType::Integer);
+    }
+    Relation::from_rows(
+        schema,
+        vec![
+            vec![3, 2, 0, 4, 7, 9].into_iter().map(Value::Int).collect(),
+            vec![3, 2, 1, 3, 8, 9].into_iter().map(Value::Int).collect(),
+        ],
+    )
+    .expect("fixture arity is correct")
+}
+
+/// The chain counterexample sketch of **Figure 3**: attributes
+/// `A, B1, …, Bn, C` with two rows
+///
+/// ```text
+/// A B1 … Bn C
+/// 0 0  … 0  1
+/// 1 1  … 1  0
+/// ```
+///
+/// The rows swap `A` and `C` while keeping `A ~ B1`, `Bi ~ Bi+1` intact — the
+/// configuration the Chain axiom (OD6) rules out when its side conditions hold.
+pub fn figure_3_relation(n_middle: usize) -> Relation {
+    let mut schema = Schema::new("figure_3");
+    schema.add_attr("A");
+    for i in 1..=n_middle {
+        schema.add_attr(format!("B{i}"));
+    }
+    schema.add_attr("C");
+    let arity = schema.arity();
+    let mut row0: Vec<Value> = vec![Value::Int(0); arity];
+    let mut row1: Vec<Value> = vec![Value::Int(1); arity];
+    row0[arity - 1] = Value::Int(1);
+    row1[arity - 1] = Value::Int(0);
+    Relation::from_rows(schema, vec![row0, row1]).expect("fixture arity is correct")
+}
+
+/// A small version of the **Example 5** taxes relation: `income`, `bracket`,
+/// `payable` with brackets and payable amounts monotone in income.
+pub fn example_5_taxes() -> Relation {
+    let mut schema = Schema::new("taxes");
+    schema.add_typed_attr("income", DataType::Integer);
+    schema.add_typed_attr("bracket", DataType::Integer);
+    schema.add_typed_attr("payable", DataType::Integer);
+    let rows = [
+        (9_000i64, 1i64, 900i64),
+        (15_000, 1, 1_500),
+        (32_000, 2, 4_800),
+        (48_000, 2, 7_200),
+        (75_000, 3, 15_000),
+        (120_000, 4, 30_000),
+    ];
+    Relation::from_rows(
+        schema,
+        rows.iter().map(|&(i, b, p)| vec![Value::Int(i), Value::Int(b), Value::Int(p)]),
+    )
+    .expect("fixture arity is correct")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{compatibility_holds, od_holds};
+    use crate::dep::{OrderCompatibility, OrderDependency};
+
+    #[test]
+    fn figure_1_has_expected_shape() {
+        let r = figure_1_relation();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.schema().arity(), 6);
+        assert_eq!(r.schema().attr_name(r.schema().attr_by_name("F").unwrap()), "F");
+    }
+
+    #[test]
+    fn figure_3_swaps_a_and_c_only() {
+        let r = figure_3_relation(3);
+        let s = r.schema();
+        let a = s.attr_by_name("A").unwrap();
+        let c = s.attr_by_name("C").unwrap();
+        let b1 = s.attr_by_name("B1").unwrap();
+        assert!(!compatibility_holds(&r, &OrderCompatibility::new(vec![a], vec![c])));
+        assert!(compatibility_holds(&r, &OrderCompatibility::new(vec![a], vec![b1])));
+        assert!(od_holds(&r, &OrderDependency::new(vec![a], vec![b1])));
+    }
+
+    #[test]
+    fn example_5_taxes_satisfies_the_motivating_ods() {
+        let r = example_5_taxes();
+        let s = r.schema();
+        let income = s.attr_by_name("income").unwrap();
+        let bracket = s.attr_by_name("bracket").unwrap();
+        let payable = s.attr_by_name("payable").unwrap();
+        assert!(od_holds(&r, &OrderDependency::new(vec![income], vec![bracket])));
+        assert!(od_holds(&r, &OrderDependency::new(vec![income], vec![payable])));
+        assert!(od_holds(&r, &OrderDependency::new(vec![income], vec![bracket, payable])));
+        // bracket alone does not order income (splits), and certainly not vice versa.
+        assert!(!od_holds(&r, &OrderDependency::new(vec![bracket], vec![income])));
+    }
+}

@@ -1,0 +1,185 @@
+//! The lexicographic comparison operators of Definitions 1–3.
+//!
+//! For an attribute list `X = [A | T]` and tuples `s`, `t`:
+//!
+//! * `s ≼_X t` iff `s[A] < t[A]`, or `s[A] = t[A]` and (`T = []` or `s ≼_T t`),
+//! * `s ≺_X t` iff `s ≼_X t` and not `t ≼_X s`,
+//! * `s =_X t` iff `s ≼_X t` and `t ≼_X s`.
+//!
+//! Because every attribute domain is totally ordered, `≼_X` is a total preorder
+//! on tuples and the three relations collapse into a single three-valued
+//! comparison, [`lex_cmp`], returning [`Ordering`].  All orders are ascending
+//! (`ASC`), matching the paper's scope (no `DESC`, no mixed directions).
+
+use crate::list::AttrList;
+use crate::relation::Tuple;
+use std::cmp::Ordering;
+
+/// Three-valued lexicographic comparison of two tuples with respect to an
+/// attribute list: `Less` ⇔ `s ≺_X t`, `Equal` ⇔ `s =_X t`, `Greater` ⇔ `t ≺_X s`.
+///
+/// The empty list compares every pair of tuples as `Equal` (every tuple ordering
+/// trivially satisfies `ORDER BY []`).
+#[inline]
+pub fn lex_cmp(s: &Tuple, t: &Tuple, list: &AttrList) -> Ordering {
+    for attr in list.iter() {
+        let i = attr.index();
+        match s[i].cmp(&t[i]) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// `s ≼_X t` (Definition 1).
+#[inline]
+pub fn lex_le(s: &Tuple, t: &Tuple, list: &AttrList) -> bool {
+    lex_cmp(s, t, list) != Ordering::Greater
+}
+
+/// `s ≺_X t` (Definition 2).
+#[inline]
+pub fn lex_lt(s: &Tuple, t: &Tuple, list: &AttrList) -> bool {
+    lex_cmp(s, t, list) == Ordering::Less
+}
+
+/// `s =_X t` (Definition 3).
+#[inline]
+pub fn lex_eq(s: &Tuple, t: &Tuple, list: &AttrList) -> bool {
+    lex_cmp(s, t, list) == Ordering::Equal
+}
+
+/// Build a comparator closure for sorting a tuple stream by `ORDER BY list`.
+pub fn lex_comparator(list: &AttrList) -> impl Fn(&Tuple, &Tuple) -> Ordering + '_ {
+    move |s, t| lex_cmp(s, t, list)
+}
+
+/// Literal recursive transcription of Definition 1, used only to cross-check the
+/// iterative [`lex_cmp`] in tests and property tests.
+pub fn lex_le_recursive(s: &Tuple, t: &Tuple, list: &AttrList) -> bool {
+    match list.head() {
+        None => true,
+        Some(a) => {
+            let i = a.index();
+            if s[i] < t[i] {
+                true
+            } else if s[i] == t[i] {
+                let tail = list.tail();
+                tail.is_empty() || lex_le_recursive(s, t, &tail)
+            } else {
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrId;
+    use crate::value::Value;
+
+    fn t(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    fn list(ids: &[u32]) -> AttrList {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    #[test]
+    fn empty_list_compares_equal() {
+        let a = t(&[1, 2]);
+        let b = t(&[3, 4]);
+        assert_eq!(lex_cmp(&a, &b, &AttrList::empty()), Ordering::Equal);
+        assert!(lex_le(&a, &b, &AttrList::empty()));
+        assert!(lex_le(&b, &a, &AttrList::empty()));
+        assert!(lex_eq(&a, &b, &AttrList::empty()));
+        assert!(!lex_lt(&a, &b, &AttrList::empty()));
+    }
+
+    #[test]
+    fn first_differing_attribute_decides() {
+        let a = t(&[1, 9, 9]);
+        let b = t(&[2, 0, 0]);
+        let l = list(&[0, 1, 2]);
+        assert_eq!(lex_cmp(&a, &b, &l), Ordering::Less);
+        assert!(lex_lt(&a, &b, &l));
+        assert!(!lex_le(&b, &a, &l));
+    }
+
+    #[test]
+    fn ties_fall_through_to_later_attributes() {
+        let a = t(&[1, 2, 3]);
+        let b = t(&[1, 2, 4]);
+        let l = list(&[0, 1, 2]);
+        assert_eq!(lex_cmp(&a, &b, &l), Ordering::Less);
+        // On the shorter prefix they are equal.
+        assert!(lex_eq(&a, &b, &list(&[0, 1])));
+    }
+
+    #[test]
+    fn list_order_matters() {
+        let a = t(&[1, 5]);
+        let b = t(&[2, 4]);
+        assert_eq!(lex_cmp(&a, &b, &list(&[0, 1])), Ordering::Less);
+        assert_eq!(lex_cmp(&a, &b, &list(&[1, 0])), Ordering::Greater);
+    }
+
+    #[test]
+    fn figure_1_relation_comparisons() {
+        // Figure 1 has two tuples:
+        //   A B C D E F
+        //   3 2 0 4 7 9
+        //   3 2 1 3 8 9
+        let s = t(&[3, 2, 0, 4, 7, 9]);
+        let u = t(&[3, 2, 1, 3, 8, 9]);
+        // [A, B, C]: s precedes u.
+        assert_eq!(lex_cmp(&s, &u, &list(&[0, 1, 2])), Ordering::Less);
+        // [F, E, D]: s precedes u as well (9=9, 7<8) — consistent with the OD of Example 2.
+        assert_eq!(lex_cmp(&s, &u, &list(&[5, 4, 3])), Ordering::Less);
+        // [F, D, E]: u precedes s (9=9, 3<4) — the OD [A,B,C] ↦ [F,D,E] is falsified.
+        assert_eq!(lex_cmp(&s, &u, &list(&[5, 3, 4])), Ordering::Greater);
+    }
+
+    #[test]
+    fn iterative_matches_recursive_definition() {
+        let tuples = [t(&[0, 1, 2]), t(&[1, 1, 1]), t(&[0, 2, 0]), t(&[2, 0, 0]), t(&[0, 1, 2])];
+        let lists = [
+            AttrList::empty(),
+            list(&[0]),
+            list(&[1, 0]),
+            list(&[2, 1, 0]),
+            list(&[0, 0, 2]),
+            list(&[1, 2]),
+        ];
+        for a in &tuples {
+            for b in &tuples {
+                for l in &lists {
+                    assert_eq!(
+                        lex_le(a, b, l),
+                        lex_le_recursive(a, b, l),
+                        "mismatch for {a:?} vs {b:?} on {l}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_sorts_streams() {
+        let mut rows = vec![t(&[2, 1]), t(&[1, 2]), t(&[1, 1])];
+        let l = list(&[0, 1]);
+        rows.sort_by(lex_comparator(&l));
+        assert_eq!(rows, vec![t(&[1, 1]), t(&[1, 2]), t(&[2, 1])]);
+    }
+
+    #[test]
+    fn repeated_attributes_are_harmless() {
+        let a = t(&[1, 5]);
+        let b = t(&[1, 6]);
+        assert_eq!(lex_cmp(&a, &b, &list(&[0, 0, 1])), Ordering::Less);
+        assert_eq!(lex_cmp(&a, &b, &list(&[0, 0])), Ordering::Equal);
+    }
+}

@@ -1,0 +1,63 @@
+//! # od-core — core types for lexicographic order dependencies
+//!
+//! This crate provides the foundational vocabulary of the paper *Fundamentals of
+//! Order Dependencies* (Szlichta, Godfrey, Gryz — PVLDB 5(11), 2012):
+//!
+//! * [`Attribute`]s and [`Schema`]s (the paper's set of attributes `U`),
+//! * [`AttrList`] — **lists** of attributes (the paper works with lists, not sets,
+//!   because `ORDER BY` is positional) and [`AttrSet`] — sets of attributes for the
+//!   functional-dependency side of the theory,
+//! * typed [`Value`]s, [`Tuple`]s and [`Relation`] instances,
+//! * the lexicographic comparison operators `≼`, `≺` and `=_X` of Definitions 1–3
+//!   ([`lex`] module),
+//! * the dependency statements themselves: [`OrderDependency`] (`X ↦ Y`),
+//!   [`OrderEquivalence`] (`X ↔ Y`), [`OrderCompatibility`] (`X ~ Y`) and
+//!   [`FunctionalDependency`] (`X → Y`),
+//! * instance-level satisfaction checking with explicit **split** / **swap**
+//!   violation witnesses (Definitions 13–14, Theorem 15) in the [`check`] module.
+//!
+//! Higher layers build on this crate: `od-infer` implements the axiom system and
+//! the implication machinery, `od-engine`/`od-optimizer` implement the query
+//! processing substrate used by the paper's motivating examples, and
+//! `od-workload` generates the date-warehouse style data used in the experiments.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use od_core::{Schema, Relation, Value, OrderDependency, check::check_od};
+//!
+//! let mut schema = Schema::new("taxes");
+//! let income = schema.add_attr("income");
+//! let bracket = schema.add_attr("bracket");
+//!
+//! let mut rel = Relation::new(schema.clone());
+//! rel.push(vec![Value::from(10_000i64), Value::from(1i64)]).unwrap();
+//! rel.push(vec![Value::from(50_000i64), Value::from(2i64)]).unwrap();
+//! rel.push(vec![Value::from(90_000i64), Value::from(3i64)]).unwrap();
+//!
+//! // [income] orders [bracket]
+//! let od = OrderDependency::new(vec![income], vec![bracket]);
+//! assert!(check_od(&rel, &od).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attr;
+pub mod check;
+pub mod dep;
+pub mod error;
+pub mod fixtures;
+pub mod lex;
+pub mod list;
+pub mod relation;
+pub mod value;
+
+pub use attr::{AttrId, Attribute, DataType, Schema};
+pub use check::{check_od, od_holds, Violation};
+pub use dep::{FunctionalDependency, OrderCompatibility, OrderDependency, OrderEquivalence};
+pub use error::{CoreError, Result};
+pub use lex::{lex_cmp, lex_eq, lex_le, lex_lt};
+pub use list::{AttrList, AttrSet};
+pub use relation::{Relation, Tuple};
+pub use value::{date_from_days, days_from_date, Value};

@@ -1,0 +1,305 @@
+//! Attribute **lists** and attribute **sets**.
+//!
+//! The defining feature of order dependencies (vs. functional dependencies) is
+//! that they are stated over *lists* of attributes: `ORDER BY year, month` is not
+//! the same thing as `ORDER BY month, year`.  [`AttrList`] is the list type used
+//! on both sides of an [`crate::OrderDependency`]; [`AttrSet`] is the set type
+//! used for the FD fragment of the theory (Lemma 1, Theorems 13 and 16).
+//!
+//! The module also implements the paper's *normalization* (axiom OD3): inside a
+//! list, an attribute occurrence that is preceded by an earlier occurrence of the
+//! same attribute is semantically redundant and can be removed, e.g.
+//! `[A, B, A, C] ↔ [A, B, C]`.
+
+use crate::attr::AttrId;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::Index;
+
+/// A set of attributes (used for the functional-dependency side of the theory).
+pub type AttrSet = BTreeSet<AttrId>;
+
+/// An ordered list of attributes, the `X` in `ORDER BY X` and in `X ↦ Y`.
+///
+/// Lists may contain repeated attributes (the axioms explicitly reason about
+/// removing them); [`AttrList::normalize`] produces the duplicate-free canonical
+/// form used when comparing derived statements.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AttrList(Vec<AttrId>);
+
+impl AttrList {
+    /// The empty list `[]`.
+    pub fn empty() -> Self {
+        AttrList(Vec::new())
+    }
+
+    /// Build a list from attribute ids.
+    pub fn new(ids: impl IntoIterator<Item = AttrId>) -> Self {
+        AttrList(ids.into_iter().collect())
+    }
+
+    /// Length of the list.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the empty list `[]`.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The underlying slice of attribute ids.
+    pub fn as_slice(&self) -> &[AttrId] {
+        &self.0
+    }
+
+    /// Iterate over the attribute ids in order.
+    pub fn iter(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// First attribute (the `head` of `[A | T]` in Definition 1), if any.
+    pub fn head(&self) -> Option<AttrId> {
+        self.0.first().copied()
+    }
+
+    /// The list with the first attribute removed (the `tail` of `[A | T]`).
+    pub fn tail(&self) -> AttrList {
+        AttrList(self.0.iter().skip(1).copied().collect())
+    }
+
+    /// Concatenation `self ∘ other` (the paper writes this by juxtaposition: `XY`).
+    pub fn concat(&self, other: &AttrList) -> AttrList {
+        let mut v = self.0.clone();
+        v.extend_from_slice(&other.0);
+        AttrList(v)
+    }
+
+    /// Append a single attribute at the end (`XA`).
+    pub fn with_suffix(&self, attr: AttrId) -> AttrList {
+        let mut v = self.0.clone();
+        v.push(attr);
+        AttrList(v)
+    }
+
+    /// Prepend a single attribute (`AX`).
+    pub fn with_prefix(&self, attr: AttrId) -> AttrList {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.push(attr);
+        v.extend_from_slice(&self.0);
+        AttrList(v)
+    }
+
+    /// The prefix of length `n` (clamped to the list length).
+    pub fn prefix(&self, n: usize) -> AttrList {
+        AttrList(self.0.iter().take(n).copied().collect())
+    }
+
+    /// The suffix starting at position `n` (clamped).
+    pub fn suffix_from(&self, n: usize) -> AttrList {
+        AttrList(self.0.iter().skip(n).copied().collect())
+    }
+
+    /// True if `self` is a (not necessarily proper) prefix of `other`.
+    pub fn is_prefix_of(&self, other: &AttrList) -> bool {
+        self.0.len() <= other.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// The set of attributes occurring in the list (the paper's `set(X)`).
+    pub fn to_set(&self) -> AttrSet {
+        self.0.iter().copied().collect()
+    }
+
+    /// True if the attribute occurs anywhere in the list.
+    pub fn contains(&self, attr: AttrId) -> bool {
+        self.0.contains(&attr)
+    }
+
+    /// Position of the first occurrence of `attr`, if any.
+    pub fn position(&self, attr: AttrId) -> Option<usize> {
+        self.0.iter().position(|&a| a == attr)
+    }
+
+    /// **Normalization** (axiom OD3 applied exhaustively): remove every attribute
+    /// occurrence that already appeared earlier in the list.
+    ///
+    /// `[A, B, A, C, B] ↦ [A, B, C]`.  The result orders the same way as the
+    /// original list on every instance, and is the canonical form used when
+    /// deduplicating derived ODs.
+    pub fn normalize(&self) -> AttrList {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::with_capacity(self.0.len());
+        for &a in &self.0 {
+            if seen.insert(a) {
+                out.push(a);
+            }
+        }
+        AttrList(out)
+    }
+
+    /// True if the list has no repeated attributes (i.e. it equals its
+    /// normalization).
+    pub fn is_normalized(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        self.0.iter().all(|a| seen.insert(*a))
+    }
+
+    /// All (contiguous) prefixes of the list, from `[]` up to the full list.
+    pub fn prefixes(&self) -> impl Iterator<Item = AttrList> + '_ {
+        (0..=self.0.len()).map(move |n| self.prefix(n))
+    }
+
+    /// Remove all occurrences of the given attributes (the paper's *projecting
+    /// out* of constant attributes in Lemma 8 / Theorem 17).
+    pub fn project_out(&self, attrs: &AttrSet) -> AttrList {
+        AttrList(self.0.iter().copied().filter(|a| !attrs.contains(a)).collect())
+    }
+
+    /// Keep only occurrences of the given attributes.
+    pub fn retain_only(&self, attrs: &AttrSet) -> AttrList {
+        AttrList(self.0.iter().copied().filter(|a| attrs.contains(a)).collect())
+    }
+}
+
+impl Index<usize> for AttrList {
+    type Output = AttrId;
+    fn index(&self, idx: usize) -> &AttrId {
+        &self.0[idx]
+    }
+}
+
+impl From<Vec<AttrId>> for AttrList {
+    fn from(v: Vec<AttrId>) -> Self {
+        AttrList(v)
+    }
+}
+
+impl From<&[AttrId]> for AttrList {
+    fn from(v: &[AttrId]) -> Self {
+        AttrList(v.to_vec())
+    }
+}
+
+impl FromIterator<AttrId> for AttrList {
+    fn from_iter<T: IntoIterator<Item = AttrId>>(iter: T) -> Self {
+        AttrList(iter.into_iter().collect())
+    }
+}
+
+impl IntoIterator for AttrList {
+    type Item = AttrId;
+    type IntoIter = std::vec::IntoIter<AttrId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a AttrList {
+    type Item = &'a AttrId;
+    type IntoIter = std::slice::Iter<'a, AttrId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for AttrList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, a) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> AttrList {
+        v.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    #[test]
+    fn head_and_tail_match_definition_1_recursion() {
+        let l = ids(&[1, 2, 3]);
+        assert_eq!(l.head(), Some(AttrId(1)));
+        assert_eq!(l.tail(), ids(&[2, 3]));
+        assert_eq!(AttrList::empty().head(), None);
+        assert_eq!(AttrList::empty().tail(), AttrList::empty());
+    }
+
+    #[test]
+    fn concatenation_and_affixes() {
+        let x = ids(&[1, 2]);
+        let y = ids(&[3]);
+        assert_eq!(x.concat(&y), ids(&[1, 2, 3]));
+        assert_eq!(x.with_suffix(AttrId(9)), ids(&[1, 2, 9]));
+        assert_eq!(x.with_prefix(AttrId(9)), ids(&[9, 1, 2]));
+        assert_eq!(AttrList::empty().concat(&x), x);
+    }
+
+    #[test]
+    fn prefixes_and_suffixes() {
+        let l = ids(&[1, 2, 3]);
+        assert_eq!(l.prefix(0), AttrList::empty());
+        assert_eq!(l.prefix(2), ids(&[1, 2]));
+        assert_eq!(l.prefix(99), l);
+        assert_eq!(l.suffix_from(1), ids(&[2, 3]));
+        assert_eq!(l.suffix_from(99), AttrList::empty());
+        assert!(ids(&[1, 2]).is_prefix_of(&l));
+        assert!(!ids(&[2]).is_prefix_of(&l));
+        assert!(AttrList::empty().is_prefix_of(&l));
+        let ps: Vec<AttrList> = l.prefixes().collect();
+        assert_eq!(ps.len(), 4);
+        assert_eq!(ps[0], AttrList::empty());
+        assert_eq!(ps[3], l);
+    }
+
+    #[test]
+    fn normalization_removes_later_duplicates() {
+        let l = ids(&[1, 2, 1, 3, 2, 1]);
+        assert_eq!(l.normalize(), ids(&[1, 2, 3]));
+        assert!(!l.is_normalized());
+        assert!(ids(&[1, 2, 3]).is_normalized());
+        assert!(AttrList::empty().is_normalized());
+    }
+
+    #[test]
+    fn set_and_membership() {
+        let l = ids(&[3, 1, 3]);
+        let s = l.to_set();
+        assert_eq!(s.len(), 2);
+        assert!(l.contains(AttrId(3)));
+        assert!(!l.contains(AttrId(9)));
+        assert_eq!(l.position(AttrId(3)), Some(0));
+        assert_eq!(l.position(AttrId(1)), Some(1));
+        assert_eq!(l.position(AttrId(9)), None);
+    }
+
+    #[test]
+    fn projection_and_retention() {
+        let l = ids(&[1, 2, 3, 2]);
+        let drop: AttrSet = [AttrId(2)].into_iter().collect();
+        assert_eq!(l.project_out(&drop), ids(&[1, 3]));
+        assert_eq!(l.retain_only(&drop), ids(&[2, 2]));
+    }
+
+    #[test]
+    fn display_renders_ids() {
+        assert_eq!(ids(&[1, 2]).to_string(), "[#1, #2]");
+        assert_eq!(AttrList::empty().to_string(), "[]");
+    }
+
+    #[test]
+    fn indexing_and_iteration() {
+        let l = ids(&[5, 6]);
+        assert_eq!(l[0], AttrId(5));
+        assert_eq!(l.iter().count(), 2);
+        let collected: Vec<AttrId> = (&l).into_iter().copied().collect();
+        assert_eq!(collected, vec![AttrId(5), AttrId(6)]);
+    }
+}

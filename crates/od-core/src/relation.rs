@@ -1,0 +1,202 @@
+//! Tuples and relation instances.
+//!
+//! A [`Relation`] is a concrete table instance: a [`Schema`] plus a sequence of
+//! [`Tuple`]s.  The paper defines ODs over *sets* of tuples but notes that
+//! nothing changes for multisets; we keep a plain `Vec` (a multiset) which also
+//! matches the execution engine.
+
+use crate::attr::{AttrId, Schema};
+use crate::error::{CoreError, Result};
+use crate::list::AttrList;
+use crate::value::Value;
+use std::fmt;
+
+/// A tuple: one value per schema attribute, positionally aligned with the schema.
+pub type Tuple = Vec<Value>;
+
+/// A relation instance: a schema and a bag of tuples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Create an empty relation for a schema.
+    pub fn new(schema: Schema) -> Self {
+        Relation { schema, tuples: Vec::new() }
+    }
+
+    /// Create a relation from rows, validating arity.
+    pub fn from_rows(schema: Schema, rows: impl IntoIterator<Item = Tuple>) -> Result<Self> {
+        let mut rel = Relation::new(schema);
+        for row in rows {
+            rel.push(row)?;
+        }
+        Ok(rel)
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Append a tuple, validating its arity against the schema.
+    pub fn push(&mut self, tuple: Tuple) -> Result<()> {
+        if tuple.len() != self.schema.arity() {
+            return Err(CoreError::ArityMismatch {
+                expected: self.schema.arity(),
+                actual: tuple.len(),
+            });
+        }
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// The tuples in insertion order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Mutable access to the tuples (used by the execution engine's sort operator).
+    pub fn tuples_mut(&mut self) -> &mut Vec<Tuple> {
+        &mut self.tuples
+    }
+
+    /// A single tuple by position.
+    pub fn tuple(&self, idx: usize) -> &Tuple {
+        &self.tuples[idx]
+    }
+
+    /// Value of attribute `attr` in tuple `idx`.
+    pub fn value(&self, idx: usize, attr: AttrId) -> &Value {
+        &self.tuples[idx][attr.index()]
+    }
+
+    /// Project a tuple onto an attribute list (the paper's `t[X]`), cloning values.
+    pub fn project_tuple(&self, idx: usize, list: &AttrList) -> Vec<Value> {
+        list.iter().map(|a| self.tuples[idx][a.index()].clone()).collect()
+    }
+
+    /// Iterate over the tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Render the relation as a small ASCII table (diagnostics and examples).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let names: Vec<&str> =
+            self.schema.attributes().iter().map(|a| a.name.as_str()).collect();
+        let mut widths: Vec<usize> = names.iter().map(|n| n.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .tuples
+            .iter()
+            .map(|t| t.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let header: Vec<String> =
+            names.iter().enumerate().map(|(i, n)| format!("{:width$}", n, width = widths[i])).collect();
+        out.push_str(&header.join(" | "));
+        out.push('\n');
+        out.push_str(&header.iter().map(|h| "-".repeat(h.len())).collect::<Vec<_>>().join("-+-"));
+        out.push('\n');
+        for row in &rendered {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect();
+            out.push_str(&cells.join(" | "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} rows)", self.schema.name(), self.tuples.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema_abc() -> (Schema, AttrId, AttrId, AttrId) {
+        let mut s = Schema::new("t");
+        let a = s.add_attr("a");
+        let b = s.add_attr("b");
+        let c = s.add_attr("c");
+        (s, a, b, c)
+    }
+
+    #[test]
+    fn push_validates_arity() {
+        let (s, ..) = schema_abc();
+        let mut r = Relation::new(s);
+        assert!(r.push(vec![Value::Int(1), Value::Int(2), Value::Int(3)]).is_ok());
+        let err = r.push(vec![Value::Int(1)]).unwrap_err();
+        assert_eq!(err, CoreError::ArityMismatch { expected: 3, actual: 1 });
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn from_rows_builds_relation() {
+        let (s, a, _, c) = schema_abc();
+        let r = Relation::from_rows(
+            s,
+            vec![
+                vec![Value::Int(1), Value::Int(2), Value::Int(3)],
+                vec![Value::Int(4), Value::Int(5), Value::Int(6)],
+            ],
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.value(1, a), &Value::Int(4));
+        assert_eq!(r.value(0, c), &Value::Int(3));
+    }
+
+    #[test]
+    fn projection_follows_list_order() {
+        let (s, a, b, c) = schema_abc();
+        let r = Relation::from_rows(s, vec![vec![Value::Int(1), Value::Int(2), Value::Int(3)]])
+            .unwrap();
+        let list = AttrList::new([c, a, b]);
+        assert_eq!(r.project_tuple(0, &list), vec![Value::Int(3), Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn render_produces_table() {
+        let (s, ..) = schema_abc();
+        let r = Relation::from_rows(s, vec![vec![Value::Int(10), Value::Int(2), Value::Int(3)]])
+            .unwrap();
+        let text = r.render();
+        assert!(text.contains('a'));
+        assert!(text.contains("10"));
+        assert!(text.lines().count() >= 3);
+    }
+
+    #[test]
+    fn display_shows_row_count() {
+        let (s, ..) = schema_abc();
+        let r = Relation::new(s);
+        assert_eq!(r.to_string(), "t (0 rows)");
+    }
+}

@@ -1,0 +1,19 @@
+//! # od-discovery — finding order dependencies in data and in expressions
+//!
+//! Two ways ODs become known to a system besides being declared by hand
+//! (Sections 2.2 and 6 of the paper):
+//!
+//! * [`discover`] — profile a relation instance for ODs/FDs that hold on it,
+//!   with axiom-based pruning of implied candidates;
+//! * [`monotone`] — derive ODs from generated-column expressions by
+//!   monotonicity analysis (the DB2 generated-columns technique of
+//!   reference [12]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod discover;
+pub mod monotone;
+
+pub use discover::{discover_fds, discover_ods, Discovery, DiscoveryConfig};
+pub use monotone::{derived_column_ods, monotonicity, DerivedColumn, Monotonicity};

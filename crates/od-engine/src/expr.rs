@@ -1,0 +1,255 @@
+//! Scalar expressions and predicates evaluated over tuples.
+//!
+//! The engine only needs the expression forms exercised by the paper's examples
+//! and the TPC-DS-style date workload: column references, literals, comparisons,
+//! `BETWEEN`, boolean connectives, and basic arithmetic (the latter also feeds
+//! the monotone derived-column analysis in `od-discovery`).
+
+use od_core::{AttrId, Tuple, Value};
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn eval(self, a: &Value, b: &Value) -> bool {
+        use std::cmp::Ordering::*;
+        let ord = a.cmp(b);
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar expression over the columns of a single tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference (by dense attribute id / column position).
+    Column(AttrId),
+    /// A literal value.
+    Literal(Value),
+    /// Comparison of two sub-expressions.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// `lo <= e AND e <= hi`.
+    Between(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Arithmetic addition (numeric).
+    Add(Box<Expr>, Box<Expr>),
+    /// Arithmetic subtraction (numeric).
+    Sub(Box<Expr>, Box<Expr>),
+    /// Arithmetic multiplication (numeric).
+    Mul(Box<Expr>, Box<Expr>),
+    /// Arithmetic division (numeric; division by zero yields NULL).
+    Div(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Column reference helper.
+    pub fn col(a: AttrId) -> Expr {
+        Expr::Column(a)
+    }
+
+    /// Literal helper.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// `self op other` comparison helper.
+    pub fn cmp(self, op: CmpOp, other: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(self), Box::new(other))
+    }
+
+    /// `lo <= self <= hi` helper.
+    pub fn between(self, lo: Expr, hi: Expr) -> Expr {
+        Expr::Between(Box::new(self), Box::new(lo), Box::new(hi))
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluate to a value.
+    pub fn eval(&self, tuple: &Tuple) -> Value {
+        match self {
+            Expr::Column(a) => tuple[a.index()].clone(),
+            Expr::Literal(v) => v.clone(),
+            Expr::Cmp(op, a, b) => Value::Bool(op.eval(&a.eval(tuple), &b.eval(tuple))),
+            Expr::Between(e, lo, hi) => {
+                let v = e.eval(tuple);
+                Value::Bool(
+                    CmpOp::Le.eval(&lo.eval(tuple), &v) && CmpOp::Le.eval(&v, &hi.eval(tuple)),
+                )
+            }
+            Expr::And(a, b) => Value::Bool(a.eval_bool(tuple) && b.eval_bool(tuple)),
+            Expr::Or(a, b) => Value::Bool(a.eval_bool(tuple) || b.eval_bool(tuple)),
+            Expr::Not(a) => Value::Bool(!a.eval_bool(tuple)),
+            Expr::Add(a, b) => numeric(&a.eval(tuple), &b.eval(tuple), |x, y| x + y),
+            Expr::Sub(a, b) => numeric(&a.eval(tuple), &b.eval(tuple), |x, y| x - y),
+            Expr::Mul(a, b) => numeric(&a.eval(tuple), &b.eval(tuple), |x, y| x * y),
+            Expr::Div(a, b) => {
+                let denom = b.eval(tuple);
+                if denom.as_float() == Some(0.0) {
+                    Value::Null
+                } else {
+                    numeric(&a.eval(tuple), &denom, |x, y| x / y)
+                }
+            }
+        }
+    }
+
+    /// Evaluate as a boolean predicate (NULL and non-boolean count as false).
+    pub fn eval_bool(&self, tuple: &Tuple) -> bool {
+        matches!(self.eval(tuple), Value::Bool(true))
+    }
+
+    /// The columns referenced by the expression.
+    pub fn columns(&self) -> Vec<AttrId> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<AttrId>) {
+        match self {
+            Expr::Column(a) => out.push(*a),
+            Expr::Literal(_) => {}
+            Expr::Cmp(_, a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b)
+            | Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Between(e, lo, hi) => {
+                e.collect_columns(out);
+                lo.collect_columns(out);
+                hi.collect_columns(out);
+            }
+            Expr::Not(a) => a.collect_columns(out),
+        }
+    }
+}
+
+fn numeric(a: &Value, b: &Value, f: impl Fn(f64, f64) -> f64) -> Value {
+    match (a.as_int(), b.as_int(), a.as_float(), b.as_float()) {
+        (Some(x), Some(y), _, _) => {
+            let r = f(x as f64, y as f64);
+            if r.fract() == 0.0 && r.abs() < 9e15 {
+                Value::Int(r as i64)
+            } else {
+                Value::Float(r)
+            }
+        }
+        (_, _, Some(x), Some(y)) => Value::Float(f(x, y)),
+        _ => Value::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn comparisons_and_boolean_logic() {
+        let t = row(&[5, 10]);
+        let a = AttrId(0);
+        let b = AttrId(1);
+        assert!(Expr::col(a).cmp(CmpOp::Lt, Expr::col(b)).eval_bool(&t));
+        assert!(!Expr::col(a).cmp(CmpOp::Eq, Expr::col(b)).eval_bool(&t));
+        assert!(Expr::col(a).cmp(CmpOp::Ge, Expr::lit(5i64)).eval_bool(&t));
+        let p = Expr::col(a)
+            .cmp(CmpOp::Gt, Expr::lit(0i64))
+            .and(Expr::col(b).cmp(CmpOp::Le, Expr::lit(10i64)));
+        assert!(p.eval_bool(&t));
+        assert!(Expr::Not(Box::new(Expr::col(a).cmp(CmpOp::Gt, Expr::lit(9i64)))).eval_bool(&t));
+        let either = Expr::Or(
+            Box::new(Expr::col(a).cmp(CmpOp::Gt, Expr::lit(9i64))),
+            Box::new(Expr::col(b).cmp(CmpOp::Eq, Expr::lit(10i64))),
+        );
+        assert!(either.eval_bool(&t));
+    }
+
+    #[test]
+    fn between_is_inclusive() {
+        let t = row(&[5]);
+        let e = Expr::col(AttrId(0)).between(Expr::lit(5i64), Expr::lit(7i64));
+        assert!(e.eval_bool(&t));
+        let e = Expr::col(AttrId(0)).between(Expr::lit(6i64), Expr::lit(7i64));
+        assert!(!e.eval_bool(&t));
+    }
+
+    #[test]
+    fn arithmetic_and_nulls() {
+        let t = row(&[6, 3]);
+        let add = Expr::Add(Box::new(Expr::col(AttrId(0))), Box::new(Expr::col(AttrId(1))));
+        assert_eq!(add.eval(&t), Value::Int(9));
+        let div = Expr::Div(Box::new(Expr::col(AttrId(0))), Box::new(Expr::col(AttrId(1))));
+        assert_eq!(div.eval(&t), Value::Int(2));
+        let div0 = Expr::Div(Box::new(Expr::col(AttrId(0))), Box::new(Expr::lit(0i64)));
+        assert_eq!(div0.eval(&t), Value::Null);
+        let half = Expr::Div(Box::new(Expr::col(AttrId(1))), Box::new(Expr::lit(2i64)));
+        assert_eq!(half.eval(&t), Value::Float(1.5));
+    }
+
+    #[test]
+    fn column_collection() {
+        let e = Expr::col(AttrId(2))
+            .between(Expr::lit(1i64), Expr::col(AttrId(0)))
+            .and(Expr::col(AttrId(2)).cmp(CmpOp::Ne, Expr::lit(9i64)));
+        assert_eq!(e.columns(), vec![AttrId(0), AttrId(2)]);
+    }
+
+    #[test]
+    fn display_of_ops() {
+        assert_eq!(CmpOp::Le.to_string(), "<=");
+        assert_eq!(CmpOp::Ne.to_string(), "<>");
+    }
+}

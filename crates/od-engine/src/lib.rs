@@ -1,0 +1,28 @@
+//! # od-engine — a small relational execution engine
+//!
+//! The substrate for the query-optimization experiments of *Fundamentals of
+//! Order Dependencies*: stored [`Table`]s with ordered composite [`Index`]es and
+//! optional range [`Partitioning`], scalar [`Expr`]essions, and a materializing
+//! executor over [`PhysicalPlan`]s that reports [`Metrics`] (rows scanned, sorts
+//! performed, partitions pruned, index probes).
+//!
+//! The engine deliberately mirrors the plan features the paper's rewrites
+//! exploit:
+//!
+//! * an **ordered index scan** substitutes for a sort when the optimizer can
+//!   show (via ODs) that the index order satisfies the required order;
+//! * **stream aggregation** exploits an already-ordered input for `GROUP BY`;
+//! * a **range-partitioned** fact table can only be pruned once a natural-date
+//!   predicate has been rewritten into a surrogate-key range (the IBM DB2 /
+//!   TPC-DS scenario of Section 2.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod expr;
+pub mod table;
+
+pub use exec::{execute, Aggregate, Batch, Metrics, PhysicalPlan};
+pub use expr::{CmpOp, Expr};
+pub use table::{Catalog, Index, Partition, Partitioning, Table};

@@ -1,0 +1,225 @@
+//! ODs subsume FDs (Section 4.2: Lemma 1, Theorems 13, 15 and 16).
+//!
+//! * [`fd_as_od`] / [`od_as_fd`] translate between the two worlds
+//!   (Theorem 13: `X → Y` holds iff `X′ ↦ X′Y′` holds for any permutations).
+//! * [`split_part`] / [`compatibility_part`] decompose an OD per Theorem 15:
+//!   `X ↦ Y` holds iff `X ↦ XY` (the FD part, falsifiable only by a *split*) and
+//!   `X ~ Y` (the order-compatibility part, falsifiable only by a *swap*) hold.
+//! * [`prove_fd`] produces an axiom-level [`Proof`] of any FD consequence of `ℳ`,
+//!   which is the constructive content of Theorem 16 ("the OD axioms are sound
+//!   and complete over FDs"): Armstrong's reflexivity / augmentation /
+//!   transitivity never need to be assumed — every FD derivation is replayed with
+//!   OD1–OD5.
+
+use crate::closure::{fd_closure, implied_fds};
+use crate::odset::OdSet;
+use crate::proof::{Proof, ProofBuilder};
+use crate::theorems;
+use od_core::{AttrList, AttrSet, FunctionalDependency, OrderCompatibility, OrderDependency};
+
+/// Theorem 13: embed the FD `X → Y` as the OD `X′ ↦ X′Y′`, with `X′`, `Y′` the
+/// ascending-id enumerations of the two sets.
+pub fn fd_as_od(fd: &FunctionalDependency) -> OrderDependency {
+    fd.to_od()
+}
+
+/// Lemma 1: the FD implied by an OD.
+pub fn od_as_fd(od: &OrderDependency) -> FunctionalDependency {
+    od.implied_fd()
+}
+
+/// The FD part of an OD (Theorem 15): `X ↦ XY`, violated only by splits.
+pub fn split_part(od: &OrderDependency) -> OrderDependency {
+    OrderDependency::new(od.lhs.clone(), od.lhs.concat(&od.rhs))
+}
+
+/// The order-compatibility part of an OD (Theorem 15): `X ~ Y`, violated only by
+/// swaps.
+pub fn compatibility_part(od: &OrderDependency) -> OrderCompatibility {
+    od.compatibility_part()
+}
+
+/// Does `ℳ` entail the FD `X → Y`?  (Decided via attribute-set closure over the
+/// FDs implied by the ODs of `ℳ` — Lemma 1 plus Armstrong completeness.)
+pub fn fd_implied(m: &OdSet, goal: &FunctionalDependency) -> bool {
+    goal.rhs.is_subset(&fd_closure(m, &goal.lhs))
+}
+
+/// Produce an axiom-level proof of `X′ ↦ X′Y′` (the OD embedding of the FD
+/// `X → Y`) from `ℳ`, or `None` if `ℳ` does not entail the FD.
+///
+/// The proof replays the attribute-set closure computation: starting from
+/// `X′ ↦ X′`, each FD of `ℳ` that fires during the closure is cited as its
+/// originating OD (`Given`), permuted into the needed shape (Theorem 14), glued
+/// on with Prefix/Normalization/Transitivity, and the final right-hand side is
+/// permuted into `X′Y′`.
+pub fn prove_fd(m: &OdSet, goal: &FunctionalDependency) -> Option<Proof> {
+    if !fd_implied(m, goal) {
+        return None;
+    }
+    let x_list: AttrList = goal.lhs.iter().copied().collect();
+    let y_list: AttrList = goal.rhs.iter().copied().collect();
+
+    let mut b = ProofBuilder::new();
+    // cur: X′ ↦ C where C is the closed attribute list so far (starts as X′).
+    let mut closed: AttrSet = goal.lhs.clone();
+    let mut cur = b.normalization(x_list.clone(), x_list.clone()); // X′ ↦ X′
+
+    let ods = m.ods();
+    let fds = implied_fds(m);
+    // Fire FDs until the goal's right-hand side is covered (the closure loop).
+    let mut progress = true;
+    while progress && !goal.rhs.is_subset(&closed) {
+        progress = false;
+        for (od, fd) in ods.iter().zip(fds.iter()) {
+            if fd.lhs.is_subset(&closed) && !fd.rhs.is_subset(&closed) {
+                // Cite the OD and permute it into U′ ↦ U′V′ with U′, V′ ascending.
+                let given = b.given(od.clone());
+                let u: AttrList = fd.lhs.iter().copied().collect();
+                let v: AttrList = fd.rhs.iter().copied().collect();
+                let perm = theorems::permutation(&mut b, given, &u, &v); // U′ ↦ U′V′
+                // C ↦ C·U′  (U′ ⊆ C, so this is Normalization).
+                let c_list = b.step(cur).rhs.clone();
+                let n1 = b.normalization(c_list.clone(), c_list.concat(&u));
+                // C·U′ ↦ C·U′V′  (Prefix of the permuted OD with Z = C).
+                let p = b.prefix(c_list.clone(), perm);
+                // Chain them: X′ ↦ C ↦ C·U′ ↦ C·U′V′, then normalize to the new C.
+                let t1 = b.transitivity(cur, n1);
+                let t2 = b.transitivity(t1, p);
+                let new_c: AttrList = b.step(t2).rhs.normalize();
+                let n2 = b.normalization(b.step(t2).rhs.clone(), new_c.clone());
+                cur = b.transitivity(t2, n2); // X′ ↦ new C
+                closed.extend(fd.rhs.iter().copied());
+                progress = true;
+            }
+        }
+    }
+    debug_assert!(goal.rhs.is_subset(&closed), "closure reached the goal (checked above)");
+    // cur: X′ ↦ C with set(C) ⊇ X ∪ Y.  Permute into X′ ↦ X′Y′.
+    let final_step = theorems::permutation(&mut b, cur, &x_list, &y_list);
+    let _ = final_step;
+    Some(b.finish())
+}
+
+/// Armstrong's three inference rules, replayed inside the OD world as ready-made
+/// proofs (the "FD axioms are implied by the OD axioms" half of Theorem 16).
+pub mod armstrong {
+    use super::*;
+
+    /// FD Reflexivity: `Y ⊆ X ⊢ X → Y`, as a proof of `X′ ↦ X′Y′` from nothing.
+    pub fn reflexivity(x: &AttrSet, y: &AttrSet) -> Option<Proof> {
+        if !y.is_subset(x) {
+            return None;
+        }
+        let x_list: AttrList = x.iter().copied().collect();
+        let y_list: AttrList = y.iter().copied().collect();
+        let mut b = ProofBuilder::new();
+        // X′ and X′Y′ normalize identically when Y ⊆ X.
+        b.normalization(x_list.clone(), x_list.concat(&y_list));
+        Some(b.finish())
+    }
+
+    /// FD Augmentation: from `X → Y` conclude `XZ → YZ`.
+    pub fn augmentation(m: &OdSet, x: &AttrSet, y: &AttrSet, z: &AttrSet) -> Option<Proof> {
+        let goal = FunctionalDependency::new(
+            x.union(z).copied().collect::<AttrSet>(),
+            y.union(z).copied().collect::<AttrSet>(),
+        );
+        prove_fd(m, &goal)
+    }
+
+    /// FD Transitivity: from `X → Y` and `Y → Z` conclude `X → Z`.
+    pub fn transitivity(m: &OdSet, x: &AttrSet, z: &AttrSet) -> Option<Proof> {
+        prove_fd(m, &FunctionalDependency::new(x.clone(), z.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decide::Decider;
+    use od_core::AttrId;
+
+    fn od(lhs: &[u32], rhs: &[u32]) -> OrderDependency {
+        OrderDependency::new(
+            lhs.iter().map(|&i| AttrId(i)).collect::<AttrList>(),
+            rhs.iter().map(|&i| AttrId(i)).collect::<AttrList>(),
+        )
+    }
+    fn set(ids: &[u32]) -> AttrSet {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    #[test]
+    fn theorem_15_decomposition() {
+        let d = od(&[0], &[1, 2]);
+        assert_eq!(split_part(&d), od(&[0], &[0, 1, 2]));
+        let c = compatibility_part(&d);
+        assert_eq!(c.as_ods()[0], od(&[0, 1, 2], &[1, 2, 0]));
+    }
+
+    #[test]
+    fn fd_od_round_trip() {
+        let fd = FunctionalDependency::new(set(&[1, 0]), set(&[2]));
+        let od = fd_as_od(&fd);
+        assert_eq!(od, OrderDependency::new(vec![AttrId(0), AttrId(1)], vec![AttrId(0), AttrId(1), AttrId(2)]));
+        let back = od_as_fd(&od);
+        assert_eq!(back.lhs, set(&[0, 1]));
+        assert_eq!(back.rhs, set(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn prove_fd_constructs_verifiable_proofs() {
+        // ℳ: A ↦ B, [B,C] ↦ D.  FD consequence: {A, C} → {D}.
+        let m = OdSet::from_ods([od(&[0], &[1]), od(&[1, 2], &[3])]);
+        let goal = FunctionalDependency::new(set(&[0, 2]), set(&[3]));
+        let proof = prove_fd(&m, &goal).expect("the FD is implied");
+        proof.verify(&m.ods()).expect("proof must verify with the axioms only");
+        // Conclusion is the OD embedding of the FD.
+        let conclusion = proof.conclusion().unwrap().clone();
+        assert_eq!(conclusion, fd_as_od(&goal));
+        // And the decider agrees it is implied.
+        assert!(Decider::new(&m).implies(&conclusion));
+        // A non-consequence is rejected.
+        assert!(prove_fd(&m, &FunctionalDependency::new(set(&[3]), set(&[0]))).is_none());
+    }
+
+    #[test]
+    fn prove_fd_handles_trivial_goals() {
+        let m = OdSet::new();
+        let goal = FunctionalDependency::new(set(&[0, 1]), set(&[1]));
+        let proof = prove_fd(&m, &goal).expect("trivial FD");
+        proof.verify(&[]).unwrap();
+        assert_eq!(proof.conclusion().unwrap(), &fd_as_od(&goal));
+    }
+
+    #[test]
+    fn armstrong_rules_as_od_proofs() {
+        let m = OdSet::from_ods([od(&[0], &[1]), od(&[1], &[2])]);
+        let p = armstrong::reflexivity(&set(&[0, 1]), &set(&[1])).unwrap();
+        p.verify(&[]).unwrap();
+        assert!(armstrong::reflexivity(&set(&[0]), &set(&[1])).is_none());
+
+        let p = armstrong::augmentation(&m, &set(&[0]), &set(&[1]), &set(&[2])).unwrap();
+        p.verify(&m.ods()).unwrap();
+
+        let p = armstrong::transitivity(&m, &set(&[0]), &set(&[2])).unwrap();
+        p.verify(&m.ods()).unwrap();
+        assert!(armstrong::transitivity(&m, &set(&[2]), &set(&[0])).is_none());
+    }
+
+    #[test]
+    fn fd_implication_matches_decider_on_fd_shapes() {
+        let m = OdSet::from_ods([od(&[0], &[1]), od(&[1, 2], &[3])]);
+        let d = Decider::new(&m);
+        for (lhs, rhs) in [(vec![0u32], vec![1u32]), (vec![0, 2], vec![3]), (vec![2], vec![3]), (vec![3], vec![1])] {
+            let fd = FunctionalDependency::new(set(&lhs), set(&rhs));
+            let od_form = fd_as_od(&fd);
+            assert_eq!(
+                fd_implied(&m, &fd),
+                d.implies(&od_form),
+                "closure-based FD implication must agree with the decider on {fd}"
+            );
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Sets of prescribed order dependencies — the paper's `ℳ`.
+
+use od_core::{AttrList, AttrSet, OrderCompatibility, OrderDependency, OrderEquivalence, Schema};
+use std::fmt;
+
+/// A single prescribed constraint, as a user would declare it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Constraint {
+    /// `X ↦ Y`.
+    Od(OrderDependency),
+    /// `X ↔ Y`.
+    Equivalence(OrderEquivalence),
+    /// `X ~ Y`.
+    Compatibility(OrderCompatibility),
+}
+
+impl Constraint {
+    /// The order dependencies whose conjunction this constraint denotes.
+    pub fn to_ods(&self) -> Vec<OrderDependency> {
+        match self {
+            Constraint::Od(od) => vec![od.clone()],
+            Constraint::Equivalence(eq) => eq.as_ods().to_vec(),
+            Constraint::Compatibility(c) => c.as_ods().to_vec(),
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::Od(od) => write!(f, "{od}"),
+            Constraint::Equivalence(eq) => write!(f, "{eq}"),
+            Constraint::Compatibility(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A set `ℳ` of prescribed order dependencies over a schema.
+///
+/// This is the object the axioms, the implication decider, and the witness
+/// construction all operate on.  Equivalence and compatibility constraints are
+/// kept in declared form for display, and expanded into their constituent ODs
+/// (Definition 5 / Theorem 15) on demand.
+#[derive(Debug, Clone, Default)]
+pub struct OdSet {
+    constraints: Vec<Constraint>,
+}
+
+impl OdSet {
+    /// An empty set of constraints.
+    pub fn new() -> Self {
+        OdSet::default()
+    }
+
+    /// Build a set directly from ODs.
+    pub fn from_ods(ods: impl IntoIterator<Item = OrderDependency>) -> Self {
+        let mut s = OdSet::new();
+        for od in ods {
+            s.add_od(od);
+        }
+        s
+    }
+
+    /// Declare `X ↦ Y`.
+    pub fn add_od(&mut self, od: OrderDependency) -> &mut Self {
+        self.constraints.push(Constraint::Od(od));
+        self
+    }
+
+    /// Declare `X ↔ Y`.
+    pub fn add_equivalence(&mut self, eq: OrderEquivalence) -> &mut Self {
+        self.constraints.push(Constraint::Equivalence(eq));
+        self
+    }
+
+    /// Declare `X ~ Y`.
+    pub fn add_compatibility(&mut self, c: OrderCompatibility) -> &mut Self {
+        self.constraints.push(Constraint::Compatibility(c));
+        self
+    }
+
+    /// Declare that an attribute is a constant (`[] ↦ [A]`, Definition 18).
+    pub fn add_constant(&mut self, attr: od_core::AttrId) -> &mut Self {
+        self.add_od(OrderDependency::new(AttrList::empty(), vec![attr]))
+    }
+
+    /// The declared constraints, in declaration order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Number of declared constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// True if no constraints are declared.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Every constraint expanded into plain ODs.
+    pub fn ods(&self) -> Vec<OrderDependency> {
+        self.constraints.iter().flat_map(|c| c.to_ods()).collect()
+    }
+
+    /// All attributes mentioned by any constraint.
+    pub fn attributes(&self) -> AttrSet {
+        let mut s = AttrSet::new();
+        for od in self.ods() {
+            s.extend(od.attributes());
+        }
+        s
+    }
+
+    /// Check whether a relation instance satisfies every declared constraint.
+    pub fn satisfied_by(&self, rel: &od_core::Relation) -> bool {
+        self.ods().iter().all(|od| od_core::check::od_holds(rel, od))
+    }
+
+    /// Render the set with attribute names resolved against a schema.
+    pub fn display(&self, schema: &Schema) -> String {
+        let parts: Vec<String> = self
+            .constraints
+            .iter()
+            .map(|c| match c {
+                Constraint::Od(od) => od.display(schema).to_string(),
+                Constraint::Equivalence(eq) => eq.display(schema).to_string(),
+                Constraint::Compatibility(cc) => cc.display(schema).to_string(),
+            })
+            .collect();
+        format!("{{ {} }}", parts.join(", "))
+    }
+}
+
+impl fmt::Display for OdSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.constraints.iter().map(|c| c.to_string()).collect();
+        write!(f, "{{ {} }}", parts.join(", "))
+    }
+}
+
+impl FromIterator<OrderDependency> for OdSet {
+    fn from_iter<T: IntoIterator<Item = OrderDependency>>(iter: T) -> Self {
+        OdSet::from_ods(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_core::AttrId;
+
+    fn l(ids: &[u32]) -> AttrList {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    #[test]
+    fn constraints_expand_to_ods() {
+        let mut m = OdSet::new();
+        m.add_od(OrderDependency::new(l(&[0]), l(&[1])));
+        m.add_equivalence(OrderEquivalence::new(l(&[0]), l(&[2])));
+        m.add_compatibility(OrderCompatibility::new(l(&[1]), l(&[2])));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.ods().len(), 1 + 2 + 2);
+        assert_eq!(m.attributes().len(), 3);
+    }
+
+    #[test]
+    fn constants_are_empty_lhs_ods() {
+        let mut m = OdSet::new();
+        m.add_constant(AttrId(4));
+        let ods = m.ods();
+        assert_eq!(ods.len(), 1);
+        assert!(ods[0].lhs.is_empty());
+        assert_eq!(ods[0].rhs, l(&[4]));
+    }
+
+    #[test]
+    fn display_lists_constraints() {
+        let mut m = OdSet::new();
+        m.add_od(OrderDependency::new(l(&[0]), l(&[1])));
+        assert!(m.to_string().contains("↦"));
+        let mut schema = Schema::new("t");
+        schema.add_attr("a");
+        schema.add_attr("b");
+        assert_eq!(m.display(&schema), "{ [a] ↦ [b] }");
+    }
+
+    #[test]
+    fn satisfied_by_checks_all_constraints() {
+        let mut schema = Schema::new("t");
+        let a = schema.add_attr("a");
+        let b = schema.add_attr("b");
+        let rel = od_core::Relation::from_rows(
+            schema,
+            vec![
+                vec![od_core::Value::Int(1), od_core::Value::Int(10)],
+                vec![od_core::Value::Int(2), od_core::Value::Int(20)],
+            ],
+        )
+        .unwrap();
+        let mut m = OdSet::new();
+        m.add_od(OrderDependency::new(vec![a], vec![b]));
+        assert!(m.satisfied_by(&rel));
+        m.add_od(OrderDependency::new(vec![b], vec![a]));
+        assert!(m.satisfied_by(&rel));
+        m.add_constant(a);
+        assert!(!m.satisfied_by(&rel));
+    }
+}

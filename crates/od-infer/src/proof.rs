@@ -1,0 +1,566 @@
+//! Proof objects for the OD axiom system (Definition 6).
+//!
+//! A [`Proof`] is a sequence of [`ProofStep`]s; each step concludes an
+//! [`OrderDependency`] and is justified either by membership in the prescribed
+//! set `ℳ` ([`Rule::Given`]) or by an application of one of the six axioms
+//! OD1–OD6 (Definition 7) to earlier steps.  [`Proof::verify`] replays the proof
+//! and checks every step structurally, so proofs produced by the higher-level
+//! theorem constructors (`theorems` module) and by the prover can be validated
+//! independently of how they were produced — the proof checker is the trusted
+//! kernel, everything else is untrusted search.
+//!
+//! Notes on how the axioms are represented:
+//!
+//! * **Reflexivity (OD1)** `XY ↦ X`: the conclusion's right-hand side must be a
+//!   prefix of its left-hand side.
+//! * **Prefix (OD2)**: the rule application records the prepended list `Z`.
+//! * **Normalization (OD3)** is checked in its exhaustively-applied form: the two
+//!   sides must have the same normalization (every single application of OD3
+//!   removes one occurrence of a list whose attributes all occur earlier, and the
+//!   reflexive–transitive closure of such removals/insertions is exactly
+//!   "equal normalizations").
+//! * **Suffix (OD5)** `X ↦ Y ⊢ X ↔ YX`: a step may conclude either direction.
+//! * **Chain (OD6)** applications carry their instantiation (`X`, `Y₁ … Yₙ`, `Z`)
+//!   explicitly; the checker verifies that both ODs of every required order
+//!   compatibility appear among the premises and that the conclusion is one of
+//!   the two ODs of `X ~ Z`.
+//! * Theorems 11 and 12 (Partition, Downward Closure) may also appear as steps;
+//!   they are derived in the paper from the Chain axiom, and are checked here
+//!   against their statement patterns (see `theorems`).
+
+use od_core::{AttrList, OrderCompatibility, OrderDependency};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Justification of a proof step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rule {
+    /// The OD is one of the prescribed dependencies in `ℳ`.
+    Given,
+    /// OD1 — Reflexivity: `XY ↦ X`.
+    Reflexivity,
+    /// OD2 — Prefix: from `X ↦ Y` infer `ZX ↦ ZY`; `z` is the prepended list.
+    Prefix {
+        /// The list prepended to both sides.
+        z: AttrList,
+    },
+    /// OD3 — Normalization (exhaustive form): `L₁ ↦ L₂` with equal normalizations.
+    Normalization,
+    /// OD4 — Transitivity: from `X ↦ Y` and `Y ↦ Z` infer `X ↦ Z`.
+    Transitivity,
+    /// OD5 — Suffix: from `X ↦ Y` infer `X ↦ YX` or `YX ↦ X`.
+    Suffix,
+    /// OD6 — Chain, instantiated with `x`, the chain `ys = Y₁ … Yₙ` and `z`.
+    Chain {
+        /// The list `X`.
+        x: AttrList,
+        /// The intermediate lists `Y₁ … Yₙ` (non-empty).
+        ys: Vec<AttrList>,
+        /// The list `Z`.
+        z: AttrList,
+    },
+    /// Theorem 11 — Partition: from `X ↦ Y`, `X ↦ Z` with `set(Y) = set(Z)`,
+    /// infer `Y ↔ Z` (derived from the Chain axiom in the paper).
+    Partition,
+    /// Theorem 12 — Downward Closure: from `X ~ YZ` infer `X ~ Y` (derived from
+    /// Partition in the paper).  Premises/conclusion are the compatibility ODs.
+    DownwardClosure {
+        /// The list `X`.
+        x: AttrList,
+        /// The list `Y` kept by the conclusion.
+        y: AttrList,
+        /// The dropped tail `Z`.
+        z: AttrList,
+    },
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rule::Given => write!(f, "Given"),
+            Rule::Reflexivity => write!(f, "OD1 Reflexivity"),
+            Rule::Prefix { z } => write!(f, "OD2 Prefix[{z}]"),
+            Rule::Normalization => write!(f, "OD3 Normalization"),
+            Rule::Transitivity => write!(f, "OD4 Transitivity"),
+            Rule::Suffix => write!(f, "OD5 Suffix"),
+            Rule::Chain { .. } => write!(f, "OD6 Chain"),
+            Rule::Partition => write!(f, "Thm 11 Partition"),
+            Rule::DownwardClosure { .. } => write!(f, "Thm 12 Downward Closure"),
+        }
+    }
+}
+
+/// One step of a proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofStep {
+    /// The OD concluded by this step.
+    pub conclusion: OrderDependency,
+    /// The rule justifying the step.
+    pub rule: Rule,
+    /// Indices (into the proof) of the premise steps the rule is applied to.
+    pub premises: Vec<usize>,
+}
+
+/// Errors reported by [`Proof::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofError {
+    /// A premise index referred to this or a later step.
+    ForwardReference {
+        /// The offending step.
+        step: usize,
+    },
+    /// A `Given` step concluded an OD not present in `ℳ`.
+    NotGiven {
+        /// The offending step.
+        step: usize,
+    },
+    /// A rule application did not match its structural side conditions.
+    InvalidApplication {
+        /// The offending step.
+        step: usize,
+        /// The rule that failed to validate.
+        rule: String,
+    },
+    /// The proof is empty.
+    Empty,
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProofError::ForwardReference { step } => {
+                write!(f, "step {step} references a step that does not precede it")
+            }
+            ProofError::NotGiven { step } => {
+                write!(f, "step {step} claims to be a premise of ℳ but is not")
+            }
+            ProofError::InvalidApplication { step, rule } => {
+                write!(f, "step {step} is not a valid application of {rule}")
+            }
+            ProofError::Empty => write!(f, "proof has no steps"),
+        }
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+/// A checked sequence of inference steps deriving its last conclusion from `ℳ`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Proof {
+    steps: Vec<ProofStep>,
+}
+
+impl Proof {
+    /// The steps, in order.
+    pub fn steps(&self) -> &[ProofStep] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if the proof has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The final conclusion, if any.
+    pub fn conclusion(&self) -> Option<&OrderDependency> {
+        self.steps.last().map(|s| &s.conclusion)
+    }
+
+    /// Verify every step against the prescribed ODs `given` (already expanded to
+    /// plain ODs, e.g. via [`crate::OdSet::ods`]).
+    pub fn verify(&self, given: &[OrderDependency]) -> Result<(), ProofError> {
+        if self.steps.is_empty() {
+            return Err(ProofError::Empty);
+        }
+        let given_set: BTreeSet<&OrderDependency> = given.iter().collect();
+        for (i, step) in self.steps.iter().enumerate() {
+            if step.premises.iter().any(|&p| p >= i) {
+                return Err(ProofError::ForwardReference { step: i });
+            }
+            let prem: Vec<&OrderDependency> =
+                step.premises.iter().map(|&p| &self.steps[p].conclusion).collect();
+            let ok = match &step.rule {
+                Rule::Given => given_set.contains(&step.conclusion),
+                Rule::Reflexivity => {
+                    prem.is_empty() && step.conclusion.rhs.is_prefix_of(&step.conclusion.lhs)
+                }
+                Rule::Prefix { z } => {
+                    prem.len() == 1
+                        && step.conclusion.lhs == z.concat(&prem[0].lhs)
+                        && step.conclusion.rhs == z.concat(&prem[0].rhs)
+                }
+                Rule::Normalization => {
+                    prem.is_empty()
+                        && step.conclusion.lhs.normalize() == step.conclusion.rhs.normalize()
+                }
+                Rule::Transitivity => {
+                    prem.len() == 2
+                        && prem[0].rhs == prem[1].lhs
+                        && step.conclusion.lhs == prem[0].lhs
+                        && step.conclusion.rhs == prem[1].rhs
+                }
+                Rule::Suffix => {
+                    prem.len() == 1 && {
+                        let x = &prem[0].lhs;
+                        let y = &prem[0].rhs;
+                        let yx = y.concat(x);
+                        (step.conclusion.lhs == *x && step.conclusion.rhs == yx)
+                            || (step.conclusion.lhs == yx && step.conclusion.rhs == *x)
+                    }
+                }
+                Rule::Chain { x, ys, z } => Self::check_chain(x, ys, z, &prem, &step.conclusion),
+                Rule::Partition => {
+                    prem.len() == 2
+                        && prem[0].lhs == prem[1].lhs
+                        && prem[0].rhs.to_set() == prem[1].rhs.to_set()
+                        && ((step.conclusion.lhs == prem[0].rhs
+                            && step.conclusion.rhs == prem[1].rhs)
+                            || (step.conclusion.lhs == prem[1].rhs
+                                && step.conclusion.rhs == prem[0].rhs))
+                }
+                Rule::DownwardClosure { x, y, z } => {
+                    // Premises: both ODs of X ~ YZ.  Conclusion: one OD of X ~ Y.
+                    let yz = y.concat(z);
+                    let premise_compat = OrderCompatibility::new(x.clone(), yz);
+                    let conclusion_compat = OrderCompatibility::new(x.clone(), y.clone());
+                    Self::contains_compat(&prem, &premise_compat)
+                        && conclusion_compat
+                            .as_ods()
+                            .iter()
+                            .any(|od| *od == step.conclusion)
+                }
+            };
+            if !ok {
+                if matches!(step.rule, Rule::Given) {
+                    return Err(ProofError::NotGiven { step: i });
+                }
+                return Err(ProofError::InvalidApplication {
+                    step: i,
+                    rule: step.rule.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn contains_compat(premises: &[&OrderDependency], compat: &OrderCompatibility) -> bool {
+        compat.as_ods().iter().all(|od| premises.iter().any(|p| *p == od))
+    }
+
+    /// Side conditions of the Chain axiom (OD6):
+    /// `X ~ Y₁`, `Yᵢ ~ Yᵢ₊₁`, `Yₙ ~ Z`, and `YᵢX ~ YᵢZ` for every `i`; the
+    /// conclusion is one of the two ODs of `X ~ Z`.
+    fn check_chain(
+        x: &AttrList,
+        ys: &[AttrList],
+        z: &AttrList,
+        premises: &[&OrderDependency],
+        conclusion: &OrderDependency,
+    ) -> bool {
+        if ys.is_empty() {
+            return false;
+        }
+        let mut required: Vec<OrderCompatibility> = Vec::new();
+        required.push(OrderCompatibility::new(x.clone(), ys[0].clone()));
+        for w in ys.windows(2) {
+            required.push(OrderCompatibility::new(w[0].clone(), w[1].clone()));
+        }
+        required.push(OrderCompatibility::new(ys[ys.len() - 1].clone(), z.clone()));
+        for y in ys {
+            required.push(OrderCompatibility::new(y.concat(x), y.concat(z)));
+        }
+        if !required.iter().all(|c| Self::contains_compat(premises, c)) {
+            return false;
+        }
+        OrderCompatibility::new(x.clone(), z.clone()).as_ods().iter().any(|od| od == conclusion)
+    }
+}
+
+impl fmt::Display for Proof {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            let prem = if step.premises.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "({})",
+                    step.premises.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(",")
+                )
+            };
+            writeln!(f, "{i:>3}. {}   [{}{}]", step.conclusion, step.rule, prem)?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder used by the theorem constructors and the prover.
+///
+/// Every method appends one step and returns its index.  Duplicate conclusions
+/// are *not* deduplicated — proofs stay readable and match the paper's style.
+#[derive(Debug, Clone, Default)]
+pub struct ProofBuilder {
+    proof: Proof,
+}
+
+impl ProofBuilder {
+    /// Start an empty proof.
+    pub fn new() -> Self {
+        ProofBuilder::default()
+    }
+
+    /// The conclusion of an existing step.
+    pub fn step(&self, idx: usize) -> &OrderDependency {
+        &self.proof.steps[idx].conclusion
+    }
+
+    /// Number of steps so far.
+    pub fn len(&self) -> usize {
+        self.proof.len()
+    }
+
+    /// True if no steps have been added.
+    pub fn is_empty(&self) -> bool {
+        self.proof.is_empty()
+    }
+
+    /// Finish and return the proof.
+    pub fn finish(self) -> Proof {
+        self.proof
+    }
+
+    fn push(&mut self, conclusion: OrderDependency, rule: Rule, premises: Vec<usize>) -> usize {
+        self.proof.steps.push(ProofStep { conclusion, rule, premises });
+        self.proof.steps.len() - 1
+    }
+
+    /// Cite a prescribed OD from `ℳ`.
+    pub fn given(&mut self, od: OrderDependency) -> usize {
+        self.push(od, Rule::Given, vec![])
+    }
+
+    /// OD1 — Reflexivity: conclude `XY ↦ X`.
+    pub fn reflexivity(&mut self, xy: AttrList, x: AttrList) -> usize {
+        self.push(OrderDependency::new(xy, x), Rule::Reflexivity, vec![])
+    }
+
+    /// OD2 — Prefix: from step `p : X ↦ Y`, conclude `ZX ↦ ZY`.
+    pub fn prefix(&mut self, z: AttrList, p: usize) -> usize {
+        let od = self.step(p).clone();
+        let conclusion = OrderDependency::new(z.concat(&od.lhs), z.concat(&od.rhs));
+        self.push(conclusion, Rule::Prefix { z }, vec![p])
+    }
+
+    /// OD3 — Normalization: conclude `L₁ ↦ L₂` where the normalizations agree.
+    pub fn normalization(&mut self, l1: AttrList, l2: AttrList) -> usize {
+        self.push(OrderDependency::new(l1, l2), Rule::Normalization, vec![])
+    }
+
+    /// OD4 — Transitivity: from `p1 : X ↦ Y` and `p2 : Y ↦ Z`, conclude `X ↦ Z`.
+    pub fn transitivity(&mut self, p1: usize, p2: usize) -> usize {
+        let conclusion =
+            OrderDependency::new(self.step(p1).lhs.clone(), self.step(p2).rhs.clone());
+        self.push(conclusion, Rule::Transitivity, vec![p1, p2])
+    }
+
+    /// OD5 — Suffix (forward): from `p : X ↦ Y`, conclude `X ↦ YX`.
+    pub fn suffix_forward(&mut self, p: usize) -> usize {
+        let od = self.step(p).clone();
+        let conclusion = OrderDependency::new(od.lhs.clone(), od.rhs.concat(&od.lhs));
+        self.push(conclusion, Rule::Suffix, vec![p])
+    }
+
+    /// OD5 — Suffix (backward): from `p : X ↦ Y`, conclude `YX ↦ X`.
+    pub fn suffix_backward(&mut self, p: usize) -> usize {
+        let od = self.step(p).clone();
+        let conclusion = OrderDependency::new(od.rhs.concat(&od.lhs), od.lhs.clone());
+        self.push(conclusion, Rule::Suffix, vec![p])
+    }
+
+    /// OD6 — Chain: conclude one OD of `X ~ Z` from the required compatibility
+    /// premises (`direction = false` gives `XZ ↦ ZX`, `true` gives `ZX ↦ XZ`).
+    pub fn chain(
+        &mut self,
+        x: AttrList,
+        ys: Vec<AttrList>,
+        z: AttrList,
+        premises: Vec<usize>,
+        direction: bool,
+    ) -> usize {
+        let compat = OrderCompatibility::new(x.clone(), z.clone());
+        let [fwd, bwd] = compat.as_ods();
+        let conclusion = if direction { bwd } else { fwd };
+        self.push(conclusion, Rule::Chain { x, ys, z }, premises)
+    }
+
+    /// Theorem 11 — Partition: from `p1 : X ↦ Y` and `p2 : X ↦ Z` with
+    /// `set(Y) = set(Z)`, conclude `Y ↦ Z`.
+    pub fn partition(&mut self, p1: usize, p2: usize) -> usize {
+        let conclusion =
+            OrderDependency::new(self.step(p1).rhs.clone(), self.step(p2).rhs.clone());
+        self.push(conclusion, Rule::Partition, vec![p1, p2])
+    }
+
+    /// Theorem 12 — Downward Closure: from the two ODs of `X ~ YZ` (steps `p1`,
+    /// `p2`), conclude one OD of `X ~ Y`.
+    pub fn downward_closure(
+        &mut self,
+        x: AttrList,
+        y: AttrList,
+        z: AttrList,
+        p1: usize,
+        p2: usize,
+        direction: bool,
+    ) -> usize {
+        let compat = OrderCompatibility::new(x.clone(), y.clone());
+        let [fwd, bwd] = compat.as_ods();
+        let conclusion = if direction { bwd } else { fwd };
+        self.push(conclusion, Rule::DownwardClosure { x, y, z }, vec![p1, p2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_core::AttrId;
+
+    fn l(ids: &[u32]) -> AttrList {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+    fn od(lhs: &[u32], rhs: &[u32]) -> OrderDependency {
+        OrderDependency::new(l(lhs), l(rhs))
+    }
+
+    #[test]
+    fn transitivity_proof_verifies() {
+        // ℳ = {A ↦ B, B ↦ C}; derive A ↦ C.
+        let given = vec![od(&[0], &[1]), od(&[1], &[2])];
+        let mut b = ProofBuilder::new();
+        let s1 = b.given(given[0].clone());
+        let s2 = b.given(given[1].clone());
+        let s3 = b.transitivity(s1, s2);
+        let proof = b.finish();
+        assert_eq!(proof.conclusion(), Some(&od(&[0], &[2])));
+        assert_eq!(proof.len(), 3);
+        proof.verify(&given).unwrap();
+        assert_eq!(s3, 2);
+        // With an incomplete ℳ the Given step fails.
+        let err = proof.verify(&[od(&[0], &[1])]).unwrap_err();
+        assert!(matches!(err, ProofError::NotGiven { step: 1 }));
+    }
+
+    #[test]
+    fn reflexivity_and_normalization_side_conditions() {
+        let mut b = ProofBuilder::new();
+        b.reflexivity(l(&[0, 1]), l(&[0]));
+        b.normalization(l(&[0, 1, 0]), l(&[0, 1]));
+        b.finish().verify(&[]).unwrap();
+
+        // An invalid "reflexivity" (rhs not a prefix of lhs) must be rejected.
+        let bogus = Proof {
+            steps: vec![ProofStep {
+                conclusion: od(&[0, 1], &[1]),
+                rule: Rule::Reflexivity,
+                premises: vec![],
+            }],
+        };
+        assert!(matches!(
+            bogus.verify(&[]),
+            Err(ProofError::InvalidApplication { step: 0, .. })
+        ));
+
+        // An invalid "normalization" (different attribute sets) must be rejected.
+        let bogus = Proof {
+            steps: vec![ProofStep {
+                conclusion: od(&[0], &[1]),
+                rule: Rule::Normalization,
+                premises: vec![],
+            }],
+        };
+        assert!(bogus.verify(&[]).is_err());
+    }
+
+    #[test]
+    fn prefix_and_suffix_shapes() {
+        let given = vec![od(&[0], &[1])];
+        let mut b = ProofBuilder::new();
+        let g = b.given(given[0].clone());
+        let p = b.prefix(l(&[7]), g);
+        assert_eq!(b.step(p), &od(&[7, 0], &[7, 1]));
+        let sf = b.suffix_forward(g);
+        assert_eq!(b.step(sf), &od(&[0], &[1, 0]));
+        let sb = b.suffix_backward(g);
+        assert_eq!(b.step(sb), &od(&[1, 0], &[0]));
+        b.finish().verify(&given).unwrap();
+    }
+
+    #[test]
+    fn forward_references_are_rejected() {
+        let proof = Proof {
+            steps: vec![ProofStep {
+                conclusion: od(&[0], &[2]),
+                rule: Rule::Transitivity,
+                premises: vec![0, 1],
+            }],
+        };
+        assert!(matches!(proof.verify(&[]), Err(ProofError::ForwardReference { step: 0 })));
+    }
+
+    #[test]
+    fn empty_proof_is_an_error() {
+        assert_eq!(Proof::default().verify(&[]), Err(ProofError::Empty));
+        assert!(Proof::default().conclusion().is_none());
+    }
+
+    #[test]
+    fn chain_rule_requires_all_compatibility_premises() {
+        // X = [A], ys = [[B]], Z = [C]; required: A~B, B~C, BA~BC; conclude A~C.
+        let x = l(&[0]);
+        let y = l(&[1]);
+        let z = l(&[2]);
+        let mut premises = Vec::new();
+        let mut b = ProofBuilder::new();
+        let add_compat = |b: &mut ProofBuilder, a: &AttrList, c: &AttrList| -> Vec<usize> {
+            OrderCompatibility::new(a.clone(), c.clone())
+                .as_ods()
+                .iter()
+                .map(|o| b.given(o.clone()))
+                .collect()
+        };
+        premises.extend(add_compat(&mut b, &x, &y));
+        premises.extend(add_compat(&mut b, &y, &z));
+        premises.extend(add_compat(&mut b, &y.concat(&x), &y.concat(&z)));
+        b.chain(x.clone(), vec![y.clone()], z.clone(), premises.clone(), false);
+        let proof = b.finish();
+        let given: Vec<OrderDependency> =
+            proof.steps().iter().filter(|s| s.rule == Rule::Given).map(|s| s.conclusion.clone()).collect();
+        proof.verify(&given).unwrap();
+
+        // Dropping one premise breaks the application.
+        let mut b2 = ProofBuilder::new();
+        let mut prem2 = Vec::new();
+        prem2.extend(add_compat(&mut b2, &x, &y));
+        prem2.extend(add_compat(&mut b2, &y, &z));
+        // (missing the YᵢX ~ YᵢZ premises)
+        b2.chain(x, vec![y], z, prem2, false);
+        let proof2 = b2.finish();
+        let given2: Vec<OrderDependency> =
+            proof2.steps().iter().filter(|s| s.rule == Rule::Given).map(|s| s.conclusion.clone()).collect();
+        assert!(proof2.verify(&given2).is_err());
+    }
+
+    #[test]
+    fn display_renders_each_step() {
+        let mut b = ProofBuilder::new();
+        let g = b.given(od(&[0], &[1]));
+        b.prefix(l(&[2]), g);
+        let text = b.finish().to_string();
+        assert!(text.contains("Given"));
+        assert!(text.contains("OD2 Prefix"));
+        assert!(text.lines().count() == 2);
+    }
+}

@@ -1,0 +1,439 @@
+//! Derived theorems (Section 3.3 of the paper), implemented as *proof
+//! constructors*: each function appends to a [`ProofBuilder`] a derivation of the
+//! theorem's conclusion **using only the six axioms**, mirroring the paper's own
+//! derivations, and returns the index of the concluding step.  Because the
+//! resulting proofs are replayed by [`crate::Proof::verify`], the theorems carry
+//! no trusted code of their own.
+//!
+//! Implemented theorems (paper numbering):
+//!
+//! | Theorem | Statement |
+//! |---|---|
+//! | 2 Union | `X ↦ Y`, `X ↦ Z` ⊢ `X ↦ YZ` |
+//! | 3 Augmentation | `X ↦ Y` ⊢ `XZ ↦ Y` |
+//! | 4 Shift | `X ↔ Y`, `V ↦ W` ⊢ `XV ↦ YW` |
+//! | 5 Decomposition | `X ↦ YZ` ⊢ `X ↦ Y` |
+//! | 6 Replace | `X ↔ Y` ⊢ `ZXW ↔ ZYW` |
+//! | 7 Eliminate | `X ↦ Y` ⊢ `ZXYW ↔ ZXW` |
+//! | 8 Left Eliminate | `X ↦ Y` ⊢ `ZYXW ↔ ZXW` |
+//! | 10 Path | `X ↦ VW`, `V ↦ Z` ⊢ `X ↦ VZW` |
+//! | 14 Permutation | `X ↦ Y` ⊢ `X′ ↦ X′Y′` for permutations `X′`, `Y′` |
+//!
+//! plus the auxiliary **Insert** lemma (`X ↦ R` ⊢ `XV ↔ XRV`), which is the heart
+//! of the paper's Shift proof and is reused by Eliminate and Path.  Theorems 11
+//! (Partition) and 12 (Downward Closure) are available as dedicated rules on the
+//! builder (see [`ProofBuilder::partition`] / [`ProofBuilder::downward_closure`]);
+//! the paper derives them from the Chain axiom.
+
+use crate::proof::ProofBuilder;
+use od_core::{AttrId, AttrList};
+
+/// Theorem 3 — Augmentation: from step `p : X ↦ Y`, derive `XZ ↦ Y`.
+pub fn augmentation(b: &mut ProofBuilder, p: usize, z: &AttrList) -> usize {
+    let x = b.step(p).lhs.clone();
+    let xz = x.concat(z);
+    let s1 = b.reflexivity(xz, x); // XZ ↦ X
+    b.transitivity(s1, p) // XZ ↦ Y
+}
+
+/// Theorem 2 — Union: from `p1 : X ↦ Y` and `p2 : X ↦ Z` (same left side),
+/// derive `X ↦ YZ`.  This is the paper's three-step Prefix/Suffix/Transitivity
+/// derivation.
+pub fn union(b: &mut ProofBuilder, p1: usize, p2: usize) -> usize {
+    assert_eq!(b.step(p1).lhs, b.step(p2).lhs, "Union requires a common left-hand side");
+    let y = b.step(p1).rhs.clone();
+    let s3 = b.prefix(y, p2); // YX ↦ YZ
+    let s4 = b.suffix_forward(p1); // X ↦ YX
+    b.transitivity(s4, s3) // X ↦ YZ
+}
+
+/// Theorem 5 — Decomposition: from `p : X ↦ YZ`, derive `X ↦ Y` where `y` is a
+/// prefix of the premise's right-hand side.
+pub fn decomposition(b: &mut ProofBuilder, p: usize, y: &AttrList) -> usize {
+    let rhs = b.step(p).rhs.clone();
+    assert!(y.is_prefix_of(&rhs), "Decomposition target must be a prefix of the right-hand side");
+    let s1 = b.reflexivity(rhs, y.clone()); // YZ ↦ Y
+    b.transitivity(p, s1) // X ↦ Y
+}
+
+/// Auxiliary **Insert** lemma: from `p : X ↦ R`, derive the equivalence
+/// `XV ↔ XRV` (returned as `(forward, backward)` step indices:
+/// `XV ↦ XRV` and `XRV ↦ XV`).
+///
+/// This captures the key manoeuvre of the paper's proof of Theorem 4 (Shift):
+/// a list `R` that is ordered by a preceding context `X` can be inserted after
+/// (or removed from behind) that context without affecting the induced order.
+pub fn insert(b: &mut ProofBuilder, p: usize, v: &AttrList) -> (usize, usize) {
+    let x = b.step(p).lhs.clone();
+    let r = b.step(p).rhs.clone();
+    let xv = x.concat(v);
+    let xr = x.concat(&r);
+    let xrv = xr.concat(v);
+    let xrxv = xr.concat(&xv);
+    let xxv = x.concat(&xv);
+
+    let i1 = b.reflexivity(xv.clone(), x.clone()); // XV ↦ X
+    let i2 = b.transitivity(i1, p); // XV ↦ R
+    let i3 = b.prefix(x.clone(), i2); // XXV ↦ XR
+    let i4 = b.normalization(xv.clone(), xxv); // XV ↦ XXV
+    let i5 = b.transitivity(i4, i3); // XV ↦ XR
+    let i6 = b.suffix_forward(i5); // XV ↦ XRXV
+    let i7 = b.normalization(xrxv.clone(), xrv.clone()); // XRXV ↦ XRV
+    let fwd = b.transitivity(i6, i7); // XV ↦ XRV
+    let i9 = b.normalization(xrv, xrxv); // XRV ↦ XRXV
+    let i10 = b.suffix_backward(i5); // XRXV ↦ XV
+    let bwd = b.transitivity(i9, i10); // XRV ↦ XV
+    (fwd, bwd)
+}
+
+/// Theorem 4 — Shift: from the equivalence `X ↔ Y` (steps `p_xy : X ↦ Y` and
+/// `p_yx : Y ↦ X`) and `p_vw : V ↦ W`, derive `XV ↦ YW`.
+pub fn shift(b: &mut ProofBuilder, p_xy: usize, p_yx: usize, p_vw: usize) -> usize {
+    assert_eq!(b.step(p_xy).lhs, b.step(p_yx).rhs, "Shift premises must form an equivalence");
+    assert_eq!(b.step(p_xy).rhs, b.step(p_yx).lhs, "Shift premises must form an equivalence");
+    let y = b.step(p_xy).rhs.clone();
+    let v = b.step(p_vw).lhs.clone();
+
+    // YV ↔ YXV  (insert X, which Y orders, behind Y).
+    let (_yv_to_yxv, yxv_to_yv) = insert(b, p_yx, &v);
+    // XV ↦ Y, then Suffix: XV ↦ YXV.
+    let aug = augmentation(b, p_xy, &v); // XV ↦ Y
+    let sf = b.suffix_forward(aug); // XV ↦ Y·XV = YXV
+    let t1 = b.transitivity(sf, yxv_to_yv); // XV ↦ YV
+    let pv = b.prefix(y, p_vw); // YV ↦ YW
+    b.transitivity(t1, pv) // XV ↦ YW
+}
+
+/// Theorem 6 — Replace: from the equivalence `X ↔ Y` (steps `p_xy`, `p_yx`),
+/// derive `ZXW ↔ ZYW` (returned as `(ZXW ↦ ZYW, ZYW ↦ ZXW)`).
+pub fn replace(
+    b: &mut ProofBuilder,
+    p_xy: usize,
+    p_yx: usize,
+    z: &AttrList,
+    w: &AttrList,
+) -> (usize, usize) {
+    let r1 = b.reflexivity(w.clone(), w.clone()); // W ↦ W
+    let f = shift(b, p_xy, p_yx, r1); // XW ↦ YW
+    let r2 = b.reflexivity(w.clone(), w.clone());
+    let g = shift(b, p_yx, p_xy, r2); // YW ↦ XW
+    let pf = b.prefix(z.clone(), f); // ZXW ↦ ZYW
+    let pg = b.prefix(z.clone(), g); // ZYW ↦ ZXW
+    (pf, pg)
+}
+
+/// Theorem 7 — Eliminate: from `p : X ↦ Y`, derive `ZXYW ↔ ZXW`
+/// (returned as `(ZXYW ↦ ZXW, ZXW ↦ ZXYW)`).
+///
+/// This is the rewrite that drops a *functionally following* list from an
+/// `ORDER BY`: with `[month] ↦ [quarter]`, `ORDER BY year, month, quarter`
+/// reduces to `ORDER BY year, month`.
+pub fn eliminate(
+    b: &mut ProofBuilder,
+    p: usize,
+    z: &AttrList,
+    w: &AttrList,
+) -> (usize, usize) {
+    let (ins_f, ins_b) = insert(b, p, w); // XW ↔ XYW
+    let fwd = b.prefix(z.clone(), ins_b); // ZXYW ↦ ZXW
+    let bwd = b.prefix(z.clone(), ins_f); // ZXW ↦ ZXYW
+    (fwd, bwd)
+}
+
+/// Theorem 8 — Left Eliminate: from `p : X ↦ Y`, derive `ZYXW ↔ ZXW`
+/// (returned as `(ZYXW ↦ ZXW, ZXW ↦ ZYXW)`).
+///
+/// This is the rewrite that drops a list *ordered by what follows it*: with
+/// `[month] ↦ [quarter]`, `ORDER BY year, quarter, month` reduces to
+/// `ORDER BY year, month` — the rewrite FDs alone cannot justify (Example 1).
+pub fn left_eliminate(
+    b: &mut ProofBuilder,
+    p: usize,
+    z: &AttrList,
+    w: &AttrList,
+) -> (usize, usize) {
+    // X ↔ YX by Suffix, then Replace X by YX inside Z·_·W.
+    let sf = b.suffix_forward(p); // X ↦ YX
+    let sb = b.suffix_backward(p); // YX ↦ X
+    let (zxw_to_zyxw, zyxw_to_zxw) = replace(b, sf, sb, z, w);
+    (zyxw_to_zxw, zxw_to_zyxw)
+}
+
+/// Theorem 10 — Path: from `p1 : X ↦ VW` and `p2 : V ↦ Z`, derive `X ↦ VZW`.
+///
+/// This is the rule behind Example 4: paths through the Figure 2 date hierarchy
+/// can be refined by inserting attributes that are ordered by a prefix of the
+/// path.
+pub fn path(b: &mut ProofBuilder, p1: usize, p2: usize, v: &AttrList, w: &AttrList) -> usize {
+    assert_eq!(&b.step(p2).lhs, v, "Path: p2 must have V as its left-hand side");
+    assert_eq!(
+        b.step(p1).rhs,
+        v.concat(w),
+        "Path: p1's right-hand side must be the concatenation VW"
+    );
+    let z = b.step(p2).rhs.clone();
+    // V ↦ VZ by Union(V ↦ V, V ↦ Z).
+    let rv = b.reflexivity(v.clone(), v.clone()); // V ↦ V
+    let u = union(b, rv, p2); // V ↦ VZ
+    // VW ↔ V·(VZ)·W, then normalize the duplicate V away: VW ↦ VZW.
+    let (ins_f, _ins_b) = insert(b, u, w); // VW ↦ V·VZ·W
+    let vvzw = v.concat(v).concat(&z).concat(w);
+    let vzw = v.concat(&z).concat(w);
+    let n1 = b.normalization(vvzw, vzw); // VVZW ↦ VZW
+    let t = b.transitivity(ins_f, n1); // VW ↦ VZW
+    b.transitivity(p1, t) // X ↦ VZW
+}
+
+/// Theorem 14 — Permutation: from `p : X ↦ Y`, derive `X′ ↦ X′Y′` where `x_perm`
+/// is a permutation of `set(X)` and `y_perm` is any list over `set(X) ∪ set(Y)`.
+///
+/// This is the rule that makes the FD fragment of the OD world insensitive to
+/// list order (Theorems 13 and 16): `X → Y` as an FD corresponds to *every*
+/// `X′ ↦ X′Y′`.
+pub fn permutation(
+    b: &mut ProofBuilder,
+    p: usize,
+    x_perm: &AttrList,
+    y_perm: &AttrList,
+) -> usize {
+    let x = b.step(p).lhs.clone();
+    let y = b.step(p).rhs.clone();
+    assert_eq!(
+        x_perm.to_set(),
+        x.to_set(),
+        "Permutation: x_perm must be a permutation of the premise's left-hand side"
+    );
+    let mut allowed = x.to_set();
+    allowed.extend(y.to_set());
+    assert!(
+        y_perm.iter().all(|a| allowed.contains(&a)),
+        "Permutation: y_perm may only mention attributes of the premise"
+    );
+
+    // Step 0: strengthen the premise to the FD shape X ↦ XY via Union(X ↦ X, X ↦ Y).
+    let rx = b.reflexivity(x.clone(), x.clone()); // X ↦ X
+    let fd_shape = union(b, rx, p); // X ↦ XY
+    let xy = b.step(fd_shape).rhs.clone();
+
+    // Claim B: X′ ↦ X′·XY via Norm + Prefix.
+    let b1 = b.normalization(x_perm.clone(), x_perm.concat(&x)); // X′ ↦ X′X
+    let b2 = b.prefix(x_perm.clone(), fd_shape); // X′X ↦ X′XY
+    let b3 = b.transitivity(b1, b2); // X′ ↦ X′XY
+
+    // Claim A: for each attribute of y_perm, derive X′ ↦ X′A, then Union them in
+    // the order of y_perm and normalize.
+    if y_perm.is_empty() {
+        return b.normalization(x_perm.clone(), x_perm.concat(y_perm));
+    }
+    let base = b3; // X′ ↦ X′·XY is the working premise for decompositions.
+    let full_rhs = x_perm.concat(&xy);
+    let mut single_steps: Vec<usize> = Vec::with_capacity(y_perm.len());
+    for a in y_perm.iter() {
+        if x_perm.contains(a) {
+            // Attributes already in X′ are redundant on the right: X′ ↦ X′A by OD3.
+            single_steps.push(b.normalization(x_perm.clone(), x_perm.with_suffix(a)));
+            continue;
+        }
+        // P = prefix of X′·XY before the first occurrence of `a` (P starts with X′).
+        let pos = full_rhs.position(a).expect("attribute occurs in the premise");
+        let pfx = full_rhs.prefix(pos);
+        let pa = full_rhs.prefix(pos + 1);
+        let d1 = decomposition(b, base, &pa); // X′ ↦ P·A
+        let d2 = decomposition(b, base, &pfx); // X′ ↦ P
+        // Insert lemma with premise X′ ↦ P: X′A ↔ X′·P·A; since P starts with X′,
+        // normalization bridges P·A and X′·P·A.
+        let (_ins_f, ins_b) = insert(b, d2, &AttrList::new([a])); // X′·P·A ↦ X′A
+        let xpa = x_perm.concat(&pfx).with_suffix(a);
+        let n_to = b.normalization(pa.clone(), xpa.clone()); // P·A ↦ X′·P·A
+        let t_back = b.transitivity(n_to, ins_b); // P·A ↦ X′·A
+        let s = b.transitivity(d1, t_back); // X′ ↦ X′·A
+        single_steps.push(s);
+    }
+    // Union the singletons in y_perm order.
+    let mut acc = single_steps[0];
+    for &s in &single_steps[1..] {
+        acc = union(b, acc, s);
+    }
+    // Normalize the accumulated right-hand side to X′Y′.
+    let acc_rhs = b.step(acc).rhs.clone();
+    let target = x_perm.concat(y_perm);
+    let n = b.normalization(acc_rhs, target);
+    b.transitivity(acc, n)
+}
+
+/// Convenience: the list `[a]`.
+pub fn single(a: AttrId) -> AttrList {
+    AttrList::new([a])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decide::Decider;
+    use crate::odset::OdSet;
+    use od_core::{AttrId, OrderDependency};
+
+    fn l(ids: &[u32]) -> AttrList {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+    fn od(lhs: &[u32], rhs: &[u32]) -> OrderDependency {
+        OrderDependency::new(l(lhs), l(rhs))
+    }
+
+    /// Helper: build a proof from premises with `f`, verify it against the
+    /// premises, check the expected conclusion, and confirm the conclusion is
+    /// semantically implied (soundness cross-check with the decider).
+    fn check(
+        premises: &[OrderDependency],
+        expected: OrderDependency,
+        f: impl FnOnce(&mut ProofBuilder, &[usize]) -> usize,
+    ) {
+        let mut b = ProofBuilder::new();
+        let idx: Vec<usize> = premises.iter().map(|p| b.given(p.clone())).collect();
+        let last = f(&mut b, &idx);
+        assert_eq!(b.step(last), &expected, "conclusion mismatch");
+        let proof = b.finish();
+        proof.verify(premises).expect("theorem expansion must verify against the axioms");
+        let m = OdSet::from_ods(premises.iter().cloned());
+        assert!(
+            Decider::new(&m).implies(&expected),
+            "theorem conclusion must be semantically implied"
+        );
+    }
+
+    #[test]
+    fn union_theorem_2() {
+        check(&[od(&[0], &[1]), od(&[0], &[2])], od(&[0], &[1, 2]), |b, p| union(b, p[0], p[1]));
+    }
+
+    #[test]
+    fn augmentation_theorem_3() {
+        check(&[od(&[0], &[1])], od(&[0, 2], &[1]), |b, p| augmentation(b, p[0], &l(&[2])));
+    }
+
+    #[test]
+    fn decomposition_theorem_5() {
+        check(&[od(&[0], &[1, 2])], od(&[0], &[1]), |b, p| decomposition(b, p[0], &l(&[1])));
+    }
+
+    #[test]
+    fn insert_lemma_both_directions() {
+        check(&[od(&[0], &[1])], od(&[0, 2], &[0, 1, 2]), |b, p| insert(b, p[0], &l(&[2])).0);
+        check(&[od(&[0], &[1])], od(&[0, 1, 2], &[0, 2]), |b, p| insert(b, p[0], &l(&[2])).1);
+    }
+
+    #[test]
+    fn shift_theorem_4() {
+        // X = [0], Y = [1] (equivalent), V = [2], W = [3]: XV ↦ YW.
+        check(
+            &[od(&[0], &[1]), od(&[1], &[0]), od(&[2], &[3])],
+            od(&[0, 2], &[1, 3]),
+            |b, p| shift(b, p[0], p[1], p[2]),
+        );
+    }
+
+    #[test]
+    fn replace_theorem_6() {
+        check(
+            &[od(&[0], &[1]), od(&[1], &[0])],
+            od(&[4, 0, 5], &[4, 1, 5]),
+            |b, p| replace(b, p[0], p[1], &l(&[4]), &l(&[5])).0,
+        );
+        check(
+            &[od(&[0], &[1]), od(&[1], &[0])],
+            od(&[4, 1, 5], &[4, 0, 5]),
+            |b, p| replace(b, p[0], p[1], &l(&[4]), &l(&[5])).1,
+        );
+    }
+
+    #[test]
+    fn eliminate_theorem_7() {
+        // month ↦ quarter: [year, month, quarter] ↔ [year, month]
+        // (year = 0, month = 1, quarter = 2, nothing after).
+        check(
+            &[od(&[1], &[2])],
+            od(&[0, 1, 2], &[0, 1]),
+            |b, p| eliminate(b, p[0], &l(&[0]), &AttrList::empty()).0,
+        );
+        check(
+            &[od(&[1], &[2])],
+            od(&[0, 1], &[0, 1, 2]),
+            |b, p| eliminate(b, p[0], &l(&[0]), &AttrList::empty()).1,
+        );
+    }
+
+    #[test]
+    fn left_eliminate_theorem_8() {
+        // month ↦ quarter: [year, quarter, month] ↔ [year, month] — the Example 1
+        // rewrite that FDs alone cannot justify.
+        check(
+            &[od(&[1], &[2])],
+            od(&[0, 2, 1], &[0, 1]),
+            |b, p| left_eliminate(b, p[0], &l(&[0]), &AttrList::empty()).0,
+        );
+        check(
+            &[od(&[1], &[2])],
+            od(&[0, 1], &[0, 2, 1]),
+            |b, p| left_eliminate(b, p[0], &l(&[0]), &AttrList::empty()).1,
+        );
+    }
+
+    #[test]
+    fn path_theorem_10() {
+        // date ↦ [year, month], year ↦ quarter  ⊢  date ↦ [year, quarter, month].
+        // (date = 0, year = 1, month = 2, quarter = 3.)
+        check(
+            &[od(&[0], &[1, 2]), od(&[1], &[3])],
+            od(&[0], &[1, 3, 2]),
+            |b, p| path(b, p[0], p[1], &l(&[1]), &l(&[2])),
+        );
+    }
+
+    #[test]
+    fn permutation_theorem_14() {
+        // The FD {A,B} → {C,D} as the OD [A,B] ↦ [A,B,C,D] yields any permuted form.
+        check(
+            &[od(&[0, 1], &[2, 3])],
+            od(&[1, 0], &[1, 0, 3, 2]),
+            |b, p| permutation(b, p[0], &l(&[1, 0]), &l(&[3, 2])),
+        );
+        // Also with attributes of X reused on the right.
+        check(
+            &[od(&[0, 1], &[2])],
+            od(&[1, 0], &[1, 0, 2, 0]),
+            |b, p| permutation(b, p[0], &l(&[1, 0]), &l(&[2, 0])),
+        );
+    }
+
+    #[test]
+    fn partition_and_downward_closure_rules() {
+        // Partition (Theorem 11): X ↦ Y, X ↦ Z, set(Y)=set(Z) ⊢ Y ↦ Z.
+        let premises = [od(&[0], &[1, 2]), od(&[0], &[2, 1])];
+        let mut b = ProofBuilder::new();
+        let p1 = b.given(premises[0].clone());
+        let p2 = b.given(premises[1].clone());
+        let c = b.partition(p1, p2);
+        assert_eq!(b.step(c), &od(&[1, 2], &[2, 1]));
+        let proof = b.finish();
+        proof.verify(&premises).unwrap();
+        assert!(Decider::new(&OdSet::from_ods(premises.iter().cloned()))
+            .implies(&od(&[1, 2], &[2, 1])));
+
+        // Downward Closure (Theorem 12): X ~ YZ ⊢ X ~ Y.
+        let x = l(&[0]);
+        let y = l(&[1]);
+        let z = l(&[2]);
+        let compat_yz = od_core::OrderCompatibility::new(x.clone(), y.concat(&z));
+        let [g1, g2] = compat_yz.as_ods();
+        let premises = [g1.clone(), g2.clone()];
+        let mut b = ProofBuilder::new();
+        let s1 = b.given(g1);
+        let s2 = b.given(g2);
+        let c = b.downward_closure(x.clone(), y.clone(), z, s1, s2, false);
+        let expected = od_core::OrderCompatibility::new(x, y).as_ods()[0].clone();
+        assert_eq!(b.step(c), &expected);
+        let proof = b.finish();
+        proof.verify(&premises).unwrap();
+        assert!(Decider::new(&OdSet::from_ods(premises.iter().cloned())).implies(&expected));
+    }
+}

@@ -1,0 +1,24 @@
+//! # od-optimizer — order-dependency-driven query rewrites
+//!
+//! The query-optimization side of *Fundamentals of Order Dependencies*:
+//!
+//! * [`registry`] — declared OD/FD constraints per table (the paper's OD check
+//!   constraint) and the interesting-order satisfaction test (`ℳ ⊨ provided ↦
+//!   required`) used for sort elimination;
+//! * [`reduce`] — `Reduce` (FD-only, Simmen et al. [17]) and `Reduce-2`
+//!   (OD-aware, Section 2.3) order-by minimization plus group-by minimization;
+//! * [`star`] — planners for the two motivating query shapes (Example 1
+//!   aggregation queries and the TPC-DS-style date-surrogate star queries of
+//!   reference [18]), each with a baseline and an OD-aware plan over the
+//!   `od-engine` executor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod reduce;
+pub mod registry;
+pub mod star;
+
+pub use reduce::{reduce_group_by, reduce_order_by_fd, reduce_order_by_od};
+pub use registry::{names_to_list, OdRegistry, TableConstraints};
+pub use star::{aggregation_query, run_timed, same_results, AggregationQuery, DateRangeStarQuery};

@@ -1,0 +1,178 @@
+//! Order-by and group-by minimization.
+//!
+//! * [`reduce_order_by_fd`] is the baseline `Reduce` algorithm of Simmen et al.
+//!   (reference [17] of the paper), as used by query optimizers today: sweep the
+//!   `ORDER BY` list right to left and drop an attribute when the *set* of
+//!   attributes to its left functionally determines it.
+//! * [`reduce_order_by_od`] is the paper's `Reduce-2` (Section 2.3): in addition
+//!   to the FD test, an attribute is dropped when the constraint set proves that
+//!   the list without it still *orders* the original list — this covers the
+//!   Eliminate and Left-Eliminate rewrites (Theorems 7 and 8) and, in particular,
+//!   the Example 1 rewrite `ORDER BY year, quarter, month → ORDER BY year, month`
+//!   that FDs alone cannot justify.
+//! * [`reduce_group_by`] minimizes a `GROUP BY` list: an attribute can be dropped
+//!   when the remaining attributes functionally determine it (partition
+//!   equivalence).
+
+use crate::registry::OdRegistry;
+use od_core::{AttrList, FunctionalDependency, OrderDependency};
+use od_infer::closure::attr_closure;
+
+/// Baseline `Reduce` from [17]: drop attributes functionally determined by the
+/// set of attributes preceding them.
+pub fn reduce_order_by_fd(order_by: &AttrList, fds: &[FunctionalDependency]) -> AttrList {
+    let mut kept: Vec<od_core::AttrId> = order_by.normalize().iter().collect();
+    // Sweep right to left.
+    let mut i = kept.len();
+    while i > 0 {
+        i -= 1;
+        let prefix: od_core::AttrSet = kept[..i].iter().copied().collect();
+        if attr_closure(fds, &prefix).contains(&kept[i]) {
+            kept.remove(i);
+        }
+    }
+    kept.into_iter().collect()
+}
+
+/// The OD-aware `Reduce-2`: additionally drop an attribute whenever the declared
+/// ODs prove that the remaining list still orders the original one.
+///
+/// The droppability test is exact (`ℳ ⊨ reduced ↦ original`, via the implication
+/// decider), so every rewrite justified by Theorems 7/8 — and any other
+/// consequence of the declared ODs — is found.
+pub fn reduce_order_by_od(
+    order_by: &AttrList,
+    table: &str,
+    registry: &mut OdRegistry,
+) -> AttrList {
+    let original = order_by.clone();
+    let mut kept: Vec<od_core::AttrId> = order_by.normalize().iter().collect();
+    let mut i = kept.len();
+    while i > 0 {
+        i -= 1;
+        let mut candidate = kept.clone();
+        candidate.remove(i);
+        let candidate_list: AttrList = candidate.iter().copied().collect();
+        if registry.implies(
+            table,
+            &OrderDependency::new(candidate_list.clone(), original.clone()),
+        ) {
+            kept = candidate;
+        }
+    }
+    kept.into_iter().collect()
+}
+
+/// Minimize a `GROUP BY` list: drop attributes functionally determined by the
+/// remaining ones (the partitions are unchanged).  Order within the list is
+/// irrelevant for a partition operation; the surviving attributes keep their
+/// original relative order so a downstream sort-based plan can still exploit
+/// them.
+pub fn reduce_group_by(group_by: &AttrList, fds: &[FunctionalDependency]) -> AttrList {
+    let mut kept: Vec<od_core::AttrId> = group_by.normalize().iter().collect();
+    let mut i = kept.len();
+    while i > 0 {
+        i -= 1;
+        let rest: od_core::AttrSet =
+            kept.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, a)| *a).collect();
+        if attr_closure(fds, &rest).contains(&kept[i]) {
+            kept.remove(i);
+        }
+    }
+    kept.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_core::{AttrId, AttrSet, Schema};
+
+    /// year = 0, quarter = 1, month = 2, day = 3 (numeric month/quarter).
+    fn schema() -> Schema {
+        let mut s = Schema::new("date_dim");
+        for c in ["d_year", "d_quarter", "d_month", "d_day"] {
+            s.add_attr(c);
+        }
+        s
+    }
+
+    fn l(ids: &[u32]) -> AttrList {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+    fn fd(lhs: &[u32], rhs: &[u32]) -> FunctionalDependency {
+        FunctionalDependency::new(
+            lhs.iter().map(|&i| AttrId(i)).collect::<AttrSet>(),
+            rhs.iter().map(|&i| AttrId(i)).collect::<AttrSet>(),
+        )
+    }
+
+    #[test]
+    fn fd_reduce_drops_quarter_only_when_month_precedes_it() {
+        let fds = [fd(&[2], &[1])]; // month → quarter
+        // ORDER BY year, month, quarter → year, month (quarter follows its determinant).
+        assert_eq!(reduce_order_by_fd(&l(&[0, 2, 1]), &fds), l(&[0, 2]));
+        // ORDER BY year, quarter, month is NOT reducible with FDs alone:
+        // quarter's prefix {year} does not determine it.
+        assert_eq!(reduce_order_by_fd(&l(&[0, 1, 2]), &fds), l(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn od_reduce_handles_the_example_1_rewrite() {
+        let s = schema();
+        let mut r = OdRegistry::new();
+        r.declare_od(&s, &["d_month"], &["d_quarter"]); // the OD, not just the FD
+        // ORDER BY year, quarter, month → ORDER BY year, month (Theorem 8).
+        assert_eq!(reduce_order_by_od(&l(&[0, 1, 2]), "date_dim", &mut r), l(&[0, 2]));
+        // ORDER BY year, month, quarter → ORDER BY year, month (Theorem 7).
+        assert_eq!(reduce_order_by_od(&l(&[0, 2, 1]), "date_dim", &mut r), l(&[0, 2]));
+        // With only the FD declared, neither OD-based drop fires on the
+        // quarter-before-month form.
+        let mut r_fd = OdRegistry::new();
+        r_fd.declare_fd(&s, &["d_month"], &["d_quarter"]);
+        assert_eq!(reduce_order_by_od(&l(&[0, 1, 2]), "date_dim", &mut r_fd), l(&[0, 1, 2]));
+        // The FD still allows dropping quarter when it FOLLOWS month.
+        assert_eq!(reduce_order_by_od(&l(&[0, 2, 1]), "date_dim", &mut r_fd), l(&[0, 2]));
+    }
+
+    #[test]
+    fn od_reduce_respects_intervening_attributes() {
+        // Section 2.3: with D ↦ B, ABD reduces to AD but ABCD must NOT reduce.
+        let mut s = Schema::new("t");
+        for c in ["a", "b", "c", "d"] {
+            s.add_attr(c);
+        }
+        let mut r = OdRegistry::new();
+        r.declare_od(&s, &["d"], &["b"]);
+        assert_eq!(reduce_order_by_od(&l(&[0, 1, 3]), "t", &mut r), l(&[0, 3]));
+        assert_eq!(reduce_order_by_od(&l(&[0, 1, 2, 3]), "t", &mut r), l(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn reduced_order_is_always_sound() {
+        // Whatever Reduce-2 returns must order the original list.
+        let s = schema();
+        let mut r = OdRegistry::new();
+        r.declare_od(&s, &["d_month"], &["d_quarter"]);
+        r.declare_od(&s, &["d_day"], &["d_month"]);
+        for original in [l(&[0, 1, 2, 3]), l(&[1, 2, 3]), l(&[3, 2, 1, 0]), l(&[0, 3])] {
+            let reduced = reduce_order_by_od(&original, "date_dim", &mut r);
+            assert!(
+                r.implies("date_dim", &OrderDependency::new(reduced.clone(), original.clone())),
+                "{reduced} must order {original}"
+            );
+            assert!(reduced.len() <= original.normalize().len());
+        }
+    }
+
+    #[test]
+    fn group_by_reduction_uses_set_semantics() {
+        let fds = [fd(&[2], &[1])]; // month → quarter
+        // GROUP BY year, quarter, month → year, month regardless of position.
+        assert_eq!(reduce_group_by(&l(&[0, 1, 2]), &fds), l(&[0, 2]));
+        assert_eq!(reduce_group_by(&l(&[0, 2, 1]), &fds), l(&[0, 2]));
+        // Nothing to drop without the FD.
+        assert_eq!(reduce_group_by(&l(&[0, 1, 2]), &[]), l(&[0, 1, 2]));
+        // Duplicates are normalized away.
+        assert_eq!(reduce_group_by(&l(&[0, 0, 3]), &[]), l(&[0, 3]));
+    }
+}

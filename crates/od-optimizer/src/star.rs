@@ -1,0 +1,411 @@
+//! Query shapes and planners for the paper's two motivating optimization
+//! scenarios, each planned twice: a **baseline** plan using only the reasoning
+//! available without ODs (FD-based rewrites, as in Simmen et al. [17]), and an
+//! **OD-aware** plan using the rewrites this paper enables.
+//!
+//! * [`AggregationQuery`] — the Example 1 shape: `GROUP BY` / `ORDER BY` over a
+//!   (denormalized) sales table whose natural hierarchy carries ODs.  The OD
+//!   plan reduces the order-by with `Reduce-2` and answers it with an ordered
+//!   index scan plus stream aggregation; the baseline must sort.
+//! * [`DateRangeStarQuery`] — the Section 2.3 / reference [18] shape: a fact
+//!   table keyed by a date *surrogate*, joined to a date dimension filtered by a
+//!   *natural* date range.  Given the declared OD `[d_date_sk] ↔ [d_date]`, the
+//!   OD plan probes the dimension for the matching surrogate-key range, replaces
+//!   the join by a range predicate on the fact table, and prunes fact partitions;
+//!   the baseline scans every partition and joins.
+
+use crate::reduce::{reduce_group_by, reduce_order_by_od};
+use crate::registry::{names_to_list, OdRegistry};
+use od_core::{AttrList, Value};
+use od_engine::{execute, Aggregate, Batch, Catalog, CmpOp, Expr, Metrics, PhysicalPlan};
+
+/// An aggregation query over a single table:
+/// `SELECT group_by, aggs FROM table GROUP BY group_by ORDER BY order_by`.
+#[derive(Debug, Clone)]
+pub struct AggregationQuery {
+    /// Source table name.
+    pub table: String,
+    /// Grouping columns (as listed in the query).
+    pub group_by: AttrList,
+    /// Ordering columns (as listed in the query).
+    pub order_by: AttrList,
+    /// Aggregates to compute.
+    pub aggregates: Vec<Aggregate>,
+}
+
+impl AggregationQuery {
+    /// Baseline plan (FD-aware only): reduce the group-by with FDs, but the
+    /// order-by stays as written, so the plan sorts the scanned rows before a
+    /// stream aggregation.
+    pub fn plan_baseline(&self, registry: &mut OdRegistry) -> PhysicalPlan {
+        let fds = registry.fds(&self.table);
+        let group = reduce_group_by(&self.group_by, &fds);
+        let _ = group; // grouping on the full list is equivalent; keep output columns as written
+        PhysicalPlan::StreamAggregate {
+            input: Box::new(PhysicalPlan::Sort {
+                input: Box::new(PhysicalPlan::TableScan { table: self.table.clone() }),
+                by: self.order_by.concat(&self.group_by),
+            }),
+            group_by: self.group_by.clone(),
+            aggregates: self.aggregates.clone(),
+        }
+    }
+
+    /// OD-aware plan: reduce the order-by with `Reduce-2`; if an index provides
+    /// the reduced order, answer the query with an ordered index scan and stream
+    /// aggregation — no sort operator at all.  Falls back to the baseline plan
+    /// when no suitable index exists.
+    pub fn plan_optimized(&self, catalog: &Catalog, registry: &mut OdRegistry) -> PhysicalPlan {
+        let full_requirement = self.order_by.concat(&self.group_by);
+        let reduced = reduce_order_by_od(&full_requirement, &self.table, registry);
+        if let Some(table) = catalog.table(&self.table) {
+            // A syntactic prefix match on the reduced requirement, or — more
+            // generally — any index whose order is proved (via the declared ODs)
+            // to satisfy the full requirement (the interesting-order test).
+            let chosen = table.index_providing_order(&reduced).or_else(|| {
+                table
+                    .indexes
+                    .iter()
+                    .find(|ix| registry.order_satisfies(&self.table, &ix.key, &full_requirement))
+            });
+            if let Some(index) = chosen {
+                return PhysicalPlan::StreamAggregate {
+                    input: Box::new(PhysicalPlan::IndexOrderedScan {
+                        table: self.table.clone(),
+                        index: index.name.clone(),
+                    }),
+                    group_by: self.group_by.clone(),
+                    aggregates: self.aggregates.clone(),
+                };
+            }
+        }
+        self.plan_baseline(registry)
+    }
+}
+
+/// A star-schema query with a natural-date range predicate on the dimension:
+///
+/// ```sql
+/// SELECT f.group_col, SUM(f.measure) FROM fact f, dim d
+/// WHERE f.fact_sk = d.dim_sk AND d.natural_date BETWEEN lo AND hi
+/// GROUP BY f.group_col ORDER BY f.group_col
+/// ```
+#[derive(Debug, Clone)]
+pub struct DateRangeStarQuery {
+    /// Fact table name.
+    pub fact: String,
+    /// Surrogate-key column of the fact table (position in the fact schema).
+    pub fact_sk: od_core::AttrId,
+    /// Dimension table name.
+    pub dim: String,
+    /// Surrogate-key column of the dimension table.
+    pub dim_sk: od_core::AttrId,
+    /// Natural date column of the dimension table.
+    pub dim_date: od_core::AttrId,
+    /// Inclusive natural-date range.
+    pub date_lo: Value,
+    /// Inclusive natural-date range.
+    pub date_hi: Value,
+    /// Fact-side grouping column.
+    pub group_col: od_core::AttrId,
+    /// Fact-side measure column (summed).
+    pub measure: od_core::AttrId,
+}
+
+impl DateRangeStarQuery {
+    /// The dimension-side date predicate.
+    fn dim_predicate(&self) -> Expr {
+        Expr::col(self.dim_date)
+            .between(Expr::lit(self.date_lo.clone()), Expr::lit(self.date_hi.clone()))
+    }
+
+    /// Baseline plan: scan the whole fact table, hash-join it with the filtered
+    /// dimension, aggregate, sort.
+    pub fn plan_baseline(&self) -> PhysicalPlan {
+        let join = PhysicalPlan::HashJoin {
+            left: Box::new(PhysicalPlan::TableScan { table: self.fact.clone() }),
+            right: Box::new(PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::TableScan { table: self.dim.clone() }),
+                predicate: self.dim_predicate(),
+            }),
+            left_key: self.fact_sk,
+            right_key: self.dim_sk,
+        };
+        PhysicalPlan::Sort {
+            input: Box::new(PhysicalPlan::HashAggregate {
+                input: Box::new(join),
+                group_by: vec![self.group_col],
+                aggregates: vec![Aggregate::Sum(self.measure), Aggregate::CountStar],
+            }),
+            by: AttrList::new([od_core::AttrId(0)]),
+        }
+    }
+
+    /// OD-aware plan (the rewrite of reference [18]): requires the declared
+    /// equivalence `[dim_sk] ↔ [dim_date]` on the dimension and a foreign-key
+    /// relationship from the fact's surrogate column into the dimension.
+    ///
+    /// Two probes into the dimension compute the surrogate-key range matching the
+    /// natural-date range; the join is replaced by a range predicate on the fact
+    /// table, answered with partition pruning (or an index range scan) on the
+    /// fact side.  Returns `None` when the prerequisites are not declared — the
+    /// caller then keeps the baseline plan.
+    pub fn plan_optimized(
+        &self,
+        catalog: &Catalog,
+        registry: &mut OdRegistry,
+    ) -> Option<PhysicalPlan> {
+        let dim = catalog.table(&self.dim)?;
+        // The rewrite is only sound if surrogate keys and natural dates order
+        // each other (the paper's guarantee about the date dimension).
+        let sk_list = AttrList::new([self.dim_sk]);
+        let date_list = AttrList::new([self.dim_date]);
+        if !(registry.order_satisfies(&self.dim, &sk_list, &date_list)
+            && registry.order_satisfies(&self.dim, &date_list, &sk_list))
+        {
+            return None;
+        }
+        // Probe the dimension for the min/max surrogate key matching the date range.
+        let sk_index = dim.index_on_leading(self.dim_sk)?;
+        let (sk_lo, sk_hi) = sk_index.min_max_matching(&dim.relation, &self.dim_predicate())?;
+
+        // Access the fact table by the surrogate-key range: partition pruning if
+        // partitioned, index range scan if indexed, plain scan + filter otherwise.
+        let fact = catalog.table(&self.fact)?;
+        let fact_access = if fact.partitioning.as_ref().map(|p| p.column) == Some(self.fact_sk) {
+            PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::PrunedPartitionScan {
+                    table: self.fact.clone(),
+                    lo: sk_lo.clone(),
+                    hi: sk_hi.clone(),
+                }),
+                predicate: Expr::col(self.fact_sk)
+                    .between(Expr::lit(sk_lo.clone()), Expr::lit(sk_hi.clone())),
+            }
+        } else if let Some(ix) = fact.index_on_leading(self.fact_sk) {
+            PhysicalPlan::IndexRangeScan {
+                table: self.fact.clone(),
+                index: ix.name.clone(),
+                lo: sk_lo.clone(),
+                hi: sk_hi.clone(),
+            }
+        } else {
+            PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::TableScan { table: self.fact.clone() }),
+                predicate: Expr::col(self.fact_sk)
+                    .between(Expr::lit(sk_lo.clone()), Expr::lit(sk_hi.clone())),
+            }
+        };
+        Some(PhysicalPlan::Sort {
+            input: Box::new(PhysicalPlan::HashAggregate {
+                input: Box::new(fact_access),
+                group_by: vec![self.group_col],
+                aggregates: vec![Aggregate::Sum(self.measure), Aggregate::CountStar],
+            }),
+            by: AttrList::new([od_core::AttrId(0)]),
+        })
+    }
+}
+
+/// Execute a plan and time it.
+pub fn run_timed(plan: &PhysicalPlan, catalog: &Catalog) -> (Batch, Metrics, std::time::Duration) {
+    let start = std::time::Instant::now();
+    let (batch, metrics) = execute(plan, catalog);
+    (batch, metrics, start.elapsed())
+}
+
+/// Check that two result batches contain the same rows in the same order on the
+/// grouping/aggregate columns (used by the experiments to validate rewrites).
+pub fn same_results(a: &Batch, b: &Batch) -> bool {
+    a.rows == b.rows
+}
+
+/// Convenience for building an [`AggregationQuery`] by column names.
+pub fn aggregation_query(
+    catalog: &Catalog,
+    table: &str,
+    group_by: &[&str],
+    order_by: &[&str],
+    aggregates: Vec<Aggregate>,
+) -> AggregationQuery {
+    let schema = catalog.table(table).expect("table exists").schema().clone();
+    AggregationQuery {
+        table: table.to_string(),
+        group_by: names_to_list(&schema, group_by),
+        order_by: names_to_list(&schema, order_by),
+        aggregates,
+    }
+}
+
+/// A comparison predicate helper re-exported for workload definitions.
+pub fn equals(col: od_core::AttrId, value: impl Into<Value>) -> Expr {
+    Expr::col(col).cmp(CmpOp::Eq, Expr::lit(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_core::{AttrId, Relation, Schema};
+    use od_engine::Table;
+
+    /// Denormalized daily sales with a month ↦ quarter OD and an index on
+    /// (year, month, day): the Example 1 setting.
+    fn sales_catalog() -> (Catalog, OdRegistry) {
+        let mut schema = Schema::new("daily_sales");
+        let year = schema.add_attr("year");
+        let _quarter = schema.add_attr("quarter");
+        let month = schema.add_attr("month");
+        let day = schema.add_attr("day");
+        let _rev = schema.add_attr("revenue");
+        let mut rows = Vec::new();
+        for y in 2000..2003 {
+            for m in 1..=12i64 {
+                for d in [1i64, 15] {
+                    rows.push(vec![
+                        Value::Int(y),
+                        Value::Int((m - 1) / 3 + 1),
+                        Value::Int(m),
+                        Value::Int(d),
+                        Value::Int(y * 10 + m + d),
+                    ]);
+                }
+            }
+        }
+        // Shuffle deterministically so the base table is not already sorted.
+        rows.rotate_left(17);
+        rows.swap(3, 40);
+        let rel = Relation::from_rows(schema.clone(), rows).unwrap();
+        let mut table = Table::new(rel);
+        table.add_index("ix_ymd", AttrList::new([year, month, day]));
+        let mut catalog = Catalog::new();
+        catalog.add_table(table);
+        let mut registry = OdRegistry::new();
+        registry.declare_od(&schema, &["month"], &["quarter"]);
+        (catalog, registry)
+    }
+
+    #[test]
+    fn example_1_plans_agree_but_only_baseline_sorts() {
+        let (catalog, mut registry) = sales_catalog();
+        let q = aggregation_query(
+            &catalog,
+            "daily_sales",
+            &["year", "quarter", "month"],
+            &["year", "quarter", "month"],
+            vec![Aggregate::Sum(AttrId(4)), Aggregate::CountStar],
+        );
+        let baseline = q.plan_baseline(&mut registry);
+        let optimized = q.plan_optimized(&catalog, &mut registry);
+        assert_eq!(baseline.sort_count(), 1);
+        assert_eq!(optimized.sort_count(), 0, "OD plan must avoid the sort:\n{}", optimized.explain());
+        let (b1, m1) = execute(&baseline, &catalog);
+        let (b2, m2) = execute(&optimized, &catalog);
+        assert!(same_results(&b1, &b2), "rewritten plan must return identical results");
+        assert_eq!(b1.len(), 3 * 12);
+        assert_eq!(m1.sorts_performed, 1);
+        assert_eq!(m2.sorts_performed, 0);
+    }
+
+    #[test]
+    fn without_the_od_the_optimizer_keeps_the_sort() {
+        let (catalog, _) = sales_catalog();
+        let schema = catalog.table("daily_sales").unwrap().schema().clone();
+        let mut fd_only = OdRegistry::new();
+        fd_only.declare_fd(&schema, &["month"], &["quarter"]);
+        let q = aggregation_query(
+            &catalog,
+            "daily_sales",
+            &["year", "quarter", "month"],
+            &["year", "quarter", "month"],
+            vec![Aggregate::CountStar],
+        );
+        let plan = q.plan_optimized(&catalog, &mut fd_only);
+        assert_eq!(plan.sort_count(), 1, "FD knowledge alone cannot drop quarter from the order-by");
+    }
+
+    /// A miniature fact/dimension pair for the surrogate-key rewrite.
+    fn star_catalog(partitioned: bool) -> (Catalog, OdRegistry, DateRangeStarQuery) {
+        let mut dim_schema = Schema::new("date_dim");
+        let d_sk = dim_schema.add_attr("d_date_sk");
+        let d_date = dim_schema.add_attr("d_date");
+        let _d_year = dim_schema.add_attr("d_year");
+        let dim_rows: Vec<Vec<Value>> = (0..100)
+            .map(|i| vec![Value::Int(1000 + i), Value::Int(20_000 + i), Value::Int(2000 + i / 365)])
+            .collect();
+        let dim_rel = Relation::from_rows(dim_schema.clone(), dim_rows).unwrap();
+        let mut dim = Table::new(dim_rel);
+        dim.add_index("ix_dim_sk", AttrList::new([d_sk]));
+
+        let mut fact_schema = Schema::new("sales");
+        let f_sk = fact_schema.add_attr("sold_date_sk");
+        let f_item = fact_schema.add_attr("item");
+        let f_qty = fact_schema.add_attr("qty");
+        let fact_rows: Vec<Vec<Value>> = (0..2000)
+            .map(|i| vec![Value::Int(1000 + (i * 7) % 100), Value::Int(i % 5), Value::Int(i % 13)])
+            .collect();
+        let fact_rel = Relation::from_rows(fact_schema, fact_rows).unwrap();
+        let mut fact = Table::new(fact_rel);
+        if partitioned {
+            fact.partition_by(f_sk, 10);
+        } else {
+            fact.add_index("ix_fact_sk", AttrList::new([f_sk]));
+        }
+
+        let mut catalog = Catalog::new();
+        catalog.add_table(dim);
+        catalog.add_table(fact);
+        let mut registry = OdRegistry::new();
+        registry.declare_equivalence(&dim_schema, &["d_date_sk"], &["d_date"]);
+        let q = DateRangeStarQuery {
+            fact: "sales".into(),
+            fact_sk: f_sk,
+            dim: "date_dim".into(),
+            dim_sk: d_sk,
+            dim_date: d_date,
+            date_lo: Value::Int(20_010),
+            date_hi: Value::Int(20_029),
+            group_col: f_item,
+            measure: f_qty,
+        };
+        (catalog, registry, q)
+    }
+
+    #[test]
+    fn date_surrogate_rewrite_prunes_partitions_and_matches_results() {
+        let (catalog, mut registry, q) = star_catalog(true);
+        let baseline = q.plan_baseline();
+        let optimized = q.plan_optimized(&catalog, &mut registry).expect("rewrite applies");
+        let (b1, m1) = execute(&baseline, &catalog);
+        let (b2, m2) = execute(&optimized, &catalog);
+        assert!(same_results(&b1, &b2), "rewrite must preserve results");
+        assert!(b1.len() <= 5 && !b1.is_empty());
+        // Baseline scans every fact row; the rewrite scans a fraction of the partitions.
+        assert!(m2.rows_scanned < m1.rows_scanned);
+        assert_eq!(m2.partitions_total, 10);
+        assert!(m2.partitions_scanned < m2.partitions_total);
+        assert_eq!(m1.partitions_scanned, 0);
+        assert!(m2.join_input_rows == 0 && m1.join_input_rows > 0);
+    }
+
+    #[test]
+    fn date_surrogate_rewrite_uses_index_when_not_partitioned() {
+        let (catalog, mut registry, q) = star_catalog(false);
+        let optimized = q.plan_optimized(&catalog, &mut registry).expect("rewrite applies");
+        assert!(optimized.explain().contains("IndexRangeScan"));
+        let (b2, _) = execute(&optimized, &catalog);
+        let (b1, _) = execute(&q.plan_baseline(), &catalog);
+        assert!(same_results(&b1, &b2));
+    }
+
+    #[test]
+    fn rewrite_requires_the_declared_equivalence() {
+        let (catalog, _, q) = star_catalog(true);
+        let mut empty = OdRegistry::new();
+        assert!(q.plan_optimized(&catalog, &mut empty).is_none());
+        // One direction only is not enough either.
+        let dim_schema = catalog.table("date_dim").unwrap().schema().clone();
+        let mut one_way = OdRegistry::new();
+        one_way.declare_od(&dim_schema, &["d_date_sk"], &["d_date"]);
+        assert!(q.plan_optimized(&catalog, &mut one_way).is_none());
+    }
+}

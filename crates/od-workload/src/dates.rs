@@ -1,0 +1,251 @@
+//! The calendar / date-dimension workload.
+//!
+//! Generates a TPC-DS-style `date_dim` table — one row per calendar day with a
+//! surrogate key and the natural hierarchy columns of **Figure 2** — together
+//! with the order dependencies that hold on it.  The dimension also carries a
+//! `month_name` text column to reproduce the Section 1 pitfall: month *names*
+//! order lexicographically ("April" before "January"), so the FD
+//! `month → month_name` does **not** yield an OD, whereas the numeric hierarchy
+//! columns do.
+
+use od_core::{days_from_date, AttrList, DataType, OrderDependency, Relation, Schema, Value};
+use od_engine::Table;
+use od_infer::OdSet;
+use od_optimizer::{names_to_list, OdRegistry};
+
+/// English month names (1-based indexing into the array with `month - 1`).
+pub const MONTH_NAMES: [&str; 12] = [
+    "January", "February", "March", "April", "May", "June", "July", "August", "September",
+    "October", "November", "December",
+];
+
+/// Column layout of the generated date dimension.
+pub fn date_dim_schema() -> Schema {
+    let mut s = Schema::new("date_dim");
+    s.add_typed_attr("d_date_sk", DataType::Integer);
+    s.add_typed_attr("d_date", DataType::Date);
+    s.add_typed_attr("d_year", DataType::Integer);
+    s.add_typed_attr("d_quarter", DataType::Integer);
+    s.add_typed_attr("d_month", DataType::Integer);
+    s.add_typed_attr("d_week_of_year", DataType::Integer);
+    s.add_typed_attr("d_day_of_month", DataType::Integer);
+    s.add_typed_attr("d_day_of_year", DataType::Integer);
+    s.add_typed_attr("d_month_name", DataType::Text);
+    s
+}
+
+/// Generate `n_days` consecutive calendar days starting at `start_year`-01-01.
+///
+/// Surrogate keys are assigned in calendar order starting at `sk_base`, which is
+/// exactly the property (`[d_date_sk] ↔ [d_date]`) the surrogate-key rewrite of
+/// Section 2.3 relies on.
+pub fn generate_date_dim(start_year: i32, n_days: usize, sk_base: i64) -> Relation {
+    let schema = date_dim_schema();
+    let start = days_from_date(start_year, 1, 1);
+    let mut rows = Vec::with_capacity(n_days);
+    for i in 0..n_days as i32 {
+        let days = start + i;
+        let (y, m, d) = od_core::date_from_days(days);
+        let doy = days - days_from_date(y, 1, 1) + 1;
+        let week = (doy - 1) / 7 + 1;
+        let quarter = (m as i64 - 1) / 3 + 1;
+        rows.push(vec![
+            Value::Int(sk_base + i as i64),
+            Value::Date(days),
+            Value::Int(y as i64),
+            Value::Int(quarter),
+            Value::Int(m as i64),
+            Value::Int(week as i64),
+            Value::Int(d as i64),
+            Value::Int(doy as i64),
+            Value::Str(MONTH_NAMES[(m - 1) as usize].to_string()),
+        ]);
+    }
+    Relation::from_rows(schema, rows).expect("generator arity is fixed")
+}
+
+/// The **Figure 2** hierarchy as order dependencies over the date dimension:
+/// every edge of the path diagram, with `d_date` on the left-hand side.
+pub fn figure_2_ods(schema: &Schema) -> Vec<(String, OrderDependency)> {
+    let l = |names: &[&str]| names_to_list(schema, names);
+    let od = |name: &str, lhs: &[&str], rhs: &[&str]| {
+        (name.to_string(), OrderDependency::new(l(lhs), l(rhs)))
+    };
+    vec![
+        od("date ↦ [year]", &["d_date"], &["d_year"]),
+        od("date ↦ [year, quarter]", &["d_date"], &["d_year", "d_quarter"]),
+        od("date ↦ [year, month]", &["d_date"], &["d_year", "d_month"]),
+        od("date ↦ [year, quarter, month]", &["d_date"], &["d_year", "d_quarter", "d_month"]),
+        od("date ↦ [year, week]", &["d_date"], &["d_year", "d_week_of_year"]),
+        od("date ↦ [year, day_of_year]", &["d_date"], &["d_year", "d_day_of_year"]),
+        od(
+            "date ↦ [year, month, day_of_month]",
+            &["d_date"],
+            &["d_year", "d_month", "d_day_of_month"],
+        ),
+        od("month ↦ quarter", &["d_month"], &["d_quarter"]),
+        od(
+            "[year, day_of_year] ↦ [year, month]",
+            &["d_year", "d_day_of_year"],
+            &["d_year", "d_month"],
+        ),
+        od("day_of_year ↦ week", &["d_day_of_year"], &["d_week_of_year"]),
+        od("sk ↦ date", &["d_date_sk"], &["d_date"]),
+        od("date ↦ sk", &["d_date"], &["d_date_sk"]),
+        od("sk ↦ [year, quarter, month, day_of_month]", &["d_date_sk"], &["d_year", "d_quarter", "d_month", "d_day_of_month"]),
+    ]
+}
+
+/// The Figure 2 ODs as an [`OdSet`] (for the inference experiments).
+pub fn figure_2_odset(schema: &Schema) -> OdSet {
+    OdSet::from_ods(figure_2_ods(schema).into_iter().map(|(_, od)| od))
+}
+
+/// ODs that do **not** hold on the date dimension (negative controls used by the
+/// experiments), most prominently the month-name trap of Section 1.
+pub fn negative_control_ods(schema: &Schema) -> Vec<(String, OrderDependency)> {
+    let l = |names: &[&str]| names_to_list(schema, names);
+    vec![
+        (
+            "month ↦ month_name (the Section 1 trap)".to_string(),
+            OrderDependency::new(l(&["d_month"]), l(&["d_month_name"])),
+        ),
+        (
+            "quarter ↦ month".to_string(),
+            OrderDependency::new(l(&["d_quarter"]), l(&["d_month"])),
+        ),
+        (
+            "week ↦ month".to_string(),
+            OrderDependency::new(l(&["d_week_of_year"]), l(&["d_month"])),
+        ),
+        (
+            "year ↦ date".to_string(),
+            OrderDependency::new(l(&["d_year"]), l(&["d_date"])),
+        ),
+    ]
+}
+
+/// Build the date dimension as an engine [`Table`] with an index on the
+/// surrogate key and one on `(d_year, d_month, d_day_of_month)`.
+pub fn date_dim_table(start_year: i32, n_days: usize, sk_base: i64) -> Table {
+    let rel = generate_date_dim(start_year, n_days, sk_base);
+    let schema = rel.schema().clone();
+    let mut t = Table::new(rel);
+    t.add_index("ix_date_sk", names_to_list(&schema, &["d_date_sk"]));
+    t.add_index(
+        "ix_year_month_day",
+        names_to_list(&schema, &["d_year", "d_month", "d_day_of_month"]),
+    );
+    t
+}
+
+/// Register the date dimension's declared constraints (the ones the DB2
+/// prototype of [18] relies on) into an [`OdRegistry`].
+pub fn register_date_constraints(registry: &mut OdRegistry, schema: &Schema) {
+    registry.declare_equivalence(schema, &["d_date_sk"], &["d_date"]);
+    registry.declare_od(schema, &["d_month"], &["d_quarter"]);
+    registry.declare_od(schema, &["d_date"], &["d_year", "d_quarter", "d_month"]);
+    registry.declare_od(schema, &["d_date"], &["d_year", "d_month", "d_day_of_month"]);
+    registry.declare_fd(schema, &["d_month"], &["d_month_name"]);
+}
+
+/// The example-1 style *denormalized* daily sales table: one row per (day, store)
+/// with the date hierarchy columns inlined, an index on `(year, month, day)`, and
+/// a pseudo-random revenue measure.
+pub fn daily_sales_table(start_year: i32, n_days: usize, stores: usize, seed: u64) -> Table {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut schema = Schema::new("daily_sales");
+    let year = schema.add_typed_attr("year", DataType::Integer);
+    let _q = schema.add_typed_attr("quarter", DataType::Integer);
+    let month = schema.add_typed_attr("month", DataType::Integer);
+    let day = schema.add_typed_attr("day", DataType::Integer);
+    let _store = schema.add_typed_attr("store", DataType::Integer);
+    let _rev = schema.add_typed_attr("revenue", DataType::Integer);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = days_from_date(start_year, 1, 1);
+    let mut rows = Vec::with_capacity(n_days * stores);
+    for i in 0..n_days as i32 {
+        let (y, m, d) = od_core::date_from_days(start + i);
+        for s in 0..stores as i64 {
+            rows.push(vec![
+                Value::Int(y as i64),
+                Value::Int((m as i64 - 1) / 3 + 1),
+                Value::Int(m as i64),
+                Value::Int(d as i64),
+                Value::Int(s),
+                Value::Int(rng.gen_range(100..10_000)),
+            ]);
+        }
+    }
+    // The base table arrives in no useful order (shuffle deterministically).
+    use rand::seq::SliceRandom;
+    rows.shuffle(&mut rng);
+    let rel = Relation::from_rows(schema, rows).expect("generator arity is fixed");
+    let mut t = Table::new(rel);
+    t.add_index("ix_year_month_day", AttrList::new([year, month, day]));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_core::check::od_holds;
+    use od_infer::Decider;
+
+    #[test]
+    fn figure_2_ods_hold_on_generated_data() {
+        let rel = generate_date_dim(1998, 3 * 365, 2_450_000);
+        for (name, od) in figure_2_ods(rel.schema()) {
+            assert!(od_holds(&rel, &od), "{name} must hold on the generated calendar");
+        }
+    }
+
+    #[test]
+    fn negative_controls_fail_on_generated_data() {
+        let rel = generate_date_dim(1998, 3 * 365, 2_450_000);
+        for (name, od) in negative_control_ods(rel.schema()) {
+            assert!(!od_holds(&rel, &od), "{name} must NOT hold");
+        }
+    }
+
+    #[test]
+    fn example_4_composite_od_follows_and_holds() {
+        // From date ↦ [year, month] and year ↦ quarter-ish knowledge, Theorem 10
+        // (Path) gives date ↦ [year, quarter, month]; both the inference engine and
+        // the data agree.
+        let rel = generate_date_dim(2000, 800, 1);
+        let schema = rel.schema();
+        let m = figure_2_odset(schema);
+        let d = Decider::new(&m);
+        let goal = OrderDependency::new(
+            names_to_list(schema, &["d_date"]),
+            names_to_list(schema, &["d_year", "d_quarter", "d_month"]),
+        );
+        assert!(d.implies(&goal));
+        assert!(od_holds(&rel, &goal));
+    }
+
+    #[test]
+    fn date_dim_table_indexes_are_ordered() {
+        let t = date_dim_table(2001, 400, 10_000);
+        for ix in &t.indexes {
+            assert!(t.index_order_is_sorted(ix), "index {} must be sorted", ix.name);
+        }
+        assert_eq!(t.row_count(), 400);
+    }
+
+    #[test]
+    fn daily_sales_satisfies_the_hierarchy_ods() {
+        let t = daily_sales_table(2002, 120, 3, 7);
+        let schema = t.schema().clone();
+        let rel = &t.relation;
+        let month_quarter = OrderDependency::new(
+            names_to_list(&schema, &["month"]),
+            names_to_list(&schema, &["quarter"]),
+        );
+        assert!(od_holds(rel, &month_quarter));
+        assert_eq!(t.row_count(), 360);
+    }
+}

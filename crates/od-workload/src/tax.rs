@@ -1,0 +1,140 @@
+//! The Example 5 workload: a `taxes` table with taxable income, tax bracket and
+//! tax payable, where brackets and payable amounts rise with income — the
+//! natural source of the ODs `[income] ↦ [bracket]` and `[income] ↦ [payable]`.
+
+use od_core::{DataType, OrderDependency, Relation, Schema, Value};
+use od_engine::Table;
+use od_infer::OdSet;
+use od_optimizer::names_to_list;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A progressive tax schedule: bracket thresholds and marginal rates (percent).
+pub const BRACKETS: [(i64, i64); 5] = [(0, 10), (20_000, 15), (50_000, 25), (100_000, 33), (200_000, 40)];
+
+/// Tax bracket (1-based) for an income.
+pub fn bracket_of(income: i64) -> i64 {
+    BRACKETS.iter().rposition(|(lo, _)| income >= *lo).unwrap_or(0) as i64 + 1
+}
+
+/// Total tax payable for an income under the progressive schedule.
+pub fn payable_of(income: i64) -> i64 {
+    let mut tax = 0i64;
+    for (i, (lo, rate)) in BRACKETS.iter().enumerate() {
+        let hi = BRACKETS.get(i + 1).map(|(next, _)| *next).unwrap_or(i64::MAX);
+        if income > *lo {
+            let taxed = income.min(hi) - lo;
+            tax += taxed * rate / 100;
+        }
+    }
+    tax
+}
+
+/// Column layout of the taxes table.
+pub fn tax_schema() -> Schema {
+    let mut s = Schema::new("taxes");
+    s.add_typed_attr("taxpayer_id", DataType::Integer);
+    s.add_typed_attr("income", DataType::Integer);
+    s.add_typed_attr("bracket", DataType::Integer);
+    s.add_typed_attr("payable", DataType::Integer);
+    s
+}
+
+/// Generate `n` taxpayers with pseudo-random incomes.
+pub fn generate_taxes(n: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = tax_schema();
+    let rows = (0..n)
+        .map(|id| {
+            let income = rng.gen_range(5_000i64..400_000);
+            vec![
+                Value::Int(id as i64),
+                Value::Int(income),
+                Value::Int(bracket_of(income)),
+                Value::Int(payable_of(income)),
+            ]
+        })
+        .collect::<Vec<_>>();
+    Relation::from_rows(schema, rows).expect("generator arity")
+}
+
+/// The Example 5 ODs.
+pub fn tax_ods(schema: &Schema) -> Vec<OrderDependency> {
+    vec![
+        OrderDependency::new(names_to_list(schema, &["income"]), names_to_list(schema, &["bracket"])),
+        OrderDependency::new(names_to_list(schema, &["income"]), names_to_list(schema, &["payable"])),
+    ]
+}
+
+/// The Example 5 ODs as an [`OdSet`].
+pub fn tax_odset(schema: &Schema) -> OdSet {
+    OdSet::from_ods(tax_ods(schema))
+}
+
+/// The taxes table with a tree index on `income` (the index the paper's Example 5
+/// uses to answer an `ORDER BY bracket, payable` without sorting).
+pub fn tax_table(n: usize, seed: u64) -> Table {
+    let rel = generate_taxes(n, seed);
+    let schema = rel.schema().clone();
+    let mut t = Table::new(rel);
+    t.add_index("ix_income", names_to_list(&schema, &["income"]));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_core::check::od_holds;
+    use od_infer::{Decider, OdSet};
+
+    #[test]
+    fn schedule_is_monotone() {
+        let mut last_b = 0;
+        let mut last_p = 0;
+        for income in (0..400_000).step_by(1_000) {
+            let b = bracket_of(income);
+            let p = payable_of(income);
+            assert!(b >= last_b, "brackets must not decrease");
+            assert!(p >= last_p, "payable must not decrease");
+            last_b = b;
+            last_p = p;
+        }
+        assert_eq!(bracket_of(0), 1);
+        assert_eq!(bracket_of(25_000), 2);
+        assert_eq!(bracket_of(60_000), 3);
+        assert_eq!(payable_of(0), 0);
+        // 20k at 10% + 30k at 15% + 10k at 25% = 2000 + 4500 + 2500.
+        assert_eq!(payable_of(60_000), 9_000);
+    }
+
+    #[test]
+    fn example_5_ods_hold_and_compose_by_union() {
+        let rel = generate_taxes(500, 11);
+        let schema = rel.schema().clone();
+        for od in tax_ods(&schema) {
+            assert!(od_holds(&rel, &od));
+        }
+        // Theorem 2 (Union): [income] ↦ [bracket, payable] follows and holds.
+        let goal = OrderDependency::new(
+            names_to_list(&schema, &["income"]),
+            names_to_list(&schema, &["bracket", "payable"]),
+        );
+        assert!(Decider::new(&tax_odset(&schema)).implies(&goal));
+        assert!(od_holds(&rel, &goal));
+        // But the converse (bracket determines income) does not.
+        let converse = OrderDependency::new(
+            names_to_list(&schema, &["bracket"]),
+            names_to_list(&schema, &["income"]),
+        );
+        assert!(!Decider::new(&OdSet::new()).implies(&converse));
+        assert!(!od_holds(&rel, &converse));
+    }
+
+    #[test]
+    fn tax_table_index_provides_income_order() {
+        let t = tax_table(200, 3);
+        let schema = t.schema().clone();
+        assert!(t.index_providing_order(&names_to_list(&schema, &["income"])).is_some());
+        assert!(t.index_order_is_sorted(&t.indexes[0]));
+    }
+}

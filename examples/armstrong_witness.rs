@@ -1,0 +1,37 @@
+//! The completeness construction of Section 4: build the `split(ℳ)` append
+//! `swap(ℳ)` witness table for a small ℳ and audit it against the exact
+//! implication decider.
+//!
+//! Run with `cargo run --example armstrong_witness`.
+
+use od_core::{AttrId, OrderDependency, Schema};
+use od_infer::witness::{completeness_gaps, witness_table};
+use od_infer::OdSet;
+
+fn main() {
+    let mut schema = Schema::new("witness");
+    for name in ["A", "B", "C", "D"] {
+        schema.add_attr(name);
+    }
+    let universe: Vec<AttrId> = schema.attr_ids().collect();
+
+    // ℳ = { A ↦ B, B ↦ C } plus a constant D.
+    let mut m = OdSet::new();
+    m.add_od(OrderDependency::new(vec![AttrId(0)], vec![AttrId(1)]));
+    m.add_od(OrderDependency::new(vec![AttrId(1)], vec![AttrId(2)]));
+    m.add_constant(AttrId(3));
+
+    let table = witness_table(&m, &schema);
+    println!("ℳ = {}", m.display(&schema));
+    println!("witness table ({} rows):\n{}", table.len(), table.render());
+    println!("satisfies ℳ: {}", m.satisfied_by(&table));
+
+    let (soundness_gaps, completeness_gaps) = completeness_gaps(&m, &table, &universe, 2);
+    println!(
+        "audited against the decider over all ODs with sides of length ≤ 2: {} soundness gaps, {} completeness gaps",
+        soundness_gaps.len(),
+        completeness_gaps.len()
+    );
+    assert!(soundness_gaps.is_empty() && completeness_gaps.is_empty());
+    println!("→ the table is an Armstrong-style model of ℳ: it satisfies ℳ and falsifies everything outside ℳ⁺.");
+}

@@ -1,0 +1,24 @@
+//! # order-dependencies
+//!
+//! Umbrella crate re-exporting the workspace members that together reproduce
+//! *Fundamentals of Order Dependencies* (Szlichta, Godfrey, Gryz — VLDB 2012):
+//!
+//! * [`core`](od_core) — attribute lists, lexicographic operators, OD/FD
+//!   statements, instance checking,
+//! * [`infer`](od_infer) — the axiom system OD1–OD6, proofs, implication
+//!   decision and witness construction,
+//! * [`engine`](od_engine) — a small relational execution engine,
+//! * [`optimizer`](od_optimizer) — OD-driven query rewrites,
+//! * [`discovery`](od_discovery) — OD/FD discovery from data,
+//! * [`workload`](od_workload) — the date-warehouse and tax workloads used by
+//!   the experiments.
+//!
+//! See `examples/quickstart.rs` for a guided tour and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the mapping back to the paper.
+
+pub use od_core as core;
+pub use od_discovery as discovery;
+pub use od_engine as engine;
+pub use od_infer as infer;
+pub use od_optimizer as optimizer;
+pub use od_workload as workload;

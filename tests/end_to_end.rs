@@ -1,0 +1,132 @@
+//! Cross-crate integration tests: the paper's pipeline from declared ODs to
+//! query plans, and the agreement between the semantic and axiomatic layers.
+
+use od_core::check::od_holds;
+use od_core::{AttrId, OrderDependency};
+use od_engine::{execute, Aggregate, Catalog};
+use od_infer::witness::{completeness_gaps, enumerate_ods, witness_table};
+use od_infer::{Decider, OdSet, Outcome, Prover};
+use od_optimizer::{aggregation_query, reduce_order_by_od, same_results, OdRegistry};
+use od_workload::{daily_sales_table, dates, generate_date_dim};
+
+/// The Example 1 story end to end: declared OD → Reduce-2 → sort-free plan →
+/// identical results.
+#[test]
+fn example_1_end_to_end() {
+    let table = daily_sales_table(2001, 200, 3, 5);
+    let schema = table.schema().clone();
+    let mut catalog = Catalog::new();
+    catalog.add_table(table);
+    let mut registry = OdRegistry::new();
+    registry.declare_od(&schema, &["month"], &["quarter"]);
+
+    let order = od_optimizer::names_to_list(&schema, &["year", "quarter", "month"]);
+    let reduced = reduce_order_by_od(&order, "daily_sales", &mut registry);
+    assert_eq!(reduced, od_optimizer::names_to_list(&schema, &["year", "month"]));
+
+    let rev = schema.attr_by_name("revenue").unwrap();
+    let q = aggregation_query(
+        &catalog,
+        "daily_sales",
+        &["year", "quarter", "month"],
+        &["year", "quarter", "month"],
+        vec![Aggregate::Sum(rev)],
+    );
+    let baseline = q.plan_baseline(&mut registry);
+    let optimized = q.plan_optimized(&catalog, &mut registry);
+    assert_eq!(optimized.sort_count(), 0);
+    let (b1, m1) = execute(&baseline, &catalog);
+    let (b2, m2) = execute(&optimized, &catalog);
+    assert!(same_results(&b1, &b2));
+    assert!(m1.sorts_performed > m2.sorts_performed);
+}
+
+/// The declared constraints of the date dimension are consistent with the data
+/// the generator produces, and the inference engine's consequences hold on it.
+#[test]
+fn date_dimension_constraints_agree_with_generated_data() {
+    let rel = generate_date_dim(2000, 2 * 365, 1_000);
+    let schema = rel.schema().clone();
+    let m = dates::figure_2_odset(&schema);
+    assert!(m.satisfied_by(&rel));
+
+    // A few inferred consequences (not literally in ℳ) hold on the data too.
+    let d = Decider::new(&m);
+    let goals = [
+        OrderDependency::new(
+            od_optimizer::names_to_list(&schema, &["d_date_sk"]),
+            od_optimizer::names_to_list(&schema, &["d_year", "d_month"]),
+        ),
+        OrderDependency::new(
+            od_optimizer::names_to_list(&schema, &["d_year", "d_month"]),
+            od_optimizer::names_to_list(&schema, &["d_year", "d_quarter"]),
+        ),
+    ];
+    for goal in goals {
+        assert!(d.implies(&goal), "{goal} should be implied");
+        assert!(od_holds(&rel, &goal), "{goal} should hold on the calendar");
+    }
+}
+
+/// Agreement of the three layers on a small universe: axiomatic prover (sound),
+/// exact decider (sound + complete), and the witness table (a model of ℳ that
+/// falsifies exactly the non-implied ODs).
+#[test]
+fn prover_decider_and_witness_table_agree() {
+    let mut schema = od_core::Schema::new("t");
+    for i in 0..3 {
+        schema.add_attr(format!("a{i}"));
+    }
+    let universe: Vec<AttrId> = schema.attr_ids().collect();
+    let m = OdSet::from_ods([
+        OrderDependency::new(vec![AttrId(0)], vec![AttrId(1)]),
+        OrderDependency::new(vec![AttrId(1), AttrId(0)], vec![AttrId(2)]),
+    ]);
+    let prover = Prover::new(&m);
+    let decider = Decider::new(&m);
+    let table = witness_table(&m, &schema);
+    let (sound_gaps, complete_gaps) = completeness_gaps(&m, &table, &universe, 2);
+    assert!(sound_gaps.is_empty() && complete_gaps.is_empty());
+
+    for od in enumerate_ods(&universe, 2) {
+        let implied = decider.implies(&od);
+        assert_eq!(implied, od_holds(&table, &od), "witness table disagrees on {od}");
+        match prover.prove(&od) {
+            Outcome::Proved(proof) => {
+                assert!(implied, "prover proved a non-consequence: {od}");
+                proof.verify(&m.ods()).unwrap();
+            }
+            Outcome::ImpliedSemantically => assert!(implied),
+            Outcome::NotImplied(cx) => {
+                assert!(!implied);
+                let rel = cx.to_relation(&schema);
+                assert!(m.satisfied_by(&rel));
+                assert!(!od_holds(&rel, &od));
+            }
+        }
+    }
+}
+
+/// Discovery round-trip: ODs discovered from generated data are implied by the
+/// constraints the generator was built to satisfy, and vice versa for small
+/// statements.
+#[test]
+fn discovery_is_consistent_with_declared_constraints() {
+    let rel = od_workload::tax::generate_taxes(400, 9);
+    let schema = rel.schema().clone();
+    let declared = od_workload::tax::tax_odset(&schema);
+    let found = od_discovery::discover_ods(
+        &rel,
+        od_discovery::DiscoveryConfig { max_lhs: 1, max_rhs: 1, prune_implied: false },
+    );
+    // Everything declared (and within the discovery bounds) is found.
+    let income = schema.attr_by_name("income").unwrap();
+    let bracket = schema.attr_by_name("bracket").unwrap();
+    assert!(found.ods.contains(&OrderDependency::new(vec![income], vec![bracket])));
+    // Everything found genuinely holds (discovery never fabricates ODs).
+    for od in &found.ods {
+        assert!(od_holds(&rel, od));
+    }
+    // And the declared set is a subset of what holds on the instance.
+    assert!(declared.satisfied_by(&rel));
+}
