@@ -7,13 +7,18 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("date_hierarchy");
-    group.warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600)).sample_size(10);
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+        .sample_size(10);
     for days in [365usize, 3 * 365, 10 * 365] {
         let rel = generate_date_dim(1998, days, 2_450_000);
         let ods = dates::figure_2_ods(rel.schema());
-        group.bench_with_input(BenchmarkId::new("validate_all_figure2_ods", days), &days, |b, _| {
-            b.iter(|| ods.iter().filter(|(_, od)| od_holds(&rel, od)).count())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("validate_all_figure2_ods", days),
+            &days,
+            |b, _| b.iter(|| ods.iter().filter(|(_, od)| od_holds(&rel, od)).count()),
+        );
     }
     group.finish();
 }

@@ -10,13 +10,17 @@ use std::time::Duration;
 
 fn chain(n: usize) -> OdSet {
     OdSet::from_ods(
-        (0..n - 1).map(|i| OrderDependency::new(vec![AttrId(i as u32)], vec![AttrId(i as u32 + 1)])),
+        (0..n - 1)
+            .map(|i| OrderDependency::new(vec![AttrId(i as u32)], vec![AttrId(i as u32 + 1)])),
     )
 }
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fd_subsumption");
-    group.warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800)).sample_size(10);
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(10);
     for n in [4usize, 8, 12] {
         let m = chain(n);
         let goal = FunctionalDependency::new([AttrId(0)], [AttrId(n as u32 - 1)]);

@@ -8,10 +8,14 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("implication_scaling");
-    group.warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800)).sample_size(10);
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(10);
     for n in [4usize, 8, 12] {
         let m = OdSet::from_ods(
-            (0..n - 1).map(|i| OrderDependency::new(vec![AttrId(i as u32)], vec![AttrId(i as u32 + 1)])),
+            (0..n - 1)
+                .map(|i| OrderDependency::new(vec![AttrId(i as u32)], vec![AttrId(i as u32 + 1)])),
         );
         let decider = Decider::new(&m);
         let implied = OrderDependency::new(vec![AttrId(0)], vec![AttrId(n as u32 - 1)]);

@@ -8,7 +8,10 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("inference");
-    group.warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600)).sample_size(20);
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+        .sample_size(20);
 
     let l = |ids: &[u32]| ids.iter().map(|&i| AttrId(i)).collect::<AttrList>();
     let premises = vec![
@@ -39,7 +42,9 @@ fn bench(c: &mut Criterion) {
         theorems::permutation(&mut builder, p, &l(&[1, 0]), &l(&[4, 3]));
         builder.finish()
     };
-    group.bench_function("verify_permutation_proof", |b| b.iter(|| proof.verify(&premises).is_ok()));
+    group.bench_function("verify_permutation_proof", |b| {
+        b.iter(|| proof.verify(&premises).is_ok())
+    });
     group.finish();
 }
 

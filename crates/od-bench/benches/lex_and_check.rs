@@ -9,13 +9,19 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("lex_and_check");
-    group.warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600)).sample_size(10);
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+        .sample_size(10);
     for days in [365usize, 5 * 365] {
         let rel = generate_date_dim(1998, days, 2_450_000);
         let s = rel.schema();
         let od = OrderDependency::new(
             vec![s.attr_by_name("d_date").unwrap()],
-            vec![s.attr_by_name("d_year").unwrap(), s.attr_by_name("d_month").unwrap()],
+            vec![
+                s.attr_by_name("d_year").unwrap(),
+                s.attr_by_name("d_month").unwrap(),
+            ],
         );
         let list = od.rhs.clone();
         group.bench_with_input(BenchmarkId::new("lex_cmp_pairs", days), &days, |b, _| {

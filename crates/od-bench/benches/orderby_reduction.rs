@@ -9,7 +9,10 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("orderby_reduction");
-    group.warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1)).sample_size(10);
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
 
     let table = daily_sales_table(2000, 3 * 365, 8, 7);
     let schema = table.schema().clone();
@@ -29,8 +32,12 @@ fn bench(c: &mut Criterion) {
     let optimized = q.plan_optimized(&catalog, &mut registry);
     assert_eq!(optimized.sort_count(), 0);
 
-    group.bench_function("baseline_sort_plan", |b| b.iter(|| execute(&baseline, &catalog).0.len()));
-    group.bench_function("od_index_order_plan", |b| b.iter(|| execute(&optimized, &catalog).0.len()));
+    group.bench_function("baseline_sort_plan", |b| {
+        b.iter(|| execute(&baseline, &catalog).0.len())
+    });
+    group.bench_function("od_index_order_plan", |b| {
+        b.iter(|| execute(&optimized, &catalog).0.len())
+    });
     group.finish();
 }
 

@@ -10,7 +10,10 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("tax_monotone");
-    group.warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800)).sample_size(10);
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(10);
 
     let table = tax::tax_table(50_000, 3);
     let schema = table.schema().clone();
@@ -32,10 +35,18 @@ fn bench(c: &mut Criterion) {
     let baseline = q.plan_baseline(&mut no_ods);
     let optimized = q.plan_optimized(&catalog, &mut registry);
 
-    group.bench_function("orderby_via_sort", |b| b.iter(|| execute(&baseline, &catalog).0.len()));
-    group.bench_function("orderby_via_income_index", |b| b.iter(|| execute(&optimized, &catalog).0.len()));
+    group.bench_function("orderby_via_sort", |b| {
+        b.iter(|| execute(&baseline, &catalog).0.len())
+    });
+    group.bench_function("orderby_via_income_index", |b| {
+        b.iter(|| execute(&optimized, &catalog).0.len())
+    });
     group.bench_function("discover_ods_2000_rows", |b| {
-        b.iter(|| discover_ods(&small_rel, DiscoveryConfig::default()).ods.len())
+        b.iter(|| {
+            discover_ods(&small_rel, DiscoveryConfig::default())
+                .ods
+                .len()
+        })
     });
     group.finish();
 }

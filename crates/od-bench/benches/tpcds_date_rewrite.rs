@@ -8,21 +8,41 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("tpcds_date_rewrite");
-    group.warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1)).sample_size(10);
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
 
-    let mut wh = build_warehouse(WarehouseConfig { fact_rows: 60_000, ..WarehouseConfig::default() });
+    let mut wh = build_warehouse(WarehouseConfig {
+        fact_rows: 60_000,
+        ..WarehouseConfig::default()
+    });
     let suite = date_query_suite(&wh);
     let baselines: Vec<_> = suite.iter().map(|q| q.query.plan_baseline()).collect();
     let rewritten: Vec<_> = suite
         .iter()
-        .map(|q| q.query.plan_optimized(&wh.catalog, &mut wh.registry).expect("rewrite applies"))
+        .map(|q| {
+            q.query
+                .plan_optimized(&wh.catalog, &mut wh.registry)
+                .expect("rewrite applies")
+        })
         .collect();
 
     group.bench_function("suite_baseline", |b| {
-        b.iter(|| baselines.iter().map(|p| execute(p, &wh.catalog).0.len()).sum::<usize>())
+        b.iter(|| {
+            baselines
+                .iter()
+                .map(|p| execute(p, &wh.catalog).0.len())
+                .sum::<usize>()
+        })
     });
     group.bench_function("suite_rewritten", |b| {
-        b.iter(|| rewritten.iter().map(|p| execute(p, &wh.catalog).0.len()).sum::<usize>())
+        b.iter(|| {
+            rewritten
+                .iter()
+                .map(|p| execute(p, &wh.catalog).0.len())
+                .sum::<usize>()
+        })
     });
     group.finish();
 }

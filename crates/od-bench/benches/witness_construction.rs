@@ -8,14 +8,18 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("witness_construction");
-    group.warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1)).sample_size(10);
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
     for n in [3usize, 4, 5] {
         let mut schema = Schema::new("w");
         for i in 0..n {
             schema.add_attr(format!("a{i}"));
         }
         let m = OdSet::from_ods(
-            (0..n - 1).map(|i| OrderDependency::new(vec![AttrId(i as u32)], vec![AttrId(i as u32 + 1)])),
+            (0..n - 1)
+                .map(|i| OrderDependency::new(vec![AttrId(i as u32)], vec![AttrId(i as u32 + 1)])),
         );
         group.bench_with_input(BenchmarkId::new("witness_table", n), &n, |b, _| {
             b.iter(|| witness_table(&m, &schema).len())

@@ -13,9 +13,16 @@ use od_bench::*;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let tiny = args.iter().any(|a| a == "--tiny");
-    let scale = if tiny { ExperimentScale::tiny() } else { ExperimentScale::default() };
-    let selected: Vec<String> =
-        args.iter().filter(|a| !a.starts_with("--")).map(|a| a.to_lowercase()).collect();
+    let scale = if tiny {
+        ExperimentScale::tiny()
+    } else {
+        ExperimentScale::default()
+    };
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
     let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
 
     println!("Reproduction harness — 'Fundamentals of Order Dependencies' (VLDB 2012)");

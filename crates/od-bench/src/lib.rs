@@ -38,14 +38,24 @@ pub struct ExperimentScale {
 
 impl Default for ExperimentScale {
     fn default() -> Self {
-        ExperimentScale { calendar_days: 3 * 365, fact_rows: 120_000, tax_rows: 20_000, stores: 8 }
+        ExperimentScale {
+            calendar_days: 3 * 365,
+            fact_rows: 120_000,
+            tax_rows: 20_000,
+            stores: 8,
+        }
     }
 }
 
 impl ExperimentScale {
     /// A tiny scale suitable for unit/integration tests.
     pub fn tiny() -> Self {
-        ExperimentScale { calendar_days: 120, fact_rows: 3_000, tax_rows: 500, stores: 2 }
+        ExperimentScale {
+            calendar_days: 120,
+            fact_rows: 3_000,
+            tax_rows: 500,
+            stores: 2,
+        }
     }
 }
 
@@ -95,8 +105,12 @@ pub fn exp_e2_dates(scale: ExperimentScale) -> String {
             writeln!(out, "  UNEXPECTED violation of {name}").unwrap();
         }
     }
-    writeln!(out, "paper: every path of Figure 2 is an OD  |  measured: {holds}/{} hold", all.len())
-        .unwrap();
+    writeln!(
+        out,
+        "paper: every path of Figure 2 is an OD  |  measured: {holds}/{} hold",
+        all.len()
+    )
+    .unwrap();
     let mut falsified = 0;
     let negatives = dates::negative_control_ods(&schema);
     for (_, od) in &negatives {
@@ -115,7 +129,10 @@ pub fn exp_e2_dates(scale: ExperimentScale) -> String {
     let d = Decider::new(&m);
     let goal = OrderDependency::new(
         od_optimizer::names_to_list(&schema, &["d_date"]),
-        od_optimizer::names_to_list(&schema, &["d_year", "d_quarter", "d_month", "d_day_of_month"]),
+        od_optimizer::names_to_list(
+            &schema,
+            &["d_year", "d_quarter", "d_month", "d_day_of_month"],
+        ),
     );
     writeln!(
         out,
@@ -235,7 +252,10 @@ pub fn exp_e4_tpcds(scale: ExperimentScale) -> (String, Vec<SuiteOutcome>) {
     let mut outcomes = Vec::new();
     for sq in &suite {
         let baseline = sq.query.plan_baseline();
-        let optimized = sq.query.plan_optimized(&wh.catalog, &mut wh.registry).expect("rewrite");
+        let optimized = sq
+            .query
+            .plan_optimized(&wh.catalog, &mut wh.registry)
+            .expect("rewrite");
         // Run baseline and rewritten plans (two repetitions, keep the better).
         let time = |plan: &od_engine::PhysicalPlan| {
             let mut best = std::time::Duration::MAX;
@@ -273,8 +293,18 @@ pub fn exp_e4_tpcds(scale: ExperimentScale) -> (String, Vec<SuiteOutcome>) {
     let improved = outcomes.iter().filter(|o| o.gain_pct > 0.0).count();
 
     let mut out = String::new();
-    writeln!(out, "## E4  Date-surrogate rewrite over the {}-query suite", outcomes.len()).unwrap();
-    writeln!(out, "{:<6} {:>5} {:>12} {:>12} {:>8}  {:>10} {}", "query", "core", "baseline", "rewritten", "gain%", "parts", "same").unwrap();
+    writeln!(
+        out,
+        "## E4  Date-surrogate rewrite over the {}-query suite",
+        outcomes.len()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<6} {:>5} {:>12} {:>12} {:>8}  {:>10} same",
+        "query", "core", "baseline", "rewritten", "gain%", "parts"
+    )
+    .unwrap();
     for o in &outcomes {
         writeln!(
             out,
@@ -439,7 +469,11 @@ pub fn exp_e6_soundness() -> String {
 /// E7 — completeness construction: `split(ℳ)` append `swap(ℳ)`.
 pub fn exp_e7_witness() -> String {
     let mut out = String::new();
-    writeln!(out, "## E7  Completeness construction (Section 4, Figures 4–9)").unwrap();
+    writeln!(
+        out,
+        "## E7  Completeness construction (Section 4, Figures 4–9)"
+    )
+    .unwrap();
     let mut schema = od_core::Schema::new("w");
     for i in 0..4 {
         schema.add_attr(format!("a{i}"));
@@ -447,7 +481,10 @@ pub fn exp_e7_witness() -> String {
     let universe: Vec<AttrId> = (0..4).map(AttrId).collect();
     let sets = [
         ("∅", OdSet::new()),
-        ("{A ↦ B}", OdSet::from_ods([OrderDependency::new(vec![AttrId(0)], vec![AttrId(1)])])),
+        (
+            "{A ↦ B}",
+            OdSet::from_ods([OrderDependency::new(vec![AttrId(0)], vec![AttrId(1)])]),
+        ),
         (
             "{A ↦ B, B ↦ C}",
             OdSet::from_ods([
@@ -512,8 +549,16 @@ pub fn exp_e8_fd_subsumption() -> String {
     let rel = fixtures::figure_1_relation();
     let s = rel.schema();
     let bad = OrderDependency::new(
-        vec![s.attr_by_name("A").unwrap(), s.attr_by_name("B").unwrap(), s.attr_by_name("C").unwrap()],
-        vec![s.attr_by_name("F").unwrap(), s.attr_by_name("D").unwrap(), s.attr_by_name("E").unwrap()],
+        vec![
+            s.attr_by_name("A").unwrap(),
+            s.attr_by_name("B").unwrap(),
+            s.attr_by_name("C").unwrap(),
+        ],
+        vec![
+            s.attr_by_name("F").unwrap(),
+            s.attr_by_name("D").unwrap(),
+            s.attr_by_name("E").unwrap(),
+        ],
     );
     writeln!(
         out,
@@ -533,8 +578,9 @@ pub fn exp_e9_implication() -> String {
     let mut out = String::new();
     writeln!(out, "## E9  Implication decision and proof search").unwrap();
     for n in [4usize, 6, 8, 10] {
-        let ods: Vec<OrderDependency> =
-            (0..n - 1).map(|i| OrderDependency::new(vec![AttrId(i as u32)], vec![AttrId(i as u32 + 1)])).collect();
+        let ods: Vec<OrderDependency> = (0..n - 1)
+            .map(|i| OrderDependency::new(vec![AttrId(i as u32)], vec![AttrId(i as u32 + 1)]))
+            .collect();
         let m = OdSet::from_ods(ods);
         let goal = OrderDependency::new(vec![AttrId(0)], vec![AttrId(n as u32 - 1)]);
         let t = Instant::now();
@@ -546,7 +592,11 @@ pub fn exp_e9_implication() -> String {
             Outcome::ImpliedSemantically => "implied (no syntactic proof found)".into(),
             Outcome::NotImplied(_) => "NOT implied".into(),
         };
-        writeln!(out, "chain of {n} attributes: transitive goal decided + proved in {elapsed:?} → {kind}").unwrap();
+        writeln!(
+            out,
+            "chain of {n} attributes: transitive goal decided + proved in {elapsed:?} → {kind}"
+        )
+        .unwrap();
     }
     writeln!(out, "paper (future work): an efficient theorem prover for ℳ ⊨ X ↦ Y  |  measured: exact decision plus axiom-level proofs for the derivable goals above").unwrap();
     out
@@ -571,7 +621,10 @@ fn ok_not(b: bool) -> &'static str {
 fn violation(rel: &od_core::Relation, od: &OrderDependency) -> String {
     match check_od(rel, od) {
         Ok(()) => "UNEXPECTEDLY holds".into(),
-        Err(v) => format!("falsified by a {}", if v.is_swap() { "swap" } else { "split" }),
+        Err(v) => format!(
+            "falsified by a {}",
+            if v.is_swap() { "swap" } else { "split" }
+        ),
     }
 }
 
@@ -597,7 +650,10 @@ mod tests {
             exp_e8_fd_subsumption(),
             exp_e9_implication(),
         ] {
-            assert!(!report.contains("UNEXPECTED"), "report flagged a problem:\n{report}");
+            assert!(
+                !report.contains("UNEXPECTED"),
+                "report flagged a problem:\n{report}"
+            );
             assert!(!report.is_empty());
         }
     }
@@ -610,6 +666,9 @@ mod tests {
         let core: Vec<_> = outcomes.iter().filter(|o| o.core).collect();
         assert_eq!(core.len(), 13);
         let avg = core.iter().map(|o| o.gain_pct).sum::<f64>() / core.len() as f64;
-        assert!(avg > 0.0, "the rewrite must improve the core suite on average, got {avg:.1}%");
+        assert!(
+            avg > 0.0,
+            "the rewrite must improve the core suite on average, got {avg:.1}%"
+        );
     }
 }

@@ -1,0 +1,49 @@
+//! The performance half of the od-setbased acceptance criteria: on a
+//! ≥10k-row workload, width-2 set-based discovery must beat the naive
+//! sort-per-candidate engine in wall-clock time (the margin is ~15× in release
+//! builds, so asserting a plain win is safe even under CI noise).
+
+use od_discovery::{discover_ods, discover_ods_naive, DiscoveryConfig};
+use od_workload::tax;
+use std::time::Instant;
+
+#[test]
+fn set_based_discovery_beats_naive_on_ten_thousand_rows() {
+    let rel = tax::generate_taxes(10_000, 7);
+    let config = DiscoveryConfig::default();
+
+    // Warm both paths once so allocator effects do not skew the comparison.
+    let set_based = discover_ods(&rel, config);
+    let naive = discover_ods_naive(&rel, config);
+    assert_eq!(set_based.ods, naive.ods);
+
+    // Best of three per engine: a single scheduler stall on a noisy CI
+    // runner must not invert a ~15× margin.
+    let best_of = |f: &dyn Fn()| {
+        (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed()
+            })
+            .min()
+            .expect("three runs")
+    };
+    let set_based_time = best_of(&|| {
+        discover_ods(&rel, config);
+    });
+    let naive_time = best_of(&|| {
+        discover_ods_naive(&rel, config);
+    });
+    assert!(
+        set_based_time < naive_time,
+        "set-based ({set_based_time:?}) must beat naive ({naive_time:?}) on {} rows",
+        rel.len(),
+    );
+    assert!(
+        set_based.statement_validations < naive.validated,
+        "statement scans ({}) must undercut full-candidate validations ({})",
+        set_based.statement_validations,
+        naive.validated,
+    );
+}

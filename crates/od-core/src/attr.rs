@@ -97,7 +97,11 @@ pub struct Schema {
 impl Schema {
     /// Create an empty schema with the given relation name.
     pub fn new(name: impl Into<String>) -> Self {
-        Schema { name: name.into(), attrs: Vec::new(), by_name: HashMap::new() }
+        Schema {
+            name: name.into(),
+            attrs: Vec::new(),
+            by_name: HashMap::new(),
+        }
     }
 
     /// Relation name.
@@ -110,14 +114,16 @@ impl Schema {
     /// Panics if the name is already present; use [`Schema::try_add_attr`] for a
     /// fallible variant.
     pub fn add_attr(&mut self, name: impl Into<String>) -> AttrId {
-        self.try_add_attr(name, DataType::Integer).expect("duplicate attribute name")
+        self.try_add_attr(name, DataType::Integer)
+            .expect("duplicate attribute name")
     }
 
     /// Add an attribute with an explicit type.
     ///
     /// Panics if the name is already present.
     pub fn add_typed_attr(&mut self, name: impl Into<String>, dt: DataType) -> AttrId {
-        self.try_add_attr(name, dt).expect("duplicate attribute name")
+        self.try_add_attr(name, dt)
+            .expect("duplicate attribute name")
     }
 
     /// Fallible attribute insertion.
@@ -128,7 +134,11 @@ impl Schema {
         }
         let id = AttrId(self.attrs.len() as u32);
         self.by_name.insert(name.clone(), id);
-        self.attrs.push(Attribute { id, name, data_type: dt });
+        self.attrs.push(Attribute {
+            id,
+            name,
+            data_type: dt,
+        });
         Ok(id)
     }
 
@@ -154,7 +164,9 @@ impl Schema {
 
     /// Look up an attribute by id.
     pub fn attr(&self, id: AttrId) -> Result<&Attribute> {
-        self.attrs.get(id.index()).ok_or(CoreError::UnknownAttribute(id.0))
+        self.attrs
+            .get(id.index())
+            .ok_or(CoreError::UnknownAttribute(id.0))
     }
 
     /// Look up an attribute id by name.
@@ -167,7 +179,10 @@ impl Schema {
 
     /// Name of an attribute id, or `"?"` if unknown (used for diagnostics only).
     pub fn attr_name(&self, id: AttrId) -> &str {
-        self.attrs.get(id.index()).map(|a| a.name.as_str()).unwrap_or("?")
+        self.attrs
+            .get(id.index())
+            .map(|a| a.name.as_str())
+            .unwrap_or("?")
     }
 
     /// True if the id belongs to this schema.
@@ -213,8 +228,14 @@ mod tests {
     #[test]
     fn unknown_lookups_error() {
         let s = Schema::new("t");
-        assert!(matches!(s.attr_by_name("nope"), Err(CoreError::UnknownAttributeName(_))));
-        assert!(matches!(s.attr(AttrId(7)), Err(CoreError::UnknownAttribute(7))));
+        assert!(matches!(
+            s.attr_by_name("nope"),
+            Err(CoreError::UnknownAttributeName(_))
+        ));
+        assert!(matches!(
+            s.attr(AttrId(7)),
+            Err(CoreError::UnknownAttribute(7))
+        ));
         assert_eq!(s.attr_name(AttrId(7)), "?");
     }
 

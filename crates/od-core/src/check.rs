@@ -93,14 +93,20 @@ pub fn check_od(rel: &Relation, od: &OrderDependency) -> Result<(), Violation> {
         if !group_ended {
             // Same X-group: Y must agree with the group's first member.
             if lex_cmp(&tuples[idx[i]], &tuples[idx[group_start]], &od.rhs) != Ordering::Equal {
-                return Err(Violation::Split { s: idx[group_start], t: idx[i] });
+                return Err(Violation::Split {
+                    s: idx[group_start],
+                    t: idx[i],
+                });
             }
             continue;
         }
         // Group [group_start, i) closed; compare its representative with the previous group's.
         if let Some(prev) = prev_group_rep {
             if lex_cmp(&tuples[prev], &tuples[idx[group_start]], &od.rhs) == Ordering::Greater {
-                return Err(Violation::Swap { s: prev, t: idx[group_start] });
+                return Err(Violation::Swap {
+                    s: prev,
+                    t: idx[group_start],
+                });
             }
         }
         prev_group_rep = Some(idx[group_start]);
@@ -222,11 +228,13 @@ mod tests {
     fn rel_from(rows: &[&[i64]]) -> (Relation, Vec<crate::AttrId>) {
         let mut schema = Schema::new("t");
         let arity = rows.first().map(|r| r.len()).unwrap_or(0);
-        let ids: Vec<crate::AttrId> =
-            (0..arity).map(|i| schema.add_attr(format!("c{i}"))).collect();
+        let ids: Vec<crate::AttrId> = (0..arity)
+            .map(|i| schema.add_attr(format!("c{i}")))
+            .collect();
         let rel = Relation::from_rows(
             schema,
-            rows.iter().map(|r| r.iter().map(|&v| Value::Int(v)).collect()),
+            rows.iter()
+                .map(|r| r.iter().map(|&v| Value::Int(v)).collect()),
         )
         .unwrap();
         (rel, ids)
@@ -338,7 +346,13 @@ mod tests {
 
     #[test]
     fn violation_display() {
-        assert_eq!(Violation::Split { s: 1, t: 2 }.to_string(), "split between tuples 1 and 2");
-        assert_eq!(Violation::Swap { s: 0, t: 3 }.to_string(), "swap between tuples 0 and 3");
+        assert_eq!(
+            Violation::Split { s: 1, t: 2 }.to_string(),
+            "split between tuples 1 and 2"
+        );
+        assert_eq!(
+            Violation::Swap { s: 0, t: 3 }.to_string(),
+            "swap between tuples 0 and 3"
+        );
     }
 }

@@ -25,18 +25,27 @@ pub struct OrderDependency {
 impl OrderDependency {
     /// Build an OD from anything convertible into attribute lists.
     pub fn new(lhs: impl Into<AttrList>, rhs: impl Into<AttrList>) -> Self {
-        OrderDependency { lhs: lhs.into(), rhs: rhs.into() }
+        OrderDependency {
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        }
     }
 
     /// The OD with both sides normalized (duplicate attributes removed, keeping
     /// first occurrences).  Normalization preserves the OD's meaning (axiom OD3).
     pub fn normalize(&self) -> Self {
-        OrderDependency { lhs: self.lhs.normalize(), rhs: self.rhs.normalize() }
+        OrderDependency {
+            lhs: self.lhs.normalize(),
+            rhs: self.rhs.normalize(),
+        }
     }
 
     /// The reversed statement `Y ↦ X`.
     pub fn reversed(&self) -> Self {
-        OrderDependency { lhs: self.rhs.clone(), rhs: self.lhs.clone() }
+        OrderDependency {
+            lhs: self.rhs.clone(),
+            rhs: self.lhs.clone(),
+        }
     }
 
     /// True if the OD is *syntactically trivial*: satisfied by every instance
@@ -69,7 +78,10 @@ impl OrderDependency {
 
     /// Render with attribute names from a schema.
     pub fn display<'a>(&'a self, schema: &'a Schema) -> DisplayWithSchema<'a> {
-        DisplayWithSchema { schema, kind: StatementRef::Od(self) }
+        DisplayWithSchema {
+            schema,
+            kind: StatementRef::Od(self),
+        }
     }
 }
 
@@ -91,7 +103,10 @@ pub struct OrderEquivalence {
 impl OrderEquivalence {
     /// Build an order equivalence.
     pub fn new(lhs: impl Into<AttrList>, rhs: impl Into<AttrList>) -> Self {
-        OrderEquivalence { lhs: lhs.into(), rhs: rhs.into() }
+        OrderEquivalence {
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        }
     }
 
     /// The two ODs whose conjunction this equivalence denotes.
@@ -104,7 +119,10 @@ impl OrderEquivalence {
 
     /// Render with attribute names from a schema.
     pub fn display<'a>(&'a self, schema: &'a Schema) -> DisplayWithSchema<'a> {
-        DisplayWithSchema { schema, kind: StatementRef::Equiv(self) }
+        DisplayWithSchema {
+            schema,
+            kind: StatementRef::Equiv(self),
+        }
     }
 }
 
@@ -126,7 +144,10 @@ pub struct OrderCompatibility {
 impl OrderCompatibility {
     /// Build an order compatibility statement.
     pub fn new(lhs: impl Into<AttrList>, rhs: impl Into<AttrList>) -> Self {
-        OrderCompatibility { lhs: lhs.into(), rhs: rhs.into() }
+        OrderCompatibility {
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        }
     }
 
     /// The defining order equivalence `XY ↔ YX`.
@@ -141,7 +162,10 @@ impl OrderCompatibility {
 
     /// Render with attribute names from a schema.
     pub fn display<'a>(&'a self, schema: &'a Schema) -> DisplayWithSchema<'a> {
-        DisplayWithSchema { schema, kind: StatementRef::Compat(self) }
+        DisplayWithSchema {
+            schema,
+            kind: StatementRef::Compat(self),
+        }
     }
 }
 
@@ -162,8 +186,14 @@ pub struct FunctionalDependency {
 
 impl FunctionalDependency {
     /// Build an FD from attribute collections.
-    pub fn new(lhs: impl IntoIterator<Item = AttrId>, rhs: impl IntoIterator<Item = AttrId>) -> Self {
-        FunctionalDependency { lhs: lhs.into_iter().collect(), rhs: rhs.into_iter().collect() }
+    pub fn new(
+        lhs: impl IntoIterator<Item = AttrId>,
+        rhs: impl IntoIterator<Item = AttrId>,
+    ) -> Self {
+        FunctionalDependency {
+            lhs: lhs.into_iter().collect(),
+            rhs: rhs.into_iter().collect(),
+        }
     }
 
     /// True if the FD is trivial (`Y ⊆ X`).
@@ -187,7 +217,10 @@ impl FunctionalDependency {
 
     /// Render with attribute names from a schema.
     pub fn display<'a>(&'a self, schema: &'a Schema) -> DisplayWithSchema<'a> {
-        DisplayWithSchema { schema, kind: StatementRef::Fd(self) }
+        DisplayWithSchema {
+            schema,
+            kind: StatementRef::Fd(self),
+        }
     }
 }
 

@@ -29,7 +29,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::ArityMismatch { expected, actual } => {
-                write!(f, "tuple arity {actual} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {actual} does not match schema arity {expected}"
+                )
             }
             CoreError::UnknownAttribute(id) => write!(f, "unknown attribute id {id}"),
             CoreError::UnknownAttributeName(name) => write!(f, "unknown attribute name '{name}'"),
@@ -53,7 +56,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = CoreError::ArityMismatch { expected: 3, actual: 2 };
+        let e = CoreError::ArityMismatch {
+            expected: 3,
+            actual: 2,
+        };
         assert!(e.to_string().contains("arity 2"));
         assert!(e.to_string().contains("arity 3"));
         let e = CoreError::UnknownAttributeName("foo".into());
@@ -66,7 +72,13 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(CoreError::UnknownAttribute(3), CoreError::UnknownAttribute(3));
-        assert_ne!(CoreError::UnknownAttribute(3), CoreError::UnknownAttribute(4));
+        assert_eq!(
+            CoreError::UnknownAttribute(3),
+            CoreError::UnknownAttribute(3)
+        );
+        assert_ne!(
+            CoreError::UnknownAttribute(3),
+            CoreError::UnknownAttribute(4)
+        );
     }
 }

@@ -73,7 +73,8 @@ pub fn example_5_taxes() -> Relation {
     ];
     Relation::from_rows(
         schema,
-        rows.iter().map(|&(i, b, p)| vec![Value::Int(i), Value::Int(b), Value::Int(p)]),
+        rows.iter()
+            .map(|&(i, b, p)| vec![Value::Int(i), Value::Int(b), Value::Int(p)]),
     )
     .expect("fixture arity is correct")
 }
@@ -89,7 +90,10 @@ mod tests {
         let r = figure_1_relation();
         assert_eq!(r.len(), 2);
         assert_eq!(r.schema().arity(), 6);
-        assert_eq!(r.schema().attr_name(r.schema().attr_by_name("F").unwrap()), "F");
+        assert_eq!(
+            r.schema().attr_name(r.schema().attr_by_name("F").unwrap()),
+            "F"
+        );
     }
 
     #[test]
@@ -99,8 +103,14 @@ mod tests {
         let a = s.attr_by_name("A").unwrap();
         let c = s.attr_by_name("C").unwrap();
         let b1 = s.attr_by_name("B1").unwrap();
-        assert!(!compatibility_holds(&r, &OrderCompatibility::new(vec![a], vec![c])));
-        assert!(compatibility_holds(&r, &OrderCompatibility::new(vec![a], vec![b1])));
+        assert!(!compatibility_holds(
+            &r,
+            &OrderCompatibility::new(vec![a], vec![c])
+        ));
+        assert!(compatibility_holds(
+            &r,
+            &OrderCompatibility::new(vec![a], vec![b1])
+        ));
         assert!(od_holds(&r, &OrderDependency::new(vec![a], vec![b1])));
     }
 
@@ -111,10 +121,22 @@ mod tests {
         let income = s.attr_by_name("income").unwrap();
         let bracket = s.attr_by_name("bracket").unwrap();
         let payable = s.attr_by_name("payable").unwrap();
-        assert!(od_holds(&r, &OrderDependency::new(vec![income], vec![bracket])));
-        assert!(od_holds(&r, &OrderDependency::new(vec![income], vec![payable])));
-        assert!(od_holds(&r, &OrderDependency::new(vec![income], vec![bracket, payable])));
+        assert!(od_holds(
+            &r,
+            &OrderDependency::new(vec![income], vec![bracket])
+        ));
+        assert!(od_holds(
+            &r,
+            &OrderDependency::new(vec![income], vec![payable])
+        ));
+        assert!(od_holds(
+            &r,
+            &OrderDependency::new(vec![income], vec![bracket, payable])
+        ));
         // bracket alone does not order income (splits), and certainly not vice versa.
-        assert!(!od_holds(&r, &OrderDependency::new(vec![bracket], vec![income])));
+        assert!(!od_holds(
+            &r,
+            &OrderDependency::new(vec![bracket], vec![income])
+        ));
     }
 }

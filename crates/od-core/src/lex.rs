@@ -145,7 +145,13 @@ mod tests {
 
     #[test]
     fn iterative_matches_recursive_definition() {
-        let tuples = [t(&[0, 1, 2]), t(&[1, 1, 1]), t(&[0, 2, 0]), t(&[2, 0, 0]), t(&[0, 1, 2])];
+        let tuples = [
+            t(&[0, 1, 2]),
+            t(&[1, 1, 1]),
+            t(&[0, 2, 0]),
+            t(&[2, 0, 0]),
+            t(&[0, 1, 2]),
+        ];
         let lists = [
             AttrList::empty(),
             list(&[0]),

@@ -152,12 +152,24 @@ impl AttrList {
     /// Remove all occurrences of the given attributes (the paper's *projecting
     /// out* of constant attributes in Lemma 8 / Theorem 17).
     pub fn project_out(&self, attrs: &AttrSet) -> AttrList {
-        AttrList(self.0.iter().copied().filter(|a| !attrs.contains(a)).collect())
+        AttrList(
+            self.0
+                .iter()
+                .copied()
+                .filter(|a| !attrs.contains(a))
+                .collect(),
+        )
     }
 
     /// Keep only occurrences of the given attributes.
     pub fn retain_only(&self, attrs: &AttrSet) -> AttrList {
-        AttrList(self.0.iter().copied().filter(|a| attrs.contains(a)).collect())
+        AttrList(
+            self.0
+                .iter()
+                .copied()
+                .filter(|a| attrs.contains(a))
+                .collect(),
+        )
     }
 }
 

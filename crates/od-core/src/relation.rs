@@ -24,7 +24,10 @@ pub struct Relation {
 impl Relation {
     /// Create an empty relation for a schema.
     pub fn new(schema: Schema) -> Self {
-        Relation { schema, tuples: Vec::new() }
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
     }
 
     /// Create a relation from rows, validating arity.
@@ -85,7 +88,9 @@ impl Relation {
 
     /// Project a tuple onto an attribute list (the paper's `t[X]`), cloning values.
     pub fn project_tuple(&self, idx: usize, list: &AttrList) -> Vec<Value> {
-        list.iter().map(|a| self.tuples[idx][a.index()].clone()).collect()
+        list.iter()
+            .map(|a| self.tuples[idx][a.index()].clone())
+            .collect()
     }
 
     /// Iterate over the tuples.
@@ -93,11 +98,44 @@ impl Relation {
         self.tuples.iter()
     }
 
+    /// Iterate over one attribute's column in tuple order (the column view used
+    /// by partition-based discovery).
+    pub fn column(&self, attr: AttrId) -> impl Iterator<Item = &Value> + '_ {
+        self.tuples.iter().map(move |t| &t[attr.index()])
+    }
+
+    /// Dense, order-preserving integer codes for one column: the code of a cell
+    /// is the rank of its value among the column's distinct values, so
+    /// `code[i] < code[j] ⟺ value[i] < value[j]` and equal codes mean equal
+    /// values.  NULLs receive the smallest code (they sort first).
+    ///
+    /// Partition-based discovery works on these codes instead of on [`Value`]s:
+    /// equality tests and order comparisons become integer operations, and
+    /// equivalence classes can be bucketed by code directly.
+    pub fn rank_column(&self, attr: AttrId) -> Vec<u32> {
+        let col = attr.index();
+        let mut order: Vec<usize> = (0..self.tuples.len()).collect();
+        order.sort_by(|&a, &b| self.tuples[a][col].cmp(&self.tuples[b][col]));
+        let mut codes = vec![0u32; self.tuples.len()];
+        let mut rank = 0u32;
+        for w in 0..order.len() {
+            if w > 0 && self.tuples[order[w]][col] != self.tuples[order[w - 1]][col] {
+                rank += 1;
+            }
+            codes[order[w]] = rank;
+        }
+        codes
+    }
+
     /// Render the relation as a small ASCII table (diagnostics and examples).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let names: Vec<&str> =
-            self.schema.attributes().iter().map(|a| a.name.as_str()).collect();
+        let names: Vec<&str> = self
+            .schema
+            .attributes()
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
         let mut widths: Vec<usize> = names.iter().map(|n| n.len()).collect();
         let rendered: Vec<Vec<String>> = self
             .tuples
@@ -109,11 +147,20 @@ impl Relation {
                 widths[i] = widths[i].max(cell.len());
             }
         }
-        let header: Vec<String> =
-            names.iter().enumerate().map(|(i, n)| format!("{:width$}", n, width = widths[i])).collect();
+        let header: Vec<String> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| format!("{:width$}", n, width = widths[i]))
+            .collect();
         out.push_str(&header.join(" | "));
         out.push('\n');
-        out.push_str(&header.iter().map(|h| "-".repeat(h.len())).collect::<Vec<_>>().join("-+-"));
+        out.push_str(
+            &header
+                .iter()
+                .map(|h| "-".repeat(h.len()))
+                .collect::<Vec<_>>()
+                .join("-+-"),
+        );
         out.push('\n');
         for row in &rendered {
             let cells: Vec<String> = row
@@ -150,9 +197,17 @@ mod tests {
     fn push_validates_arity() {
         let (s, ..) = schema_abc();
         let mut r = Relation::new(s);
-        assert!(r.push(vec![Value::Int(1), Value::Int(2), Value::Int(3)]).is_ok());
+        assert!(r
+            .push(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+            .is_ok());
         let err = r.push(vec![Value::Int(1)]).unwrap_err();
-        assert_eq!(err, CoreError::ArityMismatch { expected: 3, actual: 1 });
+        assert_eq!(
+            err,
+            CoreError::ArityMismatch {
+                expected: 3,
+                actual: 1
+            }
+        );
         assert_eq!(r.len(), 1);
         assert!(!r.is_empty());
     }
@@ -179,7 +234,10 @@ mod tests {
         let r = Relation::from_rows(s, vec![vec![Value::Int(1), Value::Int(2), Value::Int(3)]])
             .unwrap();
         let list = AttrList::new([c, a, b]);
-        assert_eq!(r.project_tuple(0, &list), vec![Value::Int(3), Value::Int(1), Value::Int(2)]);
+        assert_eq!(
+            r.project_tuple(0, &list),
+            vec![Value::Int(3), Value::Int(1), Value::Int(2)]
+        );
     }
 
     #[test]
@@ -191,6 +249,45 @@ mod tests {
         assert!(text.contains('a'));
         assert!(text.contains("10"));
         assert!(text.lines().count() >= 3);
+    }
+
+    #[test]
+    fn column_iterates_one_attribute() {
+        let (s, _, b, _) = schema_abc();
+        let r = Relation::from_rows(
+            s,
+            vec![
+                vec![Value::Int(1), Value::Int(9), Value::Int(3)],
+                vec![Value::Int(4), Value::Int(8), Value::Int(6)],
+            ],
+        )
+        .unwrap();
+        let col: Vec<&Value> = r.column(b).collect();
+        assert_eq!(col, vec![&Value::Int(9), &Value::Int(8)]);
+    }
+
+    #[test]
+    fn rank_column_preserves_order_and_equality() {
+        let (s, a, ..) = schema_abc();
+        let r = Relation::from_rows(
+            s,
+            vec![
+                vec![Value::Int(30), Value::Int(0), Value::Int(0)],
+                vec![Value::Int(10), Value::Int(0), Value::Int(0)],
+                vec![Value::Int(30), Value::Int(0), Value::Int(0)],
+                vec![Value::Null, Value::Int(0), Value::Int(0)],
+                vec![Value::Int(20), Value::Int(0), Value::Int(0)],
+            ],
+        )
+        .unwrap();
+        let codes = r.rank_column(a);
+        // NULL gets the smallest code; duplicates share a code; order is preserved.
+        assert_eq!(codes, vec![3, 1, 3, 0, 2]);
+        for i in 0..r.len() {
+            for j in 0..r.len() {
+                assert_eq!(codes[i].cmp(&codes[j]), r.value(i, a).cmp(r.value(j, a)));
+            }
+        }
     }
 
     #[test]

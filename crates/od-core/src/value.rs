@@ -290,7 +290,10 @@ mod tests {
         assert_eq!(Value::Null.to_string(), "NULL");
         assert_eq!(Value::Int(42).to_string(), "42");
         assert_eq!(Value::from("hi").to_string(), "'hi'");
-        assert_eq!(Value::Date(days_from_date(2001, 2, 3)).to_string(), "2001-02-03");
+        assert_eq!(
+            Value::Date(days_from_date(2001, 2, 3)).to_string(),
+            "2001-02-03"
+        );
         assert_eq!(Value::Bool(true).to_string(), "true");
     }
 
@@ -321,7 +324,7 @@ mod tests {
 
     #[test]
     fn mixed_types_have_stable_total_order() {
-        let mut vals = vec![
+        let mut vals = [
             Value::from("zzz"),
             Value::Int(5),
             Value::Null,

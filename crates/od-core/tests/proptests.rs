@@ -8,19 +8,18 @@ use proptest::prelude::*;
 /// Strategy: a relation with `cols` integer columns and up to `max_rows` rows of
 /// small values (small domains make splits and swaps likely).
 fn relation_strategy(cols: usize, max_rows: usize) -> impl Strategy<Value = Relation> {
-    prop::collection::vec(prop::collection::vec(0i64..4, cols), 0..max_rows).prop_map(
-        move |rows| {
-            let mut schema = Schema::new("prop");
-            for i in 0..cols {
-                schema.add_attr(format!("c{i}"));
-            }
-            Relation::from_rows(
-                schema,
-                rows.into_iter().map(|r| r.into_iter().map(Value::Int).collect()),
-            )
-            .expect("arity is fixed by construction")
-        },
-    )
+    prop::collection::vec(prop::collection::vec(0i64..4, cols), 0..max_rows).prop_map(move |rows| {
+        let mut schema = Schema::new("prop");
+        for i in 0..cols {
+            schema.add_attr(format!("c{i}"));
+        }
+        Relation::from_rows(
+            schema,
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Value::Int).collect()),
+        )
+        .expect("arity is fixed by construction")
+    })
 }
 
 /// Strategy: an attribute list over `cols` columns with length up to `max_len`.

@@ -4,14 +4,40 @@
 //! The paper closes by pointing at OD discovery as follow-on work; this module
 //! provides a bounded-width discovery pass that later became its own research
 //! line.  Candidates are enumerated over normalized attribute lists up to a
-//! configurable length, validated with the `O(n log n)` split/swap checker of
-//! `od-core`, and pruned with the inference engine: a candidate that is already
-//! implied by previously confirmed ODs is never validated against the data.
+//! configurable length and pruned with the inference engine: a candidate that
+//! is already implied by previously confirmed ODs is never validated against
+//! the data.  Two validation engines are available behind
+//! [`DiscoveryConfig::engine`]:
+//!
+//! * [`DiscoveryEngine::SetBased`] (the default) — the FASTOD-style engine of
+//!   the `od-setbased` crate: each candidate is decomposed into canonical
+//!   set-based statements that are validated with stripped partitions and
+//!   memoized **across** candidates, so the data is touched once per distinct
+//!   statement rather than once per candidate;
+//! * [`DiscoveryEngine::Naive`] — the original list-enumeration path
+//!   re-sorting the relation per candidate with the `O(n log n)` split/swap
+//!   checker of `od-core`; kept as the oracle for differential tests.
+//!
+//! Both engines see the same candidate stream and the same implication
+//! pruning, so they return the same minimal OD set — a property the
+//! differential proptests in `tests/differential.rs` enforce.
 
 use od_core::check::{check_fd, od_holds};
 use od_core::{AttrId, FunctionalDependency, OrderDependency, Relation};
 use od_infer::witness::enumerate_lists;
 use od_infer::{Decider, OdSet};
+use od_setbased::SetBasedEngine;
+
+/// Which validation engine a discovery run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DiscoveryEngine {
+    /// Partition-backed set-based validation with cross-candidate memoization
+    /// (the `od-setbased` crate).
+    #[default]
+    SetBased,
+    /// Sort-based validation of every candidate (the oracle path).
+    Naive,
+}
 
 /// Configuration of a discovery run.
 #[derive(Debug, Clone, Copy)]
@@ -22,11 +48,24 @@ pub struct DiscoveryConfig {
     pub max_rhs: usize,
     /// Skip candidates already implied by the confirmed ODs (axiom-based pruning).
     pub prune_implied: bool,
+    /// Validation engine.
+    pub engine: DiscoveryEngine,
+    /// Shard large partition scans across threads (set-based engine only).
+    pub parallel: bool,
 }
 
 impl Default for DiscoveryConfig {
+    /// Width 2/2 so the lattice is actually exercised (the original default of
+    /// `max_lhs = 1` never produced a composite left-hand side), with the
+    /// set-based engine and implication pruning on.
     fn default() -> Self {
-        DiscoveryConfig { max_lhs: 1, max_rhs: 2, prune_implied: true }
+        DiscoveryConfig {
+            max_lhs: 2,
+            max_rhs: 2,
+            prune_implied: true,
+            engine: DiscoveryEngine::SetBased,
+            parallel: false,
+        }
     }
 }
 
@@ -37,16 +76,69 @@ pub struct Discovery {
     pub ods: Vec<OrderDependency>,
     /// Number of candidates enumerated.
     pub candidates: usize,
-    /// Number of candidates validated against the data (not pruned).
+    /// Number of candidates validated against the data: every non-pruned
+    /// candidate for the naive engine; only candidates whose canonical
+    /// statements were not already memoized for the set-based engine.
     pub validated: usize,
+    /// Canonical statements validated against the data (set-based engine;
+    /// equal to `validated` for the naive engine, whose unit of data work is
+    /// the whole candidate).
+    pub statement_validations: usize,
 }
 
 /// Discover ODs holding on the relation, bounded by the configuration.
 pub fn discover_ods(rel: &Relation, config: DiscoveryConfig) -> Discovery {
+    match config.engine {
+        DiscoveryEngine::Naive => {
+            let mut check = |od: &OrderDependency| (od_holds(rel, od), true);
+            let mut result = run_discovery(rel, config, &mut check);
+            result.statement_validations = result.validated;
+            result
+        }
+        DiscoveryEngine::SetBased => {
+            let threads = if config.parallel {
+                od_setbased::parallel::available_threads()
+            } else {
+                1
+            };
+            let mut engine = SetBasedEngine::with_threads(rel, threads);
+            let mut check = |od: &OrderDependency| {
+                let before = engine.data_validations();
+                let holds = engine.od_holds(od);
+                (holds, engine.data_validations() > before)
+            };
+            let mut result = run_discovery(rel, config, &mut check);
+            result.statement_validations = engine.data_validations();
+            result
+        }
+    }
+}
+
+/// Discover ODs with the original sort-per-candidate engine (the oracle used
+/// by differential tests and the benchmark baseline).
+pub fn discover_ods_naive(rel: &Relation, config: DiscoveryConfig) -> Discovery {
+    discover_ods(
+        rel,
+        DiscoveryConfig {
+            engine: DiscoveryEngine::Naive,
+            ..config
+        },
+    )
+}
+
+/// The shared enumeration / pruning loop.  `check` answers whether a candidate
+/// holds and whether answering touched the data.
+fn run_discovery(
+    rel: &Relation,
+    config: DiscoveryConfig,
+    check: &mut dyn FnMut(&OrderDependency) -> (bool, bool),
+) -> Discovery {
     let universe: Vec<AttrId> = rel.schema().attr_ids().collect();
     let lhs_lists = enumerate_lists(&universe, config.max_lhs);
     let rhs_lists = enumerate_lists(&universe, config.max_rhs);
     let mut found = OdSet::new();
+    // The decider over `found` is rebuilt lazily, only after `found` grows.
+    let mut decider: Option<Decider> = None;
     let mut result = Discovery::default();
 
     for lhs in &lhs_lists {
@@ -59,12 +151,20 @@ pub fn discover_ods(rel: &Relation, config: DiscoveryConfig) -> Discovery {
             if candidate.is_syntactically_trivial() {
                 continue;
             }
-            if config.prune_implied && Decider::new(&found).implies(&candidate) {
+            if config.prune_implied
+                && decider
+                    .get_or_insert_with(|| Decider::new(&found))
+                    .implies(&candidate)
+            {
                 continue;
             }
-            result.validated += 1;
-            if od_holds(rel, &candidate) {
+            let (holds, touched_data) = check(&candidate);
+            if touched_data {
+                result.validated += 1;
+            }
+            if holds {
                 found.add_od(candidate.clone());
+                decider = None;
                 result.ods.push(candidate);
             }
         }
@@ -113,35 +213,117 @@ mod tests {
         let bracket = s.attr_by_name("bracket").unwrap();
         let payable = s.attr_by_name("payable").unwrap();
         let expect = OrderDependency::new(vec![income], vec![bracket]);
-        assert!(d.ods.contains(&expect), "income ↦ bracket should be discovered: {:?}", d.ods);
-        assert!(d.ods.contains(&OrderDependency::new(vec![income], vec![payable])));
+        assert!(
+            d.ods.contains(&expect),
+            "income ↦ bracket should be discovered: {:?}",
+            d.ods
+        );
+        assert!(d
+            .ods
+            .contains(&OrderDependency::new(vec![income], vec![payable])));
         // The converse is not discovered (brackets repeat across incomes).
-        assert!(!d.ods.contains(&OrderDependency::new(vec![bracket], vec![income])));
+        assert!(!d
+            .ods
+            .contains(&OrderDependency::new(vec![bracket], vec![income])));
         assert!(d.validated <= d.candidates);
     }
 
     #[test]
     fn pruning_reduces_validation_work_without_losing_coverage() {
+        // Pruning mechanics are engine-independent; pin the naive engine so
+        // "validated" counts candidates, the unit the assertion is about.
+        let naive = DiscoveryConfig {
+            engine: DiscoveryEngine::Naive,
+            ..Default::default()
+        };
         let rel = fixtures::example_5_taxes();
-        let with = discover_ods(&rel, DiscoveryConfig { prune_implied: true, ..Default::default() });
-        let without =
-            discover_ods(&rel, DiscoveryConfig { prune_implied: false, ..Default::default() });
+        let with = discover_ods(
+            &rel,
+            DiscoveryConfig {
+                prune_implied: true,
+                ..naive
+            },
+        );
+        let without = discover_ods(
+            &rel,
+            DiscoveryConfig {
+                prune_implied: false,
+                ..naive
+            },
+        );
         assert!(with.validated < without.validated);
-        // Everything found without pruning is implied by what was found with pruning.
+        // Everything found without pruning is implied by the pruned discovery result.
         let m = OdSet::from_ods(with.ods.clone());
         let d = Decider::new(&m);
         for od in &without.ods {
-            assert!(d.implies(od), "{od} must be implied by the pruned discovery result");
+            assert!(
+                d.implies(od),
+                "{od} must be implied by the pruned discovery result"
+            );
         }
     }
 
     #[test]
     fn discovered_ods_hold_and_non_discovered_do_not_appear() {
         let rel = fixtures::figure_1_relation();
-        let d = discover_ods(&rel, DiscoveryConfig { max_lhs: 1, max_rhs: 1, prune_implied: false });
+        let d = discover_ods(
+            &rel,
+            DiscoveryConfig {
+                max_lhs: 1,
+                max_rhs: 1,
+                prune_implied: false,
+                ..Default::default()
+            },
+        );
         for od in &d.ods {
             assert!(od_holds(&rel, od));
         }
+    }
+
+    #[test]
+    fn engines_agree_on_the_fixtures() {
+        for rel in [fixtures::example_5_taxes(), fixtures::figure_1_relation()] {
+            for prune in [true, false] {
+                let config = DiscoveryConfig {
+                    prune_implied: prune,
+                    ..Default::default()
+                };
+                let set_based = discover_ods(&rel, config);
+                let naive = discover_ods_naive(&rel, config);
+                assert_eq!(
+                    set_based.ods, naive.ods,
+                    "engines must find the same minimal ODs"
+                );
+                assert_eq!(set_based.candidates, naive.candidates);
+            }
+        }
+    }
+
+    #[test]
+    fn set_based_engine_touches_less_data_than_naive() {
+        let rel = fixtures::example_5_taxes();
+        let set_based = discover_ods(&rel, DiscoveryConfig::default());
+        let naive = discover_ods_naive(&rel, DiscoveryConfig::default());
+        assert!(
+            set_based.validated < naive.validated,
+            "set-based candidates touching data ({}) must undercut naive ({})",
+            set_based.validated,
+            naive.validated
+        );
+    }
+
+    #[test]
+    fn parallel_discovery_matches_serial() {
+        let rel = fixtures::example_5_taxes();
+        let serial = discover_ods(&rel, DiscoveryConfig::default());
+        let parallel = discover_ods(
+            &rel,
+            DiscoveryConfig {
+                parallel: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(serial.ods, parallel.ods);
     }
 
     #[test]

@@ -4,7 +4,11 @@
 //! (Sections 2.2 and 6 of the paper):
 //!
 //! * [`discover`] — profile a relation instance for ODs/FDs that hold on it,
-//!   with axiom-based pruning of implied candidates;
+//!   with axiom-based pruning of implied candidates.  Validation defaults to
+//!   the partition-backed set-based engine of the `od-setbased` crate
+//!   ([`DiscoveryEngine::SetBased`]); the original sort-per-candidate path
+//!   remains available as [`DiscoveryEngine::Naive`] and serves as the oracle
+//!   in differential tests;
 //! * [`monotone`] — derive ODs from generated-column expressions by
 //!   monotonicity analysis (the DB2 generated-columns technique of
 //!   reference [12]).
@@ -15,5 +19,7 @@
 pub mod discover;
 pub mod monotone;
 
-pub use discover::{discover_fds, discover_ods, Discovery, DiscoveryConfig};
+pub use discover::{
+    discover_fds, discover_ods, discover_ods_naive, Discovery, DiscoveryConfig, DiscoveryEngine,
+};
 pub use monotone::{derived_column_ods, monotonicity, DerivedColumn, Monotonicity};

@@ -127,7 +127,10 @@ mod tests {
     /// The related-work example: G = A/100 + A - 3 is monotone in A.
     fn g_expr(a: AttrId) -> Expr {
         Expr::Add(
-            Box::new(Expr::Div(Box::new(Expr::col(a)), Box::new(Expr::lit(100i64)))),
+            Box::new(Expr::Div(
+                Box::new(Expr::col(a)),
+                Box::new(Expr::lit(100i64)),
+            )),
             Box::new(Expr::Sub(Box::new(Expr::col(a)), Box::new(Expr::lit(3i64)))),
         )
     }
@@ -155,7 +158,11 @@ mod tests {
     #[test]
     fn emitted_ods_hold_on_materialized_data() {
         let a = AttrId(0);
-        let dc = DerivedColumn { name: "g".into(), id: AttrId(1), expr: g_expr(a) };
+        let dc = DerivedColumn {
+            name: "g".into(),
+            id: AttrId(1),
+            expr: g_expr(a),
+        };
         let ods = derived_column_ods(std::slice::from_ref(&dc), &[a]);
         assert_eq!(ods.len(), 1);
         // Materialize a relation (a, g) and verify the OD empirically.

@@ -203,7 +203,12 @@ impl PhysicalPlan {
             PhysicalPlan::IndexOrderedScan { table, index } => {
                 format!("IndexOrderedScan {table} via {index}")
             }
-            PhysicalPlan::IndexRangeScan { table, index, lo, hi } => {
+            PhysicalPlan::IndexRangeScan {
+                table,
+                index,
+                lo,
+                hi,
+            } => {
                 format!("IndexRangeScan {table} via {index} [{lo} .. {hi}]")
             }
             PhysicalPlan::PrunedPartitionScan { table, lo, hi } => {
@@ -249,23 +254,43 @@ pub fn execute(plan: &PhysicalPlan, catalog: &Catalog) -> (Batch, Metrics) {
 fn run(plan: &PhysicalPlan, catalog: &Catalog, m: &mut Metrics) -> Batch {
     match plan {
         PhysicalPlan::TableScan { table } => {
-            let t = catalog.table(table).unwrap_or_else(|| panic!("unknown table {table}"));
+            let t = catalog
+                .table(table)
+                .unwrap_or_else(|| panic!("unknown table {table}"));
             m.rows_scanned += t.row_count() as u64;
-            Batch { schema: t.schema().clone(), rows: t.relation.tuples().to_vec() }
+            Batch {
+                schema: t.schema().clone(),
+                rows: t.relation.tuples().to_vec(),
+            }
         }
         PhysicalPlan::IndexOrderedScan { table, index } => {
-            let t = catalog.table(table).unwrap_or_else(|| panic!("unknown table {table}"));
+            let t = catalog
+                .table(table)
+                .unwrap_or_else(|| panic!("unknown table {table}"));
             let ix = t
                 .indexes
                 .iter()
                 .find(|ix| ix.name == *index)
                 .unwrap_or_else(|| panic!("unknown index {index}"));
             m.rows_scanned += t.row_count() as u64;
-            let rows = ix.ordered_row_ids().map(|i| t.relation.tuple(i).clone()).collect();
-            Batch { schema: t.schema().clone(), rows }
+            let rows = ix
+                .ordered_row_ids()
+                .map(|i| t.relation.tuple(i).clone())
+                .collect();
+            Batch {
+                schema: t.schema().clone(),
+                rows,
+            }
         }
-        PhysicalPlan::IndexRangeScan { table, index, lo, hi } => {
-            let t = catalog.table(table).unwrap_or_else(|| panic!("unknown table {table}"));
+        PhysicalPlan::IndexRangeScan {
+            table,
+            index,
+            lo,
+            hi,
+        } => {
+            let t = catalog
+                .table(table)
+                .unwrap_or_else(|| panic!("unknown table {table}"));
             let ix = t
                 .indexes
                 .iter()
@@ -274,11 +299,19 @@ fn run(plan: &PhysicalPlan, catalog: &Catalog, m: &mut Metrics) -> Batch {
             let ids = ix.range_row_ids(Bound::Included(lo), Bound::Included(hi));
             m.rows_scanned += ids.len() as u64;
             m.index_probes += 2;
-            let rows = ids.into_iter().map(|i| t.relation.tuple(i).clone()).collect();
-            Batch { schema: t.schema().clone(), rows }
+            let rows = ids
+                .into_iter()
+                .map(|i| t.relation.tuple(i).clone())
+                .collect();
+            Batch {
+                schema: t.schema().clone(),
+                rows,
+            }
         }
         PhysicalPlan::PrunedPartitionScan { table, lo, hi } => {
-            let t = catalog.table(table).unwrap_or_else(|| panic!("unknown table {table}"));
+            let t = catalog
+                .table(table)
+                .unwrap_or_else(|| panic!("unknown table {table}"));
             let part = t
                 .partitioning
                 .as_ref()
@@ -293,14 +326,21 @@ fn run(plan: &PhysicalPlan, catalog: &Catalog, m: &mut Metrics) -> Batch {
                 }
             }
             m.rows_scanned += rows.len() as u64;
-            Batch { schema: t.schema().clone(), rows }
+            Batch {
+                schema: t.schema().clone(),
+                rows,
+            }
         }
         PhysicalPlan::Filter { input, predicate } => {
             let mut b = run(input, catalog, m);
             b.rows.retain(|r| predicate.eval_bool(r));
             b
         }
-        PhysicalPlan::Project { input, columns, names } => {
+        PhysicalPlan::Project {
+            input,
+            columns,
+            names,
+        } => {
             let b = run(input, catalog, m);
             let mut schema = Schema::new(b.schema.name().to_string());
             for (c, n) in columns.iter().zip(names) {
@@ -321,14 +361,22 @@ fn run(plan: &PhysicalPlan, catalog: &Catalog, m: &mut Metrics) -> Batch {
             b.rows.sort_by(|x, y| lex_cmp(x, y, by));
             b
         }
-        PhysicalPlan::HashJoin { left, right, left_key, right_key } => {
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
             let l = run(left, catalog, m);
             let r = run(right, catalog, m);
             m.join_input_rows += (l.len() + r.len()) as u64;
             // Build on the right.
             let mut build: HashMap<Value, Vec<usize>> = HashMap::new();
             for (i, row) in r.rows.iter().enumerate() {
-                build.entry(row[right_key.index()].clone()).or_default().push(i);
+                build
+                    .entry(row[right_key.index()].clone())
+                    .or_default()
+                    .push(i);
             }
             let mut schema = Schema::new(format!("{}_join_{}", l.schema.name(), r.schema.name()));
             for a in l.schema.attributes() {
@@ -349,7 +397,11 @@ fn run(plan: &PhysicalPlan, catalog: &Catalog, m: &mut Metrics) -> Batch {
             }
             Batch { schema, rows }
         }
-        PhysicalPlan::StreamAggregate { input, group_by, aggregates } => {
+        PhysicalPlan::StreamAggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
             let b = run(input, catalog, m);
             let mut schema = aggregate_schema(&b.schema, group_by.as_slice(), aggregates);
             schema = rename_schema(schema, "stream_agg");
@@ -374,7 +426,11 @@ fn run(plan: &PhysicalPlan, catalog: &Catalog, m: &mut Metrics) -> Batch {
             }
             Batch { schema, rows }
         }
-        PhysicalPlan::HashAggregate { input, group_by, aggregates } => {
+        PhysicalPlan::HashAggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
             let b = run(input, catalog, m);
             let key_list: AttrList = group_by.iter().copied().collect();
             let mut schema = aggregate_schema(&b.schema, key_list.as_slice(), aggregates);
@@ -430,15 +486,28 @@ fn aggregate_schema(input: &Schema, group_by: &[AttrId], aggs: &[Aggregate]) -> 
 }
 
 fn finish_group(rows: &[Tuple], group_by: &[AttrId], aggs: &[Aggregate]) -> Tuple {
-    let mut out: Tuple = group_by.iter().map(|a| rows[0][a.index()].clone()).collect();
+    let mut out: Tuple = group_by
+        .iter()
+        .map(|a| rows[0][a.index()].clone())
+        .collect();
     for agg in aggs {
         let v = match agg {
             Aggregate::CountStar => Value::Int(rows.len() as i64),
-            Aggregate::Sum(c) => {
-                Value::Int(rows.iter().filter_map(|r| r[c.index()].as_int()).sum::<i64>())
-            }
-            Aggregate::Min(c) => rows.iter().map(|r| r[c.index()].clone()).min().unwrap_or(Value::Null),
-            Aggregate::Max(c) => rows.iter().map(|r| r[c.index()].clone()).max().unwrap_or(Value::Null),
+            Aggregate::Sum(c) => Value::Int(
+                rows.iter()
+                    .filter_map(|r| r[c.index()].as_int())
+                    .sum::<i64>(),
+            ),
+            Aggregate::Min(c) => rows
+                .iter()
+                .map(|r| r[c.index()].clone())
+                .min()
+                .unwrap_or(Value::Null),
+            Aggregate::Max(c) => rows
+                .iter()
+                .map(|r| r[c.index()].clone())
+                .max()
+                .unwrap_or(Value::Null),
         };
         out.push(v);
     }
@@ -474,7 +543,9 @@ mod tests {
     fn table_scan_and_filter() {
         let c = catalog();
         let plan = PhysicalPlan::Filter {
-            input: Box::new(PhysicalPlan::TableScan { table: "orders".into() }),
+            input: Box::new(PhysicalPlan::TableScan {
+                table: "orders".into(),
+            }),
             predicate: Expr::col(AttrId(0)).cmp(CmpOp::Eq, Expr::lit(2i64)),
         };
         let (batch, metrics) = execute(&plan, &c);
@@ -488,11 +559,15 @@ mod tests {
         let c = catalog();
         let by = AttrList::new([AttrId(0), AttrId(1)]);
         let sorted = PhysicalPlan::Sort {
-            input: Box::new(PhysicalPlan::TableScan { table: "orders".into() }),
+            input: Box::new(PhysicalPlan::TableScan {
+                table: "orders".into(),
+            }),
             by: by.clone(),
         };
-        let via_index =
-            PhysicalPlan::IndexOrderedScan { table: "orders".into(), index: "ix_day_item".into() };
+        let via_index = PhysicalPlan::IndexOrderedScan {
+            table: "orders".into(),
+            index: "ix_day_item".into(),
+        };
         let (b1, m1) = execute(&sorted, &c);
         let (b2, m2) = execute(&via_index, &c);
         assert_eq!(m1.sorts_performed, 1);
@@ -535,13 +610,17 @@ mod tests {
         let c = catalog();
         let aggs = vec![Aggregate::CountStar, Aggregate::Sum(AttrId(2))];
         let hash = PhysicalPlan::HashAggregate {
-            input: Box::new(PhysicalPlan::TableScan { table: "orders".into() }),
+            input: Box::new(PhysicalPlan::TableScan {
+                table: "orders".into(),
+            }),
             group_by: vec![AttrId(0)],
             aggregates: aggs.clone(),
         };
         let stream = PhysicalPlan::StreamAggregate {
             input: Box::new(PhysicalPlan::Sort {
-                input: Box::new(PhysicalPlan::TableScan { table: "orders".into() }),
+                input: Box::new(PhysicalPlan::TableScan {
+                    table: "orders".into(),
+                }),
                 by: AttrList::new([AttrId(0)]),
             }),
             group_by: AttrList::new([AttrId(0)]),
@@ -562,13 +641,19 @@ mod tests {
         let _name = dim_schema.add_attr("label");
         let rel = Relation::from_rows(
             dim_schema,
-            (0..5).map(|i| vec![Value::Int(i), Value::Str(format!("d{i}"))]).collect::<Vec<_>>(),
+            (0..5)
+                .map(|i| vec![Value::Int(i), Value::Str(format!("d{i}"))])
+                .collect::<Vec<_>>(),
         )
         .unwrap();
         c.add_table(Table::new(rel));
         let plan = PhysicalPlan::HashJoin {
-            left: Box::new(PhysicalPlan::TableScan { table: "orders".into() }),
-            right: Box::new(PhysicalPlan::TableScan { table: "days".into() }),
+            left: Box::new(PhysicalPlan::TableScan {
+                table: "orders".into(),
+            }),
+            right: Box::new(PhysicalPlan::TableScan {
+                table: "days".into(),
+            }),
             left_key: AttrId(0),
             right_key: dday,
         };
@@ -584,7 +669,9 @@ mod tests {
         let c = catalog();
         let plan = PhysicalPlan::Limit {
             input: Box::new(PhysicalPlan::Project {
-                input: Box::new(PhysicalPlan::TableScan { table: "orders".into() }),
+                input: Box::new(PhysicalPlan::TableScan {
+                    table: "orders".into(),
+                }),
                 columns: vec![AttrId(2), AttrId(0)],
                 names: vec!["qty".into(), "day".into()],
             }),
@@ -602,7 +689,9 @@ mod tests {
         let c = catalog();
         let plan = PhysicalPlan::StreamAggregate {
             input: Box::new(PhysicalPlan::Filter {
-                input: Box::new(PhysicalPlan::TableScan { table: "orders".into() }),
+                input: Box::new(PhysicalPlan::TableScan {
+                    table: "orders".into(),
+                }),
                 predicate: Expr::lit(false),
             }),
             group_by: AttrList::new([AttrId(0)]),
@@ -615,7 +704,9 @@ mod tests {
     #[test]
     fn explain_renders_tree() {
         let plan = PhysicalPlan::Sort {
-            input: Box::new(PhysicalPlan::TableScan { table: "orders".into() }),
+            input: Box::new(PhysicalPlan::TableScan {
+                table: "orders".into(),
+            }),
             by: AttrList::new([AttrId(0)]),
         };
         let text = plan.explain();
@@ -627,7 +718,9 @@ mod tests {
     fn min_max_aggregates() {
         let c = catalog();
         let plan = PhysicalPlan::HashAggregate {
-            input: Box::new(PhysicalPlan::TableScan { table: "orders".into() }),
+            input: Box::new(PhysicalPlan::TableScan {
+                table: "orders".into(),
+            }),
             group_by: vec![],
             aggregates: vec![Aggregate::Min(AttrId(2)), Aggregate::Max(AttrId(2))],
         };

@@ -229,9 +229,15 @@ mod tests {
     #[test]
     fn arithmetic_and_nulls() {
         let t = row(&[6, 3]);
-        let add = Expr::Add(Box::new(Expr::col(AttrId(0))), Box::new(Expr::col(AttrId(1))));
+        let add = Expr::Add(
+            Box::new(Expr::col(AttrId(0))),
+            Box::new(Expr::col(AttrId(1))),
+        );
         assert_eq!(add.eval(&t), Value::Int(9));
-        let div = Expr::Div(Box::new(Expr::col(AttrId(0))), Box::new(Expr::col(AttrId(1))));
+        let div = Expr::Div(
+            Box::new(Expr::col(AttrId(0))),
+            Box::new(Expr::col(AttrId(1))),
+        );
         assert_eq!(div.eval(&t), Value::Int(2));
         let div0 = Expr::Div(Box::new(Expr::col(AttrId(0))), Box::new(Expr::lit(0i64)));
         assert_eq!(div0.eval(&t), Value::Null);

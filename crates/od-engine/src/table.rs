@@ -29,10 +29,15 @@ pub struct Index {
 impl Index {
     /// Build an index over a relation.
     pub fn build(name: impl Into<String>, key: AttrList, rel: &Relation) -> Self {
-        let mut entries: Vec<(Vec<Value>, usize)> =
-            (0..rel.len()).map(|i| (rel.project_tuple(i, &key), i)).collect();
+        let mut entries: Vec<(Vec<Value>, usize)> = (0..rel.len())
+            .map(|i| (rel.project_tuple(i, &key), i))
+            .collect();
         entries.sort();
-        Index { name: name.into(), key, entries }
+        Index {
+            name: name.into(),
+            key,
+            entries,
+        }
     }
 
     /// Number of indexed rows.
@@ -131,7 +136,10 @@ impl Partitioning {
 
     /// Partitions overlapping the inclusive range `[lo, hi]`.
     pub fn prune(&self, lo: &Value, hi: &Value) -> Vec<&Partition> {
-        self.partitions.iter().filter(|p| !(p.max < *lo || p.min > *hi)).collect()
+        self.partitions
+            .iter()
+            .filter(|p| !(p.max < *lo || p.min > *hi))
+            .collect()
     }
 }
 
@@ -184,7 +192,9 @@ impl Table {
     /// Find an index whose key *starts with* the required order (so an ordered
     /// index scan satisfies `ORDER BY required` directly).
     pub fn index_providing_order(&self, required: &AttrList) -> Option<&Index> {
-        self.indexes.iter().find(|ix| required.is_prefix_of(&ix.key))
+        self.indexes
+            .iter()
+            .find(|ix| required.is_prefix_of(&ix.key))
     }
 
     /// Find an index whose leading key column is the given attribute (usable for
@@ -196,9 +206,12 @@ impl Table {
     /// Verify that the stored rows, read in the order of an index, are sorted by
     /// the index key (sanity check used in tests).
     pub fn index_order_is_sorted(&self, index: &Index) -> bool {
-        let rows: Vec<&Tuple> =
-            index.ordered_row_ids().map(|i| self.relation.tuple(i)).collect();
-        rows.windows(2).all(|w| lex_cmp(w[0], w[1], &index.key) != std::cmp::Ordering::Greater)
+        let rows: Vec<&Tuple> = index
+            .ordered_row_ids()
+            .map(|i| self.relation.tuple(i))
+            .collect();
+        rows.windows(2)
+            .all(|w| lex_cmp(w[0], w[1], &index.key) != std::cmp::Ordering::Greater)
     }
 }
 
@@ -247,7 +260,9 @@ mod tests {
         let _b = schema.add_attr("b");
         let rel = Relation::from_rows(
             schema,
-            (0..10).map(|i| vec![Value::Int(9 - i), Value::Int(i * 10)]).collect::<Vec<_>>(),
+            (0..10)
+                .map(|i| vec![Value::Int(9 - i), Value::Int(i * 10)])
+                .collect::<Vec<_>>(),
         )
         .unwrap();
         let mut t = Table::new(rel);
@@ -269,7 +284,10 @@ mod tests {
     fn index_range_scan() {
         let t = sample_table();
         let ix = &t.indexes[0];
-        let rows = ix.range_row_ids(Bound::Included(&Value::Int(3)), Bound::Included(&Value::Int(5)));
+        let rows = ix.range_row_ids(
+            Bound::Included(&Value::Int(3)),
+            Bound::Included(&Value::Int(5)),
+        );
         assert_eq!(rows.len(), 3);
         for r in rows {
             let v = t.relation.value(r, AttrId(0)).as_int().unwrap();
@@ -301,7 +319,10 @@ mod tests {
         assert_eq!(p.partitions.len(), 5);
         assert_eq!(p.partitions.iter().map(|x| x.rows.len()).sum::<usize>(), 10);
         let pruned = p.prune(&Value::Int(2), &Value::Int(3));
-        assert!(pruned.len() <= 2, "a narrow range should touch at most 2 of 5 partitions");
+        assert!(
+            pruned.len() <= 2,
+            "a narrow range should touch at most 2 of 5 partitions"
+        );
         let all = p.prune(&Value::Int(-100), &Value::Int(100));
         assert_eq!(all.len(), 5);
     }
@@ -314,8 +335,12 @@ mod tests {
         assert!(c.table("missing").is_none());
         assert_eq!(c.table_names(), vec!["t"]);
         let t = c.table("t").unwrap();
-        assert!(t.index_providing_order(&AttrList::new([AttrId(0)])).is_some());
-        assert!(t.index_providing_order(&AttrList::new([AttrId(1)])).is_none());
+        assert!(t
+            .index_providing_order(&AttrList::new([AttrId(0)]))
+            .is_some());
+        assert!(t
+            .index_providing_order(&AttrList::new([AttrId(1)]))
+            .is_none());
         assert!(t.index_on_leading(AttrId(0)).is_some());
         assert_eq!(t.row_count(), 10);
         assert_eq!(t.schema().name(), "t");

@@ -45,7 +45,10 @@ pub fn fd_implied(m: &OdSet, fd: &FunctionalDependency) -> bool {
 /// `[] ↦ [A]` in `ℳ⁺`.
 pub fn constants(m: &OdSet) -> AttrSet {
     let d = Decider::new(m);
-    m.attributes().into_iter().filter(|a| d.is_constant(*a)).collect()
+    m.attributes()
+        .into_iter()
+        .filter(|a| d.is_constant(*a))
+        .collect()
 }
 
 /// Is the single-attribute compatibility `[A] ~ [B]` in `ℳ⁺`?
@@ -74,8 +77,14 @@ mod tests {
         assert_eq!(fd_closure(&m, &set(&[0])), set(&[0, 1, 2]));
         assert_eq!(fd_closure(&m, &set(&[3])), set(&[3, 4]));
         assert_eq!(fd_closure(&m, &set(&[2])), set(&[2]));
-        assert!(fd_implied(&m, &FunctionalDependency::new(set(&[0]), set(&[2]))));
-        assert!(!fd_implied(&m, &FunctionalDependency::new(set(&[2]), set(&[0]))));
+        assert!(fd_implied(
+            &m,
+            &FunctionalDependency::new(set(&[0]), set(&[2]))
+        ));
+        assert!(!fd_implied(
+            &m,
+            &FunctionalDependency::new(set(&[2]), set(&[0]))
+        ));
     }
 
     #[test]

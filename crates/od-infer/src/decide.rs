@@ -24,8 +24,8 @@
 
 use crate::odset::OdSet;
 use od_core::{
-    AttrId, AttrList, OrderCompatibility, OrderDependency, OrderEquivalence, Relation, Schema,
-    Value,
+    AttrId, AttrList, AttrSet, OrderCompatibility, OrderDependency, OrderEquivalence, Relation,
+    Schema, Value,
 };
 
 /// Relationship between the two tuples' values on one attribute.
@@ -63,7 +63,9 @@ pub struct TwoTuplePattern {
 impl TwoTuplePattern {
     /// A pattern with no attribute assigned yet, sized for `n_attrs` attributes.
     pub fn unassigned(n_attrs: usize) -> Self {
-        TwoTuplePattern { assignment: vec![None; n_attrs] }
+        TwoTuplePattern {
+            assignment: vec![None; n_attrs],
+        }
     }
 
     /// Build a fully specified pattern from explicit orientations.
@@ -165,7 +167,11 @@ impl Decider {
         let mut universe: Vec<AttrId> = m.attributes().into_iter().collect();
         universe.sort();
         let max_attr = universe.iter().map(|a| a.index() + 1).max().unwrap_or(0);
-        Decider { ods, universe, max_attr }
+        Decider {
+            ods,
+            universe,
+            max_attr,
+        }
     }
 
     /// Number of attributes mentioned by `ℳ`.
@@ -194,6 +200,36 @@ impl Decider {
         self.implies(&OrderDependency::new(AttrList::empty(), vec![attr]))
     }
 
+    /// Decide `ℳ ⊨ 𝒞 : [] ↦ A` — is `A` constant within every equivalence class
+    /// of the context set `𝒞`?  This is the set-based *constancy* statement of
+    /// the FASTOD canonical form, equivalent to the list OD `C' ↦ C'A` for any
+    /// linearization `C'` of the context (all linearizations are equivalent by
+    /// the Permutation theorem).  Used by `od-setbased` as an implication-pruning
+    /// hook: candidates implied by already-confirmed statements are never
+    /// validated against data.
+    pub fn implies_context_constancy(&self, context: &AttrSet, attr: AttrId) -> bool {
+        if context.contains(&attr) {
+            return true;
+        }
+        let ctx: AttrList = context.iter().copied().collect();
+        self.implies(&OrderDependency::new(ctx.clone(), ctx.with_suffix(attr)))
+    }
+
+    /// Decide `ℳ ⊨ 𝒞 : A ~ B` — are `A` and `B` order compatible within every
+    /// equivalence class of the context set `𝒞`?  This is the set-based
+    /// *compatibility* statement of the FASTOD canonical form, equivalent to
+    /// `C'A ~ C'B` for any linearization `C'` of the context.
+    pub fn implies_context_compatibility(&self, context: &AttrSet, a: AttrId, b: AttrId) -> bool {
+        if a == b || context.contains(&a) || context.contains(&b) {
+            return true;
+        }
+        let ctx: AttrList = context.iter().copied().collect();
+        self.implies_compatibility(&OrderCompatibility::new(
+            ctx.with_suffix(a),
+            ctx.with_suffix(b),
+        ))
+    }
+
     /// Find a two-tuple counterexample to `ℳ ⊨ X ↦ Y`, if one exists.
     pub fn counterexample(&self, goal: &OrderDependency) -> Option<TwoTuplePattern> {
         // The attributes that matter: those of ℳ plus those of the goal.
@@ -203,7 +239,12 @@ impl Decider {
                 attrs.push(a);
             }
         }
-        let width = attrs.iter().map(|a| a.index() + 1).max().unwrap_or(0).max(self.max_attr);
+        let width = attrs
+            .iter()
+            .map(|a| a.index() + 1)
+            .max()
+            .unwrap_or(0)
+            .max(self.max_attr);
         // Explore goal attributes first so the goal check can fail fast.
         let mut order: Vec<AttrId> = Vec::with_capacity(attrs.len());
         for a in goal.lhs.iter().chain(goal.rhs.iter()) {
@@ -217,7 +258,8 @@ impl Decider {
             }
         }
         let mut pattern = TwoTuplePattern::unassigned(width);
-        self.search(&mut pattern, &order, 0, goal).then_some(pattern)
+        self.search(&mut pattern, &order, 0, goal)
+            .then_some(pattern)
     }
 
     /// Depth-first search for a pattern satisfying `ℳ` and violating `goal`.
@@ -235,7 +277,10 @@ impl Decider {
         }
         if depth == order.len() {
             // Fully assigned: every constraint is decided; require goal violated.
-            return self.ods.iter().all(|od| pattern.satisfies(od) == Some(true))
+            return self
+                .ods
+                .iter()
+                .all(|od| pattern.satisfies(od) == Some(true))
                 && pattern.satisfies(goal) == Some(false);
         }
         // If the goal is already decided as satisfied, no extension can violate it
@@ -362,6 +407,25 @@ mod tests {
         // Two unrelated attributes are not order compatible in general.
         let empty = Decider::new(&OdSet::new());
         assert!(!empty.implies_compatibility(&OrderCompatibility::new(l(&[0]), l(&[1]))));
+    }
+
+    #[test]
+    fn context_statement_hooks_agree_with_list_level_queries() {
+        // income ↦ bracket  ⊨  {} : income ~ bracket  and  {income} : [] ↦ bracket.
+        let m = OdSet::from_ods([od(&[0], &[1])]);
+        let d = Decider::new(&m);
+        let ctx = |ids: &[u32]| ids.iter().map(|&i| AttrId(i)).collect::<AttrSet>();
+        assert!(d.implies_context_compatibility(&ctx(&[]), AttrId(0), AttrId(1)));
+        assert!(d.implies_context_constancy(&ctx(&[0]), AttrId(1)));
+        // Neither follows for unrelated attributes.
+        assert!(!d.implies_context_constancy(&ctx(&[0]), AttrId(2)));
+        assert!(!d.implies_context_compatibility(&ctx(&[]), AttrId(0), AttrId(2)));
+        // Context monotonicity: what holds in the empty context holds in larger ones.
+        assert!(d.implies_context_compatibility(&ctx(&[2]), AttrId(0), AttrId(1)));
+        // Trivial shapes never need a search.
+        assert!(d.implies_context_constancy(&ctx(&[5]), AttrId(5)));
+        assert!(d.implies_context_compatibility(&ctx(&[]), AttrId(7), AttrId(7)));
+        assert!(d.implies_context_compatibility(&ctx(&[7]), AttrId(7), AttrId(2)));
     }
 
     #[test]

@@ -78,7 +78,7 @@ pub fn prove_fd(m: &OdSet, goal: &FunctionalDependency) -> Option<Proof> {
                 let u: AttrList = fd.lhs.iter().copied().collect();
                 let v: AttrList = fd.rhs.iter().copied().collect();
                 let perm = theorems::permutation(&mut b, given, &u, &v); // U′ ↦ U′V′
-                // C ↦ C·U′  (U′ ⊆ C, so this is Normalization).
+                                                                         // C ↦ C·U′  (U′ ⊆ C, so this is Normalization).
                 let c_list = b.step(cur).rhs.clone();
                 let n1 = b.normalization(c_list.clone(), c_list.concat(&u));
                 // C·U′ ↦ C·U′V′  (Prefix of the permuted OD with Z = C).
@@ -94,7 +94,10 @@ pub fn prove_fd(m: &OdSet, goal: &FunctionalDependency) -> Option<Proof> {
             }
         }
     }
-    debug_assert!(goal.rhs.is_subset(&closed), "closure reached the goal (checked above)");
+    debug_assert!(
+        goal.rhs.is_subset(&closed),
+        "closure reached the goal (checked above)"
+    );
     // cur: X′ ↦ C with set(C) ⊇ X ∪ Y.  Permute into X′ ↦ X′Y′.
     let final_step = theorems::permutation(&mut b, cur, &x_list, &y_list);
     let _ = final_step;
@@ -162,7 +165,13 @@ mod tests {
     fn fd_od_round_trip() {
         let fd = FunctionalDependency::new(set(&[1, 0]), set(&[2]));
         let od = fd_as_od(&fd);
-        assert_eq!(od, OrderDependency::new(vec![AttrId(0), AttrId(1)], vec![AttrId(0), AttrId(1), AttrId(2)]));
+        assert_eq!(
+            od,
+            OrderDependency::new(
+                vec![AttrId(0), AttrId(1)],
+                vec![AttrId(0), AttrId(1), AttrId(2)]
+            )
+        );
         let back = od_as_fd(&od);
         assert_eq!(back.lhs, set(&[0, 1]));
         assert_eq!(back.rhs, set(&[0, 1, 2]));
@@ -174,7 +183,9 @@ mod tests {
         let m = OdSet::from_ods([od(&[0], &[1]), od(&[1, 2], &[3])]);
         let goal = FunctionalDependency::new(set(&[0, 2]), set(&[3]));
         let proof = prove_fd(&m, &goal).expect("the FD is implied");
-        proof.verify(&m.ods()).expect("proof must verify with the axioms only");
+        proof
+            .verify(&m.ods())
+            .expect("proof must verify with the axioms only");
         // Conclusion is the OD embedding of the FD.
         let conclusion = proof.conclusion().unwrap().clone();
         assert_eq!(conclusion, fd_as_od(&goal));
@@ -212,7 +223,12 @@ mod tests {
     fn fd_implication_matches_decider_on_fd_shapes() {
         let m = OdSet::from_ods([od(&[0], &[1]), od(&[1, 2], &[3])]);
         let d = Decider::new(&m);
-        for (lhs, rhs) in [(vec![0u32], vec![1u32]), (vec![0, 2], vec![3]), (vec![2], vec![3]), (vec![3], vec![1])] {
+        for (lhs, rhs) in [
+            (vec![0u32], vec![1u32]),
+            (vec![0, 2], vec![3]),
+            (vec![2], vec![3]),
+            (vec![3], vec![1]),
+        ] {
             let fd = FunctionalDependency::new(set(&lhs), set(&rhs));
             let od_form = fd_as_od(&fd);
             assert_eq!(

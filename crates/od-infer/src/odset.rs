@@ -115,7 +115,9 @@ impl OdSet {
 
     /// Check whether a relation instance satisfies every declared constraint.
     pub fn satisfied_by(&self, rel: &od_core::Relation) -> bool {
-        self.ods().iter().all(|od| od_core::check::od_holds(rel, od))
+        self.ods()
+            .iter()
+            .all(|od| od_core::check::od_holds(rel, od))
     }
 
     /// Render the set with attribute names resolved against a schema.

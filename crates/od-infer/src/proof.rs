@@ -182,8 +182,11 @@ impl Proof {
             if step.premises.iter().any(|&p| p >= i) {
                 return Err(ProofError::ForwardReference { step: i });
             }
-            let prem: Vec<&OrderDependency> =
-                step.premises.iter().map(|&p| &self.steps[p].conclusion).collect();
+            let prem: Vec<&OrderDependency> = step
+                .premises
+                .iter()
+                .map(|&p| &self.steps[p].conclusion)
+                .collect();
             let ok = match &step.rule {
                 Rule::Given => given_set.contains(&step.conclusion),
                 Rule::Reflexivity => {
@@ -229,10 +232,7 @@ impl Proof {
                     let premise_compat = OrderCompatibility::new(x.clone(), yz);
                     let conclusion_compat = OrderCompatibility::new(x.clone(), y.clone());
                     Self::contains_compat(&prem, &premise_compat)
-                        && conclusion_compat
-                            .as_ods()
-                            .iter()
-                            .any(|od| *od == step.conclusion)
+                        && conclusion_compat.as_ods().contains(&step.conclusion)
                 }
             };
             if !ok {
@@ -249,7 +249,7 @@ impl Proof {
     }
 
     fn contains_compat(premises: &[&OrderDependency], compat: &OrderCompatibility) -> bool {
-        compat.as_ods().iter().all(|od| premises.iter().any(|p| *p == od))
+        compat.as_ods().iter().all(|od| premises.contains(&od))
     }
 
     /// Side conditions of the Chain axiom (OD6):
@@ -277,7 +277,10 @@ impl Proof {
         if !required.iter().all(|c| Self::contains_compat(premises, c)) {
             return false;
         }
-        OrderCompatibility::new(x.clone(), z.clone()).as_ods().iter().any(|od| od == conclusion)
+        OrderCompatibility::new(x.clone(), z.clone())
+            .as_ods()
+            .iter()
+            .any(|od| od == conclusion)
     }
 }
 
@@ -289,7 +292,11 @@ impl fmt::Display for Proof {
             } else {
                 format!(
                     "({})",
-                    step.premises.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(",")
+                    step.premises
+                        .iter()
+                        .map(|p| p.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
                 )
             };
             writeln!(f, "{i:>3}. {}   [{}{}]", step.conclusion, step.rule, prem)?;
@@ -334,7 +341,11 @@ impl ProofBuilder {
     }
 
     fn push(&mut self, conclusion: OrderDependency, rule: Rule, premises: Vec<usize>) -> usize {
-        self.proof.steps.push(ProofStep { conclusion, rule, premises });
+        self.proof.steps.push(ProofStep {
+            conclusion,
+            rule,
+            premises,
+        });
         self.proof.steps.len() - 1
     }
 
@@ -362,8 +373,7 @@ impl ProofBuilder {
 
     /// OD4 — Transitivity: from `p1 : X ↦ Y` and `p2 : Y ↦ Z`, conclude `X ↦ Z`.
     pub fn transitivity(&mut self, p1: usize, p2: usize) -> usize {
-        let conclusion =
-            OrderDependency::new(self.step(p1).lhs.clone(), self.step(p2).rhs.clone());
+        let conclusion = OrderDependency::new(self.step(p1).lhs.clone(), self.step(p2).rhs.clone());
         self.push(conclusion, Rule::Transitivity, vec![p1, p2])
     }
 
@@ -400,8 +410,7 @@ impl ProofBuilder {
     /// Theorem 11 — Partition: from `p1 : X ↦ Y` and `p2 : X ↦ Z` with
     /// `set(Y) = set(Z)`, conclude `Y ↦ Z`.
     pub fn partition(&mut self, p1: usize, p2: usize) -> usize {
-        let conclusion =
-            OrderDependency::new(self.step(p1).rhs.clone(), self.step(p2).rhs.clone());
+        let conclusion = OrderDependency::new(self.step(p1).rhs.clone(), self.step(p2).rhs.clone());
         self.push(conclusion, Rule::Partition, vec![p1, p2])
     }
 
@@ -507,7 +516,10 @@ mod tests {
                 premises: vec![0, 1],
             }],
         };
-        assert!(matches!(proof.verify(&[]), Err(ProofError::ForwardReference { step: 0 })));
+        assert!(matches!(
+            proof.verify(&[]),
+            Err(ProofError::ForwardReference { step: 0 })
+        ));
     }
 
     #[test]
@@ -534,10 +546,20 @@ mod tests {
         premises.extend(add_compat(&mut b, &x, &y));
         premises.extend(add_compat(&mut b, &y, &z));
         premises.extend(add_compat(&mut b, &y.concat(&x), &y.concat(&z)));
-        b.chain(x.clone(), vec![y.clone()], z.clone(), premises.clone(), false);
+        b.chain(
+            x.clone(),
+            vec![y.clone()],
+            z.clone(),
+            premises.clone(),
+            false,
+        );
         let proof = b.finish();
-        let given: Vec<OrderDependency> =
-            proof.steps().iter().filter(|s| s.rule == Rule::Given).map(|s| s.conclusion.clone()).collect();
+        let given: Vec<OrderDependency> = proof
+            .steps()
+            .iter()
+            .filter(|s| s.rule == Rule::Given)
+            .map(|s| s.conclusion.clone())
+            .collect();
         proof.verify(&given).unwrap();
 
         // Dropping one premise breaks the application.
@@ -548,8 +570,12 @@ mod tests {
         // (missing the YᵢX ~ YᵢZ premises)
         b2.chain(x, vec![y], z, prem2, false);
         let proof2 = b2.finish();
-        let given2: Vec<OrderDependency> =
-            proof2.steps().iter().filter(|s| s.rule == Rule::Given).map(|s| s.conclusion.clone()).collect();
+        let given2: Vec<OrderDependency> = proof2
+            .steps()
+            .iter()
+            .filter(|s| s.rule == Rule::Given)
+            .map(|s| s.conclusion.clone())
+            .collect();
         assert!(proof2.verify(&given2).is_err());
     }
 

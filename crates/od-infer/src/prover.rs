@@ -63,7 +63,10 @@ pub struct SearchLimits {
 
 impl Default for SearchLimits {
     fn default() -> Self {
-        SearchLimits { max_derived: 4_000, max_rounds: 4 }
+        SearchLimits {
+            max_derived: 4_000,
+            max_rounds: 4,
+        }
     }
 }
 
@@ -78,7 +81,11 @@ pub struct Prover {
 impl Prover {
     /// Build a prover for `ℳ` with default search limits.
     pub fn new(m: &OdSet) -> Self {
-        Prover { m: m.clone(), decider: Decider::new(m), limits: SearchLimits::default() }
+        Prover {
+            m: m.clone(),
+            decider: Decider::new(m),
+            limits: SearchLimits::default(),
+        }
     }
 
     /// Override the forward-chaining search budget.
@@ -119,10 +126,11 @@ impl Prover {
         // Known ODs, keyed by their normalized form, mapped to the proving step.
         let mut known: HashMap<OrderDependency, usize> = HashMap::new();
 
-        let add = |b: &mut ProofBuilder, known: &mut HashMap<OrderDependency, usize>, idx: usize| {
-            let od = b.step(idx).normalize();
-            known.entry(od).or_insert(idx);
-        };
+        let add =
+            |b: &mut ProofBuilder, known: &mut HashMap<OrderDependency, usize>, idx: usize| {
+                let od = b.step(idx).normalize();
+                known.entry(od).or_insert(idx);
+            };
 
         for od in self.m.ods() {
             let g = b.given(od.clone());
@@ -165,10 +173,8 @@ impl Prover {
                         let t = if b.step(*i1).rhs == b.step(*i2).lhs {
                             b.transitivity(*i1, *i2)
                         } else {
-                            let n = b.normalization(
-                                b.step(*i1).rhs.clone(),
-                                b.step(*i2).lhs.clone(),
-                            );
+                            let n =
+                                b.normalization(b.step(*i1).rhs.clone(), b.step(*i2).lhs.clone());
                             let t1 = b.transitivity(*i1, n);
                             b.transitivity(t1, *i2)
                         };
@@ -239,7 +245,12 @@ mod tests {
     #[test]
     fn trivial_goals_get_proofs() {
         let p = Prover::new(&OdSet::new());
-        for goal in [od(&[0, 1], &[0]), od(&[0], &[]), od(&[0, 1, 0], &[0, 1]), od(&[2], &[2, 2])] {
+        for goal in [
+            od(&[0, 1], &[0]),
+            od(&[0], &[]),
+            od(&[0, 1, 0], &[0, 1]),
+            od(&[2], &[2, 2]),
+        ] {
             match p.prove(&goal) {
                 Outcome::Proved(proof) => {
                     proof.verify(&[]).unwrap();
@@ -315,9 +326,9 @@ mod tests {
         for goal in crate::witness::enumerate_ods(&universe, 2) {
             match p.prove(&goal) {
                 Outcome::Proved(proof) => {
-                    proof.verify(&m.ods()).unwrap_or_else(|e| {
-                        panic!("proof for {goal} failed verification: {e}")
-                    });
+                    proof
+                        .verify(&m.ods())
+                        .unwrap_or_else(|e| panic!("proof for {goal} failed verification: {e}"));
                     assert!(p.implies(&goal));
                 }
                 Outcome::ImpliedSemantically => assert!(p.implies(&goal)),

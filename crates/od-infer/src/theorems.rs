@@ -40,7 +40,11 @@ pub fn augmentation(b: &mut ProofBuilder, p: usize, z: &AttrList) -> usize {
 /// derive `X ↦ YZ`.  This is the paper's three-step Prefix/Suffix/Transitivity
 /// derivation.
 pub fn union(b: &mut ProofBuilder, p1: usize, p2: usize) -> usize {
-    assert_eq!(b.step(p1).lhs, b.step(p2).lhs, "Union requires a common left-hand side");
+    assert_eq!(
+        b.step(p1).lhs,
+        b.step(p2).lhs,
+        "Union requires a common left-hand side"
+    );
     let y = b.step(p1).rhs.clone();
     let s3 = b.prefix(y, p2); // YX ↦ YZ
     let s4 = b.suffix_forward(p1); // X ↦ YX
@@ -51,7 +55,10 @@ pub fn union(b: &mut ProofBuilder, p1: usize, p2: usize) -> usize {
 /// prefix of the premise's right-hand side.
 pub fn decomposition(b: &mut ProofBuilder, p: usize, y: &AttrList) -> usize {
     let rhs = b.step(p).rhs.clone();
-    assert!(y.is_prefix_of(&rhs), "Decomposition target must be a prefix of the right-hand side");
+    assert!(
+        y.is_prefix_of(&rhs),
+        "Decomposition target must be a prefix of the right-hand side"
+    );
     let s1 = b.reflexivity(rhs, y.clone()); // YZ ↦ Y
     b.transitivity(p, s1) // X ↦ Y
 }
@@ -89,8 +96,16 @@ pub fn insert(b: &mut ProofBuilder, p: usize, v: &AttrList) -> (usize, usize) {
 /// Theorem 4 — Shift: from the equivalence `X ↔ Y` (steps `p_xy : X ↦ Y` and
 /// `p_yx : Y ↦ X`) and `p_vw : V ↦ W`, derive `XV ↦ YW`.
 pub fn shift(b: &mut ProofBuilder, p_xy: usize, p_yx: usize, p_vw: usize) -> usize {
-    assert_eq!(b.step(p_xy).lhs, b.step(p_yx).rhs, "Shift premises must form an equivalence");
-    assert_eq!(b.step(p_xy).rhs, b.step(p_yx).lhs, "Shift premises must form an equivalence");
+    assert_eq!(
+        b.step(p_xy).lhs,
+        b.step(p_yx).rhs,
+        "Shift premises must form an equivalence"
+    );
+    assert_eq!(
+        b.step(p_xy).rhs,
+        b.step(p_yx).lhs,
+        "Shift premises must form an equivalence"
+    );
     let y = b.step(p_xy).rhs.clone();
     let v = b.step(p_vw).lhs.clone();
 
@@ -128,12 +143,7 @@ pub fn replace(
 /// This is the rewrite that drops a *functionally following* list from an
 /// `ORDER BY`: with `[month] ↦ [quarter]`, `ORDER BY year, month, quarter`
 /// reduces to `ORDER BY year, month`.
-pub fn eliminate(
-    b: &mut ProofBuilder,
-    p: usize,
-    z: &AttrList,
-    w: &AttrList,
-) -> (usize, usize) {
+pub fn eliminate(b: &mut ProofBuilder, p: usize, z: &AttrList, w: &AttrList) -> (usize, usize) {
     let (ins_f, ins_b) = insert(b, p, w); // XW ↔ XYW
     let fwd = b.prefix(z.clone(), ins_b); // ZXYW ↦ ZXW
     let bwd = b.prefix(z.clone(), ins_f); // ZXW ↦ ZXYW
@@ -165,7 +175,11 @@ pub fn left_eliminate(
 /// can be refined by inserting attributes that are ordered by a prefix of the
 /// path.
 pub fn path(b: &mut ProofBuilder, p1: usize, p2: usize, v: &AttrList, w: &AttrList) -> usize {
-    assert_eq!(&b.step(p2).lhs, v, "Path: p2 must have V as its left-hand side");
+    assert_eq!(
+        &b.step(p2).lhs,
+        v,
+        "Path: p2 must have V as its left-hand side"
+    );
     assert_eq!(
         b.step(p1).rhs,
         v.concat(w),
@@ -175,7 +189,7 @@ pub fn path(b: &mut ProofBuilder, p1: usize, p2: usize, v: &AttrList, w: &AttrLi
     // V ↦ VZ by Union(V ↦ V, V ↦ Z).
     let rv = b.reflexivity(v.clone(), v.clone()); // V ↦ V
     let u = union(b, rv, p2); // V ↦ VZ
-    // VW ↔ V·(VZ)·W, then normalize the duplicate V away: VW ↦ VZW.
+                              // VW ↔ V·(VZ)·W, then normalize the duplicate V away: VW ↦ VZW.
     let (ins_f, _ins_b) = insert(b, u, w); // VW ↦ V·VZ·W
     let vvzw = v.concat(v).concat(&z).concat(w);
     let vzw = v.concat(&z).concat(w);
@@ -190,12 +204,7 @@ pub fn path(b: &mut ProofBuilder, p1: usize, p2: usize, v: &AttrList, w: &AttrLi
 /// This is the rule that makes the FD fragment of the OD world insensitive to
 /// list order (Theorems 13 and 16): `X → Y` as an FD corresponds to *every*
 /// `X′ ↦ X′Y′`.
-pub fn permutation(
-    b: &mut ProofBuilder,
-    p: usize,
-    x_perm: &AttrList,
-    y_perm: &AttrList,
-) -> usize {
+pub fn permutation(b: &mut ProofBuilder, p: usize, x_perm: &AttrList, y_perm: &AttrList) -> usize {
     let x = b.step(p).lhs.clone();
     let y = b.step(p).rhs.clone();
     assert_eq!(
@@ -235,13 +244,15 @@ pub fn permutation(
             continue;
         }
         // P = prefix of X′·XY before the first occurrence of `a` (P starts with X′).
-        let pos = full_rhs.position(a).expect("attribute occurs in the premise");
+        let pos = full_rhs
+            .position(a)
+            .expect("attribute occurs in the premise");
         let pfx = full_rhs.prefix(pos);
         let pa = full_rhs.prefix(pos + 1);
         let d1 = decomposition(b, base, &pa); // X′ ↦ P·A
         let d2 = decomposition(b, base, &pfx); // X′ ↦ P
-        // Insert lemma with premise X′ ↦ P: X′A ↔ X′·P·A; since P starts with X′,
-        // normalization bridges P·A and X′·P·A.
+                                               // Insert lemma with premise X′ ↦ P: X′A ↔ X′·P·A; since P starts with X′,
+                                               // normalization bridges P·A and X′·P·A.
         let (_ins_f, ins_b) = insert(b, d2, &AttrList::new([a])); // X′·P·A ↦ X′A
         let xpa = x_perm.concat(&pfx).with_suffix(a);
         let n_to = b.normalization(pa.clone(), xpa.clone()); // P·A ↦ X′·P·A
@@ -293,7 +304,9 @@ mod tests {
         let last = f(&mut b, &idx);
         assert_eq!(b.step(last), &expected, "conclusion mismatch");
         let proof = b.finish();
-        proof.verify(premises).expect("theorem expansion must verify against the axioms");
+        proof
+            .verify(premises)
+            .expect("theorem expansion must verify against the axioms");
         let m = OdSet::from_ods(premises.iter().cloned());
         assert!(
             Decider::new(&m).implies(&expected),
@@ -303,23 +316,35 @@ mod tests {
 
     #[test]
     fn union_theorem_2() {
-        check(&[od(&[0], &[1]), od(&[0], &[2])], od(&[0], &[1, 2]), |b, p| union(b, p[0], p[1]));
+        check(
+            &[od(&[0], &[1]), od(&[0], &[2])],
+            od(&[0], &[1, 2]),
+            |b, p| union(b, p[0], p[1]),
+        );
     }
 
     #[test]
     fn augmentation_theorem_3() {
-        check(&[od(&[0], &[1])], od(&[0, 2], &[1]), |b, p| augmentation(b, p[0], &l(&[2])));
+        check(&[od(&[0], &[1])], od(&[0, 2], &[1]), |b, p| {
+            augmentation(b, p[0], &l(&[2]))
+        });
     }
 
     #[test]
     fn decomposition_theorem_5() {
-        check(&[od(&[0], &[1, 2])], od(&[0], &[1]), |b, p| decomposition(b, p[0], &l(&[1])));
+        check(&[od(&[0], &[1, 2])], od(&[0], &[1]), |b, p| {
+            decomposition(b, p[0], &l(&[1]))
+        });
     }
 
     #[test]
     fn insert_lemma_both_directions() {
-        check(&[od(&[0], &[1])], od(&[0, 2], &[0, 1, 2]), |b, p| insert(b, p[0], &l(&[2])).0);
-        check(&[od(&[0], &[1])], od(&[0, 1, 2], &[0, 2]), |b, p| insert(b, p[0], &l(&[2])).1);
+        check(&[od(&[0], &[1])], od(&[0, 2], &[0, 1, 2]), |b, p| {
+            insert(b, p[0], &l(&[2])).0
+        });
+        check(&[od(&[0], &[1])], od(&[0, 1, 2], &[0, 2]), |b, p| {
+            insert(b, p[0], &l(&[2])).1
+        });
     }
 
     #[test]
@@ -350,32 +375,24 @@ mod tests {
     fn eliminate_theorem_7() {
         // month ↦ quarter: [year, month, quarter] ↔ [year, month]
         // (year = 0, month = 1, quarter = 2, nothing after).
-        check(
-            &[od(&[1], &[2])],
-            od(&[0, 1, 2], &[0, 1]),
-            |b, p| eliminate(b, p[0], &l(&[0]), &AttrList::empty()).0,
-        );
-        check(
-            &[od(&[1], &[2])],
-            od(&[0, 1], &[0, 1, 2]),
-            |b, p| eliminate(b, p[0], &l(&[0]), &AttrList::empty()).1,
-        );
+        check(&[od(&[1], &[2])], od(&[0, 1, 2], &[0, 1]), |b, p| {
+            eliminate(b, p[0], &l(&[0]), &AttrList::empty()).0
+        });
+        check(&[od(&[1], &[2])], od(&[0, 1], &[0, 1, 2]), |b, p| {
+            eliminate(b, p[0], &l(&[0]), &AttrList::empty()).1
+        });
     }
 
     #[test]
     fn left_eliminate_theorem_8() {
         // month ↦ quarter: [year, quarter, month] ↔ [year, month] — the Example 1
         // rewrite that FDs alone cannot justify.
-        check(
-            &[od(&[1], &[2])],
-            od(&[0, 2, 1], &[0, 1]),
-            |b, p| left_eliminate(b, p[0], &l(&[0]), &AttrList::empty()).0,
-        );
-        check(
-            &[od(&[1], &[2])],
-            od(&[0, 1], &[0, 2, 1]),
-            |b, p| left_eliminate(b, p[0], &l(&[0]), &AttrList::empty()).1,
-        );
+        check(&[od(&[1], &[2])], od(&[0, 2, 1], &[0, 1]), |b, p| {
+            left_eliminate(b, p[0], &l(&[0]), &AttrList::empty()).0
+        });
+        check(&[od(&[1], &[2])], od(&[0, 1], &[0, 2, 1]), |b, p| {
+            left_eliminate(b, p[0], &l(&[0]), &AttrList::empty()).1
+        });
     }
 
     #[test]
@@ -398,11 +415,9 @@ mod tests {
             |b, p| permutation(b, p[0], &l(&[1, 0]), &l(&[3, 2])),
         );
         // Also with attributes of X reused on the right.
-        check(
-            &[od(&[0, 1], &[2])],
-            od(&[1, 0], &[1, 0, 2, 0]),
-            |b, p| permutation(b, p[0], &l(&[1, 0]), &l(&[2, 0])),
-        );
+        check(&[od(&[0, 1], &[2])], od(&[1, 0], &[1, 0, 2, 0]), |b, p| {
+            permutation(b, p[0], &l(&[1, 0]), &l(&[2, 0]))
+        });
     }
 
     #[test]
@@ -416,8 +431,9 @@ mod tests {
         assert_eq!(b.step(c), &od(&[1, 2], &[2, 1]));
         let proof = b.finish();
         proof.verify(&premises).unwrap();
-        assert!(Decider::new(&OdSet::from_ods(premises.iter().cloned()))
-            .implies(&od(&[1, 2], &[2, 1])));
+        assert!(
+            Decider::new(&OdSet::from_ods(premises.iter().cloned())).implies(&od(&[1, 2], &[2, 1]))
+        );
 
         // Downward Closure (Theorem 12): X ~ YZ ⊢ X ~ Y.
         let x = l(&[0]);

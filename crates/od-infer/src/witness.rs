@@ -32,7 +32,9 @@
 use crate::closure::{constants, fd_closure};
 use crate::decide::Decider;
 use crate::odset::OdSet;
-use od_core::{AttrId, AttrList, AttrSet, OrderCompatibility, OrderDependency, Relation, Schema, Value};
+use od_core::{
+    AttrId, AttrList, AttrSet, OrderCompatibility, OrderDependency, Relation, Schema, Value,
+};
 
 /// Append two tables over the same schema per Definition 17: normalize both to a
 /// zero minimum, then shift the second so all of its values exceed the first's.
@@ -40,11 +42,31 @@ use od_core::{AttrId, AttrList, AttrSet, OrderCompatibility, OrderDependency, Re
 /// Panics if the schemas differ or any cell is not an integer (witness tables are
 /// integer-valued by construction).
 pub fn append(t1: &Relation, t2: &Relation) -> Relation {
-    assert_eq!(t1.schema(), t2.schema(), "append requires identical schemas");
+    assert_eq!(
+        t1.schema(),
+        t2.schema(),
+        "append requires identical schemas"
+    );
     let cell = |v: &Value| v.as_int().expect("witness tables hold integer cells");
-    let min1 = t1.iter().flat_map(|r| r.iter()).map(cell).min().unwrap_or(0);
-    let max1 = t1.iter().flat_map(|r| r.iter()).map(cell).max().unwrap_or(0) - min1;
-    let min2 = t2.iter().flat_map(|r| r.iter()).map(cell).min().unwrap_or(0);
+    let min1 = t1
+        .iter()
+        .flat_map(|r| r.iter())
+        .map(cell)
+        .min()
+        .unwrap_or(0);
+    let max1 = t1
+        .iter()
+        .flat_map(|r| r.iter())
+        .map(cell)
+        .max()
+        .unwrap_or(0)
+        - min1;
+    let min2 = t2
+        .iter()
+        .flat_map(|r| r.iter())
+        .map(cell)
+        .min()
+        .unwrap_or(0);
     let shift2 = max1 + 1 - min2;
 
     let mut out = Relation::new(t1.schema().clone());
@@ -66,8 +88,12 @@ pub fn split_table(m: &OdSet, schema: &Schema, universe: &[AttrId]) -> Relation 
     let mut result = Relation::new(schema.clone());
     let n = universe.len();
     for mask in 0..(1u64 << n.min(20)) {
-        let subset: AttrSet =
-            universe.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, a)| *a).collect();
+        let subset: AttrSet = universe
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, a)| *a)
+            .collect();
         let closure = fd_closure(m, &subset);
         let row0 = vec![Value::Int(0); schema.arity()];
         let mut row1 = vec![Value::Int(0); schema.arity()];
@@ -78,7 +104,11 @@ pub fn split_table(m: &OdSet, schema: &Schema, universe: &[AttrId]) -> Relation 
         }
         // Attributes outside the universe (constants) stay 0 in both rows.
         let block = Relation::from_rows(schema.clone(), vec![row0, row1]).expect("arity");
-        result = if result.is_empty() { block } else { append(&result, &block) };
+        result = if result.is_empty() {
+            block
+        } else {
+            append(&result, &block)
+        };
     }
     result
 }
@@ -89,7 +119,11 @@ pub fn swap_table(m: &OdSet, schema: &Schema, universe: &[AttrId]) -> Relation {
     let mut result = Relation::new(schema.clone());
     let non_const: Vec<AttrId> = {
         let k = constants(m);
-        universe.iter().copied().filter(|a| !k.contains(a)).collect()
+        universe
+            .iter()
+            .copied()
+            .filter(|a| !k.contains(a))
+            .collect()
     };
     for (ai, &a) in non_const.iter().enumerate() {
         for (bi, &b) in non_const.iter().enumerate() {
@@ -97,12 +131,19 @@ pub fn swap_table(m: &OdSet, schema: &Schema, universe: &[AttrId]) -> Relation {
                 continue;
             }
             // Iterate over every context: a subset of the remaining non-constant attributes.
-            let others: Vec<AttrId> =
-                non_const.iter().copied().filter(|&x| x != a && x != b).collect();
+            let others: Vec<AttrId> = non_const
+                .iter()
+                .copied()
+                .filter(|&x| x != a && x != b)
+                .collect();
             let k = others.len().min(16);
             for mask in 0..(1u64 << k) {
-                let context: Vec<AttrId> =
-                    others.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, x)| *x).collect();
+                let context: Vec<AttrId> = others
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, x)| *x)
+                    .collect();
                 let mut frozen = m.clone();
                 for &c in &context {
                     frozen.add_constant(c);
@@ -119,7 +160,11 @@ pub fn swap_table(m: &OdSet, schema: &Schema, universe: &[AttrId]) -> Relation {
                     .find_map(|od| d.counterexample(od))
                     .expect("compatibility not implied, so one direction has a counterexample");
                 let block = pattern.to_relation(schema);
-                result = if result.is_empty() { block } else { append(&result, &block) };
+                result = if result.is_empty() {
+                    block
+                } else {
+                    append(&result, &block)
+                };
             }
         }
     }
@@ -133,13 +178,18 @@ pub fn witness_table(m: &OdSet, schema: &Schema) -> Relation {
     let universe: Vec<AttrId> = schema.attr_ids().filter(|a| !consts.contains(a)).collect();
 
     // Project the constants out of ℳ (Lemma 8).
-    let projected = OdSet::from_ods(m.ods().iter().map(|od| {
-        OrderDependency::new(od.lhs.project_out(&consts), od.rhs.project_out(&consts))
-    }));
+    let projected =
+        OdSet::from_ods(m.ods().iter().map(|od| {
+            OrderDependency::new(od.lhs.project_out(&consts), od.rhs.project_out(&consts))
+        }));
 
     let split = split_table(&projected, schema, &universe);
     let swap = swap_table(&projected, schema, &universe);
-    let mut table = if swap.is_empty() { split } else { append(&split, &swap) };
+    let mut table = if swap.is_empty() {
+        split
+    } else {
+        append(&split, &swap)
+    };
     // Freeze the constant columns to a single value.
     for row in table.tuples_mut() {
         for c in &consts {
@@ -250,8 +300,12 @@ mod tests {
         )
         .unwrap();
         let combined = append(&t1, &t2);
-        let expect: Vec<Vec<i64>> =
-            vec![vec![0, 0, 0, 0], vec![0, 0, 1, 1], vec![2, 3, 2, 2], vec![3, 2, 2, 2]];
+        let expect: Vec<Vec<i64>> = vec![
+            vec![0, 0, 0, 0],
+            vec![0, 0, 1, 1],
+            vec![2, 3, 2, 2],
+            vec![3, 2, 2, 2],
+        ];
         let got: Vec<Vec<i64>> = combined
             .iter()
             .map(|r| r.iter().map(|v| v.as_int().unwrap()).collect())
@@ -265,17 +319,33 @@ mod tests {
         let s = schema(2);
         let t1 = Relation::from_rows(
             s.clone(),
-            vec![vec![Value::Int(5), Value::Int(7)], vec![Value::Int(6), Value::Int(5)]],
+            vec![
+                vec![Value::Int(5), Value::Int(7)],
+                vec![Value::Int(6), Value::Int(5)],
+            ],
         )
         .unwrap();
         let t2 = Relation::from_rows(
             s.clone(),
-            vec![vec![Value::Int(-3), Value::Int(0)], vec![Value::Int(2), Value::Int(-1)]],
+            vec![
+                vec![Value::Int(-3), Value::Int(0)],
+                vec![Value::Int(2), Value::Int(-1)],
+            ],
         )
         .unwrap();
         let c = append(&t1, &t2);
-        let max1: i64 = c.tuples()[..2].iter().flat_map(|r| r.iter()).map(|v| v.as_int().unwrap()).max().unwrap();
-        let min2: i64 = c.tuples()[2..].iter().flat_map(|r| r.iter()).map(|v| v.as_int().unwrap()).min().unwrap();
+        let max1: i64 = c.tuples()[..2]
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|v| v.as_int().unwrap())
+            .max()
+            .unwrap();
+        let min2: i64 = c.tuples()[2..]
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|v| v.as_int().unwrap())
+            .min()
+            .unwrap();
         assert!(max1 < min2);
     }
 
@@ -288,7 +358,10 @@ mod tests {
         let universe: Vec<AttrId> = s.attr_ids().collect();
         let (soundness, completeness) = completeness_gaps(&m, &table, &universe, 2);
         assert!(soundness.is_empty(), "implied ODs falsified: {soundness:?}");
-        assert!(completeness.is_empty(), "non-implied ODs not falsified: {completeness:?}");
+        assert!(
+            completeness.is_empty(),
+            "non-implied ODs not falsified: {completeness:?}"
+        );
     }
 
     #[test]

@@ -40,11 +40,7 @@ pub fn reduce_order_by_fd(order_by: &AttrList, fds: &[FunctionalDependency]) -> 
 /// The droppability test is exact (`ℳ ⊨ reduced ↦ original`, via the implication
 /// decider), so every rewrite justified by Theorems 7/8 — and any other
 /// consequence of the declared ODs — is found.
-pub fn reduce_order_by_od(
-    order_by: &AttrList,
-    table: &str,
-    registry: &mut OdRegistry,
-) -> AttrList {
+pub fn reduce_order_by_od(order_by: &AttrList, table: &str, registry: &mut OdRegistry) -> AttrList {
     let original = order_by.clone();
     let mut kept: Vec<od_core::AttrId> = order_by.normalize().iter().collect();
     let mut i = kept.len();
@@ -73,8 +69,12 @@ pub fn reduce_group_by(group_by: &AttrList, fds: &[FunctionalDependency]) -> Att
     let mut i = kept.len();
     while i > 0 {
         i -= 1;
-        let rest: od_core::AttrSet =
-            kept.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, a)| *a).collect();
+        let rest: od_core::AttrSet = kept
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, a)| *a)
+            .collect();
         if attr_closure(fds, &rest).contains(&kept[i]) {
             kept.remove(i);
         }
@@ -109,7 +109,7 @@ mod tests {
     #[test]
     fn fd_reduce_drops_quarter_only_when_month_precedes_it() {
         let fds = [fd(&[2], &[1])]; // month → quarter
-        // ORDER BY year, month, quarter → year, month (quarter follows its determinant).
+                                    // ORDER BY year, month, quarter → year, month (quarter follows its determinant).
         assert_eq!(reduce_order_by_fd(&l(&[0, 2, 1]), &fds), l(&[0, 2]));
         // ORDER BY year, quarter, month is NOT reducible with FDs alone:
         // quarter's prefix {year} does not determine it.
@@ -121,17 +121,29 @@ mod tests {
         let s = schema();
         let mut r = OdRegistry::new();
         r.declare_od(&s, &["d_month"], &["d_quarter"]); // the OD, not just the FD
-        // ORDER BY year, quarter, month → ORDER BY year, month (Theorem 8).
-        assert_eq!(reduce_order_by_od(&l(&[0, 1, 2]), "date_dim", &mut r), l(&[0, 2]));
+                                                        // ORDER BY year, quarter, month → ORDER BY year, month (Theorem 8).
+        assert_eq!(
+            reduce_order_by_od(&l(&[0, 1, 2]), "date_dim", &mut r),
+            l(&[0, 2])
+        );
         // ORDER BY year, month, quarter → ORDER BY year, month (Theorem 7).
-        assert_eq!(reduce_order_by_od(&l(&[0, 2, 1]), "date_dim", &mut r), l(&[0, 2]));
+        assert_eq!(
+            reduce_order_by_od(&l(&[0, 2, 1]), "date_dim", &mut r),
+            l(&[0, 2])
+        );
         // With only the FD declared, neither OD-based drop fires on the
         // quarter-before-month form.
         let mut r_fd = OdRegistry::new();
         r_fd.declare_fd(&s, &["d_month"], &["d_quarter"]);
-        assert_eq!(reduce_order_by_od(&l(&[0, 1, 2]), "date_dim", &mut r_fd), l(&[0, 1, 2]));
+        assert_eq!(
+            reduce_order_by_od(&l(&[0, 1, 2]), "date_dim", &mut r_fd),
+            l(&[0, 1, 2])
+        );
         // The FD still allows dropping quarter when it FOLLOWS month.
-        assert_eq!(reduce_order_by_od(&l(&[0, 2, 1]), "date_dim", &mut r_fd), l(&[0, 2]));
+        assert_eq!(
+            reduce_order_by_od(&l(&[0, 2, 1]), "date_dim", &mut r_fd),
+            l(&[0, 2])
+        );
     }
 
     #[test]
@@ -144,7 +156,10 @@ mod tests {
         let mut r = OdRegistry::new();
         r.declare_od(&s, &["d"], &["b"]);
         assert_eq!(reduce_order_by_od(&l(&[0, 1, 3]), "t", &mut r), l(&[0, 3]));
-        assert_eq!(reduce_order_by_od(&l(&[0, 1, 2, 3]), "t", &mut r), l(&[0, 1, 2, 3]));
+        assert_eq!(
+            reduce_order_by_od(&l(&[0, 1, 2, 3]), "t", &mut r),
+            l(&[0, 1, 2, 3])
+        );
     }
 
     #[test]
@@ -154,10 +169,18 @@ mod tests {
         let mut r = OdRegistry::new();
         r.declare_od(&s, &["d_month"], &["d_quarter"]);
         r.declare_od(&s, &["d_day"], &["d_month"]);
-        for original in [l(&[0, 1, 2, 3]), l(&[1, 2, 3]), l(&[3, 2, 1, 0]), l(&[0, 3])] {
+        for original in [
+            l(&[0, 1, 2, 3]),
+            l(&[1, 2, 3]),
+            l(&[3, 2, 1, 0]),
+            l(&[0, 3]),
+        ] {
             let reduced = reduce_order_by_od(&original, "date_dim", &mut r);
             assert!(
-                r.implies("date_dim", &OrderDependency::new(reduced.clone(), original.clone())),
+                r.implies(
+                    "date_dim",
+                    &OrderDependency::new(reduced.clone(), original.clone())
+                ),
                 "{reduced} must order {original}"
             );
             assert!(reduced.len() <= original.normalize().len());
@@ -167,7 +190,7 @@ mod tests {
     #[test]
     fn group_by_reduction_uses_set_semantics() {
         let fds = [fd(&[2], &[1])]; // month → quarter
-        // GROUP BY year, quarter, month → year, month regardless of position.
+                                    // GROUP BY year, quarter, month → year, month regardless of position.
         assert_eq!(reduce_group_by(&l(&[0, 1, 2]), &fds), l(&[0, 2]));
         assert_eq!(reduce_group_by(&l(&[0, 2, 1]), &fds), l(&[0, 2]));
         // Nothing to drop without the FD.

@@ -36,7 +36,12 @@ impl OdRegistry {
     }
 
     /// Declare an order equivalence `X ↔ Y` on a table (by column names).
-    pub fn declare_equivalence(&mut self, schema: &Schema, lhs: &[&str], rhs: &[&str]) -> &mut Self {
+    pub fn declare_equivalence(
+        &mut self,
+        schema: &Schema,
+        lhs: &[&str],
+        rhs: &[&str],
+    ) -> &mut Self {
         let l = names_to_list(schema, lhs);
         let r = names_to_list(schema, rhs);
         self.add_od(schema.name(), OrderDependency::new(l.clone(), r.clone()));
@@ -59,7 +64,11 @@ impl OdRegistry {
 
     /// Add a raw OD to a table's constraint set.
     pub fn add_od(&mut self, table: &str, od: OrderDependency) -> &mut Self {
-        self.tables.entry(table.to_string()).or_default().ods.add_od(od);
+        self.tables
+            .entry(table.to_string())
+            .or_default()
+            .ods
+            .add_od(od);
         self.deciders.remove(table);
         self
     }
@@ -71,18 +80,29 @@ impl OdRegistry {
 
     /// The declared FDs of a table.
     pub fn fds(&self, table: &str) -> Vec<FunctionalDependency> {
-        self.tables.get(table).map(|t| t.fds.clone()).unwrap_or_default()
+        self.tables
+            .get(table)
+            .map(|t| t.fds.clone())
+            .unwrap_or_default()
     }
 
     /// The declared ODs of a table.
     pub fn ods(&self, table: &str) -> OdSet {
-        self.tables.get(table).map(|t| t.ods.clone()).unwrap_or_default()
+        self.tables
+            .get(table)
+            .map(|t| t.ods.clone())
+            .unwrap_or_default()
     }
 
     /// Does the declared constraint set of `table` entail `provided ↦ required`,
     /// i.e. does a tuple stream ordered by `provided` satisfy an interesting
     /// order `required`?  This is the test used for sort elimination.
-    pub fn order_satisfies(&mut self, table: &str, provided: &AttrList, required: &AttrList) -> bool {
+    pub fn order_satisfies(
+        &mut self,
+        table: &str,
+        provided: &AttrList,
+        required: &AttrList,
+    ) -> bool {
         let decider = self.decider(table);
         decider.implies(&OrderDependency::new(provided.clone(), required.clone()))
     }
@@ -106,7 +126,11 @@ impl OdRegistry {
 pub fn names_to_list(schema: &Schema, names: &[&str]) -> AttrList {
     names
         .iter()
-        .map(|n| schema.attr_by_name(n).unwrap_or_else(|_| panic!("unknown column '{n}'")))
+        .map(|n| {
+            schema
+                .attr_by_name(n)
+                .unwrap_or_else(|_| panic!("unknown column '{n}'"))
+        })
         .collect()
 }
 

@@ -43,7 +43,9 @@ impl AggregationQuery {
         let _ = group; // grouping on the full list is equivalent; keep output columns as written
         PhysicalPlan::StreamAggregate {
             input: Box::new(PhysicalPlan::Sort {
-                input: Box::new(PhysicalPlan::TableScan { table: self.table.clone() }),
+                input: Box::new(PhysicalPlan::TableScan {
+                    table: self.table.clone(),
+                }),
                 by: self.order_by.concat(&self.group_by),
             }),
             group_by: self.group_by.clone(),
@@ -115,17 +117,23 @@ pub struct DateRangeStarQuery {
 impl DateRangeStarQuery {
     /// The dimension-side date predicate.
     fn dim_predicate(&self) -> Expr {
-        Expr::col(self.dim_date)
-            .between(Expr::lit(self.date_lo.clone()), Expr::lit(self.date_hi.clone()))
+        Expr::col(self.dim_date).between(
+            Expr::lit(self.date_lo.clone()),
+            Expr::lit(self.date_hi.clone()),
+        )
     }
 
     /// Baseline plan: scan the whole fact table, hash-join it with the filtered
     /// dimension, aggregate, sort.
     pub fn plan_baseline(&self) -> PhysicalPlan {
         let join = PhysicalPlan::HashJoin {
-            left: Box::new(PhysicalPlan::TableScan { table: self.fact.clone() }),
+            left: Box::new(PhysicalPlan::TableScan {
+                table: self.fact.clone(),
+            }),
             right: Box::new(PhysicalPlan::Filter {
-                input: Box::new(PhysicalPlan::TableScan { table: self.dim.clone() }),
+                input: Box::new(PhysicalPlan::TableScan {
+                    table: self.dim.clone(),
+                }),
                 predicate: self.dim_predicate(),
             }),
             left_key: self.fact_sk,
@@ -191,7 +199,9 @@ impl DateRangeStarQuery {
             }
         } else {
             PhysicalPlan::Filter {
-                input: Box::new(PhysicalPlan::TableScan { table: self.fact.clone() }),
+                input: Box::new(PhysicalPlan::TableScan {
+                    table: self.fact.clone(),
+                }),
                 predicate: Expr::col(self.fact_sk)
                     .between(Expr::lit(sk_lo.clone()), Expr::lit(sk_hi.clone())),
             }
@@ -297,10 +307,18 @@ mod tests {
         let baseline = q.plan_baseline(&mut registry);
         let optimized = q.plan_optimized(&catalog, &mut registry);
         assert_eq!(baseline.sort_count(), 1);
-        assert_eq!(optimized.sort_count(), 0, "OD plan must avoid the sort:\n{}", optimized.explain());
+        assert_eq!(
+            optimized.sort_count(),
+            0,
+            "OD plan must avoid the sort:\n{}",
+            optimized.explain()
+        );
         let (b1, m1) = execute(&baseline, &catalog);
         let (b2, m2) = execute(&optimized, &catalog);
-        assert!(same_results(&b1, &b2), "rewritten plan must return identical results");
+        assert!(
+            same_results(&b1, &b2),
+            "rewritten plan must return identical results"
+        );
         assert_eq!(b1.len(), 3 * 12);
         assert_eq!(m1.sorts_performed, 1);
         assert_eq!(m2.sorts_performed, 0);
@@ -320,7 +338,11 @@ mod tests {
             vec![Aggregate::CountStar],
         );
         let plan = q.plan_optimized(&catalog, &mut fd_only);
-        assert_eq!(plan.sort_count(), 1, "FD knowledge alone cannot drop quarter from the order-by");
+        assert_eq!(
+            plan.sort_count(),
+            1,
+            "FD knowledge alone cannot drop quarter from the order-by"
+        );
     }
 
     /// A miniature fact/dimension pair for the surrogate-key rewrite.
@@ -330,7 +352,13 @@ mod tests {
         let d_date = dim_schema.add_attr("d_date");
         let _d_year = dim_schema.add_attr("d_year");
         let dim_rows: Vec<Vec<Value>> = (0..100)
-            .map(|i| vec![Value::Int(1000 + i), Value::Int(20_000 + i), Value::Int(2000 + i / 365)])
+            .map(|i| {
+                vec![
+                    Value::Int(1000 + i),
+                    Value::Int(20_000 + i),
+                    Value::Int(2000 + i / 365),
+                ]
+            })
             .collect();
         let dim_rel = Relation::from_rows(dim_schema.clone(), dim_rows).unwrap();
         let mut dim = Table::new(dim_rel);
@@ -341,7 +369,13 @@ mod tests {
         let f_item = fact_schema.add_attr("item");
         let f_qty = fact_schema.add_attr("qty");
         let fact_rows: Vec<Vec<Value>> = (0..2000)
-            .map(|i| vec![Value::Int(1000 + (i * 7) % 100), Value::Int(i % 5), Value::Int(i % 13)])
+            .map(|i| {
+                vec![
+                    Value::Int(1000 + (i * 7) % 100),
+                    Value::Int(i % 5),
+                    Value::Int(i % 13),
+                ]
+            })
             .collect();
         let fact_rel = Relation::from_rows(fact_schema, fact_rows).unwrap();
         let mut fact = Table::new(fact_rel);
@@ -374,7 +408,9 @@ mod tests {
     fn date_surrogate_rewrite_prunes_partitions_and_matches_results() {
         let (catalog, mut registry, q) = star_catalog(true);
         let baseline = q.plan_baseline();
-        let optimized = q.plan_optimized(&catalog, &mut registry).expect("rewrite applies");
+        let optimized = q
+            .plan_optimized(&catalog, &mut registry)
+            .expect("rewrite applies");
         let (b1, m1) = execute(&baseline, &catalog);
         let (b2, m2) = execute(&optimized, &catalog);
         assert!(same_results(&b1, &b2), "rewrite must preserve results");
@@ -390,7 +426,9 @@ mod tests {
     #[test]
     fn date_surrogate_rewrite_uses_index_when_not_partitioned() {
         let (catalog, mut registry, q) = star_catalog(false);
-        let optimized = q.plan_optimized(&catalog, &mut registry).expect("rewrite applies");
+        let optimized = q
+            .plan_optimized(&catalog, &mut registry)
+            .expect("rewrite applies");
         assert!(optimized.explain().contains("IndexRangeScan"));
         let (b2, _) = execute(&optimized, &catalog);
         let (b1, _) = execute(&q.plan_baseline(), &catalog);

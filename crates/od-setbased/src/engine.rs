@@ -1,0 +1,251 @@
+//! The demand-driven validation engine behind `od-discovery`'s set-based path.
+//!
+//! Where the [`crate::lattice`] traversal profiles the whole canonical space up
+//! front, [`SetBasedEngine`] answers individual `X ↦ Y` questions: the OD is
+//! translated to its canonical statements ([`crate::canonical::translate_od`]),
+//! each statement is resolved through a memo table, the set-based axioms
+//! (context monotonicity, constancy-subsumes-compatibility), and finally — only
+//! when nothing cheaper answers — a partition scan.  Statements are shared
+//! across candidate ODs, so a discovery run validates each distinct statement
+//! against the data at most once, instead of re-sorting the relation per
+//! candidate as the naive engine does.
+
+use crate::canonical::{translate_od, SetOd};
+use crate::partition::PartitionCache;
+use crate::validate;
+use od_core::{OrderDependency, Relation};
+use std::collections::HashMap;
+
+/// Counters describing how an engine resolved its statement checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// ODs translated and checked.
+    pub ods_checked: usize,
+    /// Canonical statements examined (before dedup/memo).
+    pub statement_checks: usize,
+    /// Statements answered from the memo table.
+    pub memo_hits: usize,
+    /// Statements answered by the set-based axioms.
+    pub axiom_hits: usize,
+    /// Statements true on every instance (no data, no memo needed).
+    pub trivial_hits: usize,
+    /// Statements validated against the data (partition scans).
+    pub data_validations: usize,
+}
+
+/// Memoizing, partition-backed OD validator over one relation instance.
+pub struct SetBasedEngine<'r> {
+    cache: PartitionCache<'r>,
+    verdicts: HashMap<SetOd, bool>,
+    threads: usize,
+    /// Resolution counters.
+    pub stats: EngineStats,
+}
+
+impl<'r> SetBasedEngine<'r> {
+    /// A serial engine over the relation.
+    pub fn new(rel: &'r Relation) -> Self {
+        Self::with_threads(rel, 1)
+    }
+
+    /// An engine that shards large partition scans over `threads` threads.
+    pub fn with_threads(rel: &'r Relation, threads: usize) -> Self {
+        SetBasedEngine {
+            cache: PartitionCache::new(rel),
+            verdicts: HashMap::new(),
+            threads: threads.max(1),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The relation being profiled.
+    pub fn relation(&self) -> &'r Relation {
+        self.cache.relation()
+    }
+
+    /// Statements validated against the data so far.
+    pub fn data_validations(&self) -> usize {
+        self.stats.data_validations
+    }
+
+    /// Does `X ↦ Y` hold on the instance?  Semantically identical to
+    /// [`od_core::check::od_holds`]; resolved through canonical statements.
+    pub fn od_holds(&mut self, od: &OrderDependency) -> bool {
+        self.stats.ods_checked += 1;
+        translate_od(od)
+            .iter()
+            .all(|stmt| self.statement_holds(stmt))
+    }
+
+    /// Does a single canonical statement hold on the instance?
+    pub fn statement_holds(&mut self, stmt: &SetOd) -> bool {
+        if let Some(normalized) = stmt.normalized() {
+            return self.statement_holds(&normalized);
+        }
+        self.stats.statement_checks += 1;
+        if stmt.is_trivial() {
+            self.stats.trivial_hits += 1;
+            return true;
+        }
+        if let Some(&v) = self.verdicts.get(stmt) {
+            self.stats.memo_hits += 1;
+            return v;
+        }
+        if self.inherited(stmt) {
+            self.stats.axiom_hits += 1;
+            self.verdicts.insert(stmt.clone(), true);
+            return true;
+        }
+        let v = self.validate(stmt);
+        self.verdicts.insert(stmt.clone(), v);
+        v
+    }
+
+    /// Set-based axioms over the memo table: a statement holds if it is known
+    /// to hold at an immediate sub-context (context monotonicity), or — for a
+    /// compatibility — if either attribute is known constant in this context.
+    fn inherited(&self, stmt: &SetOd) -> bool {
+        let context = stmt.context();
+        for drop in context.iter() {
+            let mut sub = context.clone();
+            sub.remove(drop);
+            let sub_stmt = match stmt {
+                SetOd::Constancy { attr, .. } => SetOd::constancy(sub, *attr),
+                SetOd::Compatibility { a, b, .. } => SetOd::compatibility(sub, *a, *b),
+            };
+            if self.verdicts.get(&sub_stmt) == Some(&true) {
+                return true;
+            }
+        }
+        if let SetOd::Compatibility { context, a, b } = stmt {
+            for attr in [*a, *b] {
+                if self.verdicts.get(&SetOd::constancy(context.clone(), attr)) == Some(&true) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Partition-scan a statement.
+    fn validate(&mut self, stmt: &SetOd) -> bool {
+        self.stats.data_validations += 1;
+        validate::statement_scan(&mut self.cache, stmt, self.threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_core::check::od_holds;
+    use od_core::{fixtures, AttrId, AttrList};
+
+    #[test]
+    fn engine_agrees_with_the_sort_based_checker_on_the_fixtures() {
+        for rel in [fixtures::example_5_taxes(), fixtures::figure_1_relation()] {
+            let universe: Vec<AttrId> = rel.schema().attr_ids().collect();
+            let mut engine = SetBasedEngine::new(&rel);
+            let lists = od_infer::witness::enumerate_lists(&universe, 2);
+            for lhs in &lists {
+                for rhs in &lists {
+                    let od = OrderDependency::new(lhs.clone(), rhs.clone());
+                    assert_eq!(
+                        engine.od_holds(&od),
+                        od_holds(&rel, &od),
+                        "engine disagreement on {od}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn statements_are_validated_against_data_at_most_once() {
+        let rel = fixtures::example_5_taxes();
+        let s = rel.schema();
+        let income = s.attr_by_name("income").unwrap();
+        let bracket = s.attr_by_name("bracket").unwrap();
+        let payable = s.attr_by_name("payable").unwrap();
+        let mut engine = SetBasedEngine::new(&rel);
+        assert!(engine.od_holds(&OrderDependency::new(vec![income], vec![bracket])));
+        let after_first = engine.data_validations();
+        assert!(after_first > 0);
+        // Re-checking the same OD touches no data.
+        assert!(engine.od_holds(&OrderDependency::new(vec![income], vec![bracket])));
+        assert_eq!(engine.data_validations(), after_first);
+        // A wider OD sharing a side reuses the shared statements.
+        let before = engine.data_validations();
+        assert!(engine.od_holds(&OrderDependency::new(vec![income], vec![bracket, payable])));
+        let fresh = engine.data_validations() - before;
+        assert!(
+            fresh <= 2,
+            "only the new statements may touch data, got {fresh}"
+        );
+        assert!(engine.stats.memo_hits > 0);
+    }
+
+    #[test]
+    fn axiom_inheritance_answers_without_scanning() {
+        let rel = fixtures::example_5_taxes();
+        let s = rel.schema();
+        let income = s.attr_by_name("income").unwrap();
+        let bracket = s.attr_by_name("bracket").unwrap();
+        let payable = s.attr_by_name("payable").unwrap();
+        let mut engine = SetBasedEngine::new(&rel);
+        // Establish {}: income ~ bracket.
+        let empty: od_core::AttrSet = Default::default();
+        assert!(engine.statement_holds(&SetOd::compatibility(empty, income, bracket)));
+        let before = engine.data_validations();
+        // The same pair in a larger context follows by monotonicity.
+        let wider: od_core::AttrSet = [payable].into_iter().collect();
+        assert!(engine.statement_holds(&SetOd::compatibility(wider, income, bracket)));
+        assert_eq!(engine.data_validations(), before);
+        assert!(engine.stats.axiom_hits >= 1);
+    }
+
+    #[test]
+    fn misordered_pairs_share_one_memo_entry() {
+        let rel = fixtures::example_5_taxes();
+        let s = rel.schema();
+        let income = s.attr_by_name("income").unwrap();
+        let bracket = s.attr_by_name("bracket").unwrap();
+        let mut engine = SetBasedEngine::new(&rel);
+        let empty: od_core::AttrSet = Default::default();
+        let canonical = SetOd::compatibility(empty.clone(), income, bracket);
+        let misordered = SetOd::Compatibility {
+            context: empty,
+            a: income.max(bracket),
+            b: income.min(bracket),
+        };
+        assert!(engine.statement_holds(&canonical));
+        let scans = engine.data_validations();
+        assert!(engine.statement_holds(&misordered));
+        assert_eq!(
+            engine.data_validations(),
+            scans,
+            "misordered form must hit the memo"
+        );
+    }
+
+    #[test]
+    fn trivial_ods_cost_nothing() {
+        let rel = fixtures::example_5_taxes();
+        let mut engine = SetBasedEngine::new(&rel);
+        let a = AttrId(0);
+        let b = AttrId(1);
+        assert!(engine.od_holds(&OrderDependency::new(vec![a, b], vec![a])));
+        assert!(engine.od_holds(&OrderDependency::new(vec![a], AttrList::empty())));
+        assert_eq!(engine.data_validations(), 0);
+    }
+
+    #[test]
+    fn threaded_engine_matches_serial_verdicts() {
+        let rel = fixtures::figure_1_relation();
+        let universe: Vec<AttrId> = rel.schema().attr_ids().collect();
+        let mut serial = SetBasedEngine::new(&rel);
+        let mut threaded = SetBasedEngine::with_threads(&rel, 4);
+        for od in od_infer::witness::enumerate_ods(&universe[..4], 2) {
+            assert_eq!(serial.od_holds(&od), threaded.od_holds(&od));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! # od-setbased — partition-powered set-based OD discovery
+//!
+//! The paper closes by naming OD discovery as the key open problem; the
+//! follow-up FASTOD line (*Effective and Complete Discovery of Order
+//! Dependencies via Set-based Axiomatization*; see PAPERS.md) showed how to
+//! make it tractable.  This crate implements that design over the workspace's
+//! core types:
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`partition`] | stripped partitions `Π_X` over tuple ids, memoized incremental products, sorted partitions |
+//! | [`canonical`] | the set-based canonical statements and the exact list ↔ set translation |
+//! | [`validate`]  | near-linear statement and whole-OD validation over rank codes |
+//! | [`lattice`]   | level-wise traversal with constancy / compatibility candidate sets and axiom + decider pruning |
+//! | [`engine`]    | the memoizing demand-driven validator `od-discovery` uses as its default engine |
+//! | [`parallel`]  | partition-class sharding across threads |
+//!
+//! The load-bearing fact (spelled out in [`canonical`]'s docs and exercised by
+//! the differential proptests in `od-discovery`): a list OD `X ↦ Y` holds iff
+//! all of its canonical **constancy** statements (`set(X) : [] ↦ B_j` — no
+//! splits) and **compatibility** statements (`prefix context : A_i ~ B_j` — no
+//! swaps) hold.  Canonical statements are shared across candidate ODs and
+//! validated with partition scans, so a discovery run touches the data once
+//! per distinct statement instead of once per candidate re-sort.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use od_core::fixtures;
+//! use od_core::OrderDependency;
+//! use od_setbased::{LatticeConfig, SetBasedEngine};
+//!
+//! let rel = fixtures::example_5_taxes();
+//! let s = rel.schema();
+//! let income = s.attr_by_name("income").unwrap();
+//! let bracket = s.attr_by_name("bracket").unwrap();
+//!
+//! // Demand-driven: ask about one OD.
+//! let mut engine = SetBasedEngine::new(&rel);
+//! assert!(engine.od_holds(&OrderDependency::new(vec![income], vec![bracket])));
+//!
+//! // Bulk: profile every canonical statement up to context size 2.
+//! let profile = od_setbased::discover_statements(&rel, &LatticeConfig::default());
+//! assert!(!profile.minimal_statements().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canonical;
+pub mod engine;
+pub mod lattice;
+pub mod parallel;
+pub mod partition;
+pub mod validate;
+
+pub use canonical::{compatibility_as_ods, constancy_as_od, translate_od, SetOd};
+pub use engine::{EngineStats, SetBasedEngine};
+pub use lattice::{discover_statements, LatticeConfig, LatticeStats, SetBasedDiscovery};
+pub use partition::{PartitionCache, SortedPartition, StrippedPartition};
+pub use validate::od_holds_with_partitions;

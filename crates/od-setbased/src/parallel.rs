@@ -1,0 +1,145 @@
+//! Parallel validation: shard partition-class work across threads.
+//!
+//! Canonical-statement validation is embarrassingly parallel — each equivalence
+//! class is checked independently and the verdict is a conjunction — so classes
+//! are split into contiguous chunks, one scoped thread per chunk, with an
+//! atomic early-exit flag so a violation found in one chunk stops the others at
+//! their next class boundary.  Everything uses `std::thread::scope`; no
+//! external thread-pool dependency is needed.
+
+use crate::partition::StrippedPartition;
+use crate::validate::{class_is_compatible, class_is_constant};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A sensible thread count for validation work on this machine.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Check `predicate` on every class, sharded over up to `threads` threads.
+/// Returns true iff every class passes.  Falls back to a serial scan for small
+/// workloads where spawning would dominate.
+pub fn all_classes<F>(classes: &[Vec<u32>], threads: usize, predicate: F) -> bool
+where
+    F: Fn(&[u32]) -> bool + Sync,
+{
+    let threads = threads.clamp(1, classes.len().max(1));
+    if threads <= 1 || classes.len() < 2 {
+        return classes.iter().all(|c| predicate(c));
+    }
+    let failed = AtomicBool::new(false);
+    let chunk_size = classes.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for chunk in classes.chunks(chunk_size) {
+            let failed = &failed;
+            let predicate = &predicate;
+            scope.spawn(move || {
+                for class in chunk {
+                    if failed.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if !predicate(class) {
+                        failed.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    !failed.load(Ordering::Relaxed)
+}
+
+/// Parallel variant of [`crate::validate::constancy_holds`].
+pub fn constancy_holds_parallel(part: &StrippedPartition, codes: &[u32], threads: usize) -> bool {
+    all_classes(part.classes(), threads, |class| {
+        class_is_constant(class, codes)
+    })
+}
+
+/// Parallel variant of [`crate::validate::compatibility_holds`].
+pub fn compatibility_holds_parallel(
+    part: &StrippedPartition,
+    codes_a: &[u32],
+    codes_b: &[u32],
+    threads: usize,
+) -> bool {
+    all_classes(part.classes(), threads, |class| {
+        class_is_compatible(class, codes_a, codes_b)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{compatibility_holds, constancy_holds};
+    use od_core::{AttrId, Relation, Schema, Value};
+
+    fn rel_with_groups(groups: usize, per_group: usize) -> Relation {
+        let mut schema = Schema::new("t");
+        schema.add_attr("g");
+        schema.add_attr("a");
+        schema.add_attr("b");
+        let mut rows = Vec::new();
+        for g in 0..groups as i64 {
+            for i in 0..per_group as i64 {
+                rows.push(vec![Value::Int(g), Value::Int(i), Value::Int(i * 2)]);
+            }
+        }
+        Relation::from_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn parallel_agrees_with_serial() {
+        let rel = rel_with_groups(23, 7);
+        let g = rel.rank_column(AttrId(0));
+        let a = rel.rank_column(AttrId(1));
+        let b = rel.rank_column(AttrId(2));
+        let part = crate::partition::StrippedPartition::by_codes(&g);
+        for threads in [1, 2, 4, 16] {
+            assert_eq!(
+                constancy_holds_parallel(&part, &a, threads),
+                constancy_holds(&part, &a)
+            );
+            assert_eq!(
+                compatibility_holds_parallel(&part, &a, &b, threads),
+                compatibility_holds(&part, &a, &b)
+            );
+        }
+        // Constancy of g itself within g-classes holds on any thread count.
+        assert!(constancy_holds_parallel(&part, &g, 4));
+    }
+
+    #[test]
+    fn early_exit_reports_failure() {
+        // b decreases while a increases inside every class: all-swap classes.
+        let mut schema = Schema::new("t");
+        schema.add_attr("g");
+        schema.add_attr("a");
+        schema.add_attr("b");
+        let mut rows = Vec::new();
+        for g in 0..40i64 {
+            rows.push(vec![Value::Int(g), Value::Int(0), Value::Int(1)]);
+            rows.push(vec![Value::Int(g), Value::Int(1), Value::Int(0)]);
+        }
+        let rel = Relation::from_rows(schema, rows).unwrap();
+        let g = rel.rank_column(AttrId(0));
+        let a = rel.rank_column(AttrId(1));
+        let b = rel.rank_column(AttrId(2));
+        let part = crate::partition::StrippedPartition::by_codes(&g);
+        assert!(!compatibility_holds_parallel(&part, &a, &b, 8));
+        assert!(!constancy_holds_parallel(&part, &a, 8));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let part = crate::partition::StrippedPartition::full(0);
+        assert!(constancy_holds_parallel(&part, &[], 4));
+        assert!(
+            all_classes(&[], 4, |_| false),
+            "vacuous truth over no classes"
+        );
+        assert!(available_threads() >= 1);
+    }
+}

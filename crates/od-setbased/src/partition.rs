@@ -1,0 +1,366 @@
+//! Stripped and sorted partitions over tuple ids.
+//!
+//! The workhorse data structure of set-based OD discovery (following TANE and
+//! FASTOD): for an attribute set `X`, the partition `Π_X` groups tuple ids into
+//! equivalence classes of tuples agreeing on every attribute of `X`.  A
+//! **stripped** partition drops singleton classes — they can never contribute a
+//! split or a swap, and on real data most classes become singletons quickly, so
+//! stripping is what makes level-wise traversal near-linear per candidate.
+//!
+//! Partitions compose: `Π_{X ∪ {A}}` is computed from `Π_X` by bucketing each
+//! class by `A`'s order-preserving [rank codes](od_core::Relation::rank_column)
+//! — a linear pass over the tuples still in classes, *not* an `O(n log n)`
+//! re-sort.  [`PartitionCache`] memoizes partitions per attribute set so the
+//! lattice visits each set once.
+//!
+//! [`SortedPartition`] orders the classes (plus the stripped-out singletons) of
+//! `Π_set(X)` by the list `X`'s value order, which turns whole-OD validation
+//! into two linear scans over groups (`Y` constant inside each group; `Y`
+//! non-decreasing across consecutive groups) — the partition-powered
+//! replacement for the sort-based `od-core` checker.
+
+use od_core::{AttrId, AttrList, AttrSet, Relation};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A stripped partition: equivalence classes (of size ≥ 2) of tuple ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrippedPartition {
+    classes: Vec<Vec<u32>>,
+    n_rows: usize,
+}
+
+impl StrippedPartition {
+    /// The partition of the empty attribute set: one class holding every tuple
+    /// (stripped away entirely when the relation has fewer than two rows).
+    pub fn full(n_rows: usize) -> Self {
+        let classes = if n_rows >= 2 {
+            vec![(0..n_rows as u32).collect()]
+        } else {
+            Vec::new()
+        };
+        StrippedPartition { classes, n_rows }
+    }
+
+    /// Build `Π_{{A}}` from an attribute's rank codes.
+    pub fn by_codes(codes: &[u32]) -> Self {
+        let mut buckets: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (row, &code) in codes.iter().enumerate() {
+            buckets.entry(code).or_default().push(row as u32);
+        }
+        let mut classes: Vec<Vec<u32>> = buckets.into_values().filter(|c| c.len() >= 2).collect();
+        // Deterministic class order (by first member) keeps traversal stable.
+        classes.sort_by_key(|c| c[0]);
+        StrippedPartition {
+            classes,
+            n_rows: codes.len(),
+        }
+    }
+
+    /// Refine by one more attribute's rank codes: `Π_X · Π_{{A}}` restricted to
+    /// the tuples `Π_X` still tracks.  Linear in [`Self::covered_rows`].
+    pub fn refine_by(&self, codes: &[u32]) -> Self {
+        let mut classes = Vec::new();
+        let mut bucket: HashMap<u32, Vec<u32>> = HashMap::new();
+        for class in &self.classes {
+            for &row in class {
+                bucket.entry(codes[row as usize]).or_default().push(row);
+            }
+            for (_, sub) in bucket.drain() {
+                if sub.len() >= 2 {
+                    classes.push(sub);
+                }
+            }
+        }
+        classes.sort_by_key(|c| c[0]);
+        StrippedPartition {
+            classes,
+            n_rows: self.n_rows,
+        }
+    }
+
+    /// The equivalence classes (each of size ≥ 2).
+    pub fn classes(&self) -> &[Vec<u32>] {
+        &self.classes
+    }
+
+    /// Number of (non-singleton) classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total number of tuple ids still tracked (`‖Π‖` in TANE's notation).
+    pub fn covered_rows(&self) -> usize {
+        self.classes.iter().map(|c| c.len()).sum()
+    }
+
+    /// Number of rows of the underlying relation.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// True if every class is a singleton — the attribute set is a (super)key,
+    /// so no two tuples agree on it and neither splits nor in-class swaps exist.
+    pub fn is_key(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// True if a single class covers the whole relation (the attribute set is
+    /// constant on the instance, or empty).
+    pub fn is_single_class(&self) -> bool {
+        self.classes.len() == 1 && self.classes[0].len() == self.n_rows
+    }
+}
+
+/// Memoizing builder of stripped partitions per attribute set, plus the
+/// per-attribute rank codes all validators work on.
+///
+/// `Π_X` is computed once per distinct `X`, by refining the partition of a
+/// maximal cached subset (in practice `X` minus its last attribute, which the
+/// level-wise lattice has always already visited) — the *incremental partition
+/// product* of FASTOD.
+pub struct PartitionCache<'r> {
+    rel: &'r Relation,
+    codes: Vec<Option<Rc<Vec<u32>>>>,
+    partitions: HashMap<Vec<AttrId>, Rc<StrippedPartition>>,
+    /// Number of partition products (refinements) performed.
+    pub products: usize,
+}
+
+impl<'r> PartitionCache<'r> {
+    /// A cache over one relation instance.
+    pub fn new(rel: &'r Relation) -> Self {
+        PartitionCache {
+            rel,
+            codes: vec![None; rel.schema().arity()],
+            partitions: HashMap::new(),
+            products: 0,
+        }
+    }
+
+    /// The relation the cache serves.
+    pub fn relation(&self) -> &'r Relation {
+        self.rel
+    }
+
+    /// Order-preserving dense codes of one column (memoized).
+    pub fn codes(&mut self, attr: AttrId) -> Rc<Vec<u32>> {
+        let rel = self.rel;
+        self.codes[attr.index()]
+            .get_or_insert_with(|| Rc::new(rel.rank_column(attr)))
+            .clone()
+    }
+
+    /// The stripped partition `Π_X` (memoized).
+    pub fn partition(&mut self, set: &AttrSet) -> Rc<StrippedPartition> {
+        let key: Vec<AttrId> = set.iter().copied().collect();
+        if let Some(p) = self.partitions.get(&key) {
+            return p.clone();
+        }
+        let part = if key.is_empty() {
+            StrippedPartition::full(self.rel.len())
+        } else {
+            // Refine the partition of X minus its last attribute — under
+            // level-wise traversal that subset is already cached, making every
+            // product incremental.
+            let (&last, rest) = key.split_last().expect("non-empty");
+            let base: AttrSet = rest.iter().copied().collect();
+            let base_part = self.partition(&base);
+            let codes = self.codes(last);
+            self.products += 1;
+            base_part.refine_by(&codes)
+        };
+        let rc = Rc::new(part);
+        self.partitions.insert(key, rc.clone());
+        rc
+    }
+
+    /// Number of distinct attribute sets whose partition has been materialized.
+    pub fn cached_sets(&self) -> usize {
+        self.partitions.len()
+    }
+}
+
+/// The classes of `Π_set(X)` — including the stripped-out singletons — ordered
+/// by the list `X`'s lexicographic value order, with one representative row per
+/// class.
+///
+/// Because every member of a class agrees on all of `set(X)`, ordering class
+/// representatives by `X` orders the whole relation by `X`; an OD `X ↦ Y` then
+/// reduces to (a) `Y` constant within each class and (b) `Y` non-decreasing
+/// across consecutive classes.
+#[derive(Debug)]
+pub struct SortedPartition {
+    /// Classes in `X` order: (representative row, all rows of the class).
+    groups: Vec<(u32, Vec<u32>)>,
+}
+
+impl SortedPartition {
+    /// Build the sorted partition for a list from the cache.
+    pub fn for_list(cache: &mut PartitionCache<'_>, list: &AttrList) -> Self {
+        let set = list.to_set();
+        let part = cache.partition(&set);
+        let n = part.n_rows();
+        let mut in_class = vec![false; n];
+        let mut groups: Vec<(u32, Vec<u32>)> = Vec::new();
+        for class in part.classes() {
+            for &row in class {
+                in_class[row as usize] = true;
+            }
+            groups.push((class[0], class.clone()));
+        }
+        for row in 0..n as u32 {
+            if !in_class[row as usize] {
+                groups.push((row, vec![row]));
+            }
+        }
+        // Sort representatives by the list's per-attribute codes: integer
+        // comparisons, and only one row per class.
+        let key_codes: Vec<Rc<Vec<u32>>> = list.iter().map(|a| cache.codes(a)).collect();
+        groups.sort_by(|a, b| {
+            for codes in &key_codes {
+                let ord = codes[a.0 as usize].cmp(&codes[b.0 as usize]);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        SortedPartition { groups }
+    }
+
+    /// The groups in list order: (representative, class members).
+    pub fn groups(&self) -> &[(u32, Vec<u32>)] {
+        &self.groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_core::{Schema, Value};
+
+    fn rel_from(rows: &[&[i64]]) -> Relation {
+        let mut schema = Schema::new("t");
+        let arity = rows.first().map(|r| r.len()).unwrap_or(0);
+        for i in 0..arity {
+            schema.add_attr(format!("c{i}"));
+        }
+        Relation::from_rows(
+            schema,
+            rows.iter()
+                .map(|r| r.iter().map(|&v| Value::Int(v)).collect()),
+        )
+        .unwrap()
+    }
+
+    fn set(ids: &[u32]) -> AttrSet {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    #[test]
+    fn full_partition_is_one_class_unless_tiny() {
+        assert_eq!(StrippedPartition::full(5).num_classes(), 1);
+        assert!(StrippedPartition::full(5).is_single_class());
+        assert!(StrippedPartition::full(1).is_key());
+        assert!(StrippedPartition::full(0).is_key());
+    }
+
+    #[test]
+    fn by_codes_groups_equal_values_and_strips_singletons() {
+        // Column: [5, 3, 5, 9, 3] → classes {0,2} and {1,4}; row 3 is stripped.
+        let rel = rel_from(&[&[5], &[3], &[5], &[9], &[3]]);
+        let codes = rel.rank_column(AttrId(0));
+        let p = StrippedPartition::by_codes(&codes);
+        assert_eq!(p.classes(), &[vec![0, 2], vec![1, 4]]);
+        assert_eq!(p.covered_rows(), 4);
+        assert!(!p.is_key());
+    }
+
+    #[test]
+    fn refinement_matches_direct_construction() {
+        let rel = rel_from(&[&[1, 1], &[1, 2], &[1, 1], &[2, 1], &[2, 1], &[1, 2]]);
+        let mut cache = PartitionCache::new(&rel);
+        let pa = cache.partition(&set(&[0]));
+        let pab = cache.partition(&set(&[0, 1]));
+        // Direct: group rows by both columns.
+        assert_eq!(pa.num_classes(), 2);
+        assert_eq!(pab.classes(), &[vec![0, 2], vec![1, 5], vec![3, 4]]);
+        // Refinement never increases covered rows.
+        assert!(pab.covered_rows() <= pa.covered_rows());
+    }
+
+    #[test]
+    fn key_sets_strip_to_nothing() {
+        let rel = rel_from(&[&[1, 7], &[2, 7], &[3, 7]]);
+        let mut cache = PartitionCache::new(&rel);
+        assert!(cache.partition(&set(&[0])).is_key());
+        // And refining a key by anything stays a key.
+        assert!(cache.partition(&set(&[0, 1])).is_key());
+        // A constant column is a single class.
+        assert!(cache.partition(&set(&[1])).is_single_class());
+    }
+
+    #[test]
+    fn cache_memoizes_and_counts_products() {
+        let rel = rel_from(&[&[1, 1, 1], &[1, 2, 1], &[2, 1, 1], &[2, 2, 2]]);
+        let mut cache = PartitionCache::new(&rel);
+        cache.partition(&set(&[0, 1]));
+        let products_after_first = cache.products;
+        cache.partition(&set(&[0, 1]));
+        assert_eq!(
+            cache.products, products_after_first,
+            "second lookup must hit the cache"
+        );
+        assert!(
+            cache.cached_sets() >= 2,
+            "subset partitions are cached on the way"
+        );
+    }
+
+    #[test]
+    fn nulls_and_ties_partition_together() {
+        let mut schema = Schema::new("t");
+        schema.add_attr("a");
+        let rel = Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::Null],
+                vec![Value::Int(1)],
+                vec![Value::Null],
+                vec![Value::Int(1)],
+            ],
+        )
+        .unwrap();
+        let mut cache = PartitionCache::new(&rel);
+        let p = cache.partition(&set(&[0]));
+        assert_eq!(
+            p.classes(),
+            &[vec![0, 2], vec![1, 3]],
+            "NULLs form their own class"
+        );
+    }
+
+    #[test]
+    fn sorted_partition_orders_groups_by_list_value() {
+        // Rows: (2,9) (1,8) (2,7) (1,8) — Π_{a} classes {0,2} {1,3}.
+        let rel = rel_from(&[&[2, 9], &[1, 8], &[2, 7], &[1, 8]]);
+        let mut cache = PartitionCache::new(&rel);
+        let sp = SortedPartition::for_list(&mut cache, &AttrList::new([AttrId(0)]));
+        let reps: Vec<u32> = sp.groups().iter().map(|(rep, _)| *rep).collect();
+        // a=1 group first (rep 1), then a=2 group (rep 0).
+        assert_eq!(reps, vec![1, 0]);
+        // Descending list puts a=2 first; singleton groups appear for the pair list.
+        let sp2 = SortedPartition::for_list(&mut cache, &AttrList::new([AttrId(1), AttrId(0)]));
+        assert_eq!(sp2.groups().len(), 3, "b distinguishes rows 0 and 2");
+    }
+
+    #[test]
+    fn sorted_partition_of_empty_list_is_one_group() {
+        let rel = rel_from(&[&[1], &[2]]);
+        let mut cache = PartitionCache::new(&rel);
+        let sp = SortedPartition::for_list(&mut cache, &AttrList::empty());
+        assert_eq!(sp.groups().len(), 1);
+        assert_eq!(sp.groups()[0].1.len(), 2);
+    }
+}

@@ -1,0 +1,249 @@
+//! Data-level validation of canonical statements and whole ODs against
+//! stripped / sorted partitions.
+//!
+//! All validators work on order-preserving rank codes (see
+//! [`od_core::Relation::rank_column`]): equality is integer equality, order is
+//! integer order, and every check is a linear pass over the rows a partition
+//! still tracks — never an `O(n log n)` re-sort of the relation.
+
+use crate::canonical::SetOd;
+use crate::parallel;
+use crate::partition::{PartitionCache, SortedPartition, StrippedPartition};
+use od_core::OrderDependency;
+
+/// Row-coverage threshold below which threaded validation is not worth the
+/// spawning overhead.
+pub const PARALLEL_ROW_THRESHOLD: usize = 8_192;
+
+/// Is `attr` (given by its codes) constant within one equivalence class?
+pub fn class_is_constant(class: &[u32], codes: &[u32]) -> bool {
+    let first = codes[class[0] as usize];
+    class.iter().all(|&row| codes[row as usize] == first)
+}
+
+/// Are two attributes (given by their codes) order compatible within one
+/// equivalence class — i.e. is there no pair `s, t` in the class with
+/// `s.A < t.A` but `s.B > t.B`?
+///
+/// Runs by sorting the class's `(code_a, code_b)` pairs and requiring that the
+/// minimum `B` of each successive `A`-group is no smaller than the maximum `B`
+/// seen in earlier groups.  Ties on `A` never produce swaps.
+pub fn class_is_compatible(class: &[u32], codes_a: &[u32], codes_b: &[u32]) -> bool {
+    if class.len() < 2 {
+        return true;
+    }
+    let mut pairs: Vec<(u32, u32)> = class
+        .iter()
+        .map(|&row| (codes_a[row as usize], codes_b[row as usize]))
+        .collect();
+    pairs.sort_unstable();
+    let mut prev_groups_max_b: Option<u32> = None;
+    let mut group_a = pairs[0].0;
+    let mut group_max_b = pairs[0].1;
+    for &(a, b) in &pairs[1..] {
+        if a != group_a {
+            // New A-group: its smallest B (this element, since pairs are sorted)
+            // must not undercut any earlier group's B.
+            prev_groups_max_b = Some(prev_groups_max_b.map_or(group_max_b, |m| m.max(group_max_b)));
+            if b < prev_groups_max_b.expect("just set") {
+                return false;
+            }
+            group_a = a;
+            group_max_b = b;
+        } else {
+            group_max_b = group_max_b.max(b);
+        }
+    }
+    true
+}
+
+/// Validate `𝒞 : [] ↦ A` over a stripped partition of `𝒞`.
+pub fn constancy_holds(part: &StrippedPartition, codes: &[u32]) -> bool {
+    part.classes()
+        .iter()
+        .all(|class| class_is_constant(class, codes))
+}
+
+/// Validate `𝒞 : A ~ B` over a stripped partition of `𝒞`.
+pub fn compatibility_holds(part: &StrippedPartition, codes_a: &[u32], codes_b: &[u32]) -> bool {
+    part.classes()
+        .iter()
+        .all(|class| class_is_compatible(class, codes_a, codes_b))
+}
+
+/// Validate one canonical statement against the data: fetch (or build) the
+/// context's stripped partition and scan it, sharding classes across
+/// `threads` threads when the partition covers at least
+/// [`PARALLEL_ROW_THRESHOLD`] rows.  The single dispatch point shared by the
+/// lattice traversal and the demand-driven engine.
+pub fn statement_scan(cache: &mut PartitionCache<'_>, stmt: &SetOd, threads: usize) -> bool {
+    let part = cache.partition(stmt.context());
+    if part.is_key() {
+        // No two tuples agree on the context: classes are all singletons, so
+        // neither a split nor an in-class swap can exist.
+        return true;
+    }
+    let threads = if threads > 1 && part.covered_rows() >= PARALLEL_ROW_THRESHOLD {
+        threads
+    } else {
+        1
+    };
+    match stmt {
+        SetOd::Constancy { attr, .. } => {
+            let codes = cache.codes(*attr);
+            if threads > 1 {
+                parallel::constancy_holds_parallel(&part, &codes, threads)
+            } else {
+                constancy_holds(&part, &codes)
+            }
+        }
+        SetOd::Compatibility { a, b, .. } => {
+            let ca = cache.codes(*a);
+            let cb = cache.codes(*b);
+            if threads > 1 {
+                parallel::compatibility_holds_parallel(&part, &ca, &cb, threads)
+            } else {
+                compatibility_holds(&part, &ca, &cb)
+            }
+        }
+    }
+}
+
+/// Validate a whole list OD `X ↦ Y` via a sorted partition: `Y` must be
+/// constant within every `Π_set(X)` class (else a split) and non-decreasing
+/// across classes in `X` order (else a swap).
+///
+/// Semantically identical to [`od_core::check::od_holds`]; the cost model is
+/// different — class representatives are sorted instead of all rows, and all
+/// comparisons are on cached integer codes.
+pub fn od_holds_with_partitions(cache: &mut PartitionCache<'_>, od: &OrderDependency) -> bool {
+    let n = cache.relation().len();
+    if n < 2 {
+        return true;
+    }
+    let sorted = SortedPartition::for_list(cache, &od.lhs);
+    let rhs_codes: Vec<_> = od.rhs.iter().map(|a| cache.codes(a)).collect();
+    let mut prev_rep: Option<u32> = None;
+    for (rep, class) in sorted.groups() {
+        // Split check: every class member agrees with the representative on Y.
+        for codes in &rhs_codes {
+            if !class_is_constant(class, codes) {
+                return false;
+            }
+        }
+        // Swap check: representatives are strictly increasing on X (distinct
+        // classes differ on set(X)), so Y must be non-decreasing.
+        if let Some(prev) = prev_rep {
+            for codes in &rhs_codes {
+                match codes[prev as usize].cmp(&codes[*rep as usize]) {
+                    std::cmp::Ordering::Less => break,
+                    std::cmp::Ordering::Equal => continue,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+        }
+        prev_rep = Some(*rep);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_core::check::od_holds;
+    use od_core::{AttrId, AttrList, Relation, Schema, Value};
+
+    fn rel_from(rows: &[&[i64]]) -> Relation {
+        let mut schema = Schema::new("t");
+        let arity = rows.first().map(|r| r.len()).unwrap_or(0);
+        for i in 0..arity {
+            schema.add_attr(format!("c{i}"));
+        }
+        Relation::from_rows(
+            schema,
+            rows.iter()
+                .map(|r| r.iter().map(|&v| Value::Int(v)).collect()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn class_constancy_detects_variation() {
+        let codes = [0u32, 1, 1, 0];
+        assert!(class_is_constant(&[1, 2], &codes));
+        assert!(!class_is_constant(&[0, 1], &codes));
+        assert!(class_is_constant(&[3], &codes));
+    }
+
+    #[test]
+    fn class_compatibility_handles_ties_and_swaps() {
+        // a: 0 0 1 1, b: 5 7 7 9 — compatible (ties on a, b rises).
+        let a = [0u32, 0, 1, 1];
+        let b = [5u32, 7, 7, 9];
+        assert!(class_is_compatible(&[0, 1, 2, 3], &a, &b));
+        // b2: 5 7 6 9 — swap: row1 (a=0,b=7) vs row2 (a=1,b=6).
+        let b2 = [5u32, 7, 6, 9];
+        assert!(!class_is_compatible(&[0, 1, 2, 3], &a, &b2));
+        // Equal a values never swap even with wild b.
+        let a3 = [4u32, 4, 4, 4];
+        assert!(class_is_compatible(&[0, 1, 2, 3], &a3, &b2));
+        // Singleton and pair classes.
+        assert!(class_is_compatible(&[2], &a, &b2));
+        assert!(class_is_compatible(&[0, 1], &a, &b2));
+    }
+
+    #[test]
+    fn swap_detection_needs_strictly_smaller_b_in_later_group() {
+        // a: 0 1, b: 3 3 — equal b across groups is fine (non-decreasing).
+        assert!(class_is_compatible(&[0, 1], &[0, 1], &[3, 3]));
+        // a: 0 1, b: 3 2 — genuine swap.
+        assert!(!class_is_compatible(&[0, 1], &[0, 1], &[3, 2]));
+    }
+
+    #[test]
+    fn partition_od_check_agrees_with_sort_based_checker() {
+        let rel = rel_from(&[
+            &[1, 10, 100],
+            &[2, 10, 200],
+            &[2, 10, 200],
+            &[3, 20, 300],
+            &[4, 20, 100],
+        ]);
+        let ids: Vec<AttrId> = rel.schema().attr_ids().collect();
+        let lists: Vec<AttrList> = vec![
+            AttrList::empty(),
+            AttrList::new([ids[0]]),
+            AttrList::new([ids[1]]),
+            AttrList::new([ids[2]]),
+            AttrList::new([ids[0], ids[1]]),
+            AttrList::new([ids[1], ids[2]]),
+            AttrList::new([ids[2], ids[0]]),
+        ];
+        let mut cache = PartitionCache::new(&rel);
+        for lhs in &lists {
+            for rhs in &lists {
+                let od = OrderDependency::new(lhs.clone(), rhs.clone());
+                assert_eq!(
+                    od_holds_with_partitions(&mut cache, &od),
+                    od_holds(&rel, &od),
+                    "disagreement on {od}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_relations_satisfy_everything() {
+        let rel = rel_from(&[&[1, 2]]);
+        let ids: Vec<AttrId> = rel.schema().attr_ids().collect();
+        let mut cache = PartitionCache::new(&rel);
+        let od = OrderDependency::new(vec![ids[1]], vec![ids[0]]);
+        assert!(od_holds_with_partitions(&mut cache, &od));
+        let empty = rel_from(&[]);
+        let mut cache2 = PartitionCache::new(&empty);
+        assert!(od_holds_with_partitions(
+            &mut cache2,
+            &OrderDependency::new(AttrList::empty(), AttrList::empty())
+        ));
+    }
+}

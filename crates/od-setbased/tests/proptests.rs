@@ -1,0 +1,121 @@
+//! Property-based differential tests: the partition-backed validators must
+//! agree with `od-core`'s sort-based split/swap checker on arbitrary inputs,
+//! and the canonical translation must be exact.
+
+use od_core::check::od_holds;
+use od_core::{AttrId, AttrList, OrderDependency, Relation, Schema, Value};
+use od_setbased::{
+    discover_statements, od_holds_with_partitions, translate_od, LatticeConfig, PartitionCache,
+    SetBasedEngine,
+};
+use proptest::prelude::*;
+
+/// Strategy: a relation with `cols` integer columns and up to `max_rows` rows
+/// of small values (small domains make splits and swaps likely).
+fn relation_strategy(cols: usize, max_rows: usize) -> impl Strategy<Value = Relation> {
+    prop::collection::vec(prop::collection::vec(0i64..4, cols), 0..max_rows).prop_map(move |rows| {
+        let mut schema = Schema::new("prop");
+        for i in 0..cols {
+            schema.add_attr(format!("c{i}"));
+        }
+        Relation::from_rows(
+            schema,
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Value::Int).collect()),
+        )
+        .expect("arity is fixed by construction")
+    })
+}
+
+/// Strategy: an attribute list over `cols` columns with length up to `max_len`
+/// (duplicates allowed — normalization is part of what is under test).
+fn list_strategy(cols: usize, max_len: usize) -> impl Strategy<Value = AttrList> {
+    prop::collection::vec(0u32..cols as u32, 0..=max_len)
+        .prop_map(|ids| ids.into_iter().map(AttrId).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The memoizing engine answers exactly like the sort-based checker.
+    #[test]
+    fn engine_agrees_with_sort_based_checker(
+        rel in relation_strategy(4, 9),
+        lhs in list_strategy(4, 3),
+        rhs in list_strategy(4, 3),
+    ) {
+        let od = OrderDependency::new(lhs, rhs);
+        let mut engine = SetBasedEngine::new(&rel);
+        prop_assert_eq!(engine.od_holds(&od), od_holds(&rel, &od));
+    }
+
+    /// Statement memoization never changes verdicts: asking many ODs through
+    /// one engine gives the same answers as fresh engines per OD.
+    #[test]
+    fn memoization_is_transparent(
+        rel in relation_strategy(3, 8),
+        lists in prop::collection::vec(prop::collection::vec(0u32..3, 0..=2), 0..8),
+    ) {
+        let lists: Vec<AttrList> =
+            lists.into_iter().map(|ids| ids.into_iter().map(AttrId).collect()).collect();
+        let mut shared = SetBasedEngine::new(&rel);
+        for lhs in &lists {
+            for rhs in &lists {
+                let od = OrderDependency::new(lhs.clone(), rhs.clone());
+                let mut fresh = SetBasedEngine::new(&rel);
+                prop_assert_eq!(shared.od_holds(&od), fresh.od_holds(&od));
+            }
+        }
+    }
+
+    /// The sorted-partition whole-OD validator agrees with the checker.
+    #[test]
+    fn sorted_partition_validation_agrees(
+        rel in relation_strategy(4, 9),
+        lhs in list_strategy(4, 3),
+        rhs in list_strategy(4, 3),
+    ) {
+        let od = OrderDependency::new(lhs, rhs);
+        let mut cache = PartitionCache::new(&rel);
+        prop_assert_eq!(od_holds_with_partitions(&mut cache, &od), od_holds(&rel, &od));
+    }
+
+    /// The canonical translation is exact: an OD holds iff every translated
+    /// statement holds (checked through the statements' own list-OD forms).
+    #[test]
+    fn translation_round_trips_through_instances(
+        rel in relation_strategy(4, 9),
+        lhs in list_strategy(4, 3),
+        rhs in list_strategy(4, 3),
+    ) {
+        let od = OrderDependency::new(lhs, rhs);
+        let all_statements_hold = translate_od(&od)
+            .iter()
+            .all(|stmt| stmt.as_list_ods().iter().all(|od| od_holds(&rel, od)));
+        prop_assert_eq!(od_holds(&rel, &od), all_statements_hold);
+    }
+
+    /// Everything the lattice reports holds on the instance, and its `holds`
+    /// query is complete for statements within the context bound.
+    #[test]
+    fn lattice_is_sound_and_complete_within_bound(
+        rel in relation_strategy(3, 8),
+        lhs in list_strategy(3, 2),
+        rhs in list_strategy(3, 2),
+    ) {
+        let profile = discover_statements(&rel, &LatticeConfig::default());
+        for stmt in profile.minimal_statements() {
+            for od in stmt.as_list_ods() {
+                prop_assert!(od_holds(&rel, &od), "{} does not hold", stmt);
+            }
+        }
+        // Completeness via the translation: for any OD whose statements all sit
+        // within the bound, lattice verdicts must reproduce the checker.
+        let od = OrderDependency::new(lhs, rhs);
+        let stmts = translate_od(&od);
+        if stmts.iter().all(|s| s.context().len() <= profile.max_context()) {
+            let lattice_verdict = stmts.iter().all(|s| profile.holds(s));
+            prop_assert_eq!(lattice_verdict, od_holds(&rel, &od), "on {}", od);
+        }
+    }
+}

@@ -15,8 +15,18 @@ use od_optimizer::{names_to_list, OdRegistry};
 
 /// English month names (1-based indexing into the array with `month - 1`).
 pub const MONTH_NAMES: [&str; 12] = [
-    "January", "February", "March", "April", "May", "June", "July", "August", "September",
-    "October", "November", "December",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 
 /// Column layout of the generated date dimension.
@@ -73,11 +83,27 @@ pub fn figure_2_ods(schema: &Schema) -> Vec<(String, OrderDependency)> {
     };
     vec![
         od("date ↦ [year]", &["d_date"], &["d_year"]),
-        od("date ↦ [year, quarter]", &["d_date"], &["d_year", "d_quarter"]),
+        od(
+            "date ↦ [year, quarter]",
+            &["d_date"],
+            &["d_year", "d_quarter"],
+        ),
         od("date ↦ [year, month]", &["d_date"], &["d_year", "d_month"]),
-        od("date ↦ [year, quarter, month]", &["d_date"], &["d_year", "d_quarter", "d_month"]),
-        od("date ↦ [year, week]", &["d_date"], &["d_year", "d_week_of_year"]),
-        od("date ↦ [year, day_of_year]", &["d_date"], &["d_year", "d_day_of_year"]),
+        od(
+            "date ↦ [year, quarter, month]",
+            &["d_date"],
+            &["d_year", "d_quarter", "d_month"],
+        ),
+        od(
+            "date ↦ [year, week]",
+            &["d_date"],
+            &["d_year", "d_week_of_year"],
+        ),
+        od(
+            "date ↦ [year, day_of_year]",
+            &["d_date"],
+            &["d_year", "d_day_of_year"],
+        ),
         od(
             "date ↦ [year, month, day_of_month]",
             &["d_date"],
@@ -89,10 +115,18 @@ pub fn figure_2_ods(schema: &Schema) -> Vec<(String, OrderDependency)> {
             &["d_year", "d_day_of_year"],
             &["d_year", "d_month"],
         ),
-        od("day_of_year ↦ week", &["d_day_of_year"], &["d_week_of_year"]),
+        od(
+            "day_of_year ↦ week",
+            &["d_day_of_year"],
+            &["d_week_of_year"],
+        ),
         od("sk ↦ date", &["d_date_sk"], &["d_date"]),
         od("date ↦ sk", &["d_date"], &["d_date_sk"]),
-        od("sk ↦ [year, quarter, month, day_of_month]", &["d_date_sk"], &["d_year", "d_quarter", "d_month", "d_day_of_month"]),
+        od(
+            "sk ↦ [year, quarter, month, day_of_month]",
+            &["d_date_sk"],
+            &["d_year", "d_quarter", "d_month", "d_day_of_month"],
+        ),
     ]
 }
 
@@ -145,7 +179,11 @@ pub fn register_date_constraints(registry: &mut OdRegistry, schema: &Schema) {
     registry.declare_equivalence(schema, &["d_date_sk"], &["d_date"]);
     registry.declare_od(schema, &["d_month"], &["d_quarter"]);
     registry.declare_od(schema, &["d_date"], &["d_year", "d_quarter", "d_month"]);
-    registry.declare_od(schema, &["d_date"], &["d_year", "d_month", "d_day_of_month"]);
+    registry.declare_od(
+        schema,
+        &["d_date"],
+        &["d_year", "d_month", "d_day_of_month"],
+    );
     registry.declare_fd(schema, &["d_month"], &["d_month_name"]);
 }
 
@@ -198,7 +236,10 @@ mod tests {
     fn figure_2_ods_hold_on_generated_data() {
         let rel = generate_date_dim(1998, 3 * 365, 2_450_000);
         for (name, od) in figure_2_ods(rel.schema()) {
-            assert!(od_holds(&rel, &od), "{name} must hold on the generated calendar");
+            assert!(
+                od_holds(&rel, &od),
+                "{name} must hold on the generated calendar"
+            );
         }
     }
 
@@ -231,7 +272,11 @@ mod tests {
     fn date_dim_table_indexes_are_ordered() {
         let t = date_dim_table(2001, 400, 10_000);
         for ix in &t.indexes {
-            assert!(t.index_order_is_sorted(ix), "index {} must be sorted", ix.name);
+            assert!(
+                t.index_order_is_sorted(ix),
+                "index {} must be sorted",
+                ix.name
+            );
         }
         assert_eq!(t.row_count(), 400);
     }

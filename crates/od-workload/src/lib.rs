@@ -17,6 +17,8 @@ pub mod dates;
 pub mod star;
 pub mod tax;
 
-pub use dates::{daily_sales_table, date_dim_table, figure_2_ods, figure_2_odset, generate_date_dim};
+pub use dates::{
+    daily_sales_table, date_dim_table, figure_2_ods, figure_2_odset, generate_date_dim,
+};
 pub use star::{build_warehouse, date_query_suite, SuiteQuery, Warehouse, WarehouseConfig};
 pub use tax::{generate_taxes, tax_odset, tax_table};

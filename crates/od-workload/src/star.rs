@@ -95,7 +95,9 @@ pub fn build_warehouse(config: WarehouseConfig) -> Warehouse {
     }
     let fact_rel = Relation::from_rows(schema.clone(), rows).expect("generator arity");
     let mut fact = Table::new(fact_rel);
-    let sk = schema.attr_by_name("ss_sold_date_sk").expect("column exists");
+    let sk = schema
+        .attr_by_name("ss_sold_date_sk")
+        .expect("column exists");
     fact.partition_by(sk, config.fact_partitions);
 
     let mut catalog = Catalog::new();
@@ -105,7 +107,11 @@ pub fn build_warehouse(config: WarehouseConfig) -> Warehouse {
     let mut registry = OdRegistry::new();
     register_date_constraints(&mut registry, &dim_schema);
 
-    Warehouse { catalog, registry, config }
+    Warehouse {
+        catalog,
+        registry,
+        config,
+    }
 }
 
 /// One query of the date-predicate suite.
@@ -126,8 +132,18 @@ pub struct SuiteQuery {
 /// groups the fact table by item and sums quantities — the pattern the paper
 /// reports 13 (later 18) TPC-DS queries share.
 pub fn date_query_suite(wh: &Warehouse) -> Vec<SuiteQuery> {
-    let dim_schema = wh.catalog.table("date_dim").expect("dimension exists").schema().clone();
-    let fact = wh.catalog.table("store_sales").expect("fact exists").schema().clone();
+    let dim_schema = wh
+        .catalog
+        .table("date_dim")
+        .expect("dimension exists")
+        .schema()
+        .clone();
+    let fact = wh
+        .catalog
+        .table("store_sales")
+        .expect("fact exists")
+        .schema()
+        .clone();
     let col = |s: &Schema, n: &str| s.attr_by_name(n).expect("column exists");
 
     let start = days_from_date(wh.config.start_year, 1, 1);
@@ -141,7 +157,7 @@ pub fn date_query_suite(wh: &Warehouse) -> Vec<SuiteQuery> {
             _ => 365,
         }
         .min(total_days - 1);
-        let offset = (i as i32 * 97) % (total_days - width_days).max(1);
+        let offset = (i * 97) % (total_days - width_days).max(1);
         let lo = start + offset;
         let hi = lo + width_days;
         out.push(SuiteQuery {
@@ -185,7 +201,12 @@ mod tests {
         let wh = small();
         assert_eq!(wh.catalog.table("date_dim").unwrap().row_count(), 200);
         assert_eq!(wh.catalog.table("store_sales").unwrap().row_count(), 3_000);
-        assert!(wh.catalog.table("store_sales").unwrap().partitioning.is_some());
+        assert!(wh
+            .catalog
+            .table("store_sales")
+            .unwrap()
+            .partitioning
+            .is_some());
     }
 
     #[test]
@@ -208,13 +229,21 @@ mod tests {
                 .unwrap_or_else(|| panic!("{} must match the rewrite conditions", sq.name));
             let (b1, m1) = execute(&baseline, &wh.catalog);
             let (b2, m2) = execute(&optimized, &wh.catalog);
-            assert!(same_results(&b1, &b2), "{}: results must be identical", sq.name);
+            assert!(
+                same_results(&b1, &b2),
+                "{}: results must be identical",
+                sq.name
+            );
             assert!(
                 m2.rows_scanned <= m1.rows_scanned,
                 "{}: the rewrite must not scan more rows",
                 sq.name
             );
-            assert!(m2.join_input_rows == 0, "{}: the rewrite removes the join", sq.name);
+            assert!(
+                m2.join_input_rows == 0,
+                "{}: the rewrite removes the join",
+                sq.name
+            );
         }
     }
 }

@@ -10,18 +10,31 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// A progressive tax schedule: bracket thresholds and marginal rates (percent).
-pub const BRACKETS: [(i64, i64); 5] = [(0, 10), (20_000, 15), (50_000, 25), (100_000, 33), (200_000, 40)];
+pub const BRACKETS: [(i64, i64); 5] = [
+    (0, 10),
+    (20_000, 15),
+    (50_000, 25),
+    (100_000, 33),
+    (200_000, 40),
+];
 
 /// Tax bracket (1-based) for an income.
 pub fn bracket_of(income: i64) -> i64 {
-    BRACKETS.iter().rposition(|(lo, _)| income >= *lo).unwrap_or(0) as i64 + 1
+    BRACKETS
+        .iter()
+        .rposition(|(lo, _)| income >= *lo)
+        .unwrap_or(0) as i64
+        + 1
 }
 
 /// Total tax payable for an income under the progressive schedule.
 pub fn payable_of(income: i64) -> i64 {
     let mut tax = 0i64;
     for (i, (lo, rate)) in BRACKETS.iter().enumerate() {
-        let hi = BRACKETS.get(i + 1).map(|(next, _)| *next).unwrap_or(i64::MAX);
+        let hi = BRACKETS
+            .get(i + 1)
+            .map(|(next, _)| *next)
+            .unwrap_or(i64::MAX);
         if income > *lo {
             let taxed = income.min(hi) - lo;
             tax += taxed * rate / 100;
@@ -61,8 +74,14 @@ pub fn generate_taxes(n: usize, seed: u64) -> Relation {
 /// The Example 5 ODs.
 pub fn tax_ods(schema: &Schema) -> Vec<OrderDependency> {
     vec![
-        OrderDependency::new(names_to_list(schema, &["income"]), names_to_list(schema, &["bracket"])),
-        OrderDependency::new(names_to_list(schema, &["income"]), names_to_list(schema, &["payable"])),
+        OrderDependency::new(
+            names_to_list(schema, &["income"]),
+            names_to_list(schema, &["bracket"]),
+        ),
+        OrderDependency::new(
+            names_to_list(schema, &["income"]),
+            names_to_list(schema, &["payable"]),
+        ),
     ]
 }
 
@@ -134,7 +153,9 @@ mod tests {
     fn tax_table_index_provides_income_order() {
         let t = tax_table(200, 3);
         let schema = t.schema().clone();
-        assert!(t.index_providing_order(&names_to_list(&schema, &["income"])).is_some());
+        assert!(t
+            .index_providing_order(&names_to_list(&schema, &["income"]))
+            .is_some());
         assert!(t.index_order_is_sorted(&t.indexes[0]));
     }
 }

@@ -1,0 +1,268 @@
+//! Minimal, dependency-free stand-in for the subset of the `criterion` bench
+//! API the workspace's benches use (the build environment has no network access
+//! to crates.io).
+//!
+//! Measurement model: each benchmark warms up for `warm_up_time`, then runs
+//! timed batches until `measurement_time` elapses or `sample_size` samples are
+//! collected, and reports min / median / mean per-iteration wall time.  When the
+//! binary is invoked by `cargo test` (any `--test` flag present) every benchmark
+//! runs exactly one iteration so test runs stay fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a computed value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark (`group/function/parameter`).
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the routine.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    config: BenchConfig,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, collecting per-iteration samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.config.test_mode {
+            black_box(routine());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        // Warm-up: run untimed until the warm-up budget is spent.
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+        }
+        let deadline = Instant::now() + self.config.measurement_time;
+        while self.samples.len() < self.config.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() >= deadline && !self.samples.is_empty() {
+                break;
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct BenchConfig {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            sample_size: 20,
+            test_mode: false,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: BenchConfig,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the warm-up duration.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.config.warm_up_time = t;
+        self
+    }
+
+    /// Set the measurement-time budget.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    /// Set the target number of samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher<'_>)) {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            config: self.config,
+        };
+        f(&mut b);
+        report(&self.name, &id, &samples, self.config.test_mode);
+    }
+
+    /// Benchmark a routine under a plain name.
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnOnce(&mut Bencher<'_>)) {
+        self.run_one(id.to_string(), f);
+    }
+
+    /// Benchmark a routine parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher<'_>, &I),
+    ) {
+        self.run_one(id.to_string(), |b| f(b, input));
+    }
+
+    /// Finish the group (formatting parity with criterion; no-op here).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, samples: &[Duration], test_mode: bool) {
+    if test_mode {
+        println!("{group}/{id}: ok (test mode, 1 iteration)");
+        return;
+    }
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples collected");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{group}/{id}: min {min:?}  median {median:?}  mean {mean:?}  ({} samples)",
+        sorted.len()
+    );
+}
+
+/// Top-level bench context handed to `criterion_group!` functions.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs bench binaries with `--test`; `cargo bench` passes
+        // `--bench`.  In test mode each benchmark executes a single iteration.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let config = BenchConfig {
+            test_mode: self.test_mode,
+            ..BenchConfig::default()
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            config,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a routine outside any group.
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnOnce(&mut Bencher<'_>)) {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// Collect bench functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($f:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($f(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every registered group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        group
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2))
+            .sample_size(3);
+        let mut ran = 0usize;
+        group.bench_function("f", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("g", 42), &42, |b, &n| b.iter(|| n * 2));
+        group.finish();
+        assert_eq!(ran, 1, "test mode runs exactly one iteration");
+    }
+
+    #[test]
+    fn timed_mode_collects_samples() {
+        let mut samples = Vec::new();
+        let config = BenchConfig {
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(5),
+            sample_size: 4,
+            test_mode: false,
+        };
+        let mut b = Bencher {
+            samples: &mut samples,
+            config,
+        };
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert!(!samples.is_empty());
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 365).to_string(), "f/365");
+    }
+}

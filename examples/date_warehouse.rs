@@ -41,9 +41,16 @@ fn main() {
     let (b2, m2) = execute(&optimized, &catalog);
     let t2 = t.elapsed();
 
-    println!("baseline : {t1:?}  sorts={} ({} rows sorted)", m1.sorts_performed, m1.sort_rows);
+    println!(
+        "baseline : {t1:?}  sorts={} ({} rows sorted)",
+        m1.sorts_performed, m1.sort_rows
+    );
     println!("OD plan  : {t2:?}  sorts={}", m2.sorts_performed);
-    println!("identical results: {} ({} groups)", same_results(&b1, &b2), b1.len());
+    println!(
+        "identical results: {} ({} groups)",
+        same_results(&b1, &b2),
+        b1.len()
+    );
     println!("first rows:");
     for row in b1.rows.iter().take(4) {
         println!("  {row:?}");

@@ -8,14 +8,23 @@ use od_engine::execute;
 use od_workload::{build_warehouse, date_query_suite, WarehouseConfig};
 
 fn main() {
-    let mut wh = build_warehouse(WarehouseConfig { fact_rows: 80_000, ..WarehouseConfig::default() });
+    let mut wh = build_warehouse(WarehouseConfig {
+        fact_rows: 80_000,
+        ..WarehouseConfig::default()
+    });
     let suite = date_query_suite(&wh);
-    println!("{:<6} {:>12} {:>12} {:>8} {:>16}", "query", "baseline", "rewritten", "gain%", "partitions");
+    println!(
+        "{:<6} {:>12} {:>12} {:>8} {:>16}",
+        "query", "baseline", "rewritten", "gain%", "partitions"
+    );
 
     let mut gains = Vec::new();
     for sq in suite.iter().filter(|q| q.core) {
         let baseline = sq.query.plan_baseline();
-        let rewritten = sq.query.plan_optimized(&wh.catalog, &mut wh.registry).expect("rewrite applies");
+        let rewritten = sq
+            .query
+            .plan_optimized(&wh.catalog, &mut wh.registry)
+            .expect("rewrite applies");
         let t = std::time::Instant::now();
         let (b1, _) = execute(&baseline, &wh.catalog);
         let t1 = t.elapsed();
@@ -32,5 +41,12 @@ fn main() {
     }
     let avg = gains.iter().sum::<f64>() / gains.len() as f64;
     println!("\naverage gain over the 13-query core set: {avg:.1}%  (the paper's DB2 prototype reported 48%)");
-    println!("\nexample rewritten plan:\n{}", suite[0].query.plan_optimized(&wh.catalog, &mut wh.registry).unwrap().explain());
+    println!(
+        "\nexample rewritten plan:\n{}",
+        suite[0]
+            .query
+            .plan_optimized(&wh.catalog, &mut wh.registry)
+            .unwrap()
+            .explain()
+    );
 }

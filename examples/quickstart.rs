@@ -14,9 +14,14 @@ fn main() {
     let payable = schema.add_attr("payable");
     let rel = Relation::from_rows(
         schema.clone(),
-        [(9_000, 1, 900), (32_000, 2, 4_800), (75_000, 3, 15_000), (120_000, 4, 30_000)]
-            .iter()
-            .map(|&(i, b, p)| vec![Value::Int(i), Value::Int(b), Value::Int(p)]),
+        [
+            (9_000, 1, 900),
+            (32_000, 2, 4_800),
+            (75_000, 3, 15_000),
+            (120_000, 4, 30_000),
+        ]
+        .iter()
+        .map(|&(i, b, p)| vec![Value::Int(i), Value::Int(b), Value::Int(p)]),
     )
     .unwrap();
 
@@ -24,9 +29,21 @@ fn main() {
     let od1 = OrderDependency::new(vec![income], vec![bracket]);
     let od2 = OrderDependency::new(vec![income], vec![payable]);
     let bad = OrderDependency::new(vec![bracket], vec![payable, income]);
-    println!("{}  holds: {}", od1.display(&schema), check::od_holds(&rel, &od1));
-    println!("{}  holds: {}", od2.display(&schema), check::od_holds(&rel, &od2));
-    println!("{}  -> {:?}", bad.display(&schema), check::check_od(&rel, &bad));
+    println!(
+        "{}  holds: {}",
+        od1.display(&schema),
+        check::od_holds(&rel, &od1)
+    );
+    println!(
+        "{}  holds: {}",
+        od2.display(&schema),
+        check::od_holds(&rel, &od2)
+    );
+    println!(
+        "{}  -> {:?}",
+        bad.display(&schema),
+        check::check_od(&rel, &bad)
+    );
 
     // 2. Reason about consequences: ℳ ⊨ income ↦ [bracket, payable] (Theorem 2).
     let m = OdSet::from_ods([od1, od2]);
@@ -36,7 +53,9 @@ fn main() {
         Outcome::Proved(proof) => {
             println!("\n{} is implied; axiom-level proof:", goal.display(&schema));
             print!("{proof}");
-            proof.verify(&m.ods()).expect("the proof replays under the six axioms");
+            proof
+                .verify(&m.ods())
+                .expect("the proof replays under the six axioms");
         }
         other => println!("\nunexpected outcome: {other:?}"),
     }

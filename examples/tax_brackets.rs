@@ -30,7 +30,12 @@ fn main() {
 
     // Discover ODs from the data alone.
     let found = discover_ods(&rel, DiscoveryConfig::default());
-    println!("\ndiscovered {} minimal ODs ({} candidates, {} validated):", found.ods.len(), found.candidates, found.validated);
+    println!(
+        "\ndiscovered {} minimal ODs ({} candidates, {} validated):",
+        found.ods.len(),
+        found.candidates,
+        found.validated
+    );
     for od in &found.ods {
         println!("  {}", od.display(&schema));
     }
@@ -40,8 +45,14 @@ fn main() {
         name: "effective_rate_scaled".into(),
         id: od_core::AttrId(schema.arity() as u32),
         expr: Expr::Add(
-            Box::new(Expr::Div(Box::new(Expr::col(income)), Box::new(Expr::lit(100i64)))),
-            Box::new(Expr::Sub(Box::new(Expr::col(income)), Box::new(Expr::lit(3i64)))),
+            Box::new(Expr::Div(
+                Box::new(Expr::col(income)),
+                Box::new(Expr::lit(100i64)),
+            )),
+            Box::new(Expr::Sub(
+                Box::new(Expr::col(income)),
+                Box::new(Expr::lit(3i64)),
+            )),
         ),
     };
     assert_eq!(monotonicity(&g.expr, income), Monotonicity::Increasing);

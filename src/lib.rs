@@ -10,15 +10,20 @@
 //! * [`engine`](od_engine) — a small relational execution engine,
 //! * [`optimizer`](od_optimizer) — OD-driven query rewrites,
 //! * [`discovery`](od_discovery) — OD/FD discovery from data,
+//! * [`setbased`](od_setbased) — the partition-powered set-based discovery
+//!   subsystem (stripped partitions, canonical statements, level-wise lattice),
 //! * [`workload`](od_workload) — the date-warehouse and tax workloads used by
 //!   the experiments.
 //!
-//! See `examples/quickstart.rs` for a guided tour and `DESIGN.md` /
-//! `EXPERIMENTS.md` for the mapping back to the paper.
+//! See the `examples/` directory for guided tours (`tax_brackets`,
+//! `date_warehouse`, `query_rewrites`, `armstrong_witness`,
+//! `discovery_setbased`) and `DESIGN.md` for the crate map, the set-based
+//! discovery architecture, and the experiment index.
 
 pub use od_core as core;
 pub use od_discovery as discovery;
 pub use od_engine as engine;
 pub use od_infer as infer;
 pub use od_optimizer as optimizer;
+pub use od_setbased as setbased;
 pub use od_workload as workload;

@@ -22,7 +22,10 @@ fn example_1_end_to_end() {
 
     let order = od_optimizer::names_to_list(&schema, &["year", "quarter", "month"]);
     let reduced = reduce_order_by_od(&order, "daily_sales", &mut registry);
-    assert_eq!(reduced, od_optimizer::names_to_list(&schema, &["year", "month"]));
+    assert_eq!(
+        reduced,
+        od_optimizer::names_to_list(&schema, &["year", "month"])
+    );
 
     let rev = schema.attr_by_name("revenue").unwrap();
     let q = aggregation_query(
@@ -90,7 +93,11 @@ fn prover_decider_and_witness_table_agree() {
 
     for od in enumerate_ods(&universe, 2) {
         let implied = decider.implies(&od);
-        assert_eq!(implied, od_holds(&table, &od), "witness table disagrees on {od}");
+        assert_eq!(
+            implied,
+            od_holds(&table, &od),
+            "witness table disagrees on {od}"
+        );
         match prover.prove(&od) {
             Outcome::Proved(proof) => {
                 assert!(implied, "prover proved a non-consequence: {od}");
@@ -117,12 +124,19 @@ fn discovery_is_consistent_with_declared_constraints() {
     let declared = od_workload::tax::tax_odset(&schema);
     let found = od_discovery::discover_ods(
         &rel,
-        od_discovery::DiscoveryConfig { max_lhs: 1, max_rhs: 1, prune_implied: false },
+        od_discovery::DiscoveryConfig {
+            max_lhs: 1,
+            max_rhs: 1,
+            prune_implied: false,
+            ..Default::default()
+        },
     );
     // Everything declared (and within the discovery bounds) is found.
     let income = schema.attr_by_name("income").unwrap();
     let bracket = schema.attr_by_name("bracket").unwrap();
-    assert!(found.ods.contains(&OrderDependency::new(vec![income], vec![bracket])));
+    assert!(found
+        .ods
+        .contains(&OrderDependency::new(vec![income], vec![bracket])));
     // Everything found genuinely holds (discovery never fabricates ODs).
     for od in &found.ods {
         assert!(od_holds(&rel, od));

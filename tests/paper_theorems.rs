@@ -13,8 +13,12 @@ fn relation_strategy(cols: usize, max_rows: usize) -> impl Strategy<Value = Rela
         for i in 0..cols {
             schema.add_attr(format!("c{i}"));
         }
-        Relation::from_rows(schema, rows.into_iter().map(|r| r.into_iter().map(Value::Int).collect()))
-            .unwrap()
+        Relation::from_rows(
+            schema,
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Value::Int).collect()),
+        )
+        .unwrap()
     })
 }
 
