@@ -1,11 +1,15 @@
 //! E10 bench — naive (sort-per-candidate) vs set-based (partition-backed)
-//! OD discovery on the tax and date-warehouse workloads, width-2 candidates.
+//! OD discovery on the tax and date-warehouse workloads, width-2 candidates,
+//! plus the approximate (`g3`-thresholded) variant on dirtied data.
 //!
 //! The set-based engine validates canonical statements once each and shares
 //! them across candidates, so its advantage grows with both row count and the
-//! number of enumerated candidates.
+//! number of enumerated candidates.  The approximate entries measure the cost
+//! of evidence collection: instead of bailing at the first violation, rejected
+//! statements are scanned until the error budget is exhausted.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use od_core::{Relation, Value};
 use od_discovery::{discover_ods, DiscoveryConfig, DiscoveryEngine};
 use od_workload::{generate_date_dim, tax};
 use std::time::Duration;
@@ -16,6 +20,17 @@ fn config(engine: DiscoveryEngine, parallel: bool) -> DiscoveryConfig {
         parallel,
         ..Default::default()
     }
+}
+
+/// Corrupt roughly one row in a hundred (deterministically) so exact ODs break
+/// and approximate discovery has real work to do.
+fn corrupt(mut rel: Relation, column: usize) -> Relation {
+    for (i, row) in rel.tuples_mut().iter_mut().enumerate() {
+        if i % 101 == 7 {
+            row[column] = Value::Int(-1 - (i as i64 % 13));
+        }
+    }
+    rel
 }
 
 fn bench(c: &mut Criterion) {
@@ -53,6 +68,39 @@ fn bench(c: &mut Criterion) {
             },
         );
     }
+
+    // Approximate discovery on dirtied taxes: ε = 2% against ~1% corrupted
+    // rows, compared with the exact run on the same dirty data (which rejects
+    // the corrupted ODs early) — the price of evidence over early exit.
+    let dirty = corrupt(tax::generate_taxes(10_000, 7), 1);
+    group.bench_with_input(
+        BenchmarkId::new("taxes_dirty_exact", 10_000),
+        &10_000,
+        |b, _| {
+            b.iter(|| {
+                discover_ods(&dirty, config(DiscoveryEngine::SetBased, false))
+                    .ods
+                    .len()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("taxes_dirty_eps2pct", 10_000),
+        &10_000,
+        |b, _| {
+            b.iter(|| {
+                discover_ods(
+                    &dirty,
+                    DiscoveryConfig {
+                        epsilon: 0.02,
+                        ..config(DiscoveryEngine::SetBased, false)
+                    },
+                )
+                .ods
+                .len()
+            })
+        },
+    );
 
     // The date warehouse has 9 attributes, so width-2 enumeration produces
     // thousands of candidates — the regime the statement memoization targets.

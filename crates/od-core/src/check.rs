@@ -193,6 +193,206 @@ pub fn fd_holds(rel: &Relation, fd: &FunctionalDependency) -> bool {
     check_fd(rel, fd).is_ok()
 }
 
+/// Aggregate violation evidence for one OD check: how many tuple pairs
+/// violate it (by kind), the minimal number of tuples to remove so it holds
+/// (the TANE-style `g3` numerator), and a bounded witness sample.
+///
+/// This is the sort-based oracle counterpart of `od-setbased`'s per-statement
+/// `Verdict`: it measures the violation of a **whole** list OD `X ↦ Y`, which
+/// the partition engine approximates per canonical statement.  Differential
+/// tests pin the two against each other (a single canonical statement's
+/// removal count equals the removal count of its defining list OD).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OdEvidence {
+    /// Tuple pairs equal on `X` but not on `Y` (Definition 13 violations).
+    pub split_pairs: usize,
+    /// Tuple pairs ordered by `X` but inverted by `Y` (Definition 14 violations).
+    pub swap_pairs: usize,
+    /// Minimal number of tuples to remove so `X ↦ Y` holds on the remainder.
+    pub removal_count: usize,
+    /// Sampled violations (at most the requested cap).
+    pub witnesses: Vec<Violation>,
+}
+
+impl OdEvidence {
+    /// True when the OD holds exactly.
+    pub fn holds(&self) -> bool {
+        self.removal_count == 0
+    }
+
+    /// The `g3` error: fraction of tuples to remove (0 on empty relations).
+    pub fn g3(&self, n_rows: usize) -> f64 {
+        if n_rows == 0 {
+            0.0
+        } else {
+            self.removal_count as f64 / n_rows as f64
+        }
+    }
+}
+
+/// A Fenwick tree over dense ranks supporting prefix **sums** (pair counting)
+/// and prefix **maxima** (the weighted-chain DP); both uses are monotone
+/// point updates.
+struct Fenwick {
+    sums: Vec<usize>,
+    maxes: Vec<usize>,
+}
+
+impl Fenwick {
+    fn new(size: usize) -> Self {
+        Fenwick {
+            sums: vec![0; size + 1],
+            maxes: vec![0; size + 1],
+        }
+    }
+
+    /// Record `count` tuples at `rank` (0-based) and raise the rank's best
+    /// chain weight to `val`.
+    fn add(&mut self, rank: usize, count: usize, val: usize) {
+        let mut i = rank + 1;
+        while i < self.sums.len() {
+            self.sums[i] += count;
+            self.maxes[i] = self.maxes[i].max(val);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// `(count, max)` over ranks `0..=rank`.
+    fn prefix(&self, rank: usize) -> (usize, usize) {
+        let (mut count, mut max) = (0, 0);
+        let mut i = rank + 1;
+        while i > 0 {
+            count += self.sums[i];
+            max = max.max(self.maxes[i]);
+            i -= i & i.wrapping_neg();
+        }
+        (count, max)
+    }
+}
+
+/// Full violation evidence for `X ↦ Y` in `O(n log n · (|X| + |Y|))`:
+///
+/// * tuples are sorted by `X` and grouped into `X`-tie groups, and every tuple
+///   gets a dense rank of its `Y`-projection;
+/// * **split pairs** are counted per group as `C(g, 2) − Σ C(y, 2)` over the
+///   group's `Y`-rank multiplicities;
+/// * **swap pairs** are inversions of `Y`-rank across distinct `X`-groups,
+///   counted with a Fenwick pass in `X` order;
+/// * **removal count** is `n −` the maximum-weight valid chain: a kept set
+///   must take at most one `Y`-value per `X`-group (split freedom) with
+///   `Y`-ranks non-decreasing across groups (swap freedom), so the optimum is
+///   a weighted longest-non-decreasing-subsequence over `(group, Y-rank)`
+///   candidates, solved by a prefix-max DP on the same Fenwick tree.
+pub fn od_evidence(rel: &Relation, od: &OrderDependency, witness_cap: usize) -> OdEvidence {
+    let n = rel.len();
+    if n < 2 {
+        return OdEvidence::default();
+    }
+    let tuples = rel.tuples();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| lex_cmp(&tuples[a], &tuples[b], &od.lhs));
+
+    // Dense Y-ranks (equal rank ⟺ equal Y-projection).
+    let mut by_y: Vec<usize> = (0..n).collect();
+    by_y.sort_by(|&a, &b| lex_cmp(&tuples[a], &tuples[b], &od.rhs));
+    let mut y_rank = vec![0usize; n];
+    let mut rank = 0usize;
+    for w in 0..n {
+        if w > 0 && lex_cmp(&tuples[by_y[w]], &tuples[by_y[w - 1]], &od.rhs) != Ordering::Equal {
+            rank += 1;
+        }
+        y_rank[by_y[w]] = rank;
+    }
+    let n_ranks = rank + 1;
+
+    let mut evidence = OdEvidence::default();
+    let mut fenwick = Fenwick::new(n_ranks);
+    // Running max Y-rank over *previous* groups, for swap witnesses.
+    let mut prev_max: Option<(usize, usize)> = None; // (rank, row)
+    let mut members: Vec<(usize, usize)> = Vec::new(); // (y_rank, row) of one group
+    let mut processed = 0usize; // tuples inserted into the Fenwick so far
+    let mut best_chain = 0usize;
+
+    let mut group_start = 0usize;
+    for i in 1..=n {
+        let group_ended = i == n
+            || lex_cmp(&tuples[idx[i]], &tuples[idx[group_start]], &od.lhs) != Ordering::Equal;
+        if !group_ended {
+            continue;
+        }
+        members.clear();
+        members.extend(idx[group_start..i].iter().map(|&row| (y_rank[row], row)));
+        members.sort_unstable();
+        let g = members.len();
+
+        // Split pairs: all pairs minus the Y-agreeing ones; witness from two
+        // adjacent members with different ranks.
+        let mut same_rank_pairs = 0usize;
+        let mut run = 0usize;
+        for w in 0..g {
+            run += 1;
+            if w + 1 == g || members[w + 1].0 != members[w].0 {
+                same_rank_pairs += run * (run - 1) / 2;
+                run = 0;
+            }
+        }
+        evidence.split_pairs += g * (g - 1) / 2 - same_rank_pairs;
+        if evidence.witnesses.len() < witness_cap {
+            if let Some(w) = (1..g).find(|&w| members[w].0 != members[w - 1].0) {
+                evidence.witnesses.push(Violation::Split {
+                    s: members[w - 1].1,
+                    t: members[w].1,
+                });
+            }
+        }
+
+        // Swap pairs against earlier groups (strictly greater rank before a
+        // smaller one), plus the chain-DP candidates of this group.
+        let mut group_updates: Vec<(usize, usize, usize)> = Vec::new(); // (rank, run len, chain weight)
+        let mut run_start = 0usize;
+        for w in 0..g {
+            let (r, row) = members[w];
+            let (le_count, le_max) = fenwick.prefix(r);
+            evidence.swap_pairs += processed - le_count;
+            if evidence.witnesses.len() < witness_cap {
+                if let Some((mr, mrow)) = prev_max {
+                    if r < mr {
+                        evidence.witnesses.push(Violation::Swap { s: mrow, t: row });
+                    }
+                }
+            }
+            if w + 1 == g || members[w + 1].0 != r {
+                // Close the rank run: keeping this whole Y-subgroup after the
+                // best chain ending at rank ≤ r.
+                let run_len = w - run_start + 1;
+                group_updates.push((r, run_len, run_len + le_max));
+                run_start = w + 1;
+            }
+        }
+        // Apply the DP updates only after the whole group is scanned, so a
+        // chain never takes two different Y-values from one X-group.
+        for &(r, run_len, weight) in &group_updates {
+            best_chain = best_chain.max(weight);
+            fenwick.add(r, run_len, weight);
+        }
+        processed += g;
+        let top = members[g - 1];
+        prev_max = Some(match prev_max {
+            Some(m) if m.0 >= top.0 => m,
+            _ => top,
+        });
+        group_start = i;
+    }
+    evidence.removal_count = n - best_chain;
+    evidence
+}
+
+/// Minimal number of tuples to remove so `X ↦ Y` holds (the `g3` numerator) —
+/// see [`od_evidence`].
+pub fn od_removal_count(rel: &Relation, od: &OrderDependency) -> usize {
+    od_evidence(rel, od, 0).removal_count
+}
+
 /// Collect every violating pair (up to `limit`) for diagnostics and discovery.
 pub fn collect_violations(rel: &Relation, od: &OrderDependency, limit: usize) -> Vec<Violation> {
     let tuples = rel.tuples();
@@ -332,6 +532,116 @@ mod tests {
         assert!(od_holds(&rel, &od));
         let od2 = OrderDependency::new(AttrList::empty(), vec![ids[1]]);
         assert!(!od_holds(&rel, &od2));
+    }
+
+    /// Brute-force `g3` numerator: the smallest number of rows whose removal
+    /// makes the OD hold, by trying every keep-subset.
+    fn brute_force_removal(rel: &Relation, od: &OrderDependency) -> usize {
+        let n = rel.len();
+        assert!(n <= 12, "oracle is exponential");
+        let mut best = 0usize;
+        for mask in 0..(1u32 << n) {
+            let keep: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+            if keep.len() <= best {
+                continue;
+            }
+            let sub = Relation::from_rows(
+                rel.schema().clone(),
+                keep.iter().map(|&i| rel.tuple(i).clone()),
+            )
+            .unwrap();
+            if od_holds(&sub, od) {
+                best = keep.len();
+            }
+        }
+        n - best
+    }
+
+    #[test]
+    fn evidence_counts_match_the_pair_scan_and_the_brute_force_oracle() {
+        let cases: Vec<Vec<Vec<i64>>> = vec![
+            vec![
+                vec![1, 10],
+                vec![2, 20],
+                vec![3, 15],
+                vec![3, 15],
+                vec![4, 40],
+            ],
+            vec![vec![1, 3], vec![2, 2], vec![3, 1]],
+            vec![vec![10, 1], vec![10, 2], vec![20, 1], vec![20, 1]],
+            vec![vec![0, 0], vec![0, 0], vec![0, 0]],
+            vec![vec![5, 1], vec![4, 2], vec![3, 3], vec![2, 4], vec![1, 5]],
+        ];
+        for rows in cases {
+            let rows_refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+            let (rel, ids) = rel_from(&rows_refs);
+            for od in [
+                OrderDependency::new(vec![ids[0]], vec![ids[1]]),
+                OrderDependency::new(vec![ids[1]], vec![ids[0]]),
+                OrderDependency::new(vec![ids[0], ids[1]], vec![ids[1], ids[0]]),
+                OrderDependency::new(AttrList::empty(), vec![ids[1]]),
+            ] {
+                let ev = od_evidence(&rel, &od, 16);
+                let pairs = collect_violations(&rel, &od, usize::MAX);
+                let splits = pairs.iter().filter(|v| v.is_split()).count();
+                let swaps = pairs.iter().filter(|v| v.is_swap()).count();
+                assert_eq!(ev.split_pairs, splits, "splits of {od} on {rows_refs:?}");
+                assert_eq!(ev.swap_pairs, swaps, "swaps of {od} on {rows_refs:?}");
+                assert_eq!(ev.holds(), od_holds(&rel, &od), "holds of {od}");
+                assert_eq!(
+                    ev.removal_count,
+                    brute_force_removal(&rel, &od),
+                    "removal of {od} on {rows_refs:?}"
+                );
+                // Witnesses are genuine violations of the right kind.
+                for w in &ev.witnesses {
+                    let (s, t) = w.pair();
+                    match w {
+                        Violation::Split { .. } => {
+                            assert_eq!(
+                                lex_cmp(rel.tuple(s), rel.tuple(t), &od.lhs),
+                                Ordering::Equal
+                            );
+                            assert_ne!(
+                                lex_cmp(rel.tuple(s), rel.tuple(t), &od.rhs),
+                                Ordering::Equal
+                            );
+                        }
+                        Violation::Swap { .. } => {
+                            assert_eq!(
+                                lex_cmp(rel.tuple(s), rel.tuple(t), &od.lhs),
+                                Ordering::Less
+                            );
+                            assert_eq!(
+                                lex_cmp(rel.tuple(s), rel.tuple(t), &od.rhs),
+                                Ordering::Greater
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evidence_g3_and_degenerate_inputs() {
+        let (rel, ids) = rel_from(&[&[1, 3], &[2, 2], &[3, 1], &[4, 0]]);
+        let od = OrderDependency::new(vec![ids[0]], vec![ids[1]]);
+        let ev = od_evidence(&rel, &od, 2);
+        // Fully reversed column: keep one tuple.
+        assert_eq!(ev.removal_count, 3);
+        assert_eq!(ev.g3(rel.len()), 0.75);
+        assert_eq!(ev.witnesses.len(), 2, "cap respected");
+        assert_eq!(od_removal_count(&rel, &od), 3);
+        // Tiny relations carry no evidence.
+        let (single, sids) = rel_from(&[&[1, 2]]);
+        let ev1 = od_evidence(
+            &single,
+            &OrderDependency::new(vec![sids[0]], vec![sids[1]]),
+            4,
+        );
+        assert_eq!(ev1, OdEvidence::default());
+        assert_eq!(OdEvidence::default().g3(0), 0.0);
     }
 
     #[test]

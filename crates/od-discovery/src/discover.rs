@@ -22,11 +22,12 @@
 //! pruning, so they return the same minimal OD set — a property the
 //! differential proptests in `tests/differential.rs` enforce.
 
-use od_core::check::{check_fd, od_holds};
+use od_core::check::{check_fd, od_holds, od_removal_count};
 use od_core::{AttrId, FunctionalDependency, OrderDependency, Relation};
 use od_infer::witness::enumerate_lists;
 use od_infer::{Decider, OdSet};
-use od_setbased::SetBasedEngine;
+use od_optimizer::OdRegistry;
+use od_setbased::{error_budget, translate_od, SetBasedEngine};
 
 /// Which validation engine a discovery run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -46,12 +47,19 @@ pub struct DiscoveryConfig {
     pub max_lhs: usize,
     /// Maximum length of the right-hand side list.
     pub max_rhs: usize,
-    /// Skip candidates already implied by the confirmed ODs (axiom-based pruning).
+    /// Skip candidates already implied by the confirmed ODs (axiom-based
+    /// pruning; only sound — and only applied — when `epsilon == 0`, since
+    /// implication combines premises whose removal sets may differ).
     pub prune_implied: bool,
     /// Validation engine.
     pub engine: DiscoveryEngine,
     /// Shard large partition scans across threads (set-based engine only).
     pub parallel: bool,
+    /// `g3` error threshold: accept a candidate when each of its canonical
+    /// statements holds after removing at most `⌊ε·n⌋` tuples.  `0.0` (the
+    /// default) is exact discovery — bit-identical to the pre-approximation
+    /// behavior; `1.0` accepts everything.
+    pub epsilon: f64,
 }
 
 impl Default for DiscoveryConfig {
@@ -65,6 +73,7 @@ impl Default for DiscoveryConfig {
             prune_implied: true,
             engine: DiscoveryEngine::SetBased,
             parallel: false,
+            epsilon: 0.0,
         }
     }
 }
@@ -74,6 +83,14 @@ impl Default for DiscoveryConfig {
 pub struct Discovery {
     /// Minimal (non-implied) ODs confirmed on the instance.
     pub ods: Vec<OrderDependency>,
+    /// Per-OD `g3` error scores, aligned with [`Self::ods`]: the worst
+    /// canonical statement's removal fraction (all zeros in exact mode).
+    /// Always ≤ the configured ε; statements resolved by axiom inheritance
+    /// report their premise's removal, so a score can overstate — but never
+    /// understate — the statement-level error, which itself lower-bounds the
+    /// OD-level `g3` (the true value lies between the max and the sum of the
+    /// statement removals).
+    pub errors: Vec<f64>,
     /// Number of candidates enumerated.
     pub candidates: usize,
     /// Number of candidates validated against the data: every non-pruned
@@ -86,11 +103,52 @@ pub struct Discovery {
     pub statement_validations: usize,
 }
 
+impl Discovery {
+    /// Install the discovered ODs into an [`OdRegistry`] for `table`, making
+    /// the optimizer's sort-elimination and rewrite machinery benefit from
+    /// profiling without manual constraint declarations.
+    ///
+    /// Only ODs discovered with a zero error score are installed — an OD that
+    /// merely *approximately* holds is not a sound rewrite license.  Returns
+    /// the number installed.
+    pub fn install_into(&self, registry: &mut OdRegistry, table: &str) -> usize {
+        let mut installed = 0;
+        for (od, &err) in self.ods.iter().zip(self.errors.iter()) {
+            if err == 0.0 {
+                registry.add_od(table, od.clone());
+                installed += 1;
+            }
+        }
+        installed
+    }
+}
+
 /// Discover ODs holding on the relation, bounded by the configuration.
 pub fn discover_ods(rel: &Relation, config: DiscoveryConfig) -> Discovery {
+    let budget = error_budget(rel.len(), config.epsilon);
     match config.engine {
         DiscoveryEngine::Naive => {
-            let mut check = |od: &OrderDependency| (od_holds(rel, od), true);
+            let mut check = |od: &OrderDependency| {
+                if budget == 0 {
+                    let holds = od_holds(rel, od);
+                    (holds, true, if holds { 0.0 } else { 1.0 })
+                } else {
+                    // Approximate oracle path: measure each canonical
+                    // statement with the sort-based evidence checker (both
+                    // list ODs of a compatibility have the same removal count
+                    // by symmetry, so one representative suffices).
+                    let worst = translate_od(od)
+                        .iter()
+                        .map(|stmt| od_removal_count(rel, &stmt.as_list_ods()[0]))
+                        .max()
+                        .unwrap_or(0);
+                    (
+                        worst <= budget,
+                        true,
+                        worst as f64 / rel.len().max(1) as f64,
+                    )
+                }
+            };
             let mut result = run_discovery(rel, config, &mut check);
             result.statement_validations = result.validated;
             result
@@ -101,11 +159,15 @@ pub fn discover_ods(rel: &Relation, config: DiscoveryConfig) -> Discovery {
             } else {
                 1
             };
-            let mut engine = SetBasedEngine::with_threads(rel, threads);
+            let mut engine = SetBasedEngine::with_budget(rel, threads, budget);
             let mut check = |od: &OrderDependency| {
                 let before = engine.data_validations();
-                let holds = engine.od_holds(od);
-                (holds, engine.data_validations() > before)
+                let verdict = engine.od_verdict(od);
+                (
+                    verdict.within(budget),
+                    engine.data_validations() > before,
+                    verdict.g3(rel.len()),
+                )
             };
             let mut result = run_discovery(rel, config, &mut check);
             result.statement_validations = engine.data_validations();
@@ -127,17 +189,21 @@ pub fn discover_ods_naive(rel: &Relation, config: DiscoveryConfig) -> Discovery 
 }
 
 /// The shared enumeration / pruning loop.  `check` answers whether a candidate
-/// holds and whether answering touched the data.
+/// holds (within the error budget), whether answering touched the data, and
+/// the candidate's `g3` error score.
 fn run_discovery(
     rel: &Relation,
     config: DiscoveryConfig,
-    check: &mut dyn FnMut(&OrderDependency) -> (bool, bool),
+    check: &mut dyn FnMut(&OrderDependency) -> (bool, bool, f64),
 ) -> Discovery {
     let universe: Vec<AttrId> = rel.schema().attr_ids().collect();
     let lhs_lists = enumerate_lists(&universe, config.max_lhs);
     let rhs_lists = enumerate_lists(&universe, config.max_rhs);
     let mut found = OdSet::new();
     // The decider over `found` is rebuilt lazily, only after `found` grows.
+    // Implication pruning combines many confirmed premises, so it is only
+    // sound (and only used) in exact mode.
+    let prune_implied = config.prune_implied && config.epsilon <= 0.0;
     let mut decider: Option<Decider> = None;
     let mut result = Discovery::default();
 
@@ -151,14 +217,14 @@ fn run_discovery(
             if candidate.is_syntactically_trivial() {
                 continue;
             }
-            if config.prune_implied
+            if prune_implied
                 && decider
                     .get_or_insert_with(|| Decider::new(&found))
                     .implies(&candidate)
             {
                 continue;
             }
-            let (holds, touched_data) = check(&candidate);
+            let (holds, touched_data, error) = check(&candidate);
             if touched_data {
                 result.validated += 1;
             }
@@ -166,6 +232,7 @@ fn run_discovery(
                 found.add_od(candidate.clone());
                 decider = None;
                 result.ods.push(candidate);
+                result.errors.push(error);
             }
         }
     }
@@ -324,6 +391,120 @@ mod tests {
             },
         );
         assert_eq!(serial.ods, parallel.ods);
+    }
+
+    #[test]
+    fn exact_discovery_reports_zero_errors() {
+        let rel = fixtures::example_5_taxes();
+        let d = discover_ods(&rel, DiscoveryConfig::default());
+        assert_eq!(d.ods.len(), d.errors.len());
+        assert!(d.errors.iter().all(|&e| e == 0.0));
+    }
+
+    #[test]
+    fn approximate_discovery_recovers_dirtied_ods() {
+        // A perfect income ↦ bracket relation with one corrupted row in fifty:
+        // exact discovery loses the OD, a 5% threshold recovers it with a
+        // non-zero error score, and ε = 1.0 accepts every candidate.
+        let mut schema = od_core::Schema::new("dirty");
+        let income = schema.add_attr("income");
+        let bracket = schema.add_attr("bracket");
+        let mut rows: Vec<Vec<od_core::Value>> = (0..50i64)
+            .map(|i| vec![od_core::Value::Int(i), od_core::Value::Int(i / 10)])
+            .collect();
+        rows[25][1] = od_core::Value::Int(-7);
+        let rel = od_core::Relation::from_rows(schema, rows).unwrap();
+        let od = OrderDependency::new(vec![income], vec![bracket]);
+
+        let exact = discover_ods(&rel, DiscoveryConfig::default());
+        assert!(!exact.ods.contains(&od));
+
+        let approx = discover_ods(
+            &rel,
+            DiscoveryConfig {
+                epsilon: 0.05,
+                ..Default::default()
+            },
+        );
+        let pos = approx
+            .ods
+            .iter()
+            .position(|o| o == &od)
+            .expect("ε = 5% recovers income ↦ bracket");
+        assert!(approx.errors[pos] > 0.0 && approx.errors[pos] <= 0.05);
+
+        let everything = discover_ods(
+            &rel,
+            DiscoveryConfig {
+                epsilon: 1.0,
+                ..Default::default()
+            },
+        );
+        // ε = 1 accepts candidates exact discovery rejects outright.
+        assert!(everything
+            .ods
+            .contains(&OrderDependency::new(vec![bracket], vec![income])));
+        assert!(everything.ods.len() > approx.ods.len());
+    }
+
+    #[test]
+    fn engines_agree_on_approximate_discovery() {
+        let mut schema = od_core::Schema::new("dirty");
+        schema.add_attr("a");
+        schema.add_attr("b");
+        schema.add_attr("c");
+        let mut rows: Vec<Vec<od_core::Value>> = (0..30i64)
+            .map(|i| {
+                vec![
+                    od_core::Value::Int(i),
+                    od_core::Value::Int(i * 2),
+                    od_core::Value::Int(i % 5),
+                ]
+            })
+            .collect();
+        rows[4][1] = od_core::Value::Int(999);
+        rows[19][2] = od_core::Value::Int(-3);
+        let rel = od_core::Relation::from_rows(schema, rows).unwrap();
+        for epsilon in [0.0, 0.1, 0.35] {
+            let config = DiscoveryConfig {
+                epsilon,
+                ..Default::default()
+            };
+            let set_based = discover_ods(&rel, config);
+            let naive = discover_ods_naive(&rel, config);
+            assert_eq!(set_based.ods, naive.ods, "ε = {epsilon}");
+            assert_eq!(set_based.ods.len(), set_based.errors.len());
+        }
+    }
+
+    #[test]
+    fn install_into_feeds_the_optimizer_registry() {
+        let rel = fixtures::example_5_taxes();
+        let d = discover_ods(&rel, DiscoveryConfig::default());
+        let mut registry = OdRegistry::new();
+        let installed = d.install_into(&mut registry, rel.schema().name());
+        assert_eq!(installed, d.ods.len(), "exact discovery installs all ODs");
+        assert_eq!(registry.ods(rel.schema().name()).len(), installed);
+        // The registry now answers the sort-elimination question the paper
+        // opens with: a stream ordered by income satisfies ORDER BY bracket.
+        let s = rel.schema();
+        let income = s.attr_by_name("income").unwrap();
+        let bracket = s.attr_by_name("bracket").unwrap();
+        assert!(registry.order_satisfies(
+            s.name(),
+            &od_core::AttrList::new([income]),
+            &od_core::AttrList::new([bracket]),
+        ));
+        // Approximate ODs are NOT installed: only zero-error entries license
+        // rewrites.
+        let mut dirty_registry = OdRegistry::new();
+        let approx = Discovery {
+            ods: vec![OrderDependency::new(vec![bracket], vec![income])],
+            errors: vec![0.02],
+            ..Default::default()
+        };
+        assert_eq!(approx.install_into(&mut dirty_registry, s.name()), 0);
+        assert_eq!(dirty_registry.ods(s.name()).len(), 0);
     }
 
     #[test]

@@ -3,12 +3,15 @@
 //! Two ways ODs become known to a system besides being declared by hand
 //! (Sections 2.2 and 6 of the paper):
 //!
-//! * [`discover`] — profile a relation instance for ODs/FDs that hold on it,
-//!   with axiom-based pruning of implied candidates.  Validation defaults to
-//!   the partition-backed set-based engine of the `od-setbased` crate
+//! * [`discover`] — profile a relation instance for ODs/FDs that hold on it
+//!   exactly, or — with [`DiscoveryConfig::epsilon`] — for approximate ODs
+//!   whose TANE-style `g3` error stays under a threshold, with axiom-based
+//!   pruning of implied candidates.  Validation defaults to the
+//!   partition-backed set-based engine of the `od-setbased` crate
 //!   ([`DiscoveryEngine::SetBased`]); the original sort-per-candidate path
 //!   remains available as [`DiscoveryEngine::Naive`] and serves as the oracle
-//!   in differential tests;
+//!   in differential tests.  Discovered exact ODs can be fed straight into the
+//!   optimizer's registry with [`Discovery::install_into`];
 //! * [`monotone`] — derive ODs from generated-column expressions by
 //!   monotonicity analysis (the DB2 generated-columns technique of
 //!   reference [12]).

@@ -53,6 +53,39 @@ proptest! {
         let naive = discover_ods_naive(&rel, config);
         prop_assert_eq!(set_based.ods, naive.ods);
     }
+
+    /// `epsilon: 0.0` is bit-identical to exact discovery, and for any ε both
+    /// engines agree on the approximate OD set and its error scores (the naive
+    /// path measures each statement with the sort-based evidence oracle, the
+    /// set-based path with per-class partition arithmetic).
+    #[test]
+    fn engines_agree_under_error_thresholds(rel in relation_strategy(4, 10)) {
+        let exact = discover_ods(&rel, DiscoveryConfig::default());
+        let explicit_zero = discover_ods(
+            &rel, DiscoveryConfig { epsilon: 0.0, ..Default::default() });
+        prop_assert_eq!(&exact.ods, &explicit_zero.ods);
+        prop_assert_eq!(&exact.errors, &explicit_zero.errors);
+        prop_assert!(exact.errors.iter().all(|&e| e == 0.0));
+
+        for epsilon in [0.1, 0.3, 1.0] {
+            let config = DiscoveryConfig { epsilon, ..Default::default() };
+            let set_based = discover_ods(&rel, config);
+            let naive = discover_ods_naive(&rel, config);
+            prop_assert_eq!(&set_based.ods, &naive.ods, "ε = {}", epsilon);
+            // The naive oracle scores every statement exactly; the set-based
+            // engine may report an inherited upper bound — never more than ε,
+            // and never below the oracle's exact score.
+            prop_assert_eq!(set_based.errors.len(), naive.errors.len());
+            for (fast, oracle) in set_based.errors.iter().zip(naive.errors.iter()) {
+                prop_assert!((0.0..=epsilon).contains(fast), "score {} at ε = {}", fast, epsilon);
+                prop_assert!(fast >= oracle, "set-based {} under oracle {}", fast, oracle);
+            }
+            // Larger thresholds only grow the result (the exact ODs survive).
+            for od in &exact.ods {
+                prop_assert!(set_based.ods.contains(od), "{} lost at ε = {}", od, epsilon);
+            }
+        }
+    }
 }
 
 /// The tentpole acceptance criterion: on the date-warehouse fixture the

@@ -199,6 +199,38 @@ pub fn witness_table(m: &OdSet, schema: &Schema) -> Relation {
     table
 }
 
+/// Materialize sampled violating row pairs as a standalone witness relation:
+/// the counterexample-table counterpart of the Armstrong construction above,
+/// fed by the violation evidence the discovery validators now return.
+///
+/// Each pair becomes a two-row block holding the rows' per-column **rank
+/// codes** (order-preserving integers, so blocks compose with [`append`] even
+/// when the source relation holds NULLs or strings, and every within-pair
+/// equality and order relation — hence every split or swap the pair witnesses
+/// — survives verbatim).  The resulting table falsifies every dependency the
+/// sampled pairs falsify, in as many rows as there are sampled pairs times
+/// two.
+pub fn violation_table(rel: &Relation, pairs: &[(usize, usize)]) -> Relation {
+    let codes: Vec<Vec<u32>> = rel
+        .schema()
+        .attr_ids()
+        .map(|a| rel.rank_column(a))
+        .collect();
+    let row_of =
+        |t: usize| -> Vec<Value> { codes.iter().map(|col| Value::Int(col[t] as i64)).collect() };
+    let mut out = Relation::new(rel.schema().clone());
+    for &(s, t) in pairs {
+        let block =
+            Relation::from_rows(rel.schema().clone(), vec![row_of(s), row_of(t)]).expect("arity");
+        out = if out.is_empty() {
+            block
+        } else {
+            append(&out, &block)
+        };
+    }
+    out
+}
+
 /// Enumerate every normalized OD over `universe` with each side of length at most
 /// `max_len`.
 pub fn enumerate_ods(universe: &[AttrId], max_len: usize) -> Vec<OrderDependency> {
@@ -390,6 +422,43 @@ mod tests {
         let (soundness, completeness) = completeness_gaps(&m, &table, &universe, 2);
         assert!(soundness.is_empty());
         assert!(completeness.is_empty());
+    }
+
+    #[test]
+    fn violation_table_preserves_the_witnessed_violations() {
+        // income ↦ bracket fails by swap (rows 1, 2) and bracket ↦ income by
+        // split (rows 0, 2): the materialized pair tables must refute them too.
+        let mut s = Schema::new("t");
+        let income = s.add_attr("income");
+        let bracket = s.add_attr("bracket");
+        let rel = Relation::from_rows(
+            s,
+            vec![
+                vec![Value::Int(10), Value::Int(1)],
+                vec![Value::Int(20), Value::Int(2)],
+                vec![Value::Int(30), Value::Int(1)],
+            ],
+        )
+        .unwrap();
+        let od = OrderDependency::new(vec![income], vec![bracket]);
+        let violations = od_core::check::collect_violations(&rel, &od, 4);
+        assert!(!violations.is_empty());
+        let pairs: Vec<(usize, usize)> = violations.iter().map(|v| v.pair()).collect();
+        let table = violation_table(&rel, &pairs);
+        assert_eq!(table.len(), 2 * pairs.len());
+        assert!(
+            !od_core::check::od_holds(&table, &od),
+            "witness table must refute the violated OD"
+        );
+        // A dependency the pairs do not witness against stays satisfied: the
+        // blocks are append-composed, so no cross-block violations arise.
+        let compatible = OrderDependency::new(vec![income], vec![income, bracket]);
+        assert_eq!(
+            od_core::check::od_holds(&table, &compatible),
+            od_core::check::od_holds(&rel, &compatible)
+        );
+        // An empty sample produces an empty table.
+        assert!(violation_table(&rel, &[]).is_empty());
     }
 
     #[test]

@@ -9,10 +9,19 @@
 //! across candidate ODs, so a discovery run validates each distinct statement
 //! against the data at most once, instead of re-sorting the relation per
 //! candidate as the naive engine does.
+//!
+//! Every resolution produces a [`Verdict`] — the statement's minimal
+//! tuple-removal count plus sampled violating pairs — so the same engine
+//! serves exact validation (`budget == 0`) and approximate `g3`-thresholded
+//! validation (`budget == ⌊ε·n⌋`).  The axiom shortcuts stay sound under a
+//! budget because statement satisfaction is **monotone under both context
+//! growth and tuple removal**: a removal set that repairs a statement at a
+//! context repairs it at every superset context, so an inherited verdict
+//! carries its premise's removal count as an upper bound.
 
 use crate::canonical::{translate_od, SetOd};
 use crate::partition::PartitionCache;
-use crate::validate;
+use crate::validate::{self, Verdict};
 use od_core::{OrderDependency, Relation};
 use std::collections::HashMap;
 
@@ -36,24 +45,34 @@ pub struct EngineStats {
 /// Memoizing, partition-backed OD validator over one relation instance.
 pub struct SetBasedEngine<'r> {
     cache: PartitionCache<'r>,
-    verdicts: HashMap<SetOd, bool>,
+    verdicts: HashMap<SetOd, Verdict>,
     threads: usize,
+    budget: usize,
     /// Resolution counters.
     pub stats: EngineStats,
 }
 
 impl<'r> SetBasedEngine<'r> {
-    /// A serial engine over the relation.
+    /// A serial, exact engine over the relation.
     pub fn new(rel: &'r Relation) -> Self {
         Self::with_threads(rel, 1)
     }
 
-    /// An engine that shards large partition scans over `threads` threads.
+    /// An exact engine that shards large partition scans over `threads`
+    /// threads.
     pub fn with_threads(rel: &'r Relation, threads: usize) -> Self {
+        Self::with_budget(rel, threads, 0)
+    }
+
+    /// An engine accepting statements whose `g3` removal count stays within
+    /// `budget` tuples (`⌊ε·n⌋`; see [`validate::error_budget`]).  Budget 0 is
+    /// exact validation.
+    pub fn with_budget(rel: &'r Relation, threads: usize, budget: usize) -> Self {
         SetBasedEngine {
             cache: PartitionCache::new(rel),
             verdicts: HashMap::new(),
             threads: threads.max(1),
+            budget,
             stats: EngineStats::default(),
         }
     }
@@ -63,48 +82,93 @@ impl<'r> SetBasedEngine<'r> {
         self.cache.relation()
     }
 
+    /// The tuple-removal budget statements are accepted under.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
     /// Statements validated against the data so far.
     pub fn data_validations(&self) -> usize {
         self.stats.data_validations
     }
 
-    /// Does `X ↦ Y` hold on the instance?  Semantically identical to
-    /// [`od_core::check::od_holds`]; resolved through canonical statements.
+    /// Does `X ↦ Y` hold on the instance within the error budget?  With budget
+    /// 0 this is semantically identical to [`od_core::check::od_holds`];
+    /// resolved through canonical statements.
     pub fn od_holds(&mut self, od: &OrderDependency) -> bool {
-        self.stats.ods_checked += 1;
-        translate_od(od)
-            .iter()
-            .all(|stmt| self.statement_holds(stmt))
+        self.od_verdict(od).within(self.budget)
     }
 
-    /// Does a single canonical statement hold on the instance?
+    /// The evidence-carrying form of [`Self::od_holds`]: statement verdicts
+    /// joined with [`Verdict::join_max`], so `removal_count` is the worst
+    /// statement's `g3` numerator (the approximate-discovery acceptance
+    /// measure and a lower bound on the OD-level `g3`).  Short-circuits on the
+    /// first statement exceeding the budget.
+    pub fn od_verdict(&mut self, od: &OrderDependency) -> Verdict {
+        self.stats.ods_checked += 1;
+        let mut combined = Verdict::clean();
+        for stmt in translate_od(od) {
+            let verdict = self.statement_verdict(&stmt);
+            let rejected = !verdict.within(self.budget);
+            combined.join_max(&verdict);
+            if rejected {
+                break;
+            }
+        }
+        combined
+    }
+
+    /// Does a single canonical statement hold within the error budget?
     pub fn statement_holds(&mut self, stmt: &SetOd) -> bool {
+        let budget = self.budget;
+        self.statement_verdict(stmt).within(budget)
+    }
+
+    /// Resolve one canonical statement to its violation evidence.
+    ///
+    /// The returned removal count is exact for scanned statements that pass
+    /// the budget, a lower bound for rejected ones (`exceeded`), and an upper
+    /// bound for statements answered by the axioms (monotonicity can only
+    /// shrink the removal set).
+    pub fn statement_verdict(&mut self, stmt: &SetOd) -> Verdict {
         if let Some(normalized) = stmt.normalized() {
-            return self.statement_holds(&normalized);
+            return self.statement_verdict(&normalized);
         }
         self.stats.statement_checks += 1;
         if stmt.is_trivial() {
             self.stats.trivial_hits += 1;
-            return true;
+            return Verdict::clean();
         }
-        if let Some(&v) = self.verdicts.get(stmt) {
+        if let Some(v) = self.verdicts.get(stmt) {
             self.stats.memo_hits += 1;
-            return v;
+            return v.clone();
         }
-        if self.inherited(stmt) {
+        if let Some(premise) = self.inherited(stmt) {
             self.stats.axiom_hits += 1;
-            self.verdicts.insert(stmt.clone(), true);
-            return true;
+            self.verdicts.insert(stmt.clone(), premise.clone());
+            return premise;
         }
-        let v = self.validate(stmt);
-        self.verdicts.insert(stmt.clone(), v);
+        self.stats.data_validations += 1;
+        let v = validate::statement_verdict(&mut self.cache, stmt, self.threads, self.budget);
+        self.verdicts.insert(stmt.clone(), v.clone());
         v
     }
 
-    /// Set-based axioms over the memo table: a statement holds if it is known
-    /// to hold at an immediate sub-context (context monotonicity), or — for a
-    /// compatibility — if either attribute is known constant in this context.
-    fn inherited(&self, stmt: &SetOd) -> bool {
+    /// Set-based axioms over the memo table: a statement holds (within budget)
+    /// if it is known to hold at an immediate sub-context (context
+    /// monotonicity), or — for a compatibility — if either attribute is known
+    /// constant in this context.  Returns a verdict carrying the premise's
+    /// removal count (an upper bound on the statement's own) and **no**
+    /// witnesses or class counts — the premise's violating pairs witness the
+    /// premise, not necessarily this statement, so they must not be attached
+    /// to it.
+    fn inherited(&self, stmt: &SetOd) -> Option<Verdict> {
+        let upper_bound = |v: &Verdict| Verdict {
+            removal_count: v.removal_count,
+            exceeded: false,
+            violating_pairs: Vec::new(),
+            classes_scanned: 0,
+        };
         let context = stmt.context();
         for drop in context.iter() {
             let mut sub = context.clone();
@@ -113,24 +177,22 @@ impl<'r> SetBasedEngine<'r> {
                 SetOd::Constancy { attr, .. } => SetOd::constancy(sub, *attr),
                 SetOd::Compatibility { a, b, .. } => SetOd::compatibility(sub, *a, *b),
             };
-            if self.verdicts.get(&sub_stmt) == Some(&true) {
-                return true;
+            if let Some(v) = self.verdicts.get(&sub_stmt) {
+                if v.within(self.budget) {
+                    return Some(upper_bound(v));
+                }
             }
         }
         if let SetOd::Compatibility { context, a, b } = stmt {
             for attr in [*a, *b] {
-                if self.verdicts.get(&SetOd::constancy(context.clone(), attr)) == Some(&true) {
-                    return true;
+                if let Some(v) = self.verdicts.get(&SetOd::constancy(context.clone(), attr)) {
+                    if v.within(self.budget) {
+                        return Some(upper_bound(v));
+                    }
                 }
             }
         }
-        false
-    }
-
-    /// Partition-scan a statement.
-    fn validate(&mut self, stmt: &SetOd) -> bool {
-        self.stats.data_validations += 1;
-        validate::statement_scan(&mut self.cache, stmt, self.threads)
+        None
     }
 }
 
@@ -247,5 +309,67 @@ mod tests {
         for od in od_infer::witness::enumerate_ods(&universe[..4], 2) {
             assert_eq!(serial.od_holds(&od), threaded.od_holds(&od));
         }
+    }
+
+    #[test]
+    fn inherited_verdicts_carry_no_witnesses() {
+        // Two rows disagreeing on A: {}: [] ↦ A fails with removal 1 and a
+        // witness pair.  Under a budget of 1 it is accepted, so {B}: [] ↦ A is
+        // answered by monotonicity — its verdict must carry the premise's
+        // removal bound but NOT the premise's violating pairs (rows 0 and 1
+        // land in different B-classes, so the pair does not violate the
+        // inherited statement).
+        let mut schema = od_core::Schema::new("t");
+        let a = schema.add_attr("A");
+        let b = schema.add_attr("B");
+        let rel = od_core::Relation::from_rows(
+            schema,
+            vec![
+                vec![od_core::Value::Int(0), od_core::Value::Int(0)],
+                vec![od_core::Value::Int(1), od_core::Value::Int(1)],
+            ],
+        )
+        .unwrap();
+        let mut engine = SetBasedEngine::with_budget(&rel, 1, 1);
+        let empty: od_core::AttrSet = Default::default();
+        let premise = engine.statement_verdict(&SetOd::constancy(empty, a));
+        assert_eq!(premise.removal_count, 1);
+        assert!(!premise.violating_pairs.is_empty());
+        let wider: od_core::AttrSet = [b].into_iter().collect();
+        let inherited = engine.statement_verdict(&SetOd::constancy(wider, a));
+        assert!(engine.stats.axiom_hits >= 1, "must resolve by inheritance");
+        assert_eq!(inherited.removal_count, 1, "premise bound is kept");
+        assert!(
+            inherited.violating_pairs.is_empty(),
+            "premise witnesses must not be attached to the inherited statement"
+        );
+        assert_eq!(inherited.classes_scanned, 0);
+    }
+
+    #[test]
+    fn budgeted_engine_accepts_near_misses() {
+        // bracket ↦ income fails on the taxes fixture, but only a few tuples
+        // stand in the way; a full budget accepts everything.
+        let rel = fixtures::example_5_taxes();
+        let s = rel.schema();
+        let income = s.attr_by_name("income").unwrap();
+        let bracket = s.attr_by_name("bracket").unwrap();
+        let od = OrderDependency::new(vec![bracket], vec![income]);
+        let mut exact = SetBasedEngine::new(&rel);
+        assert!(!exact.od_holds(&od));
+        let exact_removal = {
+            let mut unbounded = SetBasedEngine::with_budget(&rel, 1, rel.len());
+            unbounded.od_verdict(&od).removal_count
+        };
+        assert!(exact_removal > 0 && exact_removal < rel.len());
+        // Budget exactly at the removal count accepts; one less rejects.
+        let mut at = SetBasedEngine::with_budget(&rel, 1, exact_removal);
+        assert!(at.od_holds(&od));
+        let mut under = SetBasedEngine::with_budget(&rel, 1, exact_removal - 1);
+        assert!(!under.od_holds(&od));
+        // Evidence carries witnesses for the rejected OD.
+        let mut again = SetBasedEngine::new(&rel);
+        let v = again.od_verdict(&od);
+        assert!(!v.violating_pairs.is_empty());
     }
 }

@@ -17,11 +17,16 @@
 //!
 //! What survives is validated against stripped partitions from the shared
 //! [`PartitionCache`] (in parallel when configured), so each level's products
-//! refine the previous level's partitions incrementally.
+//! refine the previous level's partitions incrementally.  With a non-zero
+//! error threshold `ε`, candidates are accepted when their `g3` removal count
+//! stays within `⌊ε·n⌋` tuples; rules 1–2 remain sound (they rest on a single
+//! premise and statement satisfaction is monotone under context growth and
+//! tuple removal), but rule 3 combines *many* premises — whose removal sets
+//! may differ — so the decider is only consulted in exact mode.
 
 use crate::canonical::SetOd;
 use crate::partition::PartitionCache;
-use crate::validate;
+use crate::validate::{self, Verdict};
 use od_core::{AttrId, AttrSet, OrderDependency, Relation};
 use od_infer::{Decider, OdSet};
 use std::collections::HashSet;
@@ -31,10 +36,14 @@ use std::collections::HashSet;
 pub struct LatticeConfig {
     /// Largest context size to visit (level bound).
     pub max_context: usize,
-    /// Consult the exact implication decider before validating a candidate.
+    /// Consult the exact implication decider before validating a candidate
+    /// (only sound — and only consulted — when `epsilon == 0`).
     pub use_decider: bool,
     /// Threads for partition-class validation (1 = serial).
     pub threads: usize,
+    /// `g3` error threshold: accept statements that hold after removing at
+    /// most `⌊ε·n⌋` tuples (0.0 = exact discovery).
+    pub epsilon: f64,
 }
 
 impl Default for LatticeConfig {
@@ -43,6 +52,7 @@ impl Default for LatticeConfig {
             max_context: 2,
             use_decider: true,
             threads: 1,
+            epsilon: 0.0,
         }
     }
 }
@@ -65,8 +75,10 @@ pub struct LatticeStats {
 #[derive(Debug, Clone)]
 pub struct SetBasedDiscovery {
     minimal: Vec<SetOd>,
+    verdicts: Vec<Verdict>,
     holding: HashSet<SetOd>,
     max_context: usize,
+    budget: usize,
     /// How candidates were resolved.
     pub stats: LatticeStats,
 }
@@ -78,7 +90,19 @@ impl SetBasedDiscovery {
         &self.minimal
     }
 
-    /// Does a statement hold on the profiled instance?
+    /// The violation evidence of each minimal statement, aligned with
+    /// [`Self::minimal_statements`] (all-zero removals in exact mode).
+    pub fn verdicts(&self) -> &[Verdict] {
+        &self.verdicts
+    }
+
+    /// The tuple-removal budget the traversal accepted statements under.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Does a statement hold on the profiled instance (within the traversal's
+    /// error budget)?
     ///
     /// Sound always; complete for contexts up to the traversal's
     /// `max_context` (larger contexts are answered via monotonicity from
@@ -149,8 +173,10 @@ pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDi
     let mut cache = PartitionCache::new(rel);
     let mut result = SetBasedDiscovery {
         minimal: Vec::new(),
+        verdicts: Vec::new(),
         holding: HashSet::new(),
         max_context: config.max_context,
+        budget: validate::error_budget(rel.len(), config.epsilon),
         stats: LatticeStats::default(),
     };
 
@@ -204,7 +230,10 @@ fn resolve(
         result.stats.inherited += 1;
         return;
     }
-    if config.use_decider {
+    // Rule 3 is exact-only: the decider combines many confirmed premises, and
+    // with a non-zero budget those premises may each lean on a *different*
+    // removal set whose union busts the budget.
+    if config.use_decider && result.budget == 0 {
         let d = state
             .decider
             .get_or_insert_with(|| Decider::new(&state.confirmed));
@@ -221,13 +250,15 @@ fn resolve(
         }
     }
     result.stats.validated += 1;
-    if validate::statement_scan(cache, &stmt, config.threads) {
+    let verdict = validate::statement_verdict(cache, &stmt, config.threads, result.budget);
+    if verdict.within(result.budget) {
         for od in stmt.as_list_ods() {
             state.confirmed.add_od(od);
         }
         state.decider = None;
         result.holding.insert(stmt.clone());
         result.minimal.push(stmt);
+        result.verdicts.push(verdict);
     }
 }
 
@@ -385,6 +416,59 @@ mod tests {
             },
         );
         assert!(no_decider.stats.validated > d.stats.validated);
+    }
+
+    #[test]
+    fn approximate_traversal_recovers_dirtied_statements() {
+        // A clean ordered pair plus one corrupted row out of twenty: exact
+        // discovery loses {}: a ~ b, a 5% threshold recovers it with evidence.
+        let mut schema = Schema::new("dirty");
+        let a = schema.add_attr("a");
+        let b = schema.add_attr("b");
+        let mut rows: Vec<Vec<Value>> = (0..20i64)
+            .map(|i| vec![Value::Int(i), Value::Int(i * 2)])
+            .collect();
+        rows[7][1] = Value::Int(-1); // one swapped cell
+        let rel = Relation::from_rows(schema, rows).unwrap();
+        let stmt = SetOd::compatibility(AttrSet::new(), a, b);
+
+        let exact = discover_statements(&rel, &LatticeConfig::default());
+        assert!(!exact.holds(&stmt));
+        assert_eq!(exact.budget(), 0);
+
+        let approx = discover_statements(
+            &rel,
+            &LatticeConfig {
+                epsilon: 0.05,
+                ..Default::default()
+            },
+        );
+        assert_eq!(approx.budget(), 1);
+        assert!(approx.holds(&stmt), "one bad row of twenty is within ε=5%");
+        let idx = approx
+            .minimal_statements()
+            .iter()
+            .position(|s| s == &stmt)
+            .expect("recovered statement is minimal");
+        let verdict = &approx.verdicts()[idx];
+        assert_eq!(verdict.removal_count, 1);
+        assert!(!verdict.violating_pairs.is_empty());
+        assert_eq!(approx.minimal_statements().len(), approx.verdicts().len());
+    }
+
+    #[test]
+    fn epsilon_zero_is_exact_discovery() {
+        let rel = fixtures::example_5_taxes();
+        let exact = discover_statements(&rel, &LatticeConfig::default());
+        let explicit = discover_statements(
+            &rel,
+            &LatticeConfig {
+                epsilon: 0.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(exact.minimal_statements(), explicit.minimal_statements());
+        assert!(exact.verdicts().iter().all(|v| v.holds()));
     }
 
     #[test]

@@ -10,10 +10,10 @@
 //! |---|---|
 //! | [`partition`] | stripped partitions `Π_X` over tuple ids, memoized incremental products, sorted partitions |
 //! | [`canonical`] | the set-based canonical statements and the exact list ↔ set translation |
-//! | [`validate`]  | near-linear statement and whole-OD validation over rank codes |
-//! | [`lattice`]   | level-wise traversal with constancy / compatibility candidate sets and axiom + decider pruning |
+//! | [`validate`]  | evidence-returning ([`Verdict`]) statement validation over rank codes, exact per-class `g3` removal counts |
+//! | [`lattice`]   | level-wise traversal with constancy / compatibility candidate sets, axiom + decider pruning, and `g3` thresholds |
 //! | [`engine`]    | the memoizing demand-driven validator `od-discovery` uses as its default engine |
-//! | [`parallel`]  | partition-class sharding across threads |
+//! | [`parallel`]  | partition-class sharding across threads with an atomic error-budget counter |
 //!
 //! The load-bearing fact (spelled out in [`canonical`]'s docs and exercised by
 //! the differential proptests in `od-discovery`): a list OD `X ↦ Y` holds iff
@@ -57,5 +57,5 @@ pub mod validate;
 pub use canonical::{compatibility_as_ods, constancy_as_od, translate_od, SetOd};
 pub use engine::{EngineStats, SetBasedEngine};
 pub use lattice::{discover_statements, LatticeConfig, LatticeStats, SetBasedDiscovery};
-pub use partition::{PartitionCache, SortedPartition, StrippedPartition};
-pub use validate::od_holds_with_partitions;
+pub use partition::{PartitionCache, RefineScratch, SortedPartition, StrippedPartition};
+pub use validate::{error_budget, od_holds_with_partitions, Verdict, WITNESS_SAMPLE_CAP};

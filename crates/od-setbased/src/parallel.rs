@@ -1,15 +1,26 @@
 //! Parallel validation: shard partition-class work across threads.
 //!
 //! Canonical-statement validation is embarrassingly parallel — each equivalence
-//! class is checked independently and the verdict is a conjunction — so classes
-//! are split into contiguous chunks, one scoped thread per chunk, with an
-//! atomic early-exit flag so a violation found in one chunk stops the others at
-//! their next class boundary.  Everything uses `std::thread::scope`; no
+//! class contributes an independent removal count and the statement verdict is
+//! their sum — so classes are split into contiguous chunks, one scoped thread
+//! per chunk, with a shared **atomic error-budget counter**: every thread adds
+//! its per-class removals to the counter and stops at the next class boundary
+//! once the running total exceeds the budget (budget 0 reproduces the classic
+//! first-violation early exit).  Everything uses `std::thread::scope`; no
 //! external thread-pool dependency is needed.
+//!
+//! The accept/reject decision (`verdict.within(budget)`) is deterministic
+//! across thread counts: threads only stop early after the shared counter has
+//! strictly exceeded the budget, so an accepted verdict always carries the
+//! complete, exact removal count.  For rejected verdicts the overshoot and the
+//! witness sample depend on scheduling.
 
 use crate::partition::StrippedPartition;
-use crate::validate::{class_is_compatible, class_is_constant};
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::validate::{
+    class_compatibility_removal, class_constancy_removal, class_is_compatible, class_is_constant,
+    Verdict, WITNESS_SAMPLE_CAP,
+};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// A sensible thread count for validation work on this machine.
 pub fn available_threads() -> usize {
@@ -18,62 +29,114 @@ pub fn available_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Check `predicate` on every class, sharded over up to `threads` threads.
-/// Returns true iff every class passes.  Falls back to a serial scan for small
-/// workloads where spawning would dominate.
-pub fn all_classes<F>(classes: &[Vec<u32>], threads: usize, predicate: F) -> bool
+/// Scan every class with `per_class` (which returns the class's removal count
+/// and may append witnesses), sharded over up to `threads` threads, stopping
+/// once the summed removal count exceeds `budget`.
+pub fn scan_classes<F>(classes: &[Vec<u32>], threads: usize, budget: usize, per_class: F) -> Verdict
 where
-    F: Fn(&[u32]) -> bool + Sync,
+    F: Fn(&[u32], &mut Vec<(u32, u32)>) -> usize + Sync,
 {
     let threads = threads.clamp(1, classes.len().max(1));
     if threads <= 1 || classes.len() < 2 {
-        return classes.iter().all(|c| predicate(c));
+        let mut verdict = Verdict::clean();
+        for class in classes {
+            verdict.classes_scanned += 1;
+            verdict.removal_count += per_class(class, &mut verdict.violating_pairs);
+            if verdict.removal_count > budget {
+                verdict.exceeded = true;
+                break;
+            }
+        }
+        return verdict;
     }
-    let failed = AtomicBool::new(false);
+    let removal = AtomicUsize::new(0);
+    let scanned = AtomicUsize::new(0);
+    let exceeded = AtomicBool::new(false);
     let chunk_size = classes.len().div_ceil(threads);
+    let mut witnesses: Vec<(u32, u32)> = Vec::new();
     std::thread::scope(|scope| {
+        let mut handles = Vec::new();
         for chunk in classes.chunks(chunk_size) {
-            let failed = &failed;
-            let predicate = &predicate;
-            scope.spawn(move || {
+            let removal = &removal;
+            let scanned = &scanned;
+            let exceeded = &exceeded;
+            let per_class = &per_class;
+            handles.push(scope.spawn(move || {
+                let mut local_witnesses = Vec::new();
+                let mut local_scanned = 0usize;
                 for class in chunk {
-                    if failed.load(Ordering::Relaxed) {
-                        return;
+                    if exceeded.load(Ordering::Relaxed) {
+                        break;
                     }
-                    if !predicate(class) {
-                        failed.store(true, Ordering::Relaxed);
-                        return;
+                    local_scanned += 1;
+                    let r = per_class(class, &mut local_witnesses);
+                    if r > 0 {
+                        let total = removal.fetch_add(r, Ordering::Relaxed) + r;
+                        if total > budget {
+                            exceeded.store(true, Ordering::Relaxed);
+                            break;
+                        }
                     }
                 }
-            });
+                scanned.fetch_add(local_scanned, Ordering::Relaxed);
+                local_witnesses
+            }));
+        }
+        for handle in handles {
+            let local = handle.join().expect("validation worker panicked");
+            for pair in local {
+                if witnesses.len() >= WITNESS_SAMPLE_CAP {
+                    break;
+                }
+                witnesses.push(pair);
+            }
         }
     });
-    !failed.load(Ordering::Relaxed)
+    Verdict {
+        removal_count: removal.load(Ordering::Relaxed),
+        exceeded: exceeded.load(Ordering::Relaxed),
+        violating_pairs: witnesses,
+        classes_scanned: scanned.load(Ordering::Relaxed),
+    }
 }
 
-/// Parallel variant of [`crate::validate::constancy_holds`].
-pub fn constancy_holds_parallel(part: &StrippedPartition, codes: &[u32], threads: usize) -> bool {
-    all_classes(part.classes(), threads, |class| {
-        class_is_constant(class, codes)
+/// Parallel variant of [`crate::validate::constancy_verdict`].
+pub fn constancy_verdict_parallel(
+    part: &StrippedPartition,
+    codes: &[u32],
+    threads: usize,
+    budget: usize,
+) -> Verdict {
+    scan_classes(part.classes(), threads, budget, |class, witnesses| {
+        if class_is_constant(class, codes) {
+            0
+        } else {
+            class_constancy_removal(class, codes, witnesses)
+        }
     })
 }
 
-/// Parallel variant of [`crate::validate::compatibility_holds`].
-pub fn compatibility_holds_parallel(
+/// Parallel variant of [`crate::validate::compatibility_verdict`].
+pub fn compatibility_verdict_parallel(
     part: &StrippedPartition,
     codes_a: &[u32],
     codes_b: &[u32],
     threads: usize,
-) -> bool {
-    all_classes(part.classes(), threads, |class| {
-        class_is_compatible(class, codes_a, codes_b)
+    budget: usize,
+) -> Verdict {
+    scan_classes(part.classes(), threads, budget, |class, witnesses| {
+        if class_is_compatible(class, codes_a, codes_b) {
+            0
+        } else {
+            class_compatibility_removal(class, codes_a, codes_b, witnesses)
+        }
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::validate::{compatibility_holds, constancy_holds};
+    use crate::validate::{compatibility_verdict, constancy_verdict};
     use od_core::{AttrId, Relation, Schema, Value};
 
     fn rel_with_groups(groups: usize, per_group: usize) -> Relation {
@@ -98,21 +161,25 @@ mod tests {
         let b = rel.rank_column(AttrId(2));
         let part = crate::partition::StrippedPartition::by_codes(&g);
         for threads in [1, 2, 4, 16] {
+            // Unlimited budget: removal counts are exact on any thread count.
+            let c = constancy_verdict_parallel(&part, &a, threads, usize::MAX);
             assert_eq!(
-                constancy_holds_parallel(&part, &a, threads),
-                constancy_holds(&part, &a)
+                c.removal_count,
+                constancy_verdict(&part, &a, usize::MAX).removal_count
             );
+            assert_eq!(c.classes_scanned, part.num_classes());
+            let k = compatibility_verdict_parallel(&part, &a, &b, threads, usize::MAX);
             assert_eq!(
-                compatibility_holds_parallel(&part, &a, &b, threads),
-                compatibility_holds(&part, &a, &b)
+                k.removal_count,
+                compatibility_verdict(&part, &a, &b, usize::MAX).removal_count
             );
         }
         // Constancy of g itself within g-classes holds on any thread count.
-        assert!(constancy_holds_parallel(&part, &g, 4));
+        assert!(constancy_verdict_parallel(&part, &g, 4, 0).holds());
     }
 
     #[test]
-    fn early_exit_reports_failure() {
+    fn budget_exceeded_reports_failure() {
         // b decreases while a increases inside every class: all-swap classes.
         let mut schema = Schema::new("t");
         schema.add_attr("g");
@@ -128,16 +195,25 @@ mod tests {
         let a = rel.rank_column(AttrId(1));
         let b = rel.rank_column(AttrId(2));
         let part = crate::partition::StrippedPartition::by_codes(&g);
-        assert!(!compatibility_holds_parallel(&part, &a, &b, 8));
-        assert!(!constancy_holds_parallel(&part, &a, 8));
+        let k = compatibility_verdict_parallel(&part, &a, &b, 8, 0);
+        assert!(!k.holds() && k.exceeded && !k.within(0));
+        assert!(!k.violating_pairs.is_empty());
+        let c = constancy_verdict_parallel(&part, &a, 8, 0);
+        assert!(!c.holds());
+        // With one removal per class and 40 classes, a budget of 39 is a near
+        // miss and 40 accepts: the decision matches on every thread count.
+        for threads in [1, 3, 8] {
+            assert!(!compatibility_verdict_parallel(&part, &a, &b, threads, 39).within(39));
+            assert!(compatibility_verdict_parallel(&part, &a, &b, threads, 40).within(40));
+        }
     }
 
     #[test]
     fn degenerate_inputs() {
         let part = crate::partition::StrippedPartition::full(0);
-        assert!(constancy_holds_parallel(&part, &[], 4));
+        assert!(constancy_verdict_parallel(&part, &[], 4, 0).holds());
         assert!(
-            all_classes(&[], 4, |_| false),
+            scan_classes(&[], 4, 0, |_, _| 1).holds(),
             "vacuous truth over no classes"
         );
         assert!(available_threads() >= 1);

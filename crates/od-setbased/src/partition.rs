@@ -23,6 +23,16 @@ use od_core::{AttrId, AttrList, AttrSet, Relation};
 use std::collections::HashMap;
 use std::rc::Rc;
 
+/// Reusable scratch buffers for partition construction, held per
+/// [`PartitionCache`] so the thousands of `refine_by` calls of a lattice
+/// traversal stop re-allocating their working set (the only allocations left
+/// are the surviving classes themselves).
+#[derive(Debug, Default)]
+pub struct RefineScratch {
+    /// `(code, row)` pairs of the class currently being bucketed.
+    pairs: Vec<(u32, u32)>,
+}
+
 /// A stripped partition: equivalence classes (of size ≥ 2) of tuple ids.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StrippedPartition {
@@ -44,11 +54,17 @@ impl StrippedPartition {
 
     /// Build `Π_{{A}}` from an attribute's rank codes.
     pub fn by_codes(codes: &[u32]) -> Self {
-        let mut buckets: HashMap<u32, Vec<u32>> = HashMap::new();
-        for (row, &code) in codes.iter().enumerate() {
-            buckets.entry(code).or_default().push(row as u32);
-        }
-        let mut classes: Vec<Vec<u32>> = buckets.into_values().filter(|c| c.len() >= 2).collect();
+        Self::by_codes_with(codes, &mut RefineScratch::default())
+    }
+
+    /// [`Self::by_codes`] with caller-provided scratch buffers.
+    pub fn by_codes_with(codes: &[u32], scratch: &mut RefineScratch) -> Self {
+        let mut classes = Vec::new();
+        scratch.pairs.clear();
+        scratch
+            .pairs
+            .extend(codes.iter().enumerate().map(|(row, &c)| (c, row as u32)));
+        emit_runs(&mut scratch.pairs, &mut classes);
         // Deterministic class order (by first member) keeps traversal stable.
         classes.sort_by_key(|c| c[0]);
         StrippedPartition {
@@ -58,19 +74,25 @@ impl StrippedPartition {
     }
 
     /// Refine by one more attribute's rank codes: `Π_X · Π_{{A}}` restricted to
-    /// the tuples `Π_X` still tracks.  Linear in [`Self::covered_rows`].
+    /// the tuples `Π_X` still tracks.  Linear in [`Self::covered_rows`] up to
+    /// the per-class sort on `(code, row)` pairs.
     pub fn refine_by(&self, codes: &[u32]) -> Self {
+        self.refine_by_with(codes, &mut RefineScratch::default())
+    }
+
+    /// [`Self::refine_by`] with caller-provided scratch buffers: each class is
+    /// bucketed by sorting its `(code, row)` pairs in a reused buffer and
+    /// emitting the runs of equal codes, instead of hashing into freshly
+    /// allocated per-bucket vectors.  Output is identical (classes in
+    /// first-member order, members in ascending row order).
+    pub fn refine_by_with(&self, codes: &[u32], scratch: &mut RefineScratch) -> Self {
         let mut classes = Vec::new();
-        let mut bucket: HashMap<u32, Vec<u32>> = HashMap::new();
         for class in &self.classes {
-            for &row in class {
-                bucket.entry(codes[row as usize]).or_default().push(row);
-            }
-            for (_, sub) in bucket.drain() {
-                if sub.len() >= 2 {
-                    classes.push(sub);
-                }
-            }
+            scratch.pairs.clear();
+            scratch
+                .pairs
+                .extend(class.iter().map(|&row| (codes[row as usize], row)));
+            emit_runs(&mut scratch.pairs, &mut classes);
         }
         classes.sort_by_key(|c| c[0]);
         StrippedPartition {
@@ -112,6 +134,21 @@ impl StrippedPartition {
     }
 }
 
+/// Sort `(code, row)` pairs and push every run of ≥ 2 equal codes as a class
+/// (rows come out in ascending order because `row` tie-breaks the sort).
+fn emit_runs(pairs: &mut [(u32, u32)], classes: &mut Vec<Vec<u32>>) {
+    pairs.sort_unstable();
+    let mut start = 0usize;
+    for i in 1..=pairs.len() {
+        if i == pairs.len() || pairs[i].0 != pairs[start].0 {
+            if i - start >= 2 {
+                classes.push(pairs[start..i].iter().map(|&(_, row)| row).collect());
+            }
+            start = i;
+        }
+    }
+}
+
 /// Memoizing builder of stripped partitions per attribute set, plus the
 /// per-attribute rank codes all validators work on.
 ///
@@ -123,6 +160,7 @@ pub struct PartitionCache<'r> {
     rel: &'r Relation,
     codes: Vec<Option<Rc<Vec<u32>>>>,
     partitions: HashMap<Vec<AttrId>, Rc<StrippedPartition>>,
+    scratch: RefineScratch,
     /// Number of partition products (refinements) performed.
     pub products: usize,
 }
@@ -134,6 +172,7 @@ impl<'r> PartitionCache<'r> {
             rel,
             codes: vec![None; rel.schema().arity()],
             partitions: HashMap::new(),
+            scratch: RefineScratch::default(),
             products: 0,
         }
     }
@@ -168,7 +207,7 @@ impl<'r> PartitionCache<'r> {
             let base_part = self.partition(&base);
             let codes = self.codes(last);
             self.products += 1;
-            base_part.refine_by(&codes)
+            base_part.refine_by_with(&codes, &mut self.scratch)
         };
         let rc = Rc::new(part);
         self.partitions.insert(key, rc.clone());

@@ -1,5 +1,30 @@
 //! Data-level validation of canonical statements and whole ODs against
-//! stripped / sorted partitions.
+//! stripped / sorted partitions, returning **violation evidence** rather than
+//! bare booleans.
+//!
+//! Every statement check produces a [`Verdict`]: the minimal number of tuples
+//! that must be removed for the statement to hold (the numerator of the
+//! TANE-style `g3` error), a bounded sample of violating row pairs, and the
+//! number of partition classes scanned.  Exact validation is the special case
+//! `removal_count == 0`; approximate validation accepts any verdict whose
+//! removal count stays within an error budget `⌊ε·n⌋`.
+//!
+//! The per-class removal counts are exact:
+//!
+//! * **constancy** `𝒞 : [] ↦ A` — a class becomes constant on `A` by keeping
+//!   its largest `A`-value group, so the minimal removal is
+//!   `|class| − max value-group size`;
+//! * **compatibility** `𝒞 : A ~ B` — a class becomes swap-free by keeping a
+//!   largest subset in which `A`-order never inverts `B`-order.  Sorting the
+//!   class by `(code_A, code_B)`, such subsets are exactly the subsequences
+//!   with non-decreasing `code_B` (ties on `A` are unconstrained and sort
+//!   adjacent), so the minimal removal is `|class| −` the longest
+//!   non-decreasing `B`-subsequence (an `O(k log k)` LIS pass).
+//!
+//! Classes are independent — removing tuples of one class cannot create
+//! violations in another — so the statement-level removal count is the sum
+//! over classes, and scans short-circuit once the running sum exceeds the
+//! budget.
 //!
 //! All validators work on order-preserving rank codes (see
 //! [`od_core::Relation::rank_column`]): equality is integer equality, order is
@@ -15,10 +40,127 @@ use od_core::OrderDependency;
 /// spawning overhead.
 pub const PARALLEL_ROW_THRESHOLD: usize = 8_192;
 
+/// Maximum number of violating row pairs a verdict samples as witnesses.
+pub const WITNESS_SAMPLE_CAP: usize = 8;
+
+/// The tuple-removal budget `⌊ε·n⌋` corresponding to an error threshold ε on
+/// an `n`-row relation (non-finite or negative ε clamps to 0, ε ≥ 1 to `n`).
+pub fn error_budget(n_rows: usize, epsilon: f64) -> usize {
+    if !epsilon.is_finite() || epsilon <= 0.0 {
+        0
+    } else if epsilon >= 1.0 {
+        n_rows
+    } else {
+        (epsilon * n_rows as f64).floor() as usize
+    }
+}
+
+/// Violation evidence from one statement (or whole-OD) check.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Verdict {
+    /// Minimal number of tuples to remove so the checked statement holds (the
+    /// `g3` numerator).  Exact when the scan ran to completion; a lower bound
+    /// when [`Self::exceeded`] is set; an upper bound when the verdict was
+    /// inherited from a sub-context statement instead of scanned.
+    pub removal_count: usize,
+    /// True when the scan stopped early because `removal_count` went past the
+    /// error budget — the count is then a lower bound, which is all an
+    /// accept/reject decision needs.
+    pub exceeded: bool,
+    /// Sampled violating row pairs (at most [`WITNESS_SAMPLE_CAP`]): rows that
+    /// disagree on the constant attribute, or a swap pair for compatibility.
+    pub violating_pairs: Vec<(u32, u32)>,
+    /// Partition classes examined before the scan finished or short-circuited.
+    pub classes_scanned: usize,
+}
+
+impl Verdict {
+    /// The verdict of a statement with no violations.
+    pub fn clean() -> Self {
+        Verdict::default()
+    }
+
+    /// Does the statement hold exactly (no tuple needs to be removed)?
+    pub fn holds(&self) -> bool {
+        self.removal_count == 0
+    }
+
+    /// Does the statement hold after removing at most `budget` tuples?
+    ///
+    /// Sound under early exit: a scan only stops once its running removal
+    /// count strictly exceeds the budget, so `removal_count <= budget` implies
+    /// the count is complete.
+    pub fn within(&self, budget: usize) -> bool {
+        self.removal_count <= budget
+    }
+
+    /// The `g3` error: the fraction of tuples to remove (0 on empty relations).
+    pub fn g3(&self, n_rows: usize) -> f64 {
+        if n_rows == 0 {
+            0.0
+        } else {
+            self.removal_count as f64 / n_rows as f64
+        }
+    }
+
+    /// Combine per-statement verdicts of one OD: the removal count becomes the
+    /// **maximum** over statements — the `g3` score of the OD's worst canonical
+    /// statement, which is the acceptance measure for approximate discovery and
+    /// a lower bound on the OD-level `g3` (the true OD removal lies between the
+    /// max and the sum of its statement removals, since statement satisfaction
+    /// is monotone under tuple removal).
+    pub fn join_max(&mut self, other: &Verdict) {
+        self.removal_count = self.removal_count.max(other.removal_count);
+        self.exceeded |= other.exceeded;
+        self.classes_scanned += other.classes_scanned;
+        for &pair in &other.violating_pairs {
+            if self.violating_pairs.len() >= WITNESS_SAMPLE_CAP {
+                break;
+            }
+            self.violating_pairs.push(pair);
+        }
+    }
+}
+
 /// Is `attr` (given by its codes) constant within one equivalence class?
 pub fn class_is_constant(class: &[u32], codes: &[u32]) -> bool {
     let first = codes[class[0] as usize];
     class.iter().all(|&row| codes[row as usize] == first)
+}
+
+/// Minimal tuples to remove so the class becomes constant on `attr`:
+/// `|class| − max value-group size`.  Appends up to the remaining witness
+/// capacity pairs of rows holding different values.
+pub fn class_constancy_removal(
+    class: &[u32],
+    codes: &[u32],
+    witnesses: &mut Vec<(u32, u32)>,
+) -> usize {
+    // Count value groups via a sorted scratch of the class's codes.  Classes
+    // reaching this path are known non-constant, so the work is proportional
+    // to actual violations.
+    let mut sorted: Vec<(u32, u32)> = class.iter().map(|&r| (codes[r as usize], r)).collect();
+    sorted.sort_unstable();
+    let mut max_group = 0usize;
+    let mut start = 0usize;
+    for i in 1..=sorted.len() {
+        if i == sorted.len() || sorted[i].0 != sorted[start].0 {
+            max_group = max_group.max(i - start);
+            start = i;
+        }
+    }
+    // Witnesses: the class head against rows carrying a different value.
+    let head = class[0];
+    let head_code = codes[head as usize];
+    for &row in class.iter().skip(1) {
+        if witnesses.len() >= WITNESS_SAMPLE_CAP {
+            break;
+        }
+        if codes[row as usize] != head_code {
+            witnesses.push((head, row));
+        }
+    }
+    class.len() - max_group
 }
 
 /// Are two attributes (given by their codes) order compatible within one
@@ -57,18 +199,79 @@ pub fn class_is_compatible(class: &[u32], codes_a: &[u32], codes_b: &[u32]) -> b
     true
 }
 
-/// Validate `𝒞 : [] ↦ A` over a stripped partition of `𝒞`.
-pub fn constancy_holds(part: &StrippedPartition, codes: &[u32]) -> bool {
-    part.classes()
+/// Minimal tuples to remove so the class becomes swap-free on `(A, B)`.
+///
+/// A kept subset is swap-free iff, ordered by `(code_a, code_b)`, its `code_b`
+/// sequence is non-decreasing (elements tied on `A` are mutually unconstrained
+/// and sort adjacent, so any non-decreasing-`B` subsequence of the sorted class
+/// is swap-free and vice versa).  The largest such subset is the longest
+/// non-decreasing subsequence of `B`, found with the `O(k log k)` patience
+/// pass.  Appends up to the remaining witness capacity swap pairs.
+pub fn class_compatibility_removal(
+    class: &[u32],
+    codes_a: &[u32],
+    codes_b: &[u32],
+    witnesses: &mut Vec<(u32, u32)>,
+) -> usize {
+    if class.len() < 2 {
+        return 0;
+    }
+    let mut triples: Vec<(u32, u32, u32)> = class
         .iter()
-        .all(|class| class_is_constant(class, codes))
+        .map(|&row| (codes_a[row as usize], codes_b[row as usize], row))
+        .collect();
+    triples.sort_unstable();
+    // Longest non-decreasing subsequence of B: `tails[k]` is the smallest tail
+    // of any non-decreasing subsequence of length `k + 1`.
+    let mut tails: Vec<u32> = Vec::new();
+    // Swap witnesses: the running maximum B (with its row) of *previous*
+    // A-groups; any row of a later group with a smaller B is a swap partner.
+    let mut prev_max: Option<(u32, u32)> = None; // (code_b, row) over closed A-groups
+    let mut group_a = triples[0].0;
+    let mut group_max: (u32, u32) = (triples[0].1, triples[0].2);
+    for &(a, b, row) in &triples {
+        if a != group_a {
+            prev_max = Some(match prev_max {
+                Some(m) if m.0 >= group_max.0 => m,
+                _ => group_max,
+            });
+            group_a = a;
+            group_max = (b, row);
+        } else if b > group_max.0 {
+            group_max = (b, row);
+        }
+        if let Some((mb, mrow)) = prev_max {
+            if b < mb && witnesses.len() < WITNESS_SAMPLE_CAP {
+                witnesses.push((mrow, row));
+            }
+        }
+        let pos = tails.partition_point(|&t| t <= b);
+        if pos == tails.len() {
+            tails.push(b);
+        } else {
+            tails[pos] = b;
+        }
+    }
+    class.len() - tails.len()
 }
 
-/// Validate `𝒞 : A ~ B` over a stripped partition of `𝒞`.
-pub fn compatibility_holds(part: &StrippedPartition, codes_a: &[u32], codes_b: &[u32]) -> bool {
-    part.classes()
-        .iter()
-        .all(|class| class_is_compatible(class, codes_a, codes_b))
+/// Validate `𝒞 : [] ↦ A` over a stripped partition of `𝒞`, stopping once the
+/// removal count exceeds `budget` (the serial case of
+/// [`parallel::constancy_verdict_parallel`] — one scan loop serves both).
+pub fn constancy_verdict(part: &StrippedPartition, codes: &[u32], budget: usize) -> Verdict {
+    parallel::constancy_verdict_parallel(part, codes, 1, budget)
+}
+
+/// Validate `𝒞 : A ~ B` over a stripped partition of `𝒞`, stopping once the
+/// removal count exceeds `budget` (the serial case of
+/// [`parallel::compatibility_verdict_parallel`]).
+pub fn compatibility_verdict(
+    part: &StrippedPartition,
+    codes_a: &[u32],
+    codes_b: &[u32],
+    budget: usize,
+) -> Verdict {
+    parallel::compatibility_verdict_parallel(part, codes_a, codes_b, 1, budget)
 }
 
 /// Validate one canonical statement against the data: fetch (or build) the
@@ -76,12 +279,23 @@ pub fn compatibility_holds(part: &StrippedPartition, codes_a: &[u32], codes_b: &
 /// `threads` threads when the partition covers at least
 /// [`PARALLEL_ROW_THRESHOLD`] rows.  The single dispatch point shared by the
 /// lattice traversal and the demand-driven engine.
-pub fn statement_scan(cache: &mut PartitionCache<'_>, stmt: &SetOd, threads: usize) -> bool {
+///
+/// `budget` is the tuple-removal allowance `⌊ε·n⌋`: the scan short-circuits
+/// once the statement's removal count exceeds it (0 = exact validation with
+/// the classic first-violation early exit).  The accept/reject decision
+/// (`verdict.within(budget)`) is deterministic across thread counts; the
+/// sampled witnesses and the exact overshoot of a rejected verdict are not.
+pub fn statement_verdict(
+    cache: &mut PartitionCache<'_>,
+    stmt: &SetOd,
+    threads: usize,
+    budget: usize,
+) -> Verdict {
     let part = cache.partition(stmt.context());
     if part.is_key() {
         // No two tuples agree on the context: classes are all singletons, so
         // neither a split nor an in-class swap can exist.
-        return true;
+        return Verdict::clean();
     }
     let threads = if threads > 1 && part.covered_rows() >= PARALLEL_ROW_THRESHOLD {
         threads
@@ -91,20 +305,12 @@ pub fn statement_scan(cache: &mut PartitionCache<'_>, stmt: &SetOd, threads: usi
     match stmt {
         SetOd::Constancy { attr, .. } => {
             let codes = cache.codes(*attr);
-            if threads > 1 {
-                parallel::constancy_holds_parallel(&part, &codes, threads)
-            } else {
-                constancy_holds(&part, &codes)
-            }
+            parallel::constancy_verdict_parallel(&part, &codes, threads, budget)
         }
         SetOd::Compatibility { a, b, .. } => {
             let ca = cache.codes(*a);
             let cb = cache.codes(*b);
-            if threads > 1 {
-                parallel::compatibility_holds_parallel(&part, &ca, &cb, threads)
-            } else {
-                compatibility_holds(&part, &ca, &cb)
-            }
+            parallel::compatibility_verdict_parallel(&part, &ca, &cb, threads, budget)
         }
     }
 }
@@ -198,6 +404,110 @@ mod tests {
         assert!(class_is_compatible(&[0, 1], &[0, 1], &[3, 3]));
         // a: 0 1, b: 3 2 — genuine swap.
         assert!(!class_is_compatible(&[0, 1], &[0, 1], &[3, 2]));
+    }
+
+    #[test]
+    fn constancy_removal_is_size_minus_largest_group() {
+        let codes = [0u32, 1, 1, 2, 1];
+        let mut w = Vec::new();
+        // Class {0,1,2,3,4}: groups {0}, {1,2,4}, {3} → keep 3, remove 2.
+        assert_eq!(class_constancy_removal(&[0, 1, 2, 3, 4], &codes, &mut w), 2);
+        assert!(!w.is_empty() && w.len() <= WITNESS_SAMPLE_CAP);
+        for &(s, t) in &w {
+            assert_ne!(codes[s as usize], codes[t as usize]);
+        }
+        // A constant class removes nothing.
+        let mut w2 = Vec::new();
+        assert_eq!(class_constancy_removal(&[1, 2, 4], &codes, &mut w2), 0);
+        assert!(w2.is_empty());
+    }
+
+    #[test]
+    fn compatibility_removal_is_size_minus_longest_chain() {
+        // a: 0 1 2 3, b: 0 9 1 2 — drop row 1 (b=9) and the rest chains.
+        let a = [0u32, 1, 2, 3];
+        let b = [0u32, 9, 1, 2];
+        let mut w = Vec::new();
+        assert_eq!(
+            class_compatibility_removal(&[0, 1, 2, 3], &a, &b, &mut w),
+            1
+        );
+        // Each witness is a genuine swap pair.
+        assert!(!w.is_empty());
+        for &(s, t) in &w {
+            let (si, ti) = (s as usize, t as usize);
+            assert!(
+                (a[si] < a[ti] && b[si] > b[ti]) || (a[ti] < a[si] && b[ti] > b[si]),
+                "({s},{t}) is not a swap"
+            );
+        }
+        // Fully reversed: keep one tuple per strictly-decreasing chain.
+        let a2 = [0u32, 1, 2];
+        let b2 = [2u32, 1, 0];
+        let mut w2 = Vec::new();
+        assert_eq!(
+            class_compatibility_removal(&[0, 1, 2], &a2, &b2, &mut w2),
+            2
+        );
+        // Ties on A are unconstrained: no removal however wild B is.
+        let a3 = [5u32, 5, 5];
+        let mut w3 = Vec::new();
+        assert_eq!(
+            class_compatibility_removal(&[0, 1, 2], &a3, &b2, &mut w3),
+            0
+        );
+        assert!(w3.is_empty());
+    }
+
+    #[test]
+    fn verdict_budget_short_circuits() {
+        // Ten all-different pairs under one constant context column.
+        let rows: Vec<Vec<i64>> = (0..10).map(|i| vec![0, i]).collect();
+        let rows: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let rel = rel_from(&rows);
+        let ctx = rel.rank_column(AttrId(0));
+        let a = rel.rank_column(AttrId(1));
+        let part = StrippedPartition::by_codes(&ctx);
+        // Exact: removal 9 (keep one of ten values).
+        let exact = constancy_verdict(&part, &a, usize::MAX);
+        assert_eq!(exact.removal_count, 9);
+        assert!(!exact.exceeded && !exact.holds() && exact.within(9));
+        // Budget 3: the scan stops as soon as the count passes 3.
+        let clipped = constancy_verdict(&part, &a, 3);
+        assert!(clipped.exceeded && !clipped.within(3));
+        assert!(clipped.removal_count > 3);
+    }
+
+    #[test]
+    fn error_budget_clamps() {
+        assert_eq!(error_budget(100, 0.0), 0);
+        assert_eq!(error_budget(100, -0.5), 0);
+        assert_eq!(error_budget(100, f64::NAN), 0);
+        assert_eq!(error_budget(100, 0.05), 5);
+        assert_eq!(error_budget(100, 1.0), 100);
+        assert_eq!(error_budget(100, 7.0), 100);
+        assert_eq!(error_budget(0, 0.5), 0);
+    }
+
+    #[test]
+    fn verdict_join_caps_witnesses_and_takes_the_max() {
+        let part = Verdict {
+            removal_count: 2,
+            exceeded: false,
+            violating_pairs: vec![(0, 1); WITNESS_SAMPLE_CAP],
+            classes_scanned: 1,
+        };
+        let mut m = Verdict::clean();
+        m.join_max(&part);
+        m.join_max(&part);
+        assert_eq!(m.violating_pairs.len(), WITNESS_SAMPLE_CAP);
+        m.join_max(&Verdict {
+            removal_count: 7,
+            ..Verdict::clean()
+        });
+        assert_eq!(m.removal_count, 7);
+        assert_eq!(m.classes_scanned, 2);
+        assert_eq!(m.g3(14), 0.5);
     }
 
     #[test]

@@ -6,9 +6,16 @@
 //! compatibility statements, validates each distinct statement once with
 //! stripped partitions, and shares the verdicts across candidates.
 //!
+//! The second half corrupts a slice of the data and reruns discovery with a
+//! `g3` error threshold (approximate ODs), then installs the exactly-holding
+//! results into the optimizer's registry so sort elimination benefits from
+//! profiling without any manual constraint declarations.
+//!
 //! Run with `cargo run --release --example discovery_setbased`.
 
+use od_core::Value;
 use od_discovery::{discover_ods, discover_ods_naive, DiscoveryConfig};
+use od_optimizer::{names_to_list, OdRegistry};
 use od_setbased::{discover_statements, LatticeConfig};
 use od_workload::generate_date_dim;
 use std::time::Instant;
@@ -63,4 +70,51 @@ fn main() {
     for stmt in profile.minimal_statements().iter().take(8) {
         println!("  {}", stmt.display(&schema));
     }
+
+    // --- Approximate discovery on dirty data -------------------------------
+    // Corrupt ~1% of the d_year column: exact discovery drops every OD that
+    // leans on it, a 2% g3 threshold keeps them, each tagged with its error.
+    let mut dirty = rel.clone();
+    let year_idx = schema.attr_by_name("d_year").unwrap().index();
+    for (i, row) in dirty.tuples_mut().iter_mut().enumerate() {
+        if i % 101 == 7 {
+            row[year_idx] = Value::Int(-1);
+        }
+    }
+    let exact_on_dirty = discover_ods(&dirty, config);
+    let approx = discover_ods(
+        &dirty,
+        DiscoveryConfig {
+            epsilon: 0.02,
+            ..config
+        },
+    );
+    println!(
+        "\nafter corrupting ~1% of d_year: {} exact ODs, {} ODs at ε = 2%",
+        exact_on_dirty.ods.len(),
+        approx.ods.len()
+    );
+    for (od, err) in approx
+        .ods
+        .iter()
+        .zip(&approx.errors)
+        .filter(|(_, e)| **e > 0.0)
+        .take(5)
+    {
+        println!("  g3 = {:.4}  {}", err, od.display(&schema));
+    }
+
+    // --- Feeding the optimizer --------------------------------------------
+    // Discovered exact ODs become registry constraints: the date hierarchy
+    // licenses ORDER BY elimination with zero manual declarations.
+    let mut registry = OdRegistry::new();
+    let installed = set_based.install_into(&mut registry, schema.name());
+    let provided = names_to_list(&schema, &["d_date_sk"]);
+    let required = names_to_list(&schema, &["d_year"]);
+    println!(
+        "\ninstalled {installed} discovered ODs into the registry; \
+         stream ordered by d_date_sk satisfies ORDER BY d_year: {}",
+        registry.order_satisfies(schema.name(), &provided, &required)
+    );
+    assert!(registry.order_satisfies(schema.name(), &provided, &required));
 }
