@@ -22,6 +22,8 @@ use od_workload::{
 use std::fmt::Write as _;
 use std::time::Instant;
 
+pub mod streaming;
+
 /// Sizing for the experiment runs (kept configurable so tests can run tiny
 /// versions and the `reproduce` binary a fuller one).
 #[derive(Debug, Clone, Copy)]
@@ -385,7 +387,7 @@ pub fn exp_e5_tax(scale: ExperimentScale) -> String {
         same_results(&b1, &b2)
     )
     .unwrap();
-    // Monotone derived columns (Section 2.2 / reference [12]).
+    // Monotone derived columns (Section 2.2 / reference \[12\]).
     let derived = od_discovery::DerivedColumn {
         name: "g".into(),
         id: AttrId(4),

@@ -1,0 +1,45 @@
+//! Shared fixtures for the E11 streaming measurements, used by both the
+//! `stream_monitor` bench and the `stream_speed` release guard so the
+//! quantity the bench reports is exactly the quantity the guard asserts on.
+
+use od_core::{Relation, Tuple};
+use od_discovery::Discovery;
+use od_setbased::stream::DeltaBatch;
+use od_setbased::{translate_od, validate, PartitionCache, SetOd};
+
+/// The distinct canonical statements behind a discovery run's OD set (the
+/// statement set a monitor maintains and a full re-validation must scan).
+pub fn monitored_statements(discovery: &Discovery) -> Vec<SetOd> {
+    let mut all: Vec<_> = discovery.ods.iter().flat_map(translate_od).collect();
+    all.sort();
+    all.dedup();
+    all
+}
+
+/// A churn batch: delete the `delta_rows` oldest alive tuples and insert
+/// fresh rows drawn from a disjoint pool.  Round `r` deletes ids
+/// `[r·Δ, r·Δ + Δ)` and inserts Δ fresh ids, so the alive window slides
+/// monotonically — those deletes are always alive, for any number of rounds
+/// (tuple ids are never reused, so a wrapping modulo would hit dead ids).
+pub fn churn_batch(round: usize, delta_rows: usize, fresh: &[Tuple]) -> DeltaBatch {
+    let mut batch = DeltaBatch::new();
+    for i in 0..delta_rows {
+        batch = batch.delete((round * delta_rows + i) as u32);
+    }
+    for i in 0..delta_rows {
+        batch = batch.insert(fresh[(round * delta_rows + i) % fresh.len()].clone());
+    }
+    batch
+}
+
+/// The full-re-validation baseline: exact statement verdicts (worst removal
+/// count) from a fresh partition cache over a snapshot of the live rows —
+/// what every delta used to cost before delta maintenance.
+pub fn full_revalidation(snapshot: &Relation, stmts: &[SetOd]) -> usize {
+    let mut cache = PartitionCache::new(snapshot);
+    stmts
+        .iter()
+        .map(|stmt| validate::statement_verdict(&mut cache, stmt, 1, usize::MAX).removal_count)
+        .max()
+        .unwrap_or(0)
+}

@@ -1,0 +1,93 @@
+//! The performance half of the streaming acceptance criteria: on a 10k-row
+//! table under 1%-sized deltas, delta maintenance must beat full
+//! re-validation by at least 5× (the steady-state margin is comfortably
+//! larger, so the 5× floor holds under CI noise).  Runs in CI under the
+//! release profile alongside `setbased_speed.rs`; the churn batches,
+//! statement set, and baseline are shared with the E11 bench via
+//! [`od_bench::streaming`].
+
+use od_bench::streaming::{churn_batch, full_revalidation, monitored_statements};
+use od_discovery::{discover_ods, DiscoveryConfig, Monitor};
+use od_setbased::stream::DeltaBatch;
+use od_workload::generate_date_dim;
+use std::time::Instant;
+
+const BASE_ROWS: usize = 10_000;
+const DELTA_ROWS: usize = 100; // 1% of the base table
+const ROUNDS: usize = 10;
+
+#[test]
+fn delta_maintenance_beats_full_revalidation_five_fold() {
+    let rel = generate_date_dim(1998, BASE_ROWS, 2_450_000);
+    let fresh = generate_date_dim(2030, BASE_ROWS, 9_450_000);
+    let discovery = discover_ods(&rel, DiscoveryConfig::default());
+    assert!(
+        !discovery.ods.is_empty(),
+        "date_dim must yield ODs to watch"
+    );
+    let stmts = monitored_statements(&discovery);
+
+    let mut monitor = Monitor::watch_install_set(&rel, &discovery, 0.0);
+    // One warm-up batch (first-touch class states, allocator) plus three
+    // distinct passes of ROUNDS batches each; best-of-three per path so a
+    // single scheduler stall on a noisy CI runner cannot invert the margin.
+    const PASSES: usize = 3;
+    let batches: Vec<DeltaBatch> = (0..=PASSES * ROUNDS)
+        .map(|round| churn_batch(round, DELTA_ROWS, fresh.tuples()))
+        .collect();
+    monitor.apply(&batches[0]).expect("warm-up batch");
+
+    // Streaming path: apply every delta, reading fresh verdicts each time.
+    let monitor_time = (0..PASSES)
+        .map(|pass| {
+            let start = Instant::now();
+            for batch in &batches[1 + pass * ROUNDS..1 + (pass + 1) * ROUNDS] {
+                monitor.apply(batch).expect("valid churn batch");
+            }
+            start.elapsed()
+        })
+        .min()
+        .expect("three passes");
+
+    // Full path: what every delta used to cost — snapshot the live rows
+    // (each delta changes the table, so every re-validation starts from a
+    // fresh copy) and re-validate every monitored statement with a fresh
+    // partition scan.
+    let mut full_worst = 0usize;
+    let full_time = (0..PASSES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..ROUNDS {
+                let snapshot = monitor.stream().to_relation();
+                full_worst = full_revalidation(&snapshot, &stmts);
+            }
+            start.elapsed()
+        })
+        .min()
+        .expect("three passes");
+
+    // Correctness first: the ledgers agree with the from-scratch scan.
+    let ledger_worst = discovery
+        .ods
+        .iter()
+        .zip(&discovery.errors)
+        .filter(|(_, &err)| err == 0.0)
+        .map(|(od, _)| monitor.stream().od_removal(od).expect("watched"))
+        .max()
+        .unwrap_or(0);
+    assert_eq!(
+        ledger_worst, full_worst,
+        "delta-maintained verdicts must match full recomputation"
+    );
+
+    eprintln!(
+        "stream guard: {ROUNDS} deltas in {monitor_time:?} vs {ROUNDS} full \
+         re-validations in {full_time:?} ({:.1}×)",
+        full_time.as_secs_f64() / monitor_time.as_secs_f64()
+    );
+    assert!(
+        monitor_time * 5 <= full_time,
+        "monitoring {ROUNDS} deltas ({monitor_time:?}) must be ≥5× cheaper than \
+         {ROUNDS} full re-validations ({full_time:?}) on {BASE_ROWS} rows"
+    );
+}

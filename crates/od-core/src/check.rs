@@ -11,6 +11,14 @@
 //! [`check_od`] returns the first such violation found (or `Ok(())`), using an
 //! `O(n log n)` sort-based algorithm; [`check_od_naive`] is the quadratic literal
 //! transcription of Definition 4 used to cross-validate the fast path in tests.
+//!
+//! Checking is no longer only boolean: [`od_evidence`] measures *how far* an
+//! OD is from holding — exact split/swap pair counts and the minimal number of
+//! tuples to remove so the OD holds (the TANE-style `g3` numerator), plus a
+//! bounded witness sample ([`collect_violations`]).  It is the sort-based
+//! oracle that the partition-backed `Verdict`s of `od-setbased` (and the
+//! delta-maintained ledgers of its `stream` module) are differentially tested
+//! against.
 
 use crate::dep::{FunctionalDependency, OrderCompatibility, OrderDependency, OrderEquivalence};
 use crate::lex::{lex_cmp, lex_le};

@@ -16,10 +16,36 @@
 //! * instance-level satisfaction checking with explicit **split** / **swap**
 //!   violation witnesses (Definitions 13–14, Theorem 15) in the [`check`] module.
 //!
+//! ## Evidence, not booleans: `Verdict` / `g3` semantics
+//!
+//! Validators across the workspace answer with **violation evidence**.  Here,
+//! [`check::od_evidence`] returns exact split/swap pair counts and the
+//! minimal number of tuples whose removal makes the OD hold — the numerator
+//! of the TANE-style `g3` error (`removal / n`); an OD is ε-approximately
+//! valid iff that count stays within `⌊ε·n⌋`.  The partition-backed layers
+//! ([`Relation::rank_column`] supplies their order-preserving integer codes)
+//! return the same measure per canonical statement as a `Verdict`, and the
+//! streaming ledgers maintain it incrementally; differential tests pin all
+//! three against each other.
+//!
+//! ## The set ↔ list canonical translation, briefly
+//!
+//! The paper works with attribute **lists**; the follow-up set-based
+//! discovery line (implemented in `od-setbased`) works with context
+//! statements over attribute **sets**.  The bridge is exact: a list OD
+//! `X ↦ Y` holds iff all of its *constancy* statements (`set(X) : [] ↦ Bj` —
+//! no splits; this is the FD `set(X) → set(Y)` of Lemma 1) and *compatibility*
+//! statements (`{A1..Ai−1, B1..Bj−1} : Ai ~ Bj` — no swaps) hold.  The
+//! translation and its round trip live in `od-setbased::canonical`; the
+//! [`AttrList`] / [`AttrSet`] pair in this crate is what makes both sides
+//! first-class.
+//!
 //! Higher layers build on this crate: `od-infer` implements the axiom system and
 //! the implication machinery, `od-engine`/`od-optimizer` implement the query
-//! processing substrate used by the paper's motivating examples, and
-//! `od-workload` generates the date-warehouse style data used in the experiments.
+//! processing substrate used by the paper's motivating examples, `od-workload`
+//! generates the date-warehouse style data used in the experiments, and
+//! `od-discovery`/`od-setbased` implement snapshot discovery plus streaming
+//! maintenance on top of the rank codes and evidence checkers defined here.
 //!
 //! ## Quick example
 //!

@@ -1,0 +1,351 @@
+//! Live monitoring of discovered ODs on a changing table.
+//!
+//! [`discover_ods`](crate::discover::discover_ods) profiles one snapshot;
+//! [`Monitor`] keeps the result honest afterwards.  It wraps an
+//! `od-setbased` [`StreamMonitor`] (delta-maintained partitions plus
+//! per-statement verdict ledgers) and tracks a watch list of ODs: each
+//! [`DeltaBatch`] re-derives only the partition classes it touched, re-reads
+//! every watched OD's worst-statement `g3` removal count from the ledgers, and
+//! reports which ODs **flipped** across the ε acceptance boundary.
+//!
+//! The optimizer stays in the loop through [`Monitor::sync_registry`]: ODs
+//! that hold *exactly* on the live table are (re)installed into the
+//! [`OdRegistry`], ODs that no longer do are retracted — a rewrite license is
+//! only ever backed by currently-clean data, mirroring the install policy of
+//! [`Discovery::install_into`](crate::discover::Discovery::install_into).
+
+use crate::discover::Discovery;
+use od_core::{OrderDependency, Relation};
+use od_optimizer::OdRegistry;
+use od_setbased::stream::{DeltaBatch, DeltaSummary, StreamError, StreamMonitor, TupleId};
+use od_setbased::SetOd;
+use std::collections::HashSet;
+
+/// The live status of one watched OD after a delta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OdStatus {
+    /// The watched OD.
+    pub od: OrderDependency,
+    /// Worst canonical statement's exact `g3` removal count on the live table.
+    pub removal_count: usize,
+    /// The corresponding `g3` error (removal / alive rows).
+    pub g3: f64,
+    /// Does the OD hold within the monitor's ε budget right now?
+    pub accepted: bool,
+    /// Did `accepted` change relative to before the last delta?
+    pub flipped: bool,
+}
+
+/// What one [`Monitor::apply`] call observed.
+#[derive(Debug, Clone)]
+pub struct MonitorReport {
+    /// Per-OD statuses, in watch order, with flips marked.
+    pub statuses: Vec<OdStatus>,
+    /// Ids assigned to the batch's inserted rows.
+    pub inserted: Vec<TupleId>,
+    /// Number of tuples the batch deleted.
+    pub deleted: usize,
+    /// Partition classes the batch touched (the maintenance cost unit).
+    pub touched_classes: usize,
+}
+
+impl MonitorReport {
+    /// The statuses that flipped across the acceptance boundary.
+    pub fn flips(&self) -> impl Iterator<Item = &OdStatus> {
+        self.statuses.iter().filter(|s| s.flipped)
+    }
+}
+
+struct WatchedOd {
+    od: OrderDependency,
+    stmts: Vec<SetOd>,
+    accepted: bool,
+}
+
+/// Watches a set of ODs on a live table, keeping each one's `g3` verdict
+/// current under tuple inserts and deletes.
+///
+/// ```
+/// use od_core::{fixtures, Value};
+/// use od_discovery::{discover_ods, DiscoveryConfig, Monitor};
+/// use od_setbased::stream::DeltaBatch;
+///
+/// let rel = fixtures::example_5_taxes();
+/// let discovery = discover_ods(&rel, DiscoveryConfig::default());
+/// let mut monitor = Monitor::watch_install_set(&rel, &discovery, 0.0);
+/// assert!(monitor.statuses().iter().all(|s| s.accepted));
+///
+/// // Corrupt the stream: a tuple violating the tax-bracket ODs arrives.
+/// let mut bad = rel.tuple(0).clone();
+/// bad[1] = Value::Int(999);
+/// let report = monitor.apply(&DeltaBatch::new().insert(bad)).unwrap();
+/// assert!(report.flips().count() > 0);
+/// ```
+pub struct Monitor {
+    stream: StreamMonitor,
+    watched: Vec<WatchedOd>,
+    epsilon: f64,
+}
+
+impl Monitor {
+    /// Watch `ods` on a snapshot of `rel` with error threshold `epsilon`
+    /// (ε = 0 monitors exact satisfaction).  `threads > 1` shards large
+    /// initial scans and large delta patches.
+    pub fn watch(
+        rel: &Relation,
+        ods: impl IntoIterator<Item = OrderDependency>,
+        epsilon: f64,
+        threads: usize,
+    ) -> Self {
+        let mut stream = StreamMonitor::new(rel, threads);
+        let mut watched = Vec::new();
+        for od in ods {
+            let stmts = stream.monitor_od(&od);
+            watched.push(WatchedOd {
+                od,
+                stmts,
+                accepted: false,
+            });
+        }
+        let mut monitor = Monitor {
+            stream,
+            watched,
+            epsilon,
+        };
+        // Baseline acceptance, so the first delta's flips are meaningful.
+        let budget = monitor.stream.error_budget(epsilon);
+        for i in 0..monitor.watched.len() {
+            monitor.watched[i].accepted = monitor.removal_of(i) <= budget;
+        }
+        monitor
+    }
+
+    /// Watch the **install set** of a discovery run — the zero-error ODs that
+    /// [`Discovery::install_into`] would feed to the optimizer — so registry
+    /// installs can be kept in sync with the data they were profiled from.
+    /// Serial; see [`Self::watch_install_set_with_threads`] for sharding.
+    pub fn watch_install_set(rel: &Relation, discovery: &Discovery, epsilon: f64) -> Self {
+        Self::watch_install_set_with_threads(rel, discovery, epsilon, 1)
+    }
+
+    /// [`Self::watch_install_set`] with `threads > 1` sharding large initial
+    /// scans and large delta patches (mirrors
+    /// [`SetBasedEngine::with_threads`](od_setbased::SetBasedEngine::with_threads)).
+    pub fn watch_install_set_with_threads(
+        rel: &Relation,
+        discovery: &Discovery,
+        epsilon: f64,
+        threads: usize,
+    ) -> Self {
+        let ods = discovery
+            .ods
+            .iter()
+            .zip(&discovery.errors)
+            .filter(|(_, &err)| err == 0.0)
+            .map(|(od, _)| od.clone());
+        Self::watch(rel, ods, epsilon, threads)
+    }
+
+    /// The error threshold the monitor accepts against.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The current tuple-removal budget `⌊ε·n⌋` (moves with the table size).
+    pub fn budget(&self) -> usize {
+        self.stream.error_budget(self.epsilon)
+    }
+
+    /// Alive rows in the live table.
+    pub fn rows(&self) -> usize {
+        self.stream.alive_rows()
+    }
+
+    /// The underlying statement-level stream monitor.
+    pub fn stream(&self) -> &StreamMonitor {
+        &self.stream
+    }
+
+    /// Apply a batch and report every watched OD's live status, marking the
+    /// ODs whose accept/reject verdict flipped.
+    pub fn apply(&mut self, batch: &DeltaBatch) -> Result<MonitorReport, StreamError> {
+        let summary: DeltaSummary = self.stream.apply_delta(batch)?;
+        let statuses = (0..self.watched.len())
+            .map(|i| {
+                let mut status = self.status_of(i);
+                status.flipped = status.accepted != self.watched[i].accepted;
+                status
+            })
+            .collect::<Vec<_>>();
+        for (entry, status) in self.watched.iter_mut().zip(&statuses) {
+            entry.accepted = status.accepted;
+        }
+        Ok(MonitorReport {
+            statuses,
+            inserted: summary.inserted,
+            deleted: summary.deleted,
+            touched_classes: summary.touched_classes,
+        })
+    }
+
+    /// The current statuses of every watched OD (no flips marked).
+    pub fn statuses(&self) -> Vec<OdStatus> {
+        (0..self.watched.len()).map(|i| self.status_of(i)).collect()
+    }
+
+    /// The live status of watched OD `i` (with `flipped` unset).
+    fn status_of(&self, i: usize) -> OdStatus {
+        let removal = self.removal_of(i);
+        let n = self.stream.alive_rows();
+        OdStatus {
+            od: self.watched[i].od.clone(),
+            removal_count: removal,
+            g3: if n == 0 {
+                0.0
+            } else {
+                removal as f64 / n as f64
+            },
+            accepted: removal <= self.budget(),
+            flipped: false,
+        }
+    }
+
+    /// Reconcile an [`OdRegistry`] with the live verdicts: watched ODs holding
+    /// **exactly** (removal 0) are installed for `table` if absent, all others
+    /// are retracted if present.  Returns `(installed, retracted)`.
+    ///
+    /// Exactness — not the ε budget — gates installation, for the same reason
+    /// [`Discovery::install_into`] only installs zero-error ODs: an OD that
+    /// merely approximately holds is not a sound rewrite license.
+    pub fn sync_registry(&self, registry: &mut OdRegistry, table: &str) -> (usize, usize) {
+        // Expand the table's constraints once; installs/retracts below keep
+        // the local view current, so the loop stays O(W) in watched ODs.
+        let mut present: HashSet<OrderDependency> = registry.ods(table).ods().into_iter().collect();
+        let mut installed = 0;
+        let mut retracted = 0;
+        for i in 0..self.watched.len() {
+            let od = &self.watched[i].od;
+            let exact = self.removal_of(i) == 0;
+            if exact && !present.contains(od) {
+                registry.add_od(table, od.clone());
+                present.insert(od.clone());
+                installed += 1;
+            } else if !exact && present.contains(od) {
+                registry.remove_od(table, od);
+                present.remove(od);
+                retracted += 1;
+            }
+        }
+        (installed, retracted)
+    }
+
+    /// Worst-statement removal count of watched OD `i` from the ledgers.
+    fn removal_of(&self, i: usize) -> usize {
+        self.watched[i]
+            .stmts
+            .iter()
+            .map(|stmt| {
+                self.stream
+                    .statement_removal(stmt)
+                    .expect("watched statements are always monitored")
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discover::{discover_ods, DiscoveryConfig};
+    use od_core::{fixtures, Value};
+
+    #[test]
+    fn monitor_tracks_flips_both_ways() {
+        let rel = fixtures::example_5_taxes();
+        let discovery = discover_ods(&rel, DiscoveryConfig::default());
+        assert!(!discovery.ods.is_empty());
+        let mut monitor = Monitor::watch_install_set(&rel, &discovery, 0.0);
+        assert!(monitor.statuses().iter().all(|s| s.accepted));
+
+        // A tuple agreeing with row 0 on income but with an absurd bracket
+        // breaks income ↦ bracket.
+        let mut bad = rel.tuple(0).clone();
+        bad[1] = Value::Int(999);
+        let report = monitor.apply(&DeltaBatch::new().insert(bad)).unwrap();
+        let flipped: Vec<_> = report.flips().collect();
+        assert!(!flipped.is_empty(), "corruption must flip some OD");
+        assert!(flipped.iter().all(|s| !s.accepted && s.removal_count > 0));
+
+        // Deleting the offender flips them back.
+        let heal = DeltaBatch::new().delete(report.inserted[0]);
+        let healed = monitor.apply(&heal).unwrap();
+        assert!(healed.flips().count() >= flipped.len());
+        assert!(healed.statuses.iter().all(|s| s.accepted));
+        assert_eq!(monitor.rows(), rel.len());
+    }
+
+    #[test]
+    fn epsilon_budget_absorbs_small_corruption() {
+        // 50 clean rows: with ε = 10% one bad tuple stays within budget, so
+        // nothing flips; with ε = 0 the same delta flips the OD.
+        let mut schema = od_core::Schema::new("t");
+        let income = schema.add_attr("income");
+        let bracket = schema.add_attr("bracket");
+        let rel = od_core::Relation::from_rows(
+            schema,
+            (0..50i64).map(|i| vec![Value::Int(i), Value::Int(i / 10)]),
+        )
+        .unwrap();
+        let od = OrderDependency::new(vec![income], vec![bracket]);
+        let bad = vec![Value::Int(0), Value::Int(4)];
+
+        let mut tolerant = Monitor::watch(&rel, [od.clone()], 0.1, 1);
+        let report = tolerant
+            .apply(&DeltaBatch::new().insert(bad.clone()))
+            .unwrap();
+        assert_eq!(report.flips().count(), 0);
+        assert!(report.statuses[0].accepted && report.statuses[0].g3 > 0.0);
+
+        let mut strict = Monitor::watch(&rel, [od], 0.0, 1);
+        let report = strict.apply(&DeltaBatch::new().insert(bad)).unwrap();
+        assert_eq!(report.flips().count(), 1);
+        assert!(!report.statuses[0].accepted);
+    }
+
+    #[test]
+    fn sync_registry_installs_and_retracts() {
+        let rel = fixtures::example_5_taxes();
+        let table = rel.schema().name().to_string();
+        let discovery = discover_ods(&rel, DiscoveryConfig::default());
+        let mut monitor = Monitor::watch_install_set(&rel, &discovery, 0.0);
+        let mut registry = OdRegistry::new();
+
+        let (installed, retracted) = monitor.sync_registry(&mut registry, &table);
+        assert_eq!(installed, discovery.ods.len());
+        assert_eq!(retracted, 0);
+        // Idempotent while nothing changes.
+        assert_eq!(monitor.sync_registry(&mut registry, &table), (0, 0));
+
+        // Corrupt, re-sync: broken ODs are withdrawn from the registry.
+        let mut bad = rel.tuple(0).clone();
+        bad[1] = Value::Int(999);
+        let report = monitor.apply(&DeltaBatch::new().insert(bad)).unwrap();
+        let broken = report.statuses.iter().filter(|s| !s.accepted).count();
+        assert!(broken > 0);
+        let (installed, retracted) = monitor.sync_registry(&mut registry, &table);
+        assert_eq!((installed, retracted), (0, broken));
+        assert_eq!(
+            registry.ods(&table).ods().len(),
+            discovery.ods.len() - broken
+        );
+
+        // Heal, re-sync: they come back.
+        monitor
+            .apply(&DeltaBatch::new().delete(report.inserted[0]))
+            .unwrap();
+        let (installed, retracted) = monitor.sync_registry(&mut registry, &table);
+        assert_eq!((installed, retracted), (broken, 0));
+        assert_eq!(registry.ods(&table).ods().len(), discovery.ods.len());
+    }
+}

@@ -1,6 +1,6 @@
 //! Monotonicity analysis of derived-column expressions.
 //!
-//! Section 2.2 (and reference [12], the DB2 generated-columns work) observes that
+//! Section 2.2 (and reference \[12\], the DB2 generated-columns work) observes that
 //! ODs can be *derived automatically* when a column is computed from another by a
 //! monotone expression — e.g. `G = A/100 + A - 3` is non-decreasing in `A`, so
 //! `[A] ↦ [G]` holds by construction.  [`monotonicity`] performs that analysis

@@ -11,7 +11,7 @@
 //! | [`theorems`] | Theorems 2–10 and 14 as axiom-level proof constructors |
 //! | [`decide`] | exact implication decision `ℳ ⊨ X ↦ Y` via two-tuple patterns |
 //! | [`closure`] | FD closure, constants (Definition 18), compatibility queries |
-//! | [`witness`] | the completeness construction: `split(ℳ)` append `swap(ℳ)` (Section 4) |
+//! | [`witness`] | the completeness construction `split(ℳ)` append `swap(ℳ)` (Section 4), plus [`witness::violation_table`] materializing sampled violating pairs from the discovery validators' evidence |
 //! | [`fd_bridge`] | ODs subsume FDs (Lemma 1, Theorems 13, 15, 16) |
 //! | [`prover`] | the "theorem prover" sketched in the paper's future work |
 //!

@@ -84,6 +84,34 @@ impl OdSet {
         self.add_od(OrderDependency::new(AttrList::empty(), vec![attr]))
     }
 
+    /// Retract one OD from the set; returns true if anything was removed.
+    ///
+    /// Plain `Od` constraints matching the argument are dropped.  An
+    /// equivalence or compatibility constraint whose expansion contains the OD
+    /// is replaced by its **remaining** direction ODs — retracting one
+    /// direction must not silently retract the other.  Used by streaming
+    /// monitors to withdraw constraints the live data no longer satisfies.
+    pub fn remove_od(&mut self, od: &OrderDependency) -> bool {
+        let mut removed = false;
+        let mut rebuilt = Vec::with_capacity(self.constraints.len());
+        for constraint in self.constraints.drain(..) {
+            let expansion = constraint.to_ods();
+            if !expansion.iter().any(|o| o == od) {
+                rebuilt.push(constraint);
+                continue;
+            }
+            removed = true;
+            rebuilt.extend(
+                expansion
+                    .into_iter()
+                    .filter(|o| o != od)
+                    .map(Constraint::Od),
+            );
+        }
+        self.constraints = rebuilt;
+        removed
+    }
+
     /// The declared constraints, in declaration order.
     pub fn constraints(&self) -> &[Constraint] {
         &self.constraints
@@ -166,6 +194,27 @@ mod tests {
         assert_eq!(m.len(), 3);
         assert_eq!(m.ods().len(), 1 + 2 + 2);
         assert_eq!(m.attributes().len(), 3);
+    }
+
+    #[test]
+    fn remove_od_retracts_and_preserves_other_directions() {
+        let mut m = OdSet::new();
+        m.add_od(OrderDependency::new(l(&[0]), l(&[1])));
+        m.add_equivalence(OrderEquivalence::new(l(&[0]), l(&[2])));
+        assert_eq!(m.ods().len(), 3);
+
+        // Removing a plain OD drops only it.
+        assert!(m.remove_od(&OrderDependency::new(l(&[0]), l(&[1]))));
+        assert_eq!(m.ods().len(), 2);
+
+        // Removing one direction of the equivalence keeps the other.
+        assert!(m.remove_od(&OrderDependency::new(l(&[0]), l(&[2]))));
+        let remaining = m.ods();
+        assert_eq!(remaining, vec![OrderDependency::new(l(&[2]), l(&[0]))]);
+
+        // Removing something absent is a no-op.
+        assert!(!m.remove_od(&OrderDependency::new(l(&[1]), l(&[0]))));
+        assert_eq!(m.ods().len(), 1);
     }
 
     #[test]

@@ -5,11 +5,11 @@
 //! * [`registry`] — declared OD/FD constraints per table (the paper's OD check
 //!   constraint) and the interesting-order satisfaction test (`ℳ ⊨ provided ↦
 //!   required`) used for sort elimination;
-//! * [`reduce`] — `Reduce` (FD-only, Simmen et al. [17]) and `Reduce-2`
+//! * [`reduce`] — `Reduce` (FD-only, Simmen et al. \[17\]) and `Reduce-2`
 //!   (OD-aware, Section 2.3) order-by minimization plus group-by minimization;
 //! * [`star`] — planners for the two motivating query shapes (Example 1
 //!   aggregation queries and the TPC-DS-style date-surrogate star queries of
-//!   reference [18]), each with a baseline and an OD-aware plan over the
+//!   reference \[18\]), each with a baseline and an OD-aware plan over the
 //!   `od-engine` executor.
 
 #![forbid(unsafe_code)]

@@ -1,7 +1,7 @@
 //! Order-by and group-by minimization.
 //!
 //! * [`reduce_order_by_fd`] is the baseline `Reduce` algorithm of Simmen et al.
-//!   (reference [17] of the paper), as used by query optimizers today: sweep the
+//!   (reference \[17\] of the paper), as used by query optimizers today: sweep the
 //!   `ORDER BY` list right to left and drop an attribute when the *set* of
 //!   attributes to its left functionally determines it.
 //! * [`reduce_order_by_od`] is the paper's `Reduce-2` (Section 2.3): in addition
@@ -18,7 +18,7 @@ use crate::registry::OdRegistry;
 use od_core::{AttrList, FunctionalDependency, OrderDependency};
 use od_infer::closure::attr_closure;
 
-/// Baseline `Reduce` from [17]: drop attributes functionally determined by the
+/// Baseline `Reduce` from \[17\]: drop attributes functionally determined by the
 /// set of attributes preceding them.
 pub fn reduce_order_by_fd(order_by: &AttrList, fds: &[FunctionalDependency]) -> AttrList {
     let mut kept: Vec<od_core::AttrId> = order_by.normalize().iter().collect();

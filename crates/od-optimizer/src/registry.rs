@@ -73,6 +73,22 @@ impl OdRegistry {
         self
     }
 
+    /// Retract an OD from a table's constraint set (the streaming-monitor
+    /// hook: a discovered OD whose live verdict flips to *reject* must stop
+    /// licensing rewrites immediately).  Returns true if anything was removed;
+    /// the table's cached decider is invalidated so the next
+    /// [`Self::order_satisfies`] query reflects the retraction.
+    pub fn remove_od(&mut self, table: &str, od: &OrderDependency) -> bool {
+        let Some(entry) = self.tables.get_mut(table) else {
+            return false;
+        };
+        let removed = entry.ods.remove_od(od);
+        if removed {
+            self.deciders.remove(table);
+        }
+        removed
+    }
+
     /// The constraints declared for a table (empty defaults if none).
     pub fn constraints(&self, table: &str) -> TableConstraints {
         self.tables.get(table).cloned().unwrap_or_default()
@@ -165,6 +181,29 @@ mod tests {
         // Unknown tables have no constraints: only trivial orders are satisfied.
         assert!(!r.order_satisfies("other", &provided, &required));
         assert!(r.order_satisfies("other", &required, &provided.prefix(1)));
+    }
+
+    #[test]
+    fn remove_od_withdraws_the_rewrite_license() {
+        let s = schema();
+        let mut r = OdRegistry::new();
+        r.declare_od(&s, &["d_month"], &["d_quarter"]);
+        let provided = names_to_list(&s, &["d_year", "d_month"]);
+        let required = names_to_list(&s, &["d_year", "d_quarter", "d_month"]);
+        assert!(r.order_satisfies("date_dim", &provided, &required));
+
+        let od = OrderDependency::new(
+            names_to_list(&s, &["d_month"]),
+            names_to_list(&s, &["d_quarter"]),
+        );
+        assert!(r.remove_od("date_dim", &od));
+        assert!(
+            !r.order_satisfies("date_dim", &provided, &required),
+            "the cached decider must be invalidated on retraction"
+        );
+        // Retracting again (or from an unknown table) is a no-op.
+        assert!(!r.remove_od("date_dim", &od));
+        assert!(!r.remove_od("nope", &od));
     }
 
     #[test]

@@ -1,13 +1,13 @@
 //! Query shapes and planners for the paper's two motivating optimization
 //! scenarios, each planned twice: a **baseline** plan using only the reasoning
-//! available without ODs (FD-based rewrites, as in Simmen et al. [17]), and an
+//! available without ODs (FD-based rewrites, as in Simmen et al. \[17\]), and an
 //! **OD-aware** plan using the rewrites this paper enables.
 //!
 //! * [`AggregationQuery`] — the Example 1 shape: `GROUP BY` / `ORDER BY` over a
 //!   (denormalized) sales table whose natural hierarchy carries ODs.  The OD
 //!   plan reduces the order-by with `Reduce-2` and answers it with an ordered
 //!   index scan plus stream aggregation; the baseline must sort.
-//! * [`DateRangeStarQuery`] — the Section 2.3 / reference [18] shape: a fact
+//! * [`DateRangeStarQuery`] — the Section 2.3 / reference \[18\] shape: a fact
 //!   table keyed by a date *surrogate*, joined to a date dimension filtered by a
 //!   *natural* date range.  Given the declared OD `[d_date_sk] ↔ [d_date]`, the
 //!   OD plan probes the dimension for the matching surrogate-key range, replaces
@@ -149,7 +149,7 @@ impl DateRangeStarQuery {
         }
     }
 
-    /// OD-aware plan (the rewrite of reference [18]): requires the declared
+    /// OD-aware plan (the rewrite of reference \[18\]): requires the declared
     /// equivalence `[dim_sk] ↔ [dim_date]` on the dimension and a foreign-key
     /// relationship from the fact's surrogate column into the dimension.
     ///

@@ -21,6 +21,7 @@
 
 use crate::canonical::{translate_od, SetOd};
 use crate::partition::PartitionCache;
+use crate::stream::StreamMonitor;
 use crate::validate::{self, Verdict};
 use od_core::{OrderDependency, Relation};
 use std::collections::HashMap;
@@ -194,6 +195,28 @@ impl<'r> SetBasedEngine<'r> {
         }
         None
     }
+
+    /// Promote this snapshot engine into a streaming [`StreamMonitor`] over
+    /// the same data: every canonical statement the engine has memoized
+    /// becomes a monitored ledger, after which tuple-level
+    /// [`DeltaBatch`](crate::stream::DeltaBatch)es keep the verdicts current
+    /// in `O(touched classes)` per delta.
+    ///
+    /// The engine itself cannot apply deltas in place — it borrows an
+    /// immutable relation *snapshot*, and its memoized verdicts may be
+    /// budget-clipped lower bounds or axiom-inherited upper bounds, neither of
+    /// which can seed an exact ledger.  The monitor therefore copies the rows
+    /// and performs one exact scan per monitored statement's context; that
+    /// one-time cost buys re-scan-free maintenance from then on.
+    pub fn into_monitor(self) -> StreamMonitor {
+        let mut monitor = StreamMonitor::new(self.cache.relation(), self.threads);
+        let mut stmts: Vec<SetOd> = self.verdicts.into_keys().collect();
+        stmts.sort();
+        for stmt in &stmts {
+            monitor.monitor_statement(stmt);
+        }
+        monitor
+    }
 }
 
 #[cfg(test)]
@@ -344,6 +367,28 @@ mod tests {
             "premise witnesses must not be attached to the inherited statement"
         );
         assert_eq!(inherited.classes_scanned, 0);
+    }
+
+    #[test]
+    fn engine_promotes_into_a_live_monitor() {
+        let rel = fixtures::example_5_taxes();
+        let s = rel.schema().clone();
+        let income = s.attr_by_name("income").unwrap();
+        let bracket = s.attr_by_name("bracket").unwrap();
+        let od = OrderDependency::new(vec![income], vec![bracket]);
+        let mut engine = SetBasedEngine::new(&rel);
+        assert!(engine.od_holds(&od));
+        let mut monitor = engine.into_monitor();
+        // Everything the engine memoized is now a live ledger.
+        assert_eq!(monitor.od_removal(&od), Some(0));
+        // A swap insert flips the live verdict without any engine rebuild.
+        let mut bad = rel.tuple(0).clone();
+        bad[income.index()] = od_core::Value::Int(9_999_999);
+        bad[bracket.index()] = od_core::Value::Int(-1);
+        monitor
+            .apply_delta(&crate::stream::DeltaBatch::new().insert(bad))
+            .unwrap();
+        assert!(monitor.od_removal(&od).unwrap() > 0);
     }
 
     #[test]

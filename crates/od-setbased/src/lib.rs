@@ -14,6 +14,22 @@
 //! | [`lattice`]   | level-wise traversal with constancy / compatibility candidate sets, axiom + decider pruning, and `g3` thresholds |
 //! | [`engine`]    | the memoizing demand-driven validator `od-discovery` uses as its default engine |
 //! | [`parallel`]  | partition-class sharding across threads with an atomic error-budget counter |
+//! | [`stream`]    | incremental monitoring: delta-maintained live partitions and per-statement [`VerdictLedger`]s |
+//!
+//! ## The stripped-partition model, in one paragraph
+//!
+//! For an attribute set `X`, the partition `Π_X` groups tuple ids into classes
+//! agreeing on every attribute of `X`; **stripping** drops singleton classes,
+//! which can never witness a split or a swap.  Every validator works on
+//! order-preserving integer **codes** per column, so equality is integer
+//! equality and order is integer order.  A statement's `g3` removal count —
+//! the minimal number of tuples to delete so it holds — decomposes as a sum of
+//! independent per-class minima (`|class| − max value-group` for constancy,
+//! `|class| − longest non-decreasing B-subsequence` for compatibility).  That
+//! additivity powers three layers: budget short-circuiting scans
+//! ([`validate`]), thread-sharded scans with one shared atomic counter
+//! ([`parallel`]), and delta maintenance that re-derives only the classes a
+//! tuple insert/delete touched ([`stream`]).
 //!
 //! The load-bearing fact (spelled out in [`canonical`]'s docs and exercised by
 //! the differential proptests in `od-discovery`): a list OD `X ↦ Y` holds iff
@@ -52,10 +68,14 @@ pub mod engine;
 pub mod lattice;
 pub mod parallel;
 pub mod partition;
+pub mod stream;
 pub mod validate;
 
 pub use canonical::{compatibility_as_ods, constancy_as_od, translate_od, SetOd};
 pub use engine::{EngineStats, SetBasedEngine};
 pub use lattice::{discover_statements, LatticeConfig, LatticeStats, SetBasedDiscovery};
 pub use partition::{PartitionCache, RefineScratch, SortedPartition, StrippedPartition};
+pub use stream::{
+    DeltaBatch, DeltaSummary, StreamError, StreamMonitor, StreamStats, TupleId, VerdictLedger,
+};
 pub use validate::{error_budget, od_holds_with_partitions, Verdict, WITNESS_SAMPLE_CAP};

@@ -101,9 +101,9 @@ where
 }
 
 /// Parallel variant of [`crate::validate::constancy_verdict`].
-pub fn constancy_verdict_parallel(
+pub fn constancy_verdict_parallel<C: Copy + Ord + Sync>(
     part: &StrippedPartition,
-    codes: &[u32],
+    codes: &[C],
     threads: usize,
     budget: usize,
 ) -> Verdict {
@@ -117,10 +117,10 @@ pub fn constancy_verdict_parallel(
 }
 
 /// Parallel variant of [`crate::validate::compatibility_verdict`].
-pub fn compatibility_verdict_parallel(
+pub fn compatibility_verdict_parallel<C: Copy + Ord + Sync>(
     part: &StrippedPartition,
-    codes_a: &[u32],
-    codes_b: &[u32],
+    codes_a: &[C],
+    codes_b: &[C],
     threads: usize,
     budget: usize,
 ) -> Verdict {
@@ -131,6 +131,39 @@ pub fn compatibility_verdict_parallel(
             class_compatibility_removal(class, codes_a, codes_b, witnesses)
         }
     })
+}
+
+/// Run `patch` over every ledger, sharded over up to `threads` threads.
+///
+/// This is the streaming counterpart of [`scan_classes`]: where a snapshot
+/// scan shards the *classes* of one partition, a delta patch shards the
+/// *ledgers* — each [`crate::stream::VerdictLedger`] owns its per-class state
+/// and reads only shared immutable structures (partitions, column codes), so
+/// ledgers are embarrassingly parallel.  Serial when `threads ≤ 1` or there
+/// is at most one ledger.
+pub fn for_each_ledger<T, F>(ledgers: &mut [T], threads: usize, patch: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let threads = threads.clamp(1, ledgers.len().max(1));
+    if threads <= 1 || ledgers.len() < 2 {
+        for ledger in ledgers {
+            patch(ledger);
+        }
+        return;
+    }
+    let chunk_size = ledgers.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for chunk in ledgers.chunks_mut(chunk_size) {
+            let patch = &patch;
+            scope.spawn(move || {
+                for ledger in chunk {
+                    patch(ledger);
+                }
+            });
+        }
+    });
 }
 
 #[cfg(test)]
@@ -211,11 +244,25 @@ mod tests {
     #[test]
     fn degenerate_inputs() {
         let part = crate::partition::StrippedPartition::full(0);
-        assert!(constancy_verdict_parallel(&part, &[], 4, 0).holds());
+        assert!(constancy_verdict_parallel::<u32>(&part, &[], 4, 0).holds());
         assert!(
             scan_classes(&[], 4, 0, |_, _| 1).holds(),
             "vacuous truth over no classes"
         );
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn for_each_ledger_visits_every_item_on_any_thread_count() {
+        for threads in [1, 2, 5, 16] {
+            let mut items: Vec<usize> = (0..23).collect();
+            for_each_ledger(&mut items, threads, |item| *item += 100);
+            assert!(
+                items.iter().enumerate().all(|(i, &v)| v == i + 100),
+                "threads = {threads}"
+            );
+        }
+        let mut empty: Vec<usize> = Vec::new();
+        for_each_ledger(&mut empty, 4, |_| unreachable!());
     }
 }

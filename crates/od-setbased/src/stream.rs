@@ -1,0 +1,1488 @@
+//! Incremental OD monitoring over a changing table: **delta-maintained
+//! partitions** and per-statement **verdict ledgers**.
+//!
+//! The snapshot stack ([`crate::partition`] / [`crate::validate`] /
+//! [`crate::engine`]) rebuilds stripped partitions per relation instance; the
+//! paper, however, frames ODs as integrity constraints a DBMS should enforce
+//! *continuously*.  This module closes that gap.  The key observation (already
+//! load-bearing in [`crate::parallel`]) is that per-class `g3` removal counts
+//! are **additive and independent across classes**: a tuple insert or delete
+//! perturbs exactly one equivalence class per context, so a monitored
+//! statement's removal count can be patched by re-deriving only the touched
+//! classes instead of rebuilding partitions and re-scanning them.
+//!
+//! Four pieces cooperate:
+//!
+//! * [`StreamCodes`] — a per-column, order-preserving **gapped code**
+//!   assignment (`u64` codes spaced [`CODE_GAP`] apart).  New distinct values
+//!   take the midpoint of their neighbours' codes; when a gap is exhausted the
+//!   column renumbers (amortized, counted in [`StreamStats::renumbers`]).
+//!   Renumbering is order-isomorphic, so cached per-class removal counts stay
+//!   valid — the per-class formulas depend only on the relative order of
+//!   codes, never on their magnitudes.
+//! * [`StreamMonitor`] — owns the live table (rows plus an alive bitmap; tuple
+//!   ids are stable and never reused) and one live partition per monitored
+//!   context, keyed by the context's **projected values** (stable under code
+//!   renumbering, unlike code tuples).  Class member lists stay sorted by id
+//!   for free: fresh ids only ever grow, and deletes use a filtering pass.
+//! * [`VerdictLedger`] — per monitored statement, a per-class incremental
+//!   state plus the statement's running removal total.  Constancy classes
+//!   keep a value-count multiset with an `O(1)`-amortized max-group tracker,
+//!   so a touched row costs `O(1)`.  Compatibility classes keep the class
+//!   **pre-sorted** by `(code_A, code_B, id)` and patch it with a single
+//!   filter-merge pass — never a re-sort; a swap-free class is then verified
+//!   with one linear non-decreasing-`B` scan, and the `O(k log k)` LIS pass
+//!   runs only on classes that actually violate.
+//! * [`crate::parallel::for_each_ledger`] — ledgers are mutually independent,
+//!   so large deltas shard the patch phase across threads, one ledger per
+//!   task.
+//!
+//! The ledger invariant — checked bit-for-bit against from-scratch
+//! recomputation by `tests/stream_differential.rs` — is:
+//!
+//! ```text
+//! ledger.removal_count()  ==  Σ_classes per-class g3 removal of the statement
+//!                         ==  validate::statement_verdict(fresh cache, stmt, ∞).removal_count
+//! ```
+//!
+//! Accept/reject against an ε budget needs no re-scan at all: the budget
+//! `⌊ε·n⌋` is recomputed from the current alive-row count and compared with
+//! the ledger total.
+
+use crate::canonical::{translate_od, SetOd};
+use crate::parallel;
+use crate::validate::{
+    class_compatibility_removal, class_constancy_removal, error_budget, Verdict, WITNESS_SAMPLE_CAP,
+};
+use od_core::{AttrId, AttrSet, OrderDependency, Relation, Schema, Tuple, Value};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Stable identifier of a tuple in a [`StreamMonitor`]'s live table.
+///
+/// Ids are assigned densely in insertion order and **never reused**: a deleted
+/// tuple's id stays dead forever, and re-inserting an identical row yields a
+/// fresh id.  This is what lets ledgers and partitions refer to tuples without
+/// any re-indexing on delete.  The flip side: dead rows and their codes are
+/// retained, so a monitor's memory tracks **lifetime inserts**, not alive
+/// rows — long-lived monitors under churn should call
+/// [`StreamMonitor::compact`] periodically, and a batch that would overflow
+/// the id space is rejected with [`StreamError::IdSpaceExhausted`].
+pub type TupleId = u32;
+
+/// Spacing between consecutive codes after a (re)numbering: a fresh gap admits
+/// 32 midpoint insertions between any two neighbours before the column has to
+/// renumber.
+pub const CODE_GAP: u64 = 1 << 32;
+
+/// Touched-row threshold above which a delta's ledger-patch phase is sharded
+/// across threads (one ledger per task; mirrors
+/// [`crate::validate::PARALLEL_ROW_THRESHOLD`] but measured over the rows of
+/// the touched classes only).
+pub const PARALLEL_TOUCHED_ROW_THRESHOLD: usize = 8_192;
+
+/// A batch of tuple-level changes to apply atomically to a live table.
+///
+/// Deletes are applied before inserts, so a batch may delete a tuple and
+/// insert its replacement in one step.  All-or-nothing: the batch is validated
+/// up front and a [`StreamError`] leaves the monitor untouched.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaBatch {
+    /// Rows to append (each is assigned a fresh [`TupleId`]).
+    pub inserts: Vec<Tuple>,
+    /// Ids of live tuples to delete.
+    pub deletes: Vec<TupleId>,
+}
+
+impl DeltaBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        DeltaBatch::default()
+    }
+
+    /// Add a row to insert (builder style).
+    pub fn insert(mut self, row: Tuple) -> Self {
+        self.inserts.push(row);
+        self
+    }
+
+    /// Add a tuple id to delete (builder style).
+    pub fn delete(mut self, id: TupleId) -> Self {
+        self.deletes.push(id);
+        self
+    }
+
+    /// Total number of changes in the batch.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// True if the batch changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+}
+
+/// Why a [`DeltaBatch`] was rejected (the monitor is left unchanged).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// An inserted row's arity does not match the schema.
+    ArityMismatch {
+        /// Schema arity.
+        expected: usize,
+        /// Offending row's arity.
+        actual: usize,
+    },
+    /// A delete names an id that was never assigned.
+    UnknownTuple(TupleId),
+    /// A delete names an id that is already dead (including a duplicate delete
+    /// within the same batch).
+    DeadTuple(TupleId),
+    /// The batch would push lifetime inserts past the [`TupleId`] space
+    /// (ids are never reused); [`StreamMonitor::compact`] reclaims it.
+    IdSpaceExhausted,
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::ArityMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "insert arity {actual} does not match schema arity {expected}"
+                )
+            }
+            StreamError::UnknownTuple(id) => write!(f, "tuple id {id} was never assigned"),
+            StreamError::DeadTuple(id) => write!(f, "tuple id {id} is already deleted"),
+            StreamError::IdSpaceExhausted => {
+                write!(
+                    f,
+                    "tuple id space exhausted; compact() the monitor to reclaim dead ids"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// What one [`StreamMonitor::apply_delta`] call did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaSummary {
+    /// Ids assigned to the batch's inserted rows, in batch order.
+    pub inserted: Vec<TupleId>,
+    /// Number of tuples deleted.
+    pub deleted: usize,
+    /// Distinct (context, class) pairs the delta perturbed across all live
+    /// partitions — the unit the maintenance cost is measured in.
+    pub touched_classes: usize,
+    /// Per-class ledger patches performed (a class touched under one context
+    /// is patched once per statement monitored at that context).
+    pub recomputed_classes: usize,
+}
+
+/// Counters describing a monitor's lifetime maintenance work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Delta batches applied.
+    pub deltas_applied: usize,
+    /// Rows inserted across all batches.
+    pub rows_inserted: usize,
+    /// Rows deleted across all batches.
+    pub rows_deleted: usize,
+    /// Cumulative [`DeltaSummary::touched_classes`].
+    pub classes_touched: usize,
+    /// Cumulative [`DeltaSummary::recomputed_classes`].
+    pub classes_recomputed: usize,
+    /// Column renumberings triggered by gap exhaustion in [`StreamCodes`].
+    pub renumbers: usize,
+}
+
+/// Order-preserving, insert-friendly `u64` codes for one column of the live
+/// table (see the module docs for the gapped-code scheme).
+#[derive(Debug, Default)]
+pub struct StreamCodes {
+    /// Distinct value → code, in value order.
+    map: BTreeMap<Value, u64>,
+    /// Per-tuple-id code (dead ids keep their last code; it still resolves
+    /// through `map` after renumbering because values are never evicted).
+    codes: Vec<u64>,
+    /// Renumberings performed on this column.
+    renumbers: usize,
+}
+
+impl StreamCodes {
+    /// Codes for an existing column: distinct values spaced [`CODE_GAP`] apart.
+    fn backfill(rows: &[Tuple], col: usize) -> Self {
+        let mut map: BTreeMap<Value, u64> = BTreeMap::new();
+        for row in rows {
+            map.entry(row[col].clone()).or_insert(0);
+        }
+        for (i, code) in map.values_mut().enumerate() {
+            *code = (i as u64 + 1) * CODE_GAP;
+        }
+        let codes = rows.iter().map(|row| map[&row[col]]).collect();
+        StreamCodes {
+            map,
+            codes,
+            renumbers: 0,
+        }
+    }
+
+    /// Append the code of one more tuple's value (assigning a fresh code if
+    /// the value is new to the column).
+    fn push(&mut self, value: &Value) {
+        let code = self.code_for(value);
+        self.codes.push(code);
+    }
+
+    /// The code of `value`, minting one in the gap between its neighbours if
+    /// the value is unseen; renumbers the column when the gap is exhausted.
+    fn code_for(&mut self, value: &Value) -> u64 {
+        if let Some(&code) = self.map.get(value) {
+            return code;
+        }
+        let below = self
+            .map
+            .range::<Value, _>((Bound::Unbounded, Bound::Excluded(value)))
+            .next_back()
+            .map(|(_, &c)| c);
+        let above = self
+            .map
+            .range::<Value, _>((Bound::Excluded(value), Bound::Unbounded))
+            .next()
+            .map(|(_, &c)| c);
+        let minted = match (below, above) {
+            (None, None) => Some(CODE_GAP),
+            (Some(lo), None) => lo.checked_add(CODE_GAP),
+            (None, Some(hi)) => (hi >= 2).then_some(hi / 2),
+            (Some(lo), Some(hi)) => {
+                let mid = lo + (hi - lo) / 2;
+                (mid > lo).then_some(mid)
+            }
+        };
+        match minted {
+            Some(code) => {
+                self.map.insert(value.clone(), code);
+                code
+            }
+            None => {
+                self.renumber();
+                self.code_for(value)
+            }
+        }
+    }
+
+    /// Re-space every code [`CODE_GAP`] apart.  Order-isomorphic, so per-class
+    /// removal *counts* computed from the old codes remain exact — but code
+    /// magnitudes cached inside ledger class states go stale, which the
+    /// version stamps in `ClassState` detect: a stale state is rebuilt, not
+    /// advanced, the next time its class is touched.
+    fn renumber(&mut self) {
+        self.renumbers += 1;
+        let mut translation: HashMap<u64, u64> = HashMap::with_capacity(self.map.len());
+        for (i, code) in self.map.values_mut().enumerate() {
+            let fresh = (i as u64 + 1) * CODE_GAP;
+            translation.insert(*code, fresh);
+            *code = fresh;
+        }
+        for code in &mut self.codes {
+            *code = translation[code];
+        }
+    }
+
+    /// Per-tuple-id codes (indexable by any assigned [`TupleId`]).
+    pub fn codes(&self) -> &[u64] {
+        &self.codes
+    }
+
+    /// Number of distinct values ever seen by the column.
+    pub fn distinct_values(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// The live partition of one monitored context: equivalence classes of alive
+/// tuple ids (ascending), keyed by the context's projected values.
+///
+/// Unlike [`crate::partition::StrippedPartition`], singleton classes are kept
+/// — an insert may grow them — and classes mutate in place instead of being
+/// rebuilt by refinement.
+#[derive(Debug)]
+struct LivePartition {
+    /// Context attributes in ascending id order (the projection key order).
+    attrs: Vec<AttrId>,
+    /// Projected key → alive member ids, ascending (initial build emits id
+    /// order and fresh ids only ever grow).
+    classes: HashMap<Vec<Value>, Vec<TupleId>>,
+}
+
+impl LivePartition {
+    fn build(context: &AttrSet, rows: &[Tuple], alive: &[bool]) -> Self {
+        let attrs: Vec<AttrId> = context.iter().copied().collect();
+        let mut classes: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::new();
+        for (id, row) in rows.iter().enumerate() {
+            if alive[id] {
+                classes
+                    .entry(attrs.iter().map(|a| row[a.index()].clone()).collect())
+                    .or_default()
+                    .push(id as TupleId);
+            }
+        }
+        LivePartition { attrs, classes }
+    }
+
+    fn key(&self, row: &Tuple) -> Vec<Value> {
+        self.attrs.iter().map(|a| row[a.index()].clone()).collect()
+    }
+}
+
+/// The ids a delta added to / removed from one class of one partition, plus
+/// the class's size before and after the splice — ledgers skip classes that
+/// were and stay below two members (nothing to track) without a hash lookup.
+#[derive(Debug, Default)]
+struct ClassDelta {
+    added: Vec<TupleId>,
+    removed: Vec<TupleId>,
+    was_len: usize,
+    now_len: usize,
+}
+
+/// Per-partition map of touched classes for one delta.
+type TouchedClasses = HashMap<Vec<Value>, ClassDelta>;
+
+/// Incrementally maintained per-class evidence for one ledger.
+///
+/// Both variants carry a `version` — the relevant columns' renumber counters
+/// at build time.  Cached code **magnitudes** go stale when a column
+/// renumbers (the cached *counts* stay exact, renumbering being
+/// order-isomorphic), so a stale state is rebuilt instead of advanced the
+/// next time its class is touched.
+#[derive(Debug)]
+enum ClassState {
+    /// Constancy `𝒞 : [] ↦ A`: a multiset of the class's `A`-codes with an
+    /// `O(1)`-amortized max-group tracker.  `removal = size − max_count`.
+    Constancy {
+        /// code → multiplicity.
+        counts: HashMap<u64, usize>,
+        /// multiplicity → number of codes at that multiplicity.
+        freq: HashMap<usize, usize>,
+        max_count: usize,
+        size: usize,
+        version: usize,
+    },
+    /// Compatibility `𝒞 : A ~ B`: the class pre-sorted by
+    /// `(code_A, code_B, id)`, patched by filter-merge (never re-sorted).
+    Compatibility {
+        sorted: Vec<(u64, u64, TupleId)>,
+        removal: usize,
+        version: usize,
+    },
+}
+
+impl ClassState {
+    fn removal(&self) -> usize {
+        match self {
+            ClassState::Constancy {
+                max_count, size, ..
+            } => size - max_count,
+            ClassState::Compatibility { removal, .. } => *removal,
+        }
+    }
+
+    fn version(&self) -> usize {
+        match self {
+            ClassState::Constancy { version, .. } | ClassState::Compatibility { version, .. } => {
+                *version
+            }
+        }
+    }
+
+    fn constancy_add(
+        counts: &mut HashMap<u64, usize>,
+        freq: &mut HashMap<usize, usize>,
+        max_count: &mut usize,
+        code: u64,
+    ) {
+        let entry = counts.entry(code).or_insert(0);
+        if *entry > 0 {
+            dec_freq(freq, *entry);
+        }
+        *entry += 1;
+        *freq.entry(*entry).or_insert(0) += 1;
+        *max_count = (*max_count).max(*entry);
+    }
+
+    fn constancy_remove(
+        counts: &mut HashMap<u64, usize>,
+        freq: &mut HashMap<usize, usize>,
+        max_count: &mut usize,
+        code: u64,
+    ) {
+        let entry = counts.get_mut(&code).expect("removing a tracked code");
+        let old = *entry;
+        dec_freq(freq, old);
+        if old > 1 {
+            *entry = old - 1;
+            *freq.entry(old - 1).or_insert(0) += 1;
+        } else {
+            counts.remove(&code);
+        }
+        // One multiplicity dropped by exactly one: the max can fall by at most
+        // one, and does so iff no other code still sits at the old max.
+        if old == *max_count && freq.get(&old).copied().unwrap_or(0) == 0 {
+            *max_count = old - 1;
+        }
+    }
+
+    /// Exact removal count of a compatibility class from its pre-sorted
+    /// triples: the linear swap-free check first (a `(A, B)`-sorted class is
+    /// swap-free iff its `B`-sequence is globally non-decreasing), the
+    /// `O(k log k)` LIS tails pass only when it actually violates.
+    fn compat_removal(sorted: &[(u64, u64, TupleId)]) -> usize {
+        if sorted.windows(2).all(|w| w[0].1 <= w[1].1) {
+            return 0;
+        }
+        let mut tails: Vec<u64> = Vec::new();
+        for &(_, b, _) in sorted {
+            let pos = tails.partition_point(|&t| t <= b);
+            if pos == tails.len() {
+                tails.push(b);
+            } else {
+                tails[pos] = b;
+            }
+        }
+        sorted.len() - tails.len()
+    }
+
+    /// Advance this state by one delta, in place.
+    fn advance(
+        &mut self,
+        stmt: &SetOd,
+        delta: &ClassDelta,
+        columns: &HashMap<AttrId, StreamCodes>,
+    ) {
+        match (self, stmt) {
+            (
+                ClassState::Constancy {
+                    counts,
+                    freq,
+                    max_count,
+                    size,
+                    ..
+                },
+                SetOd::Constancy { attr, .. },
+            ) => {
+                let codes = columns[attr].codes();
+                for &row in &delta.removed {
+                    ClassState::constancy_remove(counts, freq, max_count, codes[row as usize]);
+                    *size -= 1;
+                }
+                for &row in &delta.added {
+                    ClassState::constancy_add(counts, freq, max_count, codes[row as usize]);
+                    *size += 1;
+                }
+            }
+            (
+                ClassState::Compatibility {
+                    sorted, removal, ..
+                },
+                SetOd::Compatibility { a, b, .. },
+            ) => {
+                let ca = columns[a].codes();
+                let cb = columns[b].codes();
+                // Every changed row's triple is exactly reconstructible from
+                // the codes, so inserts and deletes are both point *events* in
+                // the sorted order: binary-search each event's position and
+                // bulk-copy (memcpy) the untouched runs between them, instead
+                // of walking all k elements.
+                let mut events: Vec<(u64, u64, TupleId, bool)> = delta
+                    .added
+                    .iter()
+                    .map(|&row| (ca[row as usize], cb[row as usize], row, true))
+                    .chain(
+                        delta
+                            .removed
+                            .iter()
+                            .map(|&row| (ca[row as usize], cb[row as usize], row, false)),
+                    )
+                    .collect();
+                events.sort_unstable();
+                let mut merged =
+                    Vec::with_capacity(sorted.len() + delta.added.len() - delta.removed.len());
+                let mut src = 0usize;
+                for (a, b, row, is_insert) in events {
+                    let pos = src + sorted[src..].partition_point(|&t| t < (a, b, row));
+                    merged.extend_from_slice(&sorted[src..pos]);
+                    if is_insert {
+                        merged.push((a, b, row));
+                        src = pos;
+                    } else {
+                        debug_assert_eq!(sorted.get(pos), Some(&(a, b, row)));
+                        src = pos + 1;
+                    }
+                }
+                merged.extend_from_slice(&sorted[src..]);
+                *sorted = merged;
+                *removal = ClassState::compat_removal(sorted);
+            }
+            _ => unreachable!("a ledger's states always match its statement kind"),
+        }
+    }
+}
+
+fn dec_freq(freq: &mut HashMap<usize, usize>, multiplicity: usize) {
+    if let Some(f) = freq.get_mut(&multiplicity) {
+        *f -= 1;
+        if *f == 0 {
+            freq.remove(&multiplicity);
+        }
+    }
+}
+
+/// The delta-maintained verdict of one monitored canonical statement:
+/// incremental per-class states plus the statement's exact running removal
+/// total.
+#[derive(Debug)]
+pub struct VerdictLedger {
+    stmt: SetOd,
+    /// Index of the statement's context partition in the monitor
+    /// (`None` for trivially-true statements, which track nothing).
+    partition: Option<usize>,
+    /// Per-class incremental evidence (only classes of size ≥ 2 are tracked —
+    /// smaller ones cannot violate anything).
+    classes: HashMap<Vec<Value>, ClassState>,
+    total: usize,
+}
+
+impl VerdictLedger {
+    /// The monitored statement.
+    pub fn statement(&self) -> &SetOd {
+        &self.stmt
+    }
+
+    /// The statement's exact `g3` removal count on the current live table.
+    pub fn removal_count(&self) -> usize {
+        self.total
+    }
+
+    /// Number of classes currently violating the statement.
+    pub fn violating_classes(&self) -> usize {
+        self.classes.values().filter(|s| s.removal() > 0).count()
+    }
+
+    /// The `g3` error against a row count (0 on empty tables).
+    pub fn g3(&self, n_rows: usize) -> f64 {
+        if n_rows == 0 {
+            0.0
+        } else {
+            self.total as f64 / n_rows as f64
+        }
+    }
+
+    /// Does the statement hold after removing at most `budget` tuples?
+    /// Ledger totals are always exact, so the decision needs no re-scan.
+    pub fn within(&self, budget: usize) -> bool {
+        self.total <= budget
+    }
+
+    /// The relevant columns' combined renumber counter — the freshness stamp
+    /// cached class states are compared against.
+    fn code_version(&self, columns: &HashMap<AttrId, StreamCodes>) -> usize {
+        match &self.stmt {
+            SetOd::Constancy { attr, .. } => columns[attr].renumbers,
+            SetOd::Compatibility { a, b, .. } => columns[a].renumbers + columns[b].renumbers,
+        }
+    }
+
+    /// Patch one touched class.  `class` is the class's current membership
+    /// (`None`/short when it shrank away); `delta` lists the ids the batch
+    /// moved in or out.
+    fn patch_class(
+        &mut self,
+        key: &[Value],
+        class: Option<&[TupleId]>,
+        delta: &ClassDelta,
+        columns: &HashMap<AttrId, StreamCodes>,
+    ) {
+        let size = class.map_or(0, |c| c.len());
+        if size < 2 {
+            // Singletons and emptied classes cannot violate; drop any state.
+            if let Some(old) = self.classes.remove(key) {
+                self.total -= old.removal();
+            }
+            return;
+        }
+        let class = class.expect("size ≥ 2 implies membership");
+        let current = self.code_version(columns);
+        // Common case: the state exists and is fresh — advance it in place,
+        // with no key clone and no map churn.
+        let stmt = &self.stmt;
+        if let Some(state) = self.classes.get_mut(key) {
+            if state.version() == current {
+                let old_removal = state.removal();
+                state.advance(stmt, delta, columns);
+                let new_removal = state.removal();
+                self.total = self.total - old_removal + new_removal;
+                return;
+            }
+        }
+        // First touch of this class, or cached magnitudes went stale after a
+        // renumbering: build from the full membership.
+        let fresh = self.build_state(class, columns);
+        let new_removal = fresh.removal();
+        let old_removal = self
+            .classes
+            .insert(key.to_vec(), fresh)
+            .map_or(0, |s| s.removal());
+        self.total = self.total - old_removal + new_removal;
+    }
+
+    /// Build a class's state from scratch (the one place a compatibility
+    /// class is sorted).
+    fn build_state(&self, class: &[TupleId], columns: &HashMap<AttrId, StreamCodes>) -> ClassState {
+        let version = self.code_version(columns);
+        match &self.stmt {
+            SetOd::Constancy { attr, .. } => {
+                let codes = columns[attr].codes();
+                let mut counts = HashMap::new();
+                let mut freq = HashMap::new();
+                let mut max_count = 0;
+                for &row in class {
+                    ClassState::constancy_add(
+                        &mut counts,
+                        &mut freq,
+                        &mut max_count,
+                        codes[row as usize],
+                    );
+                }
+                ClassState::Constancy {
+                    counts,
+                    freq,
+                    max_count,
+                    size: class.len(),
+                    version,
+                }
+            }
+            SetOd::Compatibility { a, b, .. } => {
+                let ca = columns[a].codes();
+                let cb = columns[b].codes();
+                let mut sorted: Vec<(u64, u64, TupleId)> = class
+                    .iter()
+                    .map(|&row| (ca[row as usize], cb[row as usize], row))
+                    .collect();
+                sorted.sort_unstable();
+                let removal = ClassState::compat_removal(&sorted);
+                ClassState::Compatibility {
+                    sorted,
+                    removal,
+                    version,
+                }
+            }
+        }
+    }
+
+    /// Apply every touched class of this ledger's partition.  Returns the
+    /// number of class patches performed.
+    fn patch(
+        &mut self,
+        touched: &TouchedClasses,
+        partition: &LivePartition,
+        columns: &HashMap<AttrId, StreamCodes>,
+    ) -> usize {
+        let mut patches = 0;
+        for (key, delta) in touched {
+            if delta.was_len < 2 && delta.now_len < 2 {
+                continue; // never tracked, still nothing to track
+            }
+            patches += 1;
+            self.patch_class(
+                key,
+                partition.classes.get(key).map(|c| c.as_slice()),
+                delta,
+                columns,
+            );
+        }
+        patches
+    }
+}
+
+/// Owns a live table and keeps monitored statements' verdicts current under
+/// [`DeltaBatch`]es — the streaming counterpart of
+/// [`SetBasedEngine`](crate::engine::SetBasedEngine).
+///
+/// See the module docs for the data-structure walkthrough.  Typical use:
+///
+/// ```
+/// use od_core::{fixtures, OrderDependency, Value};
+/// use od_setbased::stream::{DeltaBatch, StreamMonitor};
+///
+/// let rel = fixtures::example_5_taxes();
+/// let s = rel.schema();
+/// let income = s.attr_by_name("income").unwrap();
+/// let bracket = s.attr_by_name("bracket").unwrap();
+///
+/// let mut monitor = StreamMonitor::new(&rel, 1);
+/// let od = OrderDependency::new(vec![income], vec![bracket]);
+/// monitor.monitor_od(&od);
+/// assert_eq!(monitor.od_removal(&od), Some(0));
+///
+/// // A row with a wildly wrong bracket: the OD now needs one removal.
+/// let mut bad = rel.tuple(0).clone();
+/// bad[bracket.index()] = Value::Int(99);
+/// let summary = monitor
+///     .apply_delta(&DeltaBatch::new().insert(bad))
+///     .unwrap();
+/// assert_eq!(monitor.od_removal(&od), Some(1));
+///
+/// // Deleting the offender restores the OD — O(touched classes) each time.
+/// let fix = DeltaBatch::new().delete(summary.inserted[0]);
+/// monitor.apply_delta(&fix).unwrap();
+/// assert_eq!(monitor.od_removal(&od), Some(0));
+/// ```
+pub struct StreamMonitor {
+    schema: Schema,
+    rows: Vec<Tuple>,
+    alive: Vec<bool>,
+    alive_count: usize,
+    columns: HashMap<AttrId, StreamCodes>,
+    partitions: Vec<LivePartition>,
+    partition_index: HashMap<AttrSet, usize>,
+    ledgers: Vec<VerdictLedger>,
+    ledger_index: HashMap<SetOd, usize>,
+    /// Reusable per-batch "deleted by this batch" bitmap, indexed by tuple
+    /// id.  Grown (never shrunk) to the id space once, with only the bits a
+    /// batch sets cleared afterwards — so each delta pays O(batch), not
+    /// O(lifetime ids), for its membership tests.
+    deleted_scratch: Vec<bool>,
+    threads: usize,
+    /// Lifetime maintenance counters.
+    pub stats: StreamStats,
+}
+
+impl StreamMonitor {
+    /// A monitor seeded with a snapshot of `rel` (rows are copied; the monitor
+    /// owns its state and evolves independently of the source relation).
+    /// `threads > 1` shards large ledger-patch phases, one ledger per task.
+    pub fn new(rel: &Relation, threads: usize) -> Self {
+        StreamMonitor {
+            schema: rel.schema().clone(),
+            rows: rel.tuples().to_vec(),
+            alive: vec![true; rel.len()],
+            alive_count: rel.len(),
+            columns: HashMap::new(),
+            partitions: Vec::new(),
+            partition_index: HashMap::new(),
+            ledgers: Vec::new(),
+            ledger_index: HashMap::new(),
+            deleted_scratch: Vec::new(),
+            threads: threads.max(1),
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// The live table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of alive rows.
+    pub fn alive_rows(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Total ids ever assigned (alive + dead).
+    pub fn total_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the id assigned and alive?
+    pub fn is_alive(&self, id: TupleId) -> bool {
+        self.alive.get(id as usize).copied().unwrap_or(false)
+    }
+
+    /// The tuple-removal budget `⌊ε·n⌋` for the **current** alive-row count —
+    /// unlike the snapshot engine's fixed budget, this moves as the table
+    /// grows and shrinks.
+    pub fn error_budget(&self, epsilon: f64) -> usize {
+        error_budget(self.alive_count, epsilon)
+    }
+
+    /// Snapshot the alive rows as a fresh [`Relation`] (id order).  Used by
+    /// the differential tests as the from-scratch oracle input, and by
+    /// callers that want to hand the live state back to the snapshot stack.
+    pub fn to_relation(&self) -> Relation {
+        Relation::from_rows(
+            self.schema.clone(),
+            self.rows
+                .iter()
+                .zip(&self.alive)
+                .filter(|(_, &alive)| alive)
+                .map(|(row, _)| row.clone()),
+        )
+        .expect("live rows match the schema by construction")
+    }
+
+    /// The monitored statements' ledgers, in monitoring order.
+    pub fn ledgers(&self) -> &[VerdictLedger] {
+        &self.ledgers
+    }
+
+    /// Start monitoring one canonical statement (idempotent).  Builds the
+    /// context's live partition and the statement's initial ledger with one
+    /// full scan; every later [`Self::apply_delta`] keeps it current
+    /// incrementally.  Returns the ledger index.
+    pub fn monitor_statement(&mut self, stmt: &SetOd) -> usize {
+        let stmt = stmt.normalized().unwrap_or_else(|| stmt.clone());
+        if let Some(&idx) = self.ledger_index.get(&stmt) {
+            return idx;
+        }
+        let mut ledger = VerdictLedger {
+            stmt: stmt.clone(),
+            partition: None,
+            classes: HashMap::new(),
+            total: 0,
+        };
+        if !stmt.is_trivial() {
+            for attr in statement_attrs(&stmt) {
+                self.ensure_column(attr);
+            }
+            let pidx = self.ensure_partition(stmt.context());
+            ledger.partition = Some(pidx);
+            // Initial scan: build incremental state per class of size ≥ 2.
+            for (key, class) in &self.partitions[pidx].classes {
+                if class.len() >= 2 {
+                    let state = ledger.build_state(class, &self.columns);
+                    ledger.total += state.removal();
+                    ledger.classes.insert(key.clone(), state);
+                }
+            }
+        }
+        let idx = self.ledgers.len();
+        self.ledgers.push(ledger);
+        self.ledger_index.insert(stmt, idx);
+        idx
+    }
+
+    /// Monitor every canonical statement of a list OD (see
+    /// [`translate_od`]); returns the statements, which together determine the
+    /// OD's verdict via [`Self::od_removal`].
+    pub fn monitor_od(&mut self, od: &OrderDependency) -> Vec<SetOd> {
+        let stmts = translate_od(od);
+        for stmt in &stmts {
+            self.monitor_statement(stmt);
+        }
+        stmts
+    }
+
+    /// The exact removal count of a monitored statement (`None` if the
+    /// statement is not monitored).
+    pub fn statement_removal(&self, stmt: &SetOd) -> Option<usize> {
+        let normalized = stmt.normalized();
+        let key = normalized.as_ref().unwrap_or(stmt);
+        self.ledger_index
+            .get(key)
+            .map(|&idx| self.ledgers[idx].total)
+    }
+
+    /// A [`Verdict`] view of a monitored statement's ledger, with violating
+    /// row pairs re-sampled on demand from the currently violating classes
+    /// (the sample is bounded by [`WITNESS_SAMPLE_CAP`] and its order is not
+    /// deterministic).  `exceeded` is always false — ledger totals are exact.
+    /// Nothing is scanned to produce this view, so `classes_scanned` reports
+    /// the number of currently **violating** classes backing the count
+    /// (`0` for a clean statement), not a scan cost as in the snapshot path.
+    pub fn statement_verdict(&self, stmt: &SetOd) -> Option<Verdict> {
+        let normalized = stmt.normalized();
+        let key = normalized.as_ref().unwrap_or(stmt);
+        let &idx = self.ledger_index.get(key)?;
+        let ledger = &self.ledgers[idx];
+        let mut verdict = Verdict {
+            removal_count: ledger.total,
+            exceeded: false,
+            violating_pairs: Vec::new(),
+            classes_scanned: ledger.violating_classes(),
+        };
+        if let Some(pidx) = ledger.partition {
+            for (key, state) in &ledger.classes {
+                if state.removal() == 0 || verdict.violating_pairs.len() >= WITNESS_SAMPLE_CAP {
+                    continue;
+                }
+                if let Some(class) = self.partitions[pidx].classes.get(key) {
+                    self.witnesses_for(&ledger.stmt, class, &mut verdict.violating_pairs);
+                }
+            }
+        }
+        Some(verdict)
+    }
+
+    /// The OD-level removal count: the worst canonical statement's ledger
+    /// total (the same acceptance measure as
+    /// [`SetBasedEngine::od_verdict`](crate::engine::SetBasedEngine::od_verdict)).
+    /// `None` if any of the OD's statements is not monitored.
+    pub fn od_removal(&self, od: &OrderDependency) -> Option<usize> {
+        translate_od(od)
+            .iter()
+            .map(|stmt| self.statement_removal(stmt))
+            .try_fold(0usize, |worst, removal| Some(worst.max(removal?)))
+    }
+
+    /// Does a monitored OD hold within the ε budget on the current table?
+    pub fn od_within(&self, od: &OrderDependency, epsilon: f64) -> Option<bool> {
+        let budget = self.error_budget(epsilon);
+        self.od_removal(od).map(|removal| removal <= budget)
+    }
+
+    /// Apply one batch: deletes, then inserts, then a ledger patch per
+    /// (statement, touched class), sharded across threads for large deltas.
+    /// All-or-nothing — a [`StreamError`] leaves every structure unchanged.
+    /// See the module docs for the cost model.
+    pub fn apply_delta(&mut self, batch: &DeltaBatch) -> Result<DeltaSummary, StreamError> {
+        // Validate up front so failures cannot leave partial state behind.
+        if self.rows.len() + batch.inserts.len() > TupleId::MAX as usize {
+            return Err(StreamError::IdSpaceExhausted);
+        }
+        for row in &batch.inserts {
+            if row.len() != self.schema.arity() {
+                return Err(StreamError::ArityMismatch {
+                    expected: self.schema.arity(),
+                    actual: row.len(),
+                });
+            }
+        }
+        let mut doomed: HashSet<TupleId> = HashSet::with_capacity(batch.deletes.len());
+        for &id in &batch.deletes {
+            if (id as usize) >= self.rows.len() {
+                return Err(StreamError::UnknownTuple(id));
+            }
+            if !self.alive[id as usize] || !doomed.insert(id) {
+                return Err(StreamError::DeadTuple(id));
+            }
+        }
+
+        // Phase 1: the table and the column codes.  (If a column renumbers
+        // here, cached class-state magnitudes go stale; the version stamps in
+        // `ClassState` make every later patch rebuild instead of advance.)
+        for &id in &batch.deletes {
+            self.alive[id as usize] = false;
+            self.alive_count -= 1;
+        }
+        let mut inserted = Vec::with_capacity(batch.inserts.len());
+        for row in &batch.inserts {
+            let id = self.rows.len() as TupleId;
+            for (attr, codes) in &mut self.columns {
+                codes.push(&row[attr.index()]);
+            }
+            self.rows.push(row.clone());
+            self.alive.push(true);
+            self.alive_count += 1;
+            inserted.push(id);
+        }
+        // O(1) membership test for "deleted by this batch", shared by every
+        // filtering pass below (a per-class `HashSet` would pay a hash per
+        // surviving member — this is the hot loop of large touched classes).
+        self.deleted_scratch.resize(self.rows.len(), false);
+        for &id in &batch.deletes {
+            self.deleted_scratch[id as usize] = true;
+        }
+
+        // Phase 2: group the delta per partition per class and splice the
+        // class member lists with one filtering/extending pass each.
+        let mut touched: Vec<TouchedClasses> = Vec::with_capacity(self.partitions.len());
+        let mut touched_rows = 0usize;
+        let rows = &self.rows;
+        let deleted_mark = &self.deleted_scratch;
+        for partition in &mut self.partitions {
+            let mut changes = TouchedClasses::new();
+            for &id in &batch.deletes {
+                changes
+                    .entry(partition.key(&rows[id as usize]))
+                    .or_default()
+                    .removed
+                    .push(id);
+            }
+            for &id in &inserted {
+                changes
+                    .entry(partition.key(&rows[id as usize]))
+                    .or_default()
+                    .added
+                    .push(id);
+            }
+            for (key, delta) in &mut changes {
+                let class = partition.classes.entry(key.clone()).or_default();
+                delta.was_len = class.len();
+                if !delta.removed.is_empty() {
+                    class.retain(|id| !deleted_mark[*id as usize]);
+                }
+                class.extend(&delta.added); // fresh ids grow: order is kept
+                delta.now_len = class.len();
+                if class.is_empty() {
+                    partition.classes.remove(key);
+                } else {
+                    touched_rows += class.len();
+                }
+            }
+            touched.push(changes);
+        }
+
+        // Phase 3: patch every ledger's touched classes.  Ledgers are
+        // independent, so large deltas shard across threads.
+        let patch_threads = if self.threads > 1 && touched_rows >= PARALLEL_TOUCHED_ROW_THRESHOLD {
+            self.threads
+        } else {
+            1
+        };
+        let recomputed = AtomicUsize::new(0);
+        {
+            let partitions = &self.partitions;
+            let columns = &self.columns;
+            let touched = &touched;
+            let recomputed = &recomputed;
+            parallel::for_each_ledger(&mut self.ledgers, patch_threads, move |ledger| {
+                let Some(pidx) = ledger.partition else {
+                    return; // trivial statement: nothing can perturb it
+                };
+                if touched[pidx].is_empty() {
+                    return;
+                }
+                let patches = ledger.patch(&touched[pidx], &partitions[pidx], columns);
+                recomputed.fetch_add(patches, Ordering::Relaxed);
+            });
+        }
+
+        let summary = DeltaSummary {
+            inserted,
+            deleted: batch.deletes.len(),
+            touched_classes: touched.iter().map(|t| t.len()).sum(),
+            recomputed_classes: recomputed.into_inner(),
+        };
+        // Clear only the bits this batch set (see `deleted_scratch`).
+        for &id in &batch.deletes {
+            self.deleted_scratch[id as usize] = false;
+        }
+        self.stats.deltas_applied += 1;
+        self.stats.rows_inserted += summary.inserted.len();
+        self.stats.rows_deleted += summary.deleted;
+        self.stats.classes_touched += summary.touched_classes;
+        self.stats.classes_recomputed += summary.recomputed_classes;
+        self.stats.renumbers = self.columns.values().map(|c| c.renumbers).sum();
+        Ok(summary)
+    }
+
+    /// Rebuild the monitor from its alive rows, dropping every dead tuple,
+    /// its retained codes, and distinct values only dead rows carried.
+    ///
+    /// Ids are never reused, so a long-lived monitor under steady churn
+    /// retains memory proportional to **lifetime inserts**, not alive rows;
+    /// compaction trades one re-scan per monitored statement (the same cost
+    /// as initial monitoring) for a reset id space and working set.  All
+    /// previously returned [`TupleId`]s are invalidated — alive tuples are
+    /// renumbered densely in id order.  Lifetime [`StreamStats`] are kept.
+    pub fn compact(&mut self) {
+        let rel = self.to_relation();
+        let stmts: Vec<SetOd> = self.ledgers.iter().map(|l| l.stmt.clone()).collect();
+        let stats = self.stats;
+        *self = StreamMonitor::new(&rel, self.threads);
+        self.stats = stats;
+        for stmt in &stmts {
+            self.monitor_statement(stmt);
+        }
+    }
+
+    /// The live code table of one column, if any monitored statement uses it.
+    pub fn column_codes(&self, attr: AttrId) -> Option<&StreamCodes> {
+        self.columns.get(&attr)
+    }
+
+    /// Append witness pairs for one violating class (up to the shared cap).
+    fn witnesses_for(&self, stmt: &SetOd, class: &[u32], witnesses: &mut Vec<(u32, u32)>) {
+        match stmt {
+            SetOd::Constancy { attr, .. } => {
+                class_constancy_removal(class, self.columns[attr].codes(), witnesses);
+            }
+            SetOd::Compatibility { a, b, .. } => {
+                class_compatibility_removal(
+                    class,
+                    self.columns[a].codes(),
+                    self.columns[b].codes(),
+                    witnesses,
+                );
+            }
+        }
+    }
+
+    fn ensure_column(&mut self, attr: AttrId) {
+        if !self.columns.contains_key(&attr) {
+            self.columns
+                .insert(attr, StreamCodes::backfill(&self.rows, attr.index()));
+        }
+    }
+
+    fn ensure_partition(&mut self, context: &AttrSet) -> usize {
+        if let Some(&idx) = self.partition_index.get(context) {
+            return idx;
+        }
+        let idx = self.partitions.len();
+        self.partitions
+            .push(LivePartition::build(context, &self.rows, &self.alive));
+        self.partition_index.insert(context.clone(), idx);
+        idx
+    }
+}
+
+/// The non-context attributes a statement's validators need codes for.
+fn statement_attrs(stmt: &SetOd) -> Vec<AttrId> {
+    match stmt {
+        SetOd::Constancy { attr, .. } => vec![*attr],
+        SetOd::Compatibility { a, b, .. } => vec![*a, *b],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionCache;
+    use crate::validate;
+    use od_core::fixtures;
+
+    fn rel_from(rows: &[&[i64]]) -> Relation {
+        let mut schema = Schema::new("t");
+        let arity = rows.first().map(|r| r.len()).unwrap_or(0);
+        for i in 0..arity {
+            schema.add_attr(format!("c{i}"));
+        }
+        Relation::from_rows(
+            schema,
+            rows.iter()
+                .map(|r| r.iter().map(|&v| Value::Int(v)).collect()),
+        )
+        .unwrap()
+    }
+
+    /// Oracle: the statement's exact removal count recomputed from scratch on
+    /// the monitor's alive rows.
+    fn oracle_removal(monitor: &StreamMonitor, stmt: &SetOd) -> usize {
+        let rel = monitor.to_relation();
+        let mut cache = PartitionCache::new(&rel);
+        validate::statement_verdict(&mut cache, stmt, 1, usize::MAX).removal_count
+    }
+
+    fn assert_ledgers_match_oracle(monitor: &StreamMonitor, stmts: &[SetOd]) {
+        for stmt in stmts {
+            assert_eq!(
+                monitor.statement_removal(stmt),
+                Some(oracle_removal(monitor, stmt)),
+                "ledger drifted from from-scratch recomputation on {stmt}"
+            );
+        }
+    }
+
+    #[test]
+    fn ledger_tracks_inserts_and_deletes() {
+        let rel = fixtures::example_5_taxes();
+        let s = rel.schema().clone();
+        let income = s.attr_by_name("income").unwrap();
+        let bracket = s.attr_by_name("bracket").unwrap();
+        let od = OrderDependency::new(vec![income], vec![bracket]);
+        let mut monitor = StreamMonitor::new(&rel, 1);
+        let stmts = monitor.monitor_od(&od);
+        assert_eq!(monitor.od_removal(&od), Some(0));
+
+        // Insert a swap: high income, absurdly low bracket.
+        let mut bad = rel.tuple(0).clone();
+        bad[income.index()] = Value::Int(9_999_999);
+        bad[bracket.index()] = Value::Int(-5);
+        let summary = monitor.apply_delta(&DeltaBatch::new().insert(bad)).unwrap();
+        assert!(monitor.od_removal(&od).unwrap() > 0);
+        assert_ledgers_match_oracle(&monitor, &stmts);
+
+        // Deleting the offender heals the OD.
+        monitor
+            .apply_delta(&DeltaBatch::new().delete(summary.inserted[0]))
+            .unwrap();
+        assert_eq!(monitor.od_removal(&od), Some(0));
+        assert_ledgers_match_oracle(&monitor, &stmts);
+        assert_eq!(monitor.alive_rows(), rel.len());
+        assert_eq!(monitor.stats.deltas_applied, 2);
+    }
+
+    #[test]
+    fn delete_then_reinsert_same_tuple_round_trips() {
+        let rel = rel_from(&[&[1, 10], &[1, 10], &[2, 20], &[3, 30]]);
+        let mut monitor = StreamMonitor::new(&rel, 1);
+        let od = OrderDependency::new(vec![AttrId(0)], vec![AttrId(1)]);
+        let stmts = monitor.monitor_od(&od);
+
+        // Delete row 0 and re-insert an identical row in ONE batch: the class
+        // {0, 1} shrinks to a singleton and regrows with the fresh id.
+        let summary = monitor
+            .apply_delta(&DeltaBatch::new().delete(0).insert(rel.tuple(0).clone()))
+            .unwrap();
+        assert!(!monitor.is_alive(0), "old id stays dead");
+        assert!(monitor.is_alive(summary.inserted[0]));
+        assert_eq!(monitor.alive_rows(), rel.len());
+        assert_ledgers_match_oracle(&monitor, &stmts);
+
+        // The same round trip across two batches.
+        monitor
+            .apply_delta(&DeltaBatch::new().delete(summary.inserted[0]))
+            .unwrap();
+        assert_ledgers_match_oracle(&monitor, &stmts);
+        monitor
+            .apply_delta(&DeltaBatch::new().insert(rel.tuple(0).clone()))
+            .unwrap();
+        assert_eq!(monitor.od_removal(&od), Some(0));
+        assert_ledgers_match_oracle(&monitor, &stmts);
+    }
+
+    #[test]
+    fn delta_that_empties_a_class_retires_its_contribution() {
+        // One context class {0, 1} violating constancy; deleting both members
+        // must drop the class and its ledger entry entirely.
+        let rel = rel_from(&[&[7, 1], &[7, 2], &[8, 3]]);
+        let mut monitor = StreamMonitor::new(&rel, 1);
+        let context: AttrSet = [AttrId(0)].into_iter().collect();
+        let stmt = SetOd::constancy(context, AttrId(1));
+        monitor.monitor_statement(&stmt);
+        assert_eq!(monitor.statement_removal(&stmt), Some(1));
+        assert_eq!(monitor.ledgers()[0].violating_classes(), 1);
+
+        monitor
+            .apply_delta(&DeltaBatch::new().delete(0).delete(1))
+            .unwrap();
+        assert_eq!(monitor.statement_removal(&stmt), Some(0));
+        assert_eq!(monitor.ledgers()[0].violating_classes(), 0);
+        assert_eq!(monitor.alive_rows(), 1);
+        assert_eq!(oracle_removal(&monitor, &stmt), 0);
+    }
+
+    #[test]
+    fn all_null_insert_batch_is_handled() {
+        let rel = rel_from(&[&[1, 1], &[2, 2]]);
+        let mut monitor = StreamMonitor::new(&rel, 1);
+        let od = OrderDependency::new(vec![AttrId(0)], vec![AttrId(1)]);
+        let stmts = monitor.monitor_od(&od);
+
+        // NULLs sort first and form their own value group; three all-NULL rows
+        // agree on everything, so the OD keeps holding...
+        let nulls = vec![Value::Null, Value::Null];
+        let batch = DeltaBatch {
+            inserts: vec![nulls.clone(), nulls.clone(), nulls.clone()],
+            deletes: vec![],
+        };
+        monitor.apply_delta(&batch).unwrap();
+        assert_eq!(monitor.od_removal(&od), Some(0));
+        assert_ledgers_match_oracle(&monitor, &stmts);
+
+        // ...until a row agrees with them on the LHS but not the RHS.
+        monitor
+            .apply_delta(&DeltaBatch::new().insert(vec![Value::Null, Value::Int(5)]))
+            .unwrap();
+        assert!(monitor.od_removal(&od).unwrap() > 0);
+        assert_ledgers_match_oracle(&monitor, &stmts);
+    }
+
+    #[test]
+    fn bad_batches_are_rejected_atomically() {
+        let rel = rel_from(&[&[1, 1], &[2, 2]]);
+        let mut monitor = StreamMonitor::new(&rel, 1);
+        monitor.monitor_od(&OrderDependency::new(vec![AttrId(0)], vec![AttrId(1)]));
+
+        let wrong_arity = DeltaBatch::new().insert(vec![Value::Int(1)]);
+        assert_eq!(
+            monitor.apply_delta(&wrong_arity),
+            Err(StreamError::ArityMismatch {
+                expected: 2,
+                actual: 1
+            })
+        );
+        assert_eq!(
+            monitor.apply_delta(&DeltaBatch::new().delete(99)),
+            Err(StreamError::UnknownTuple(99))
+        );
+        assert_eq!(
+            monitor.apply_delta(&DeltaBatch::new().delete(0).delete(0)),
+            Err(StreamError::DeadTuple(0))
+        );
+        // A rejected batch leaves no trace.
+        assert_eq!(monitor.alive_rows(), 2);
+        assert_eq!(monitor.stats.deltas_applied, 0);
+        assert!(monitor.is_alive(0));
+    }
+
+    #[test]
+    fn stream_codes_mint_midpoints_and_renumber_on_exhaustion() {
+        let rows: Vec<Tuple> = vec![vec![Value::Float(0.0)], vec![Value::Float(1.0)]];
+        let mut codes = StreamCodes::backfill(&rows, 0);
+        assert_eq!(codes.distinct_values(), 2);
+        let c0 = codes.code_for(&Value::Float(0.0));
+        let c1 = codes.code_for(&Value::Float(1.0));
+        assert!(c0 < c1);
+
+        // Repeated bisection between two neighbours exhausts the gap after
+        // ~log2(CODE_GAP) inserts, forcing at least one renumbering; order
+        // must be preserved throughout.
+        let mut lo = 0.0f64;
+        let hi = 1.0f64;
+        for _ in 0..80 {
+            lo = lo + (hi - lo) / 2.0;
+            codes.push(&Value::Float(lo));
+        }
+        assert!(codes.renumbers >= 1, "bisection must trigger renumbering");
+        let mut values: Vec<(Value, u64)> =
+            codes.map.iter().map(|(v, &c)| (v.clone(), c)).collect();
+        values.sort_by(|a, b| a.0.cmp(&b.0));
+        for pair in values.windows(2) {
+            assert!(pair[0].1 < pair[1].1, "codes must stay order-preserving");
+        }
+    }
+
+    #[test]
+    fn renumbering_mid_stream_keeps_ledgers_exact() {
+        // Float bisection on a monitored column forces renumbering while a
+        // compatibility ledger holds cached magnitudes; the rebuild path must
+        // keep the counts exact.
+        let mut schema = Schema::new("t");
+        schema.add_attr("a");
+        schema.add_attr("b");
+        let rel = Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::Float(0.0), Value::Float(0.0)],
+                vec![Value::Float(1.0), Value::Float(1.0)],
+            ],
+        )
+        .unwrap();
+        let mut monitor = StreamMonitor::new(&rel, 1);
+        let od = OrderDependency::new(vec![AttrId(0)], vec![AttrId(1)]);
+        let stmts = monitor.monitor_od(&od);
+
+        let mut lo = 0.0f64;
+        for _ in 0..80 {
+            lo = lo + (1.0 - lo) / 2.0;
+            monitor
+                .apply_delta(
+                    &DeltaBatch::new().insert(vec![Value::Float(lo), Value::Float(1.0 - lo)]),
+                )
+                .unwrap();
+            assert_ledgers_match_oracle(&monitor, &stmts);
+        }
+        assert!(
+            monitor.stats.renumbers >= 1,
+            "the workload must exercise renumbering"
+        );
+    }
+
+    #[test]
+    fn statement_verdict_resamples_witnesses() {
+        let rel = rel_from(&[&[0, 0], &[0, 1], &[0, 2]]);
+        let mut monitor = StreamMonitor::new(&rel, 1);
+        let stmt = SetOd::constancy(AttrSet::new(), AttrId(1));
+        monitor.monitor_statement(&stmt);
+        let verdict = monitor.statement_verdict(&stmt).unwrap();
+        assert_eq!(verdict.removal_count, 2);
+        assert!(!verdict.exceeded);
+        assert!(!verdict.violating_pairs.is_empty());
+        // Unmonitored statements have no ledger.
+        assert_eq!(
+            monitor.statement_verdict(&SetOd::constancy(AttrSet::new(), AttrId(0))),
+            None
+        );
+        // Trivial statements are monitored at zero cost and never violated.
+        let ctx: AttrSet = [AttrId(1)].into_iter().collect();
+        let trivial = SetOd::constancy(ctx, AttrId(1));
+        monitor.monitor_statement(&trivial);
+        assert_eq!(monitor.statement_removal(&trivial), Some(0));
+    }
+
+    #[test]
+    fn monitoring_is_idempotent_and_normalizing() {
+        let rel = rel_from(&[&[0, 1], &[1, 0]]);
+        let mut monitor = StreamMonitor::new(&rel, 1);
+        let canonical = SetOd::compatibility(AttrSet::new(), AttrId(0), AttrId(1));
+        let misordered = SetOd::Compatibility {
+            context: AttrSet::new(),
+            a: AttrId(1),
+            b: AttrId(0),
+        };
+        let first = monitor.monitor_statement(&canonical);
+        let second = monitor.monitor_statement(&misordered);
+        assert_eq!(first, second, "misordered pair shares the ledger");
+        assert_eq!(monitor.ledgers().len(), 1);
+        assert_eq!(monitor.statement_removal(&misordered), Some(1));
+    }
+
+    #[test]
+    fn compaction_drops_dead_state_and_keeps_verdicts() {
+        let rel = rel_from(&[&[1, 10], &[1, 11], &[2, 20], &[3, 30]]);
+        let mut monitor = StreamMonitor::new(&rel, 1);
+        let od = OrderDependency::new(vec![AttrId(0)], vec![AttrId(1)]);
+        let stmts = monitor.monitor_od(&od);
+        let before = monitor.od_removal(&od).unwrap();
+        assert_eq!(before, 1, "rows 0 and 1 split on c1");
+
+        // Churn: delete two rows, insert replacements, then compact.
+        monitor
+            .apply_delta(
+                &DeltaBatch::new()
+                    .delete(2)
+                    .delete(3)
+                    .insert(rel.tuple(2).clone()),
+            )
+            .unwrap();
+        assert_eq!(
+            monitor.total_rows(),
+            5,
+            "dead ids retained before compaction"
+        );
+        let deltas_before = monitor.stats.deltas_applied;
+        monitor.compact();
+        assert_eq!(monitor.total_rows(), monitor.alive_rows());
+        assert_eq!(monitor.alive_rows(), 3);
+        assert_eq!(monitor.stats.deltas_applied, deltas_before, "stats survive");
+        // Verdicts are unchanged and maintenance keeps working on fresh ids.
+        assert_eq!(monitor.od_removal(&od), Some(before));
+        assert_ledgers_match_oracle(&monitor, &stmts);
+        monitor
+            .apply_delta(&DeltaBatch::new().delete(0).insert(rel.tuple(3).clone()))
+            .unwrap();
+        assert_ledgers_match_oracle(&monitor, &stmts);
+    }
+
+    #[test]
+    fn threaded_patching_matches_serial() {
+        // Enough rows in one class to cross the parallel threshold, split
+        // across several ledgers.
+        let rows: Vec<Vec<i64>> = (0..9_000i64).map(|i| vec![0, i, (i * 7) % 100]).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let rel = rel_from(&refs);
+        let stmts = vec![
+            SetOd::compatibility(AttrSet::new(), AttrId(1), AttrId(2)),
+            SetOd::constancy(AttrSet::new(), AttrId(2)),
+            SetOd::constancy([AttrId(0)].into_iter().collect(), AttrId(1)),
+        ];
+        let mut serial = StreamMonitor::new(&rel, 1);
+        let mut threaded = StreamMonitor::new(&rel, 4);
+        for stmt in &stmts {
+            serial.monitor_statement(stmt);
+            threaded.monitor_statement(stmt);
+        }
+        let batch = DeltaBatch {
+            inserts: (0..50i64)
+                .map(|i| vec![Value::Int(0), Value::Int(10_000 + i), Value::Int(i)])
+                .collect(),
+            deletes: (0..50).collect(),
+        };
+        serial.apply_delta(&batch).unwrap();
+        threaded.apply_delta(&batch).unwrap();
+        for stmt in &stmts {
+            assert_eq!(
+                serial.statement_removal(stmt),
+                threaded.statement_removal(stmt),
+                "thread count must not change counts on {stmt}"
+            );
+        }
+    }
+}

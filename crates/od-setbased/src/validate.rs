@@ -123,7 +123,12 @@ impl Verdict {
 }
 
 /// Is `attr` (given by its codes) constant within one equivalence class?
-pub fn class_is_constant(class: &[u32], codes: &[u32]) -> bool {
+///
+/// Generic over the code type so both the snapshot path (dense `u32` rank
+/// codes) and the streaming path (gapped `u64` live codes, see
+/// [`crate::stream`]) share one implementation — any order-preserving code
+/// assignment yields the same answer.
+pub fn class_is_constant<C: Copy + Ord>(class: &[u32], codes: &[C]) -> bool {
     let first = codes[class[0] as usize];
     class.iter().all(|&row| codes[row as usize] == first)
 }
@@ -131,15 +136,15 @@ pub fn class_is_constant(class: &[u32], codes: &[u32]) -> bool {
 /// Minimal tuples to remove so the class becomes constant on `attr`:
 /// `|class| − max value-group size`.  Appends up to the remaining witness
 /// capacity pairs of rows holding different values.
-pub fn class_constancy_removal(
+pub fn class_constancy_removal<C: Copy + Ord>(
     class: &[u32],
-    codes: &[u32],
+    codes: &[C],
     witnesses: &mut Vec<(u32, u32)>,
 ) -> usize {
     // Count value groups via a sorted scratch of the class's codes.  Classes
     // reaching this path are known non-constant, so the work is proportional
     // to actual violations.
-    let mut sorted: Vec<(u32, u32)> = class.iter().map(|&r| (codes[r as usize], r)).collect();
+    let mut sorted: Vec<(C, u32)> = class.iter().map(|&r| (codes[r as usize], r)).collect();
     sorted.sort_unstable();
     let mut max_group = 0usize;
     let mut start = 0usize;
@@ -170,16 +175,16 @@ pub fn class_constancy_removal(
 /// Runs by sorting the class's `(code_a, code_b)` pairs and requiring that the
 /// minimum `B` of each successive `A`-group is no smaller than the maximum `B`
 /// seen in earlier groups.  Ties on `A` never produce swaps.
-pub fn class_is_compatible(class: &[u32], codes_a: &[u32], codes_b: &[u32]) -> bool {
+pub fn class_is_compatible<C: Copy + Ord>(class: &[u32], codes_a: &[C], codes_b: &[C]) -> bool {
     if class.len() < 2 {
         return true;
     }
-    let mut pairs: Vec<(u32, u32)> = class
+    let mut pairs: Vec<(C, C)> = class
         .iter()
         .map(|&row| (codes_a[row as usize], codes_b[row as usize]))
         .collect();
     pairs.sort_unstable();
-    let mut prev_groups_max_b: Option<u32> = None;
+    let mut prev_groups_max_b: Option<C> = None;
     let mut group_a = pairs[0].0;
     let mut group_max_b = pairs[0].1;
     for &(a, b) in &pairs[1..] {
@@ -207,28 +212,28 @@ pub fn class_is_compatible(class: &[u32], codes_a: &[u32], codes_b: &[u32]) -> b
 /// is swap-free and vice versa).  The largest such subset is the longest
 /// non-decreasing subsequence of `B`, found with the `O(k log k)` patience
 /// pass.  Appends up to the remaining witness capacity swap pairs.
-pub fn class_compatibility_removal(
+pub fn class_compatibility_removal<C: Copy + Ord>(
     class: &[u32],
-    codes_a: &[u32],
-    codes_b: &[u32],
+    codes_a: &[C],
+    codes_b: &[C],
     witnesses: &mut Vec<(u32, u32)>,
 ) -> usize {
     if class.len() < 2 {
         return 0;
     }
-    let mut triples: Vec<(u32, u32, u32)> = class
+    let mut triples: Vec<(C, C, u32)> = class
         .iter()
         .map(|&row| (codes_a[row as usize], codes_b[row as usize], row))
         .collect();
     triples.sort_unstable();
     // Longest non-decreasing subsequence of B: `tails[k]` is the smallest tail
     // of any non-decreasing subsequence of length `k + 1`.
-    let mut tails: Vec<u32> = Vec::new();
+    let mut tails: Vec<C> = Vec::new();
     // Swap witnesses: the running maximum B (with its row) of *previous*
     // A-groups; any row of a later group with a smaller B is a swap partner.
-    let mut prev_max: Option<(u32, u32)> = None; // (code_b, row) over closed A-groups
+    let mut prev_max: Option<(C, u32)> = None; // (code_b, row) over closed A-groups
     let mut group_a = triples[0].0;
-    let mut group_max: (u32, u32) = (triples[0].1, triples[0].2);
+    let mut group_max: (C, u32) = (triples[0].1, triples[0].2);
     for &(a, b, row) in &triples {
         if a != group_a {
             prev_max = Some(match prev_max {

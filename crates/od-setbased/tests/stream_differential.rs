@@ -1,0 +1,194 @@
+//! Differential property tests for the streaming subsystem: under random
+//! insert/delete interleavings, every monitored statement's
+//! [`VerdictLedger`](od_setbased::VerdictLedger) removal count must equal the
+//! from-scratch verdict of a fresh partition scan over the surviving rows —
+//! bit for bit, after every batch — and the ε-thresholded accept/reject
+//! decision derived from the ledger must match the budgeted snapshot scan at
+//! ε = 0 and ε > 0.
+
+use od_core::{AttrId, AttrSet, Relation, Schema, Value};
+use od_setbased::stream::{DeltaBatch, StreamMonitor};
+use od_setbased::{error_budget, validate, PartitionCache, SetOd};
+use proptest::prelude::*;
+
+const COLS: usize = 3;
+
+/// Every non-trivial canonical statement over `COLS` attributes with a context
+/// of at most `max_context` attributes — the full monitoring surface the
+/// width-2 lattice would profile.
+fn all_statements(max_context: usize) -> Vec<SetOd> {
+    let universe: Vec<AttrId> = (0..COLS as u32).map(AttrId).collect();
+    let mut contexts: Vec<AttrSet> = vec![AttrSet::new()];
+    for _ in 0..max_context {
+        let mut next = Vec::new();
+        for ctx in &contexts {
+            for &a in &universe {
+                if !ctx.contains(&a) {
+                    let mut bigger = ctx.clone();
+                    bigger.insert(a);
+                    next.push(bigger);
+                }
+            }
+        }
+        contexts.extend(next);
+        contexts.sort();
+        contexts.dedup();
+    }
+    let mut out = Vec::new();
+    for ctx in &contexts {
+        for &a in &universe {
+            let c = SetOd::constancy(ctx.clone(), a);
+            if !c.is_trivial() {
+                out.push(c);
+            }
+            for &b in &universe {
+                if b > a {
+                    let k = SetOd::compatibility(ctx.clone(), a, b);
+                    if !k.is_trivial() {
+                        out.push(k);
+                    }
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn schema() -> Schema {
+    let mut s = Schema::new("stream");
+    for i in 0..COLS {
+        s.add_attr(format!("c{i}"));
+    }
+    s
+}
+
+fn to_row(vals: Vec<i64>) -> Vec<Value> {
+    vals.into_iter()
+        .map(|v| if v < 0 { Value::Null } else { Value::Int(v) })
+        .collect()
+}
+
+/// Strategy: initial rows plus a sequence of batches.  Each batch carries rows
+/// to insert and "delete picks" — indices resolved against the alive-id list
+/// at apply time, so every delete hits a live tuple regardless of history.
+/// Values in `-1..4` (small domains force splits/swaps; `-1` becomes NULL).
+#[allow(clippy::type_complexity)]
+fn workload_strategy() -> impl Strategy<Value = (Vec<Vec<i64>>, Vec<(Vec<Vec<i64>>, Vec<u64>)>)> {
+    let row = || prop::collection::vec(-1i64..4, COLS);
+    let batch = (
+        prop::collection::vec(row(), 0..4),
+        prop::collection::vec(0u64..1_000, 0..4),
+    );
+    (
+        prop::collection::vec(row(), 0..10),
+        prop::collection::vec(batch, 1..6),
+    )
+}
+
+/// From-scratch oracle: exact removal count of one statement over a snapshot.
+fn oracle_removal(rel: &Relation, stmt: &SetOd) -> usize {
+    let mut cache = PartitionCache::new(rel);
+    validate::statement_verdict(&mut cache, stmt, 1, usize::MAX).removal_count
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The ledger invariant: delta-maintained removal counts equal full
+    /// recomputation for every monitored statement after every batch, and the
+    /// accept/reject decision agrees with the budgeted snapshot scan at ε = 0
+    /// and ε > 0.
+    #[test]
+    fn ledgers_match_full_recompute_under_interleavings(
+        workload in workload_strategy()
+    ) {
+        let (initial, batches) = workload;
+        let rel = Relation::from_rows(schema(), initial.into_iter().map(to_row))
+            .expect("fixed arity");
+        let stmts = all_statements(2);
+        let mut monitor = StreamMonitor::new(&rel, 1);
+        for stmt in &stmts {
+            monitor.monitor_statement(stmt);
+        }
+        // Mirror of the alive ids, used to resolve delete picks.
+        let mut alive: Vec<u32> = (0..rel.len() as u32).collect();
+
+        for (inserts, delete_picks) in batches {
+            let mut batch = DeltaBatch::new();
+            for pick in delete_picks {
+                if alive.is_empty() {
+                    break;
+                }
+                let idx = (pick % alive.len() as u64) as usize;
+                batch = batch.delete(alive.swap_remove(idx));
+            }
+            for row in inserts {
+                batch = batch.insert(to_row(row));
+            }
+            let summary = monitor.apply_delta(&batch).expect("batch is valid");
+            alive.extend(summary.inserted);
+
+            let snapshot = monitor.to_relation();
+            prop_assert_eq!(snapshot.len(), alive.len());
+            let n = snapshot.len();
+            for stmt in &stmts {
+                let ledger = monitor.statement_removal(stmt).expect("monitored");
+                // Exact counts agree with the unbudgeted snapshot scan.
+                prop_assert_eq!(
+                    ledger,
+                    oracle_removal(&snapshot, stmt),
+                    "ledger drift on {} with {} rows", stmt, n
+                );
+                // ε decisions agree with the budgeted snapshot scan (which may
+                // short-circuit — its `within` answer is still exact).
+                for epsilon in [0.0, 0.1, 0.5] {
+                    let budget = error_budget(n, epsilon);
+                    let mut cache = PartitionCache::new(&snapshot);
+                    let scanned =
+                        validate::statement_verdict(&mut cache, stmt, 1, budget);
+                    prop_assert_eq!(
+                        ledger <= budget,
+                        scanned.within(budget),
+                        "ε = {} decision drift on {}", epsilon, stmt
+                    );
+                }
+            }
+        }
+    }
+
+    /// Ledger maintenance is insertion-order independent: applying the same
+    /// rows as one batch or as singleton batches lands on identical counts.
+    #[test]
+    fn batch_granularity_does_not_change_counts(
+        rows in prop::collection::vec(prop::collection::vec(-1i64..4, COLS), 1..12)
+    ) {
+        let empty = Relation::from_rows(schema(), std::iter::empty()).expect("empty");
+        let stmts = all_statements(2);
+
+        let mut bulk = StreamMonitor::new(&empty, 1);
+        let mut one_by_one = StreamMonitor::new(&empty, 1);
+        for stmt in &stmts {
+            bulk.monitor_statement(stmt);
+            one_by_one.monitor_statement(stmt);
+        }
+
+        let mut batch = DeltaBatch::new();
+        for row in &rows {
+            batch = batch.insert(to_row(row.clone()));
+            one_by_one
+                .apply_delta(&DeltaBatch::new().insert(to_row(row.clone())))
+                .expect("singleton insert");
+        }
+        bulk.apply_delta(&batch).expect("bulk insert");
+
+        for stmt in &stmts {
+            prop_assert_eq!(
+                bulk.statement_removal(stmt),
+                one_by_one.statement_removal(stmt),
+                "granularity drift on {}", stmt
+            );
+        }
+    }
+}

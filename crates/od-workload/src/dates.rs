@@ -173,8 +173,8 @@ pub fn date_dim_table(start_year: i32, n_days: usize, sk_base: i64) -> Table {
     t
 }
 
-/// Register the date dimension's declared constraints (the ones the DB2
-/// prototype of [18] relies on) into an [`OdRegistry`].
+/// Register the date dimension's declared constraints (the ones the paper's
+/// reference \[18\], the DB2 prototype, relies on) into an [`OdRegistry`].
 pub fn register_date_constraints(registry: &mut OdRegistry, schema: &Schema) {
     registry.declare_equivalence(schema, &["d_date_sk"], &["d_date"]);
     registry.declare_od(schema, &["d_month"], &["d_quarter"]);

@@ -150,6 +150,24 @@ pub mod strategy {
 
     impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
 
+    // Tuples of strategies are strategies for tuples (as in real proptest);
+    // components are generated left to right from the shared RNG.
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident => $v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($v,)+) = self;
+                    ($($v.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(S1 => s1, S2 => s2);
+    impl_tuple_strategy!(S1 => s1, S2 => s2, S3 => s3);
+    impl_tuple_strategy!(S1 => s1, S2 => s2, S3 => s3, S4 => s4);
+
     /// Always generates a clone of the given value.
     pub struct Just<T: Clone>(pub T);
 
@@ -361,6 +379,18 @@ mod tests {
         for _ in 0..50 {
             let v = s.generate(&mut rng);
             assert!(v % 10 == 0 && v < 50);
+        }
+    }
+
+    #[test]
+    fn tuple_strategies_generate_componentwise() {
+        let mut rng = crate::test_runner::TestRng::for_case(7);
+        let s = (0i64..4, prop::collection::vec(0u32..3, 1..3), 10u8..12);
+        for _ in 0..100 {
+            let (a, v, c) = s.generate(&mut rng);
+            assert!((0..4).contains(&a));
+            assert!(!v.is_empty() && v.len() < 3);
+            assert!((10..12).contains(&c));
         }
     }
 

@@ -1,6 +1,15 @@
 //! Quickstart: declare order dependencies, check them on data, and reason about
 //! their consequences.
 //!
+//! This tour uses the sort-based checker of `od-core` directly because the
+//! table is four rows; at scale, discovery and validation go through the
+//! partition-backed **set-based engine** (`od-setbased`), which is the
+//! default behind `od_discovery::DiscoveryConfig` — see
+//! `examples/discovery_setbased.rs` for that path, and
+//! `examples/streaming_monitor.rs` for keeping verdicts live under changing
+//! data.  Checks return violation evidence (split/swap witnesses, `g3`
+//! removal counts), not bare booleans.
+//!
 //! Run with `cargo run --example quickstart`.
 
 use od_core::{check, OrderDependency, Relation, Schema, Value};

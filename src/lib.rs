@@ -3,22 +3,26 @@
 //! Umbrella crate re-exporting the workspace members that together reproduce
 //! *Fundamentals of Order Dependencies* (Szlichta, Godfrey, Gryz — VLDB 2012):
 //!
-//! * [`core`](od_core) — attribute lists, lexicographic operators, OD/FD
-//!   statements, instance checking,
-//! * [`infer`](od_infer) — the axiom system OD1–OD6, proofs, implication
-//!   decision and witness construction,
-//! * [`engine`](od_engine) — a small relational execution engine,
-//! * [`optimizer`](od_optimizer) — OD-driven query rewrites,
-//! * [`discovery`](od_discovery) — OD/FD discovery from data,
-//! * [`setbased`](od_setbased) — the partition-powered set-based discovery
-//!   subsystem (stripped partitions, canonical statements, level-wise lattice),
-//! * [`workload`](od_workload) — the date-warehouse and tax workloads used by
-//!   the experiments.
+//! * [`core`] — attribute lists, lexicographic operators, OD/FD statements,
+//!   instance checking with split/swap violation evidence,
+//! * [`infer`] — the axiom system OD1–OD6, proofs, implication decision and
+//!   witness construction,
+//! * [`engine`] — a small relational execution engine,
+//! * [`optimizer`] — OD-driven query rewrites and the constraint registry,
+//! * [`discovery`] — OD/FD discovery from data (exact and `g3`-approximate)
+//!   and the live [`Monitor`](discovery::Monitor) keeping discovered ODs
+//!   current on a changing table,
+//! * [`setbased`] — the partition-powered set-based subsystem (stripped
+//!   partitions, canonical statements, level-wise lattice, and the
+//!   [`stream`](setbased::stream) module's delta-maintained verdict ledgers),
+//! * [`workload`] — the date-warehouse and tax workloads used by the
+//!   experiments.
 //!
 //! See the `examples/` directory for guided tours (`tax_brackets`,
 //! `date_warehouse`, `query_rewrites`, `armstrong_witness`,
-//! `discovery_setbased`) and `DESIGN.md` for the crate map, the set-based
-//! discovery architecture, and the experiment index.
+//! `discovery_setbased`, `streaming_monitor`) and `DESIGN.md` for the crate
+//! map, the set-based discovery architecture, the incremental-maintenance
+//! design, and the experiment index.
 
 pub use od_core as core;
 pub use od_discovery as discovery;
