@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p od-bench --bin reproduce            # all experiments
-//! cargo run --release -p od-bench --bin reproduce -- e4      # a single experiment (e1..e9)
+//! cargo run --release -p od-bench --bin reproduce -- e4      # a single experiment (e1..e9, e12)
 //! cargo run --release -p od-bench --bin reproduce -- --tiny  # small data sizes (quick smoke run)
 //! ```
 
@@ -55,5 +55,8 @@ fn main() {
     }
     if want("e9") {
         println!("{}", exp_e9_implication());
+    }
+    if want("e12") {
+        println!("{}", exp_e12_width3(scale));
     }
 }

@@ -9,11 +9,14 @@
 //! the data.  Two validation engines are available behind
 //! [`DiscoveryConfig::engine`]:
 //!
-//! * [`DiscoveryEngine::SetBased`] (the default) — the FASTOD-style engine of
-//!   the `od-setbased` crate: each candidate is decomposed into canonical
-//!   set-based statements that are validated with stripped partitions and
-//!   memoized **across** candidates, so the data is touched once per distinct
-//!   statement rather than once per candidate;
+//! * [`DiscoveryEngine::SetBased`] (the default) — the FASTOD-style node-based
+//!   lattice of the `od-setbased` crate: one profile pass
+//!   ([`od_setbased::discover_statements`], bounded by
+//!   [`DiscoveryConfig::max_context`]) validates every surviving canonical
+//!   statement with stripped partitions, then candidates are answered from the
+//!   profile scan-free; candidates whose statements reach beyond the bound
+//!   fall back to a demand-driven [`od_setbased::SetBasedEngine`] seeded with
+//!   the profile's verdicts;
 //! * [`DiscoveryEngine::Naive`] — the original list-enumeration path
 //!   re-sorting the relation per candidate with the `O(n log n)` split/swap
 //!   checker of `od-core`; kept as the oracle for differential tests.
@@ -27,7 +30,9 @@ use od_core::{AttrId, FunctionalDependency, OrderDependency, Relation};
 use od_infer::witness::enumerate_lists;
 use od_infer::{Decider, OdSet};
 use od_optimizer::OdRegistry;
-use od_setbased::{error_budget, translate_od, SetBasedEngine};
+use od_setbased::{
+    discover_statements, error_budget, translate_od, LatticeConfig, LatticeStats, SetBasedEngine,
+};
 
 /// Which validation engine a discovery run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,12 +65,21 @@ pub struct DiscoveryConfig {
     /// default) is exact discovery — bit-identical to the pre-approximation
     /// behavior; `1.0` accepts everything.
     pub epsilon: f64,
+    /// Context bound passed through to the node-based lattice profile the
+    /// set-based engine runs first (see [`od_setbased::discover_statements`]).
+    /// The effective depth is clamped to what the configured candidate widths
+    /// can actually use — `max(max_lhs, max_lhs + max_rhs − 2)` — and
+    /// candidates whose canonical statements reach beyond it fall back to
+    /// demand-driven validation, so lowering this trades profile coverage for
+    /// per-candidate work without changing the result.
+    pub max_context: usize,
 }
 
 impl Default for DiscoveryConfig {
     /// Width 2/2 so the lattice is actually exercised (the original default of
     /// `max_lhs = 1` never produced a composite left-hand side), with the
-    /// set-based engine and implication pruning on.
+    /// set-based engine, implication pruning, and the width-3 lattice bound
+    /// on.
     fn default() -> Self {
         DiscoveryConfig {
             max_lhs: 2,
@@ -74,6 +88,7 @@ impl Default for DiscoveryConfig {
             engine: DiscoveryEngine::SetBased,
             parallel: false,
             epsilon: 0.0,
+            max_context: 3,
         }
     }
 }
@@ -93,14 +108,19 @@ pub struct Discovery {
     pub errors: Vec<f64>,
     /// Number of candidates enumerated.
     pub candidates: usize,
-    /// Number of candidates validated against the data: every non-pruned
-    /// candidate for the naive engine; only candidates whose canonical
-    /// statements were not already memoized for the set-based engine.
+    /// Number of candidates validated against the data *during enumeration*:
+    /// every non-pruned candidate for the naive engine; only fallback
+    /// candidates reaching beyond the lattice profile's context bound for the
+    /// set-based engine (profile-answered candidates resolve scan-free).
     pub validated: usize,
-    /// Canonical statements validated against the data (set-based engine;
-    /// equal to `validated` for the naive engine, whose unit of data work is
-    /// the whole candidate).
+    /// Canonical statements validated against the data: the lattice profile's
+    /// scans plus any fallback engine scans for the set-based engine; equal to
+    /// `validated` for the naive engine, whose unit of data work is the whole
+    /// candidate.
     pub statement_validations: usize,
+    /// Resolution counters of the node-based lattice profile the set-based
+    /// engine ran first (`None` for the naive engine).
+    pub lattice_stats: Option<LatticeStats>,
 }
 
 impl Discovery {
@@ -159,18 +179,58 @@ pub fn discover_ods(rel: &Relation, config: DiscoveryConfig) -> Discovery {
             } else {
                 1
             };
-            let mut engine = SetBasedEngine::with_budget(rel, threads, budget);
+            // The widest statement context any enumerated candidate can
+            // produce: |set(X)| for a constancy, |prefix(X) ∪ prefix(Y)| for a
+            // compatibility — so profiling deeper than this is pure waste.
+            let needed = config
+                .max_lhs
+                .max((config.max_lhs + config.max_rhs).saturating_sub(2));
+            let depth = config.max_context.min(needed);
+            let profile = discover_statements(
+                rel,
+                &LatticeConfig {
+                    max_context: depth,
+                    use_decider: true,
+                    threads,
+                    epsilon: config.epsilon,
+                },
+            );
+            // Fallback for candidates whose statements reach beyond the
+            // profile (only possible when `config.max_context` undercuts the
+            // candidate widths): a demand-driven engine seeded with the
+            // profile's verdicts.
+            let mut engine: Option<SetBasedEngine> = None;
+            let n = rel.len();
             let mut check = |od: &OrderDependency| {
-                let before = engine.data_validations();
-                let verdict = engine.od_verdict(od);
-                (
-                    verdict.within(budget),
-                    engine.data_validations() > before,
-                    verdict.g3(rel.len()),
-                )
+                let stmts = translate_od(od);
+                if stmts.iter().all(|s| s.context().len() <= depth) {
+                    let mut worst = 0usize;
+                    for stmt in &stmts {
+                        match profile.removal_upper_bound(stmt) {
+                            Some(removal) => worst = worst.max(removal),
+                            None => return (false, false, 1.0),
+                        }
+                    }
+                    (true, false, worst as f64 / n.max(1) as f64)
+                } else {
+                    let engine = engine.get_or_insert_with(|| {
+                        let mut e = SetBasedEngine::with_budget(rel, threads, budget);
+                        e.adopt_profile(&profile);
+                        e
+                    });
+                    let before = engine.data_validations();
+                    let verdict = engine.od_verdict(od);
+                    (
+                        verdict.within(budget),
+                        engine.data_validations() > before,
+                        verdict.g3(n),
+                    )
+                }
             };
             let mut result = run_discovery(rel, config, &mut check);
-            result.statement_validations = engine.data_validations();
+            result.statement_validations =
+                profile.stats.validated + engine.as_ref().map_or(0, |e| e.data_validations());
+            result.lattice_stats = Some(profile.stats);
             result
         }
     }

@@ -47,5 +47,5 @@ pub mod monotone;
 pub use discover::{
     discover_fds, discover_ods, discover_ods_naive, Discovery, DiscoveryConfig, DiscoveryEngine,
 };
-pub use monitor::{Monitor, MonitorReport, OdStatus};
+pub use monitor::{Monitor, MonitorReport, OdStatus, SubscriptionId};
 pub use monotone::{derived_column_ods, monotonicity, DerivedColumn, Monotonicity};

@@ -13,6 +13,12 @@
 //! [`OdRegistry`], ODs that no longer do are retracted — a rewrite license is
 //! only ever backed by currently-clean data, mirroring the install policy of
 //! [`Discovery::install_into`](crate::discover::Discovery::install_into).
+//!
+//! Downstream consumers need not poll: [`Monitor::subscribe`] registers a
+//! synchronous callback that [`Monitor::apply`] invokes once per batch with
+//! the fresh [`MonitorReport`], so ε-boundary flips are *pushed* (a warehouse
+//! loader can pause a feed the moment its ordering assumption breaks, and
+//! resume when it heals) instead of being discovered on the next poll.
 
 use crate::discover::Discovery;
 use od_core::{OrderDependency, Relation};
@@ -62,6 +68,16 @@ struct WatchedOd {
     accepted: bool,
 }
 
+/// Identifies a registered [`Monitor::subscribe`] callback so it can be
+/// detached again with [`Monitor::unsubscribe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubscriptionId(u64);
+
+/// A [`Monitor::subscribe`]d consumer: invoked synchronously with each
+/// batch's report.  `Send` so registering subscribers does not cost the
+/// monitor its ability to move to a worker thread.
+type Subscriber = Box<dyn FnMut(&MonitorReport) + Send>;
+
 /// Watches a set of ODs on a live table, keeping each one's `g3` verdict
 /// current under tuple inserts and deletes.
 ///
@@ -85,6 +101,8 @@ pub struct Monitor {
     stream: StreamMonitor,
     watched: Vec<WatchedOd>,
     epsilon: f64,
+    subscribers: Vec<(SubscriptionId, Subscriber)>,
+    next_subscription: u64,
 }
 
 impl Monitor {
@@ -111,6 +129,8 @@ impl Monitor {
             stream,
             watched,
             epsilon,
+            subscribers: Vec::new(),
+            next_subscription: 0,
         };
         // Baseline acceptance, so the first delta's flips are meaningful.
         let budget = monitor.stream.error_budget(epsilon);
@@ -166,8 +186,32 @@ impl Monitor {
         &self.stream
     }
 
+    /// Register a synchronous consumer: `callback` is invoked by every
+    /// successful [`Self::apply`], after the ledgers are patched, with the
+    /// batch's [`MonitorReport`] — ε-boundary flips arrive as
+    /// [`MonitorReport::flips`] without any polling.  Callbacks run in
+    /// registration order, on the caller's thread, before `apply` returns.
+    pub fn subscribe(
+        &mut self,
+        callback: impl FnMut(&MonitorReport) + Send + 'static,
+    ) -> SubscriptionId {
+        let id = SubscriptionId(self.next_subscription);
+        self.next_subscription += 1;
+        self.subscribers.push((id, Box::new(callback)));
+        id
+    }
+
+    /// Detach a [`Self::subscribe`]d callback.  Returns whether it was still
+    /// registered.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        let before = self.subscribers.len();
+        self.subscribers.retain(|(sid, _)| *sid != id);
+        self.subscribers.len() < before
+    }
+
     /// Apply a batch and report every watched OD's live status, marking the
-    /// ODs whose accept/reject verdict flipped.
+    /// ODs whose accept/reject verdict flipped.  Subscribed callbacks are
+    /// pushed the same report before it is returned.
     pub fn apply(&mut self, batch: &DeltaBatch) -> Result<MonitorReport, StreamError> {
         let summary: DeltaSummary = self.stream.apply_delta(batch)?;
         let statuses = (0..self.watched.len())
@@ -180,12 +224,16 @@ impl Monitor {
         for (entry, status) in self.watched.iter_mut().zip(&statuses) {
             entry.accepted = status.accepted;
         }
-        Ok(MonitorReport {
+        let report = MonitorReport {
             statuses,
             inserted: summary.inserted,
             deleted: summary.deleted,
             touched_classes: summary.touched_classes,
-        })
+        };
+        for (_, callback) in &mut self.subscribers {
+            callback(&report);
+        }
+        Ok(report)
     }
 
     /// The current statuses of every watched OD (no flips marked).
@@ -311,6 +359,69 @@ mod tests {
         let report = strict.apply(&DeltaBatch::new().insert(bad)).unwrap();
         assert_eq!(report.flips().count(), 1);
         assert!(!report.statuses[0].accepted);
+    }
+
+    #[test]
+    fn subscribers_are_pushed_flips_per_batch() {
+        use std::sync::{Arc, Mutex};
+
+        let rel = fixtures::example_5_taxes();
+        let discovery = discover_ods(&rel, DiscoveryConfig::default());
+        let mut monitor = Monitor::watch_install_set(&rel, &discovery, 0.0);
+
+        // Two independent consumers: one counts flipped ODs, one counts
+        // batches.
+        let flips: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&flips);
+        let flip_sub = monitor.subscribe(move |report| {
+            sink.lock().unwrap().push(report.flips().count());
+        });
+        let batches = Arc::new(Mutex::new(0usize));
+        let counter = Arc::clone(&batches);
+        monitor.subscribe(move |_| *counter.lock().unwrap() += 1);
+
+        // A clean insert: callbacks fire, nothing flips.
+        let clean = rel.tuple(0).clone();
+        monitor.apply(&DeltaBatch::new().insert(clean)).unwrap();
+        assert_eq!(flips.lock().unwrap().as_slice(), &[0]);
+
+        // A corrupting insert is pushed as a flip, no polling involved.
+        let mut bad = rel.tuple(0).clone();
+        bad[1] = Value::Int(999);
+        let report = monitor.apply(&DeltaBatch::new().insert(bad)).unwrap();
+        let broken = report.flips().count();
+        assert!(broken > 0);
+        assert_eq!(flips.lock().unwrap().as_slice(), &[0, broken]);
+        assert_eq!(*batches.lock().unwrap(), 2);
+
+        // Unsubscribing stops delivery for that consumer only.
+        assert!(monitor.unsubscribe(flip_sub));
+        assert!(!monitor.unsubscribe(flip_sub), "already detached");
+        monitor
+            .apply(&DeltaBatch::new().delete(report.inserted[0]))
+            .unwrap();
+        assert_eq!(
+            flips.lock().unwrap().len(),
+            2,
+            "detached consumer sees nothing"
+        );
+        assert_eq!(*batches.lock().unwrap(), 3);
+    }
+
+    #[test]
+    fn monitors_stay_send_with_subscribers_attached() {
+        let rel = fixtures::example_5_taxes();
+        let discovery = discover_ods(&rel, DiscoveryConfig::default());
+        let mut monitor = Monitor::watch_install_set(&rel, &discovery, 0.0);
+        monitor.subscribe(|_| {});
+        // A subscribed monitor can still move to a worker thread.
+        std::thread::spawn(move || {
+            monitor
+                .apply(&DeltaBatch::new().insert(rel.tuple(0).clone()))
+                .unwrap();
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

@@ -54,6 +54,42 @@ proptest! {
         prop_assert_eq!(set_based.ods, naive.ods);
     }
 
+    /// Width-3 candidates exercise the node-based lattice's third level
+    /// (compatibility contexts of size 3): the traversal must still pin the
+    /// seed's naive oracle exactly, at ε = 0 and ε > 0.
+    #[test]
+    fn node_lattice_agrees_with_naive_at_width_three(rel in relation_strategy(4, 10)) {
+        for epsilon in [0.0, 0.2] {
+            let config = DiscoveryConfig {
+                max_lhs: 3,
+                max_rhs: 2,
+                epsilon,
+                ..Default::default()
+            };
+            let set_based = discover_ods(&rel, config);
+            let naive = discover_ods_naive(&rel, config);
+            prop_assert_eq!(&set_based.ods, &naive.ods, "ε = {}", epsilon);
+            // Every candidate was answerable from the lattice profile: no
+            // fallback scans beyond it.
+            let stats = set_based.lattice_stats.expect("set-based runs profile");
+            prop_assert_eq!(set_based.statement_validations, stats.validated);
+            prop_assert_eq!(set_based.validated, 0);
+        }
+    }
+
+    /// When the configured lattice depth undercuts the candidate widths, the
+    /// per-candidate engine fallback keeps the result identical.
+    #[test]
+    fn shallow_profiles_fall_back_without_changing_the_result(rel in relation_strategy(4, 9)) {
+        let wide = DiscoveryConfig { max_lhs: 3, max_rhs: 2, ..Default::default() };
+        let shallow = DiscoveryConfig { max_context: 1, ..wide };
+        let full = discover_ods(&rel, wide);
+        let clipped = discover_ods(&rel, shallow);
+        prop_assert_eq!(&full.ods, &clipped.ods);
+        let naive = discover_ods_naive(&rel, wide);
+        prop_assert_eq!(&clipped.ods, &naive.ods);
+    }
+
     /// `epsilon: 0.0` is bit-identical to exact discovery, and for any ε both
     /// engines agree on the approximate OD set and its error scores (the naive
     /// path measures each statement with the sort-based evidence oracle, the

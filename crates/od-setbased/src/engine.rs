@@ -20,6 +20,7 @@
 //! carries its premise's removal count as an upper bound.
 
 use crate::canonical::{translate_od, SetOd};
+use crate::lattice::SetBasedDiscovery;
 use crate::partition::PartitionCache;
 use crate::stream::StreamMonitor;
 use crate::validate::{self, Verdict};
@@ -196,6 +197,34 @@ impl<'r> SetBasedEngine<'r> {
         None
     }
 
+    /// Seed the memo table from a lattice profile over the **same relation**:
+    /// every minimal statement's exact verdict becomes a memo entry, so
+    /// demand-driven queries outside the profile's context bound inherit from
+    /// the profiled statements instead of re-scanning them.  Returns the
+    /// number of entries adopted.
+    ///
+    /// Profiles are only adopted when their tuple-removal budget matches the
+    /// engine's — a verdict accepted under a different ε would poison the memo
+    /// (its `within` decision is budget-relative).  Already-memoized
+    /// statements keep their existing verdicts.
+    pub fn adopt_profile(&mut self, profile: &SetBasedDiscovery) -> usize {
+        if profile.budget() != self.budget {
+            return 0;
+        }
+        let mut adopted = 0;
+        for (stmt, verdict) in profile
+            .minimal_statements()
+            .iter()
+            .zip(profile.verdicts().iter())
+        {
+            self.verdicts.entry(stmt.clone()).or_insert_with(|| {
+                adopted += 1;
+                verdict.clone()
+            });
+        }
+        adopted
+    }
+
     /// Promote this snapshot engine into a streaming [`StreamMonitor`] over
     /// the same data: every canonical statement the engine has memoized
     /// becomes a monitored ledger, after which tuple-level
@@ -367,6 +396,29 @@ mod tests {
             "premise witnesses must not be attached to the inherited statement"
         );
         assert_eq!(inherited.classes_scanned, 0);
+    }
+
+    #[test]
+    fn adopted_profiles_answer_without_scanning() {
+        let rel = fixtures::example_5_taxes();
+        let profile = crate::lattice::discover_statements(&rel, &Default::default());
+        let mut engine = SetBasedEngine::new(&rel);
+        let adopted = engine.adopt_profile(&profile);
+        assert!(adopted > 0);
+        // Every profiled minimal statement is now a memo hit.
+        for stmt in profile.minimal_statements() {
+            assert!(engine.statement_holds(stmt));
+        }
+        assert_eq!(
+            engine.data_validations(),
+            0,
+            "memo entries answer scan-free"
+        );
+        assert!(engine.stats.memo_hits >= adopted);
+        // A budget-mismatched profile is refused — its `within` decisions are
+        // relative to a different ε.
+        let mut budgeted = SetBasedEngine::with_budget(&rel, 1, 3);
+        assert_eq!(budgeted.adopt_profile(&profile), 0);
     }
 
     #[test]

@@ -1,35 +1,70 @@
-//! Level-wise lattice traversal discovering all valid canonical statements.
+//! Node-based lattice engine: level-wise discovery of all valid canonical
+//! statements with **candidate-set propagation**.
 //!
-//! Contexts (attribute sets) are visited by size — level `k` holds the
-//! `|U| choose k` contexts of size `k` — and at each context the candidate sets
-//! are the **constancy** candidates `𝒞 : [] ↦ A` (`A ∉ 𝒞`) and the
-//! **compatibility** candidates `𝒞 : A ~ B` (`A, B ∉ 𝒞`).  Three pruning rules
-//! keep data validation rare:
+//! Earlier revisions walked the context lattice generate-then-check: every
+//! `(|U| choose k)` context was materialized and every candidate statement was
+//! resolved by set-membership probes against the full set of confirmed
+//! statements — which is why the traversal used to be pinned at context width
+//! 2.  This engine follows the TANE/FASTOD design instead: the lattice is an
+//! explicit store of **nodes**, one per surviving context, and each node
+//! carries the *candidate sets* that are still worth asking about:
 //!
-//! 1. **Context monotonicity** (set-based axiom): a statement that holds at a
-//!    context holds at every superset context — candidates subsumed by an
-//!    already-confirmed statement are inherited, not validated.
-//! 2. **Constancy subsumes compatibility**: if `𝒞 : [] ↦ A` holds then
-//!    `𝒞 : A ~ B` holds for every `B` (a constant never swaps).
-//! 3. **Logical implication** (optional): the exact [`od_infer::Decider`] over
-//!    the statements confirmed so far — sound and complete for OD implication —
-//!    catches non-subset consequences such as FD transitivity.
+//! * the **constancy candidates** `A` for which `𝒞 : [] ↦ A` did not hold at
+//!   any parent context, and
+//! * the **compatibility candidates** `{A, B}` for which `𝒞 : A ~ B` did not
+//!   hold at (and was not subsumed away at) any parent.
 //!
-//! What survives is validated against stripped partitions from the shared
-//! [`PartitionCache`] (in parallel when configured), so each level's products
-//! refine the previous level's partitions incrementally.  With a non-zero
-//! error threshold `ε`, candidates are accepted when their `g3` removal count
-//! stays within `⌊ε·n⌋` tuples; rules 1–2 remain sound (they rest on a single
-//! premise and statement satisfaction is monotone under context growth and
-//! tuple removal), but rule 3 combines *many* premises — whose removal sets
-//! may differ — so the decider is only consulted in exact mode.
+//! A node's candidate sets are the **intersection of its parents'** surviving
+//! sets: a statement confirmed at some context holds at every superset context
+//! (context monotonicity), so the moment a candidate is confirmed it is
+//! removed from its node and — by intersection — from every descendant.
+//! Subsumed candidates are never enumerated and never allocate a [`SetOd`] at
+//! all.  Three further mechanisms keep deep levels tractable:
+//!
+//! 1. **Key-based node deletion** — a context whose stripped partition is
+//!    empty is a superkey: no two tuples agree on it, so every candidate above
+//!    it holds trivially.  The node's surviving constancies are confirmed with
+//!    clean verdicts, its pairs are subsumed by them (rule 2 below), and the
+//!    node is deleted *before expansion*: none of its `2^(|U|−k)` ancestors is
+//!    ever generated.
+//! 2. **Batched per-level validation** — all of a level's surviving candidates
+//!    are scanned in one sharded pass
+//!    ([`parallel::validate_statement_batch`]), statements claimed from an
+//!    atomic cursor, each scanned serially so verdicts are bit-identical on
+//!    every thread count.
+//! 3. **Per-level partition eviction** — level `k` partitions are refinement
+//!    bases only for level `k + 1`, so they are evicted as soon as level
+//!    `k + 1` is materialized ([`PartitionCache::evict_sets_of_size`]); a
+//!    width-3 run never holds every level-2 product alive.
+//!    [`LatticeStats::peak_cached_partitions`] records the high-water mark.
+//!
+//! Two same-context rules complete the pruning: **constancy subsumes
+//! compatibility** (rule 2: if `𝒞 : [] ↦ A` holds, `A` never swaps against
+//! anything in `𝒞`'s classes), and the optional **implication decider**
+//! (rule 3: the exact [`od_infer::Decider`] over everything confirmed so far,
+//! which catches non-subset consequences such as FD transitivity).  With a
+//! non-zero error threshold `ε`, candidates are accepted when their `g3`
+//! removal count stays within `⌊ε·n⌋`; propagation and rule 2 remain sound
+//! (they rest on a single premise and statement satisfaction is monotone under
+//! context growth and tuple removal), but rule 3 combines *many* premises —
+//! whose removal sets may differ — so the decider is only consulted in exact
+//! mode.
+//!
+//! The decider is consulted in the traversal's canonical sequential order
+//! (contexts in enumeration order, constancies before pairs), so its pruning
+//! decisions are identical to a statement-at-a-time traversal; the batched
+//! scans merely *pre-compute* verdicts (a level-start decider pre-filter skips
+//! scans for candidates already implied — sound because implication is
+//! monotone in the premise set).
 
 use crate::canonical::SetOd;
-use crate::partition::PartitionCache;
+use crate::parallel::{self, StatementJob};
+use crate::partition::{PartitionCache, StrippedPartition};
 use crate::validate::{self, Verdict};
 use od_core::{AttrId, AttrSet, OrderDependency, Relation};
 use od_infer::{Decider, OdSet};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 
 /// Configuration for a lattice traversal.
 #[derive(Debug, Clone, Copy)]
@@ -39,7 +74,7 @@ pub struct LatticeConfig {
     /// Consult the exact implication decider before validating a candidate
     /// (only sound — and only consulted — when `epsilon == 0`).
     pub use_decider: bool,
-    /// Threads for partition-class validation (1 = serial).
+    /// Threads for the batched per-level validation pass (1 = serial).
     pub threads: usize,
     /// `g3` error threshold: accept statements that hold after removing at
     /// most `⌊ε·n⌋` tuples (0.0 = exact discovery).
@@ -47,9 +82,12 @@ pub struct LatticeConfig {
 }
 
 impl Default for LatticeConfig {
+    /// Width 3 by default: candidate-set propagation plus key-based node
+    /// deletion keep the third level interactive (the pre-node-store traversal
+    /// was pinned at 2).
     fn default() -> Self {
         LatticeConfig {
-            max_context: 2,
+            max_context: 3,
             use_decider: true,
             threads: 1,
             epsilon: 0.0,
@@ -60,14 +98,51 @@ impl Default for LatticeConfig {
 /// Counters describing how a traversal resolved its candidates.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatticeStats {
-    /// Candidate statements enumerated.
+    /// Candidate statements enumerated at lattice nodes (after propagation).
     pub candidates: usize,
-    /// Candidates checked against the data (partition scans).
+    /// Candidates resolved by consuming a data verdict (key-context candidates
+    /// count here too: their partitions answer without touching a row).
     pub validated: usize,
-    /// Candidates resolved by context monotonicity / constancy subsumption.
+    /// Candidates resolved by same-context constancy subsumption (rule 2).
     pub inherited: usize,
     /// Candidates resolved by the implication decider.
     pub decider_pruned: usize,
+    /// Lattice nodes created across all levels.
+    pub nodes_created: usize,
+    /// Nodes deleted by the superkey rule before expansion.
+    pub nodes_deleted: usize,
+    /// Candidates that never became statements: removed by parent-set
+    /// intersection (confirmed or subsumed below) or sitting above a deleted
+    /// node.
+    pub propagated_away: usize,
+    /// High-water mark of simultaneously cached partitions (the eviction
+    /// policy's effectiveness measure).
+    pub peak_cached_partitions: usize,
+}
+
+/// Per-level breakdown of a traversal (see [`SetBasedDiscovery::level_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Context size of this level.
+    pub level: usize,
+    /// Nodes created at this level.
+    pub nodes_created: usize,
+    /// Nodes deleted by the superkey rule at this level.
+    pub nodes_deleted: usize,
+    /// Candidates enumerated at this level's nodes.
+    pub candidates: usize,
+    /// Candidates resolved by consuming a data verdict.
+    pub validated: usize,
+    /// Candidates resolved by same-context constancy subsumption.
+    pub inherited: usize,
+    /// Candidates resolved by the implication decider.
+    pub decider_pruned: usize,
+    /// Candidate slots this level never enumerated thanks to propagation and
+    /// node deletion.
+    pub propagated_away: usize,
+    /// Partitions resident in the cache once this level was materialized
+    /// (before the previous level's eviction takes effect for the next).
+    pub cached_partitions: usize,
 }
 
 /// The result of a traversal: all valid canonical statements up to the context
@@ -76,15 +151,43 @@ pub struct LatticeStats {
 pub struct SetBasedDiscovery {
     minimal: Vec<SetOd>,
     verdicts: Vec<Verdict>,
+    /// Exact-match index into `minimal`, so per-statement verdict lookups
+    /// (`od-discovery` makes one per candidate statement) stay `O(1)` instead
+    /// of scanning the minimal list.
+    minimal_index: HashMap<SetOd, usize>,
+    /// Statements the decider proved implied (they hold, but are not minimal);
+    /// kept so [`Self::holds`] stays complete within the bound.
+    pruned: Vec<SetOd>,
     holding: HashSet<SetOd>,
     max_context: usize,
     budget: usize,
+    level_stats: Vec<LevelStats>,
     /// How candidates were resolved.
     pub stats: LatticeStats,
 }
 
+/// Does `premise` subsume `query` by context monotonicity (rule 1) or
+/// constancy-subsumes-compatibility (rule 2)?
+fn subsumes(premise: &SetOd, query: &SetOd) -> bool {
+    let ctx = query.context();
+    match (premise, query) {
+        (SetOd::Constancy { context, attr }, SetOd::Constancy { attr: qattr, .. }) => {
+            attr == qattr && context.is_subset(ctx)
+        }
+        (SetOd::Compatibility { context, a, b }, SetOd::Compatibility { a: qa, b: qb, .. }) => {
+            a == qa && b == qb && context.is_subset(ctx)
+        }
+        // A constancy of either pair attribute subsumes the compatibility
+        // (rule 2).
+        (SetOd::Constancy { context, attr }, SetOd::Compatibility { a: qa, b: qb, .. }) => {
+            (attr == qa || attr == qb) && context.is_subset(ctx)
+        }
+        _ => false,
+    }
+}
+
 impl SetBasedDiscovery {
-    /// The minimal valid statements: those not inherited from a smaller context
+    /// The minimal valid statements: those not subsumed from a smaller context
     /// and not implied by previously confirmed statements.
     pub fn minimal_statements(&self) -> &[SetOd] {
         &self.minimal
@@ -101,6 +204,11 @@ impl SetBasedDiscovery {
         self.budget
     }
 
+    /// Per-level resolution counters, one entry per visited level.
+    pub fn level_stats(&self) -> &[LevelStats] {
+        &self.level_stats
+    }
+
     /// Does a statement hold on the profiled instance (within the traversal's
     /// error budget)?
     ///
@@ -114,21 +222,38 @@ impl SetBasedDiscovery {
         if stmt.is_trivial() || self.holding.contains(stmt) {
             return true;
         }
-        let ctx = stmt.context();
-        self.minimal.iter().any(|m| match (m, stmt) {
-            (SetOd::Constancy { context, attr }, SetOd::Constancy { attr: qattr, .. }) => {
-                attr == qattr && context.is_subset(ctx)
-            }
-            (SetOd::Compatibility { context, a, b }, SetOd::Compatibility { a: qa, b: qb, .. }) => {
-                a == qa && b == qb && context.is_subset(ctx)
-            }
-            // A minimal constancy of either pair attribute subsumes the
-            // compatibility (rule 2).
-            (SetOd::Constancy { context, attr }, SetOd::Compatibility { a: qa, b: qb, .. }) => {
-                (attr == qa || attr == qb) && context.is_subset(ctx)
-            }
-            _ => false,
-        })
+        self.minimal.iter().any(|m| subsumes(m, stmt))
+            || self.pruned.iter().any(|p| subsumes(p, stmt))
+    }
+
+    /// An upper bound on the statement's `g3` removal count, or `None` when
+    /// the statement does not hold within the budget.
+    ///
+    /// Exact for minimal statements (their scan verdict); the subsuming
+    /// premise's count for statements answered by monotonicity (removal can
+    /// only shrink as the context grows); `0` for trivial statements and for
+    /// decider-implied ones (the decider only runs in exact mode, where every
+    /// accepted statement has removal 0).  Like [`Self::holds`], complete only
+    /// for contexts within the traversal bound.
+    pub fn removal_upper_bound(&self, stmt: &SetOd) -> Option<usize> {
+        if let Some(normalized) = stmt.normalized() {
+            return self.removal_upper_bound(&normalized);
+        }
+        if stmt.is_trivial() {
+            return Some(0);
+        }
+        // O(1) exact hit first — the dominant case for profile-answered
+        // discovery; the linear subsumption scans only run on misses.
+        if let Some(&i) = self.minimal_index.get(stmt) {
+            return Some(self.verdicts[i].removal_count);
+        }
+        if let Some(i) = self.minimal.iter().position(|m| subsumes(m, stmt)) {
+            return Some(self.verdicts[i].removal_count);
+        }
+        if self.pruned.iter().any(|p| p == stmt || subsumes(p, stmt)) {
+            return Some(0);
+        }
+        None
     }
 
     /// The context bound the traversal ran with.
@@ -167,47 +292,125 @@ fn subsets_of_size(universe: &[AttrId], k: usize) -> Vec<AttrSet> {
     out
 }
 
-/// Run a level-wise traversal over the relation's attribute lattice.
-pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDiscovery {
-    let universe: Vec<AttrId> = rel.schema().attr_ids().collect();
-    let mut cache = PartitionCache::new(rel);
-    let mut result = SetBasedDiscovery {
-        minimal: Vec::new(),
-        verdicts: Vec::new(),
-        holding: HashSet::new(),
-        max_context: config.max_context,
-        budget: validate::error_budget(rel.len(), config.epsilon),
-        stats: LatticeStats::default(),
-    };
+/// A lattice node: one surviving context with its propagated candidate sets
+/// (both kept sorted, so intersection is a merge and enumeration order is the
+/// canonical ascending-id order).
+struct Node {
+    context: AttrSet,
+    consts: Vec<AttrId>,
+    pairs: Vec<(AttrId, AttrId)>,
+}
 
-    // The confirmed statements in list-OD form, grown as the traversal
-    // confirms more — the decider (rule 3) always sees everything known.  The
-    // decider itself is rebuilt lazily, only after `confirmed` has grown.
-    let mut state = TraversalState {
-        confirmed: OdSet::new(),
-        decider: None,
-    };
-    for level in 0..=config.max_context.min(universe.len()) {
-        for context in subsets_of_size(&universe, level) {
-            let outside: Vec<AttrId> = universe
-                .iter()
-                .copied()
-                .filter(|a| !context.contains(a))
-                .collect();
-            // Constancy candidates first: their results feed rule 2 below.
-            for &attr in &outside {
-                let stmt = SetOd::constancy(context.clone(), attr);
-                resolve(&mut result, &mut cache, config, &mut state, stmt);
+/// One level's node store: nodes in context-enumeration order plus an index
+/// for parent lookups during expansion.
+#[derive(Default)]
+struct LevelStore {
+    nodes: Vec<Node>,
+    index: HashMap<Vec<AttrId>, usize>,
+}
+
+impl LevelStore {
+    fn new(nodes: Vec<Node>) -> Self {
+        let index = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.context.iter().copied().collect::<Vec<AttrId>>(), i))
+            .collect();
+        LevelStore { nodes, index }
+    }
+}
+
+/// Candidate slots a context of size `level` offers over a `u`-attribute
+/// universe: one constancy per outside attribute, one pair per outside pair.
+fn full_slots(u: usize, level: usize) -> usize {
+    let outside = u - level;
+    outside + outside * outside.saturating_sub(1) / 2
+}
+
+/// Generate level `level`'s nodes by intersecting the surviving candidate sets
+/// of their parents in `prev`.  Returns the nodes (in canonical context order)
+/// and the number of candidate slots resolved without enumeration — removed by
+/// propagation or sitting above a deleted/exhausted parent.
+fn generate_level(universe: &[AttrId], level: usize, prev: &LevelStore) -> (Vec<Node>, usize) {
+    if level == 0 {
+        let consts: Vec<AttrId> = universe.to_vec();
+        let mut pairs = Vec::new();
+        for (i, &a) in universe.iter().enumerate() {
+            for &b in &universe[i + 1..] {
+                pairs.push((a, b));
             }
-            for (i, &a) in outside.iter().enumerate() {
-                for &b in &outside[i + 1..] {
-                    let stmt = SetOd::compatibility(context.clone(), a, b);
-                    resolve(&mut result, &mut cache, config, &mut state, stmt);
+        }
+        if consts.is_empty() {
+            return (Vec::new(), 0);
+        }
+        return (
+            vec![Node {
+                context: AttrSet::new(),
+                consts,
+                pairs,
+            }],
+            0,
+        );
+    }
+    let slots = full_slots(universe.len(), level);
+    let mut nodes = Vec::new();
+    let mut propagated = 0usize;
+    for context in subsets_of_size(universe, level) {
+        let ids: Vec<AttrId> = context.iter().copied().collect();
+        // Every (level−1)-subset must be a live parent: a deleted (superkey)
+        // or candidate-exhausted ancestor prunes the whole cone above it.
+        let mut parents: Vec<&Node> = Vec::with_capacity(level);
+        let mut orphan = false;
+        for drop in &ids {
+            let parent_key: Vec<AttrId> = ids.iter().copied().filter(|a| a != drop).collect();
+            match prev.index.get(&parent_key) {
+                Some(&p) => parents.push(&prev.nodes[p]),
+                None => {
+                    orphan = true;
+                    break;
                 }
             }
         }
+        if orphan {
+            propagated += slots;
+            continue;
+        }
+        // Intersection propagation: a candidate survives only where it
+        // survived at every parent (context attributes are trivial, not
+        // candidates).
+        let consts: Vec<AttrId> = parents[0]
+            .consts
+            .iter()
+            .copied()
+            .filter(|a| !context.contains(a))
+            .filter(|a| {
+                parents[1..]
+                    .iter()
+                    .all(|p| p.consts.binary_search(a).is_ok())
+            })
+            .collect();
+        let pairs: Vec<(AttrId, AttrId)> = parents[0]
+            .pairs
+            .iter()
+            .copied()
+            .filter(|&(a, b)| !context.contains(&a) && !context.contains(&b))
+            .filter(|pr| {
+                parents[1..]
+                    .iter()
+                    .all(|p| p.pairs.binary_search(pr).is_ok())
+            })
+            .collect();
+        propagated += slots - consts.len() - pairs.len();
+        if consts.is_empty() && pairs.is_empty() {
+            continue;
+        }
+        nodes.push(Node {
+            context,
+            consts,
+            pairs,
+        });
     }
-    result
+    (nodes, propagated)
 }
 
 /// The traversal's implication state: confirmed statements and a decider over
@@ -217,49 +420,266 @@ struct TraversalState {
     decider: Option<Decider>,
 }
 
-/// Resolve one candidate: inherit, prune, or validate against partitions.
-fn resolve(
-    result: &mut SetBasedDiscovery,
-    cache: &mut PartitionCache<'_>,
-    config: &LatticeConfig,
-    state: &mut TraversalState,
-    stmt: SetOd,
-) {
-    result.stats.candidates += 1;
-    if result.holds(&stmt) {
-        result.stats.inherited += 1;
-        return;
-    }
+/// Run the node-based level-wise traversal over the relation's attribute
+/// lattice.
+pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDiscovery {
+    let universe: Vec<AttrId> = rel.schema().attr_ids().collect();
+    let mut cache = PartitionCache::new(rel);
+    let mut result = SetBasedDiscovery {
+        minimal: Vec::new(),
+        verdicts: Vec::new(),
+        minimal_index: HashMap::new(),
+        pruned: Vec::new(),
+        holding: HashSet::new(),
+        max_context: config.max_context,
+        budget: validate::error_budget(rel.len(), config.epsilon),
+        level_stats: Vec::new(),
+        stats: LatticeStats::default(),
+    };
+    let budget = result.budget;
     // Rule 3 is exact-only: the decider combines many confirmed premises, and
     // with a non-zero budget those premises may each lean on a *different*
     // removal set whose union busts the budget.
-    if config.use_decider && result.budget == 0 {
-        let d = state
-            .decider
-            .get_or_insert_with(|| Decider::new(&state.confirmed));
-        let implied = match &stmt {
-            SetOd::Constancy { context, attr } => d.implies_context_constancy(context, *attr),
-            SetOd::Compatibility { context, a, b } => {
-                d.implies_context_compatibility(context, *a, *b)
-            }
+    let decider_active = config.use_decider && budget == 0;
+    let threads = config.threads.max(1);
+    let mut state = TraversalState {
+        confirmed: OdSet::new(),
+        decider: None,
+    };
+    // Per-attribute rank codes, prefetched once: the batch phase reads them
+    // from worker threads, which the `Rc`-handing cache cannot serve directly.
+    let all_codes: Vec<Rc<Vec<u32>>> = universe.iter().map(|&a| cache.codes(a)).collect();
+
+    let mut prev = LevelStore::default();
+    for level in 0..=config.max_context.min(universe.len()) {
+        let mut lstats = LevelStats {
+            level,
+            ..Default::default()
         };
-        if implied {
-            result.stats.decider_pruned += 1;
-            result.holding.insert(stmt);
-            return;
+        let (nodes, propagated) = generate_level(&universe, level, &prev);
+        lstats.propagated_away = propagated;
+        lstats.nodes_created = nodes.len();
+        if nodes.is_empty() {
+            roll_up(&mut result, lstats);
+            break; // no live parents: every deeper level is empty too
         }
-    }
-    result.stats.validated += 1;
-    let verdict = validate::statement_verdict(cache, &stmt, config.threads, result.budget);
-    if verdict.within(result.budget) {
-        for od in stmt.as_list_ods() {
-            state.confirmed.add_od(od);
+        // Materialize this level's partitions (serial — each is one
+        // incremental refinement of a level−1 partition still in the cache).
+        let parts: Vec<Rc<StrippedPartition>> =
+            nodes.iter().map(|n| cache.partition(&n.context)).collect();
+        lstats.cached_partitions = cache.cached_sets();
+        result.stats.peak_cached_partitions = result
+            .stats
+            .peak_cached_partitions
+            .max(lstats.cached_partitions);
+        let keyed: Vec<bool> = parts.iter().map(|p| p.is_key()).collect();
+
+        // Level-start decider pre-filter: implication is monotone in the
+        // premise set, so anything implied now stays implied at its replay
+        // position — its scan can be skipped outright.
+        let prefilter = decider_active.then(|| Decider::new(&state.confirmed));
+
+        // ---- Batch A: all surviving constancy scans, one sharded pass -----
+        let mut const_slots: Vec<(usize, AttrId)> = Vec::new();
+        let mut const_jobs: Vec<StatementJob<'_>> = Vec::new();
+        let mut pre_pruned_consts: HashSet<(usize, AttrId)> = HashSet::new();
+        for (i, node) in nodes.iter().enumerate() {
+            if keyed[i] {
+                continue; // clean by the superkey rule, no scan needed
+            }
+            for &attr in &node.consts {
+                if prefilter
+                    .as_ref()
+                    .is_some_and(|d| d.implies_context_constancy(&node.context, attr))
+                {
+                    pre_pruned_consts.insert((i, attr));
+                    continue;
+                }
+                const_slots.push((i, attr));
+                const_jobs.push(StatementJob::Constancy {
+                    part: &parts[i],
+                    codes: &all_codes[attr.index()],
+                });
+            }
         }
-        state.decider = None;
-        result.holding.insert(stmt.clone());
-        result.minimal.push(stmt);
-        result.verdicts.push(verdict);
+        let verdicts = parallel::validate_statement_batch(&const_jobs, threads, budget);
+        drop(const_jobs);
+        let mut const_verdicts: HashMap<(usize, AttrId), Verdict> =
+            const_slots.into_iter().zip(verdicts).collect();
+
+        // Which constancies hold on the data (key contexts: all of them;
+        // pre-filtered ones hold because the decider is sound and exact-mode
+        // accepted statements are violation-free).
+        let data_clean = |i: usize, attr: AttrId| -> bool {
+            keyed[i]
+                || pre_pruned_consts.contains(&(i, attr))
+                || const_verdicts
+                    .get(&(i, attr))
+                    .is_some_and(|v| v.within(budget))
+        };
+
+        // ---- Batch B: pair scans for pairs rule 2 cannot resolve ----------
+        let mut pair_slots: Vec<(usize, (AttrId, AttrId))> = Vec::new();
+        let mut pair_jobs: Vec<StatementJob<'_>> = Vec::new();
+        for (i, node) in nodes.iter().enumerate() {
+            if keyed[i] {
+                continue;
+            }
+            for &(a, b) in &node.pairs {
+                if data_clean(i, a) || data_clean(i, b) {
+                    continue; // rule 2 (or the decider) resolves it scan-free
+                }
+                if prefilter
+                    .as_ref()
+                    .is_some_and(|d| d.implies_context_compatibility(&node.context, a, b))
+                {
+                    continue;
+                }
+                pair_slots.push((i, (a, b)));
+                pair_jobs.push(StatementJob::Compatibility {
+                    part: &parts[i],
+                    codes_a: &all_codes[a.index()],
+                    codes_b: &all_codes[b.index()],
+                });
+            }
+        }
+        let verdicts = parallel::validate_statement_batch(&pair_jobs, threads, budget);
+        drop(pair_jobs);
+        let mut pair_verdicts: HashMap<(usize, (AttrId, AttrId)), Verdict> =
+            pair_slots.into_iter().zip(verdicts).collect();
+
+        // ---- Sequential replay in canonical order -------------------------
+        // Confirmation order (contexts as enumerated, constancies before
+        // pairs) is what the decider's premise set grows along, so pruning
+        // decisions match a statement-at-a-time traversal exactly.
+        let mut next_alive: Vec<Node> = Vec::new();
+        for (i, node) in nodes.into_iter().enumerate() {
+            let Node {
+                context: ctx,
+                consts,
+                pairs,
+            } = node;
+            let mut confirmed_here: HashSet<AttrId> = HashSet::new();
+            let mut surviving_consts: Vec<AttrId> = Vec::new();
+            for attr in consts {
+                lstats.candidates += 1;
+                let stmt = SetOd::constancy(ctx.clone(), attr);
+                if decider_active {
+                    let d = state
+                        .decider
+                        .get_or_insert_with(|| Decider::new(&state.confirmed));
+                    if d.implies_context_constancy(&ctx, attr) {
+                        lstats.decider_pruned += 1;
+                        result.holding.insert(stmt.clone());
+                        result.pruned.push(stmt);
+                        continue;
+                    }
+                }
+                let verdict = if keyed[i] {
+                    Verdict::clean()
+                } else {
+                    const_verdicts.remove(&(i, attr)).unwrap_or_else(|| {
+                        validate::statement_verdict(&mut cache, &stmt, 1, budget)
+                    })
+                };
+                lstats.validated += 1;
+                if verdict.within(budget) {
+                    confirm(&mut result, &mut state, stmt, verdict);
+                    confirmed_here.insert(attr);
+                } else {
+                    surviving_consts.push(attr);
+                }
+            }
+            let mut surviving_pairs: Vec<(AttrId, AttrId)> = Vec::new();
+            for (a, b) in pairs {
+                lstats.candidates += 1;
+                // Rule 2 at this very context: a constancy confirmed above
+                // makes the pair swap-free for free.
+                if confirmed_here.contains(&a) || confirmed_here.contains(&b) {
+                    lstats.inherited += 1;
+                    continue;
+                }
+                let stmt = SetOd::compatibility(ctx.clone(), a, b);
+                if decider_active {
+                    let d = state
+                        .decider
+                        .get_or_insert_with(|| Decider::new(&state.confirmed));
+                    if d.implies_context_compatibility(&ctx, a, b) {
+                        lstats.decider_pruned += 1;
+                        result.holding.insert(stmt.clone());
+                        result.pruned.push(stmt);
+                        continue;
+                    }
+                }
+                let verdict = if keyed[i] {
+                    Verdict::clean()
+                } else {
+                    pair_verdicts.remove(&(i, (a, b))).unwrap_or_else(|| {
+                        validate::statement_verdict(&mut cache, &stmt, 1, budget)
+                    })
+                };
+                lstats.validated += 1;
+                if verdict.within(budget) {
+                    confirm(&mut result, &mut state, stmt, verdict);
+                } else {
+                    surviving_pairs.push((a, b));
+                }
+            }
+            if keyed[i] {
+                // Superkey: everything above holds trivially — delete the
+                // node so no superset context is ever generated.
+                lstats.nodes_deleted += 1;
+                continue;
+            }
+            if surviving_consts.is_empty() && surviving_pairs.is_empty() {
+                continue; // exhausted: children would carry empty sets
+            }
+            next_alive.push(Node {
+                context: ctx,
+                consts: surviving_consts,
+                pairs: surviving_pairs,
+            });
+        }
+        roll_up(&mut result, lstats);
+        // Partitions of level − 1 were refinement bases for this level only.
+        if level >= 1 {
+            cache.evict_sets_of_size(level - 1);
+        }
+        prev = LevelStore::new(next_alive);
     }
+    result
+}
+
+/// Record a confirmed minimal statement: it joins the decider's premise set,
+/// the `holds` index, and the minimal output.
+fn confirm(
+    result: &mut SetBasedDiscovery,
+    state: &mut TraversalState,
+    stmt: SetOd,
+    verdict: Verdict,
+) {
+    for od in stmt.as_list_ods() {
+        state.confirmed.add_od(od);
+    }
+    state.decider = None;
+    result.holding.insert(stmt.clone());
+    result
+        .minimal_index
+        .insert(stmt.clone(), result.minimal.len());
+    result.minimal.push(stmt);
+    result.verdicts.push(verdict);
+}
+
+/// Fold one level's counters into the traversal totals.
+fn roll_up(result: &mut SetBasedDiscovery, lstats: LevelStats) {
+    result.stats.candidates += lstats.candidates;
+    result.stats.validated += lstats.validated;
+    result.stats.inherited += lstats.inherited;
+    result.stats.decider_pruned += lstats.decider_pruned;
+    result.stats.nodes_created += lstats.nodes_created;
+    result.stats.nodes_deleted += lstats.nodes_deleted;
+    result.stats.propagated_away += lstats.propagated_away;
+    result.level_stats.push(lstats);
 }
 
 #[cfg(test)]
@@ -284,8 +704,10 @@ mod tests {
         assert!(!d.holds(&SetOd::constancy([bracket].into_iter().collect(), income)));
         assert!(d.stats.validated <= d.stats.candidates);
         assert!(
-            d.stats.inherited + d.stats.decider_pruned > 0,
-            "pruning must fire"
+            d.stats.propagated_away > 0,
+            "statements confirmed at small contexts must be propagated away \
+             above them: {:?}",
+            d.stats
         );
     }
 
@@ -313,36 +735,35 @@ mod tests {
         );
         assert!(with.stats.validated <= without.stats.validated);
         // Identical truth assignment over the candidate universe.
-        let all = |d: &SetBasedDiscovery| {
-            let mut v: Vec<SetOd> = Vec::new();
-            for s in d.minimal_statements() {
-                v.push(s.clone());
-            }
-            v
-        };
-        for stmt in all(&without) {
-            assert!(with.holds(&stmt), "{stmt} lost under decider pruning");
+        for stmt in without.minimal_statements() {
+            assert!(with.holds(stmt), "{stmt} lost under decider pruning");
         }
-        for stmt in all(&with) {
+        for stmt in with.minimal_statements() {
             assert!(
-                without.holds(&stmt),
+                without.holds(stmt),
                 "{stmt} fabricated under decider pruning"
             );
         }
     }
 
     #[test]
-    fn parallel_traversal_matches_serial() {
+    fn parallel_traversal_matches_serial_bit_for_bit() {
         let rel = fixtures::example_5_taxes();
         let serial = discover_statements(&rel, &LatticeConfig::default());
-        let par = discover_statements(
-            &rel,
-            &LatticeConfig {
-                threads: 4,
-                ..Default::default()
-            },
-        );
-        assert_eq!(serial.minimal_statements(), par.minimal_statements());
+        for threads in [2, 4, 8] {
+            let par = discover_statements(
+                &rel,
+                &LatticeConfig {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(serial.minimal_statements(), par.minimal_statements());
+            // Statements are sharded whole, so even the verdict evidence is
+            // identical on every thread count.
+            assert_eq!(serial.verdicts(), par.verdicts());
+            assert_eq!(serial.stats, par.stats);
+        }
     }
 
     #[test]
@@ -364,6 +785,45 @@ mod tests {
         assert!(!d.holds(&SetOd::constancy(AttrSet::new(), a)));
         // Rule 2: the constant is compatible with everything, without validation.
         assert!(d.holds(&SetOd::compatibility(AttrSet::new(), a, c)));
+    }
+
+    #[test]
+    fn key_contexts_delete_their_nodes_before_expansion() {
+        // Column k is a key: {k} strips to nothing, so its constancies are
+        // confirmed with clean verdicts, the node is deleted, and no context
+        // containing k is ever created.
+        let mut schema = Schema::new("keyed");
+        let k = schema.add_attr("k");
+        let a = schema.add_attr("a");
+        let b = schema.add_attr("b");
+        let rel = Relation::from_rows(
+            schema,
+            (0..12i64).map(|i| vec![Value::Int(i), Value::Int(i % 3), Value::Int(5 - i % 2)]),
+        )
+        .unwrap();
+        let d = discover_statements(&rel, &LatticeConfig::default());
+        assert!(d.stats.nodes_deleted >= 1, "{:?}", d.stats);
+        // Everything above the key holds, answered by subsumption.
+        let ka: AttrSet = [k, a].into_iter().collect();
+        assert!(d.holds(&SetOd::constancy(ka.clone(), b)));
+        assert!(d.holds(&SetOd::compatibility([k].into_iter().collect(), a, b)));
+        // The key constancies themselves are minimal, with clean verdicts.
+        let key_ctx: AttrSet = [k].into_iter().collect();
+        let idx = d
+            .minimal_statements()
+            .iter()
+            .position(|s| s == &SetOd::constancy(key_ctx.clone(), a))
+            .expect("{k}: [] ↦ a is minimal");
+        assert!(d.verdicts()[idx].holds());
+        // No node above the key contributed: contexts {k,a}, {k,b}, {k,a,b}
+        // were never created (2 nodes at most per level beyond the key).
+        let created: usize = d.level_stats().iter().map(|l| l.nodes_created).sum();
+        assert_eq!(created, d.stats.nodes_created);
+        assert!(
+            d.stats.nodes_created < 1 + 3 + 3 + 1,
+            "key cone must be skipped: {:?}",
+            d.stats
+        );
     }
 
     #[test]
@@ -390,7 +850,7 @@ mod tests {
     fn decider_pruning_fires_on_fd_chains() {
         // B determines C and A determines B (ids ordered so context {B} is
         // visited before {A}); then {A}: [] ↦ C is a pure FD-transitivity
-        // consequence — not inheritable from any subset context — and must be
+        // consequence — not propagatable from any subset context — and must be
         // resolved by the decider, not the data.
         let mut schema = Schema::new("chain");
         schema.add_attr("B");
@@ -416,6 +876,10 @@ mod tests {
             },
         );
         assert!(no_decider.stats.validated > d.stats.validated);
+        // The pruned statements still answer `holds` at superset contexts.
+        for stmt in no_decider.minimal_statements() {
+            assert!(d.holds(stmt));
+        }
     }
 
     #[test]
@@ -454,6 +918,7 @@ mod tests {
         assert_eq!(verdict.removal_count, 1);
         assert!(!verdict.violating_pairs.is_empty());
         assert_eq!(approx.minimal_statements().len(), approx.verdicts().len());
+        assert_eq!(approx.removal_upper_bound(&stmt), Some(1));
     }
 
     #[test]
@@ -469,6 +934,75 @@ mod tests {
         );
         assert_eq!(exact.minimal_statements(), explicit.minimal_statements());
         assert!(exact.verdicts().iter().all(|v| v.holds()));
+    }
+
+    #[test]
+    fn level_stats_sum_to_the_totals_and_eviction_caps_the_cache() {
+        let rel = fixtures::figure_1_relation();
+        let d = discover_statements(&rel, &LatticeConfig::default());
+        let sum = |f: fn(&LevelStats) -> usize| d.level_stats().iter().map(f).sum::<usize>();
+        assert_eq!(sum(|l| l.candidates), d.stats.candidates);
+        assert_eq!(sum(|l| l.validated), d.stats.validated);
+        assert_eq!(sum(|l| l.decider_pruned), d.stats.decider_pruned);
+        assert_eq!(sum(|l| l.propagated_away), d.stats.propagated_away);
+        assert_eq!(sum(|l| l.nodes_created), d.stats.nodes_created);
+        // Eviction invariant: when level L is materialized the cache holds
+        // exactly this level's partitions plus the previous level's (its
+        // refinement bases); everything older has been evicted.
+        let levels = d.level_stats();
+        for (pos, l) in levels.iter().enumerate() {
+            if l.nodes_created == 0 {
+                continue;
+            }
+            let prev_created = if pos == 0 {
+                0
+            } else {
+                levels[pos - 1].nodes_created
+            };
+            assert_eq!(
+                l.cached_partitions,
+                l.nodes_created + prev_created,
+                "level {} of {:?}",
+                l.level,
+                levels
+            );
+        }
+        assert!(d.stats.peak_cached_partitions >= 1);
+    }
+
+    #[test]
+    fn tiny_universes_and_empty_relations_terminate_cleanly() {
+        // Universe smaller than the context bound: the loop stops at the
+        // universe size and a single-attribute relation yields at most the
+        // one constancy.
+        let mut schema = Schema::new("one");
+        let a = schema.add_attr("a");
+        let rel = Relation::from_rows(schema, (0..4i64).map(|i| vec![Value::Int(i)])).unwrap();
+        let d = discover_statements(
+            &rel,
+            &LatticeConfig {
+                max_context: 5,
+                ..Default::default()
+            },
+        );
+        assert!(!d.holds(&SetOd::constancy(AttrSet::new(), a)));
+        assert!(d.level_stats().len() <= 2);
+
+        // Empty relation: the empty context is already a superkey, so every
+        // constancy is confirmed clean at level 0 and nothing deeper exists.
+        let mut schema = Schema::new("empty");
+        let a = schema.add_attr("a");
+        let b = schema.add_attr("b");
+        let empty = Relation::from_rows(schema, Vec::<Vec<Value>>::new()).unwrap();
+        let d = discover_statements(&empty, &LatticeConfig::default());
+        assert!(d.holds(&SetOd::constancy(AttrSet::new(), a)));
+        assert!(d.holds(&SetOd::compatibility(AttrSet::new(), a, b)));
+        assert_eq!(d.stats.nodes_created, 1);
+        assert_eq!(d.stats.nodes_deleted, 1);
+        assert!(d
+            .minimal_statements()
+            .iter()
+            .all(|s| matches!(s, SetOd::Constancy { .. })));
     }
 
     #[test]

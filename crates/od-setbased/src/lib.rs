@@ -11,7 +11,7 @@
 //! | [`partition`] | stripped partitions `Π_X` over tuple ids, memoized incremental products, sorted partitions |
 //! | [`canonical`] | the set-based canonical statements and the exact list ↔ set translation |
 //! | [`validate`]  | evidence-returning ([`Verdict`]) statement validation over rank codes, exact per-class `g3` removal counts |
-//! | [`lattice`]   | level-wise traversal with constancy / compatibility candidate sets, axiom + decider pruning, and `g3` thresholds |
+//! | [`lattice`]   | node-based level-wise traversal: candidate-set propagation, key-based node deletion, batched per-level validation, partition eviction, `g3` thresholds |
 //! | [`engine`]    | the memoizing demand-driven validator `od-discovery` uses as its default engine |
 //! | [`parallel`]  | partition-class sharding across threads with an atomic error-budget counter |
 //! | [`stream`]    | incremental monitoring: delta-maintained live partitions and per-statement [`VerdictLedger`]s |
@@ -73,7 +73,9 @@ pub mod validate;
 
 pub use canonical::{compatibility_as_ods, constancy_as_od, translate_od, SetOd};
 pub use engine::{EngineStats, SetBasedEngine};
-pub use lattice::{discover_statements, LatticeConfig, LatticeStats, SetBasedDiscovery};
+pub use lattice::{
+    discover_statements, LatticeConfig, LatticeStats, LevelStats, SetBasedDiscovery,
+};
 pub use partition::{PartitionCache, RefineScratch, SortedPartition, StrippedPartition};
 pub use stream::{
     DeltaBatch, DeltaSummary, StreamError, StreamMonitor, StreamStats, TupleId, VerdictLedger,

@@ -133,6 +133,89 @@ pub fn compatibility_verdict_parallel<C: Copy + Ord + Sync>(
     })
 }
 
+/// One statement's pre-resolved inputs for a batched validation pass: the
+/// context's stripped partition plus the rank codes of the mentioned
+/// attribute(s).  Building the jobs (partition products, code lookups) stays
+/// serial — the caches hand out `Rc`s — while the scans themselves are
+/// shared-nothing reads.
+pub enum StatementJob<'a> {
+    /// `𝒞 : [] ↦ A` over `part` with `A`'s codes.
+    Constancy {
+        /// Stripped partition of the context `𝒞`.
+        part: &'a StrippedPartition,
+        /// Rank codes of the constant attribute.
+        codes: &'a [u32],
+    },
+    /// `𝒞 : A ~ B` over `part` with both attributes' codes.
+    Compatibility {
+        /// Stripped partition of the context `𝒞`.
+        part: &'a StrippedPartition,
+        /// Rank codes of the pair's smaller attribute.
+        codes_a: &'a [u32],
+        /// Rank codes of the pair's larger attribute.
+        codes_b: &'a [u32],
+    },
+}
+
+/// Validate a whole level's surviving statements in one sharded pass.
+///
+/// Where [`scan_classes`] parallelizes *within* one statement (sharding one
+/// partition's classes), this shards *across* statements: each job is scanned
+/// serially by exactly one thread, jobs are claimed from a shared atomic
+/// cursor (statement costs vary wildly — a level's empty-context statement
+/// covers every row while its key-adjacent ones cover almost none, so static
+/// chunking would straggle), and the verdicts come back in job order.  Because
+/// every scan is the serial scan, the returned verdicts — witnesses, exact
+/// overshoot and all — are bit-identical on every thread count.
+pub fn validate_statement_batch(
+    jobs: &[StatementJob<'_>],
+    threads: usize,
+    budget: usize,
+) -> Vec<Verdict> {
+    let run = |job: &StatementJob<'_>| match job {
+        StatementJob::Constancy { part, codes } => {
+            constancy_verdict_parallel(part, codes, 1, budget)
+        }
+        StatementJob::Compatibility {
+            part,
+            codes_a,
+            codes_b,
+        } => compatibility_verdict_parallel(part, codes_a, codes_b, 1, budget),
+    };
+    let threads = threads.clamp(1, jobs.len().max(1));
+    if threads <= 1 || jobs.len() < 2 {
+        return jobs.iter().map(run).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut out: Vec<Option<Verdict>> = vec![None; jobs.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let run = &run;
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    local.push((i, run(&jobs[i])));
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            for (i, verdict) in handle.join().expect("batch validation worker panicked") {
+                out[i] = Some(verdict);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("every job index is claimed exactly once"))
+        .collect()
+}
+
 /// Run `patch` over every ledger, sharded over up to `threads` threads.
 ///
 /// This is the streaming counterpart of [`scan_classes`]: where a snapshot
@@ -250,6 +333,38 @@ mod tests {
             "vacuous truth over no classes"
         );
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn statement_batch_matches_serial_scans_on_any_thread_count() {
+        let rel = rel_with_groups(17, 5);
+        let g = rel.rank_column(AttrId(0));
+        let a = rel.rank_column(AttrId(1));
+        let b = rel.rank_column(AttrId(2));
+        let part = crate::partition::StrippedPartition::by_codes(&g);
+        let jobs = vec![
+            StatementJob::Constancy {
+                part: &part,
+                codes: &a,
+            },
+            StatementJob::Compatibility {
+                part: &part,
+                codes_a: &a,
+                codes_b: &b,
+            },
+            StatementJob::Constancy {
+                part: &part,
+                codes: &g,
+            },
+        ];
+        let serial = validate_statement_batch(&jobs, 1, usize::MAX);
+        for threads in [2, 4, 16] {
+            let batched = validate_statement_batch(&jobs, threads, usize::MAX);
+            assert_eq!(serial, batched, "threads = {threads}");
+        }
+        assert_eq!(serial[0].removal_count, 17 * 4);
+        assert!(serial[1].holds() && serial[2].holds());
+        assert!(validate_statement_batch(&[], 8, 0).is_empty());
     }
 
     #[test]

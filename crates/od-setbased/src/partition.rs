@@ -218,6 +218,21 @@ impl<'r> PartitionCache<'r> {
     pub fn cached_sets(&self) -> usize {
         self.partitions.len()
     }
+
+    /// Evict every cached partition whose attribute set has exactly `len`
+    /// attributes, returning how many were dropped.
+    ///
+    /// The level-wise lattice calls this to cap resident memory: partitions of
+    /// level `k` are only ever refined into level `k + 1` partitions, so once
+    /// level `k + 1` is fully materialized the level-`k` products are dead
+    /// weight.  Eviction is safe, not merely sound: a later request for an
+    /// evicted set transparently rebuilds it (recursively, from whatever
+    /// subsets remain cached).
+    pub fn evict_sets_of_size(&mut self, len: usize) -> usize {
+        let before = self.partitions.len();
+        self.partitions.retain(|key, _| key.len() != len);
+        before - self.partitions.len()
+    }
 }
 
 /// The classes of `Π_set(X)` — including the stripped-out singletons — ordered

@@ -236,6 +236,39 @@ proptest! {
         prop_assert_eq!(exact.od_holds(&od), od_holds(&rel, &od));
     }
 
+    /// The node-based width-3 traversal answers every in-bound statement
+    /// exactly like the seed's sort-based oracle, at ε = 0 and ε > 0: a
+    /// statement holds iff its list-OD removal count fits the budget.
+    /// Propagated-away candidates must answer as reliably as validated ones.
+    #[test]
+    fn width3_node_traversal_matches_naive_oracle(
+        rel in relation_strategy(4, 10),
+    ) {
+        for epsilon in [0.0, 0.25] {
+            let profile = discover_statements(
+                &rel,
+                &LatticeConfig { max_context: 3, epsilon, ..Default::default() },
+            );
+            for stmt in all_statements(4, 3) {
+                // Both list-OD directions of a compatibility share one removal
+                // count; the representative is the oracle.
+                let removal = od_removal_count(&rel, &stmt.as_list_ods()[0]);
+                prop_assert_eq!(
+                    profile.holds(&stmt),
+                    removal <= profile.budget(),
+                    "ε = {}: {} (oracle removal {}, budget {})",
+                    epsilon, stmt, removal, profile.budget()
+                );
+                // Reported bounds are sound: at least the oracle's exact
+                // count, never past the budget.
+                if let Some(bound) = profile.removal_upper_bound(&stmt) {
+                    prop_assert!(bound >= removal, "{}: bound {} under oracle {}", stmt, bound, removal);
+                    prop_assert!(bound <= profile.budget(), "{}", stmt);
+                }
+            }
+        }
+    }
+
     /// Everything the lattice reports holds on the instance, and its `holds`
     /// query is complete for statements within the context bound.
     #[test]

@@ -53,15 +53,26 @@ fn main() {
         println!("  {}", od.display(&schema));
     }
 
-    // The canonical profile behind the engine: every minimal set-based
-    // statement up to context size 2.
+    // The node-based lattice profile behind the engine: every minimal
+    // set-based statement up to context size 3 (the default since the node
+    // store made width 3 interactive).
     let profile = discover_statements(&rel, &LatticeConfig::default());
     println!(
-        "\ncanonical lattice profile: {} candidates → {} validated, {} inherited, {} decider-pruned",
+        "\nnode-based lattice profile (width {}): {} candidates → {} validated, \
+         {} rule-2 inherited, {} decider-pruned",
+        profile.max_context(),
         profile.stats.candidates,
         profile.stats.validated,
         profile.stats.inherited,
         profile.stats.decider_pruned
+    );
+    println!(
+        "propagation resolved {} candidate slots without enumeration; {} nodes \
+         created, {} key-deleted; peak {} cached partitions",
+        profile.stats.propagated_away,
+        profile.stats.nodes_created,
+        profile.stats.nodes_deleted,
+        profile.stats.peak_cached_partitions
     );
     println!(
         "{} minimal statements, e.g.:",
