@@ -3,9 +3,11 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p od-bench --bin reproduce            # all experiments
-//! cargo run --release -p od-bench --bin reproduce -- e4      # a single experiment (e1..e9, e12)
-//! cargo run --release -p od-bench --bin reproduce -- --tiny  # small data sizes (quick smoke run)
+//! cargo run --release -p od-bench --bin reproduce                    # all experiments
+//! cargo run --release -p od-bench --bin reproduce -- e4              # a single experiment (e1..e9, e12, e13)
+//! cargo run --release -p od-bench --bin reproduce -- --tiny          # small data sizes (quick smoke run)
+//! cargo run --release -p od-bench --bin reproduce -- e13 --max-context 5
+//! #                       deepest lattice level for E13 (default 4)
 //! ```
 
 use od_bench::*;
@@ -18,10 +20,26 @@ fn main() {
     } else {
         ExperimentScale::default()
     };
+    // `--max-context N` passes the lattice depth through to E13.  A missing
+    // or non-numeric value is a hard error rather than a silently swallowed
+    // experiment id.
+    let flag_pos = args.iter().position(|a| a == "--max-context");
+    let max_context = match flag_pos {
+        Some(i) => match args.get(i + 1).map(|v| v.parse::<usize>()) {
+            Some(Ok(depth)) => depth,
+            _ => {
+                eprintln!("--max-context requires a numeric value, e.g. --max-context 4");
+                std::process::exit(2);
+            }
+        },
+        None => 4,
+    };
+    let value_pos = flag_pos.map(|i| i + 1);
     let selected: Vec<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.to_lowercase())
+        .enumerate()
+        .filter(|&(i, a)| Some(i) != flag_pos && Some(i) != value_pos && !a.starts_with("--"))
+        .map(|(_, a)| a.to_lowercase())
         .collect();
     let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
 
@@ -58,5 +76,8 @@ fn main() {
     }
     if want("e12") {
         println!("{}", exp_e12_width3(scale));
+    }
+    if want("e13") {
+        println!("{}", exp_e13_width4(scale, max_context));
     }
 }

@@ -2,9 +2,10 @@
 //!
 //! One function per experiment of `DESIGN.md`'s per-experiment index: E1–E9
 //! reproduce the paper's figures and claims, E10 (set-based vs naive
-//! discovery), E11 (incremental stream maintenance), and E12 (width-3
-//! node-based lattice traversal) measure the discovery subsystems that grew
-//! out of the paper's closing problem.  Each function runs the reproduction
+//! discovery), E11 (incremental stream maintenance), E12 (width-3 node-based
+//! lattice traversal), and E13 (width-4 traversal on bitset attribute sets)
+//! measure the discovery subsystems that grew out of the paper's closing
+//! problem.  Each function runs the reproduction
 //! and returns a human-readable report fragment containing the claim and the
 //! measured outcome; the `reproduce` binary concatenates them, and the
 //! Criterion benches exercise the underlying operations for timing.
@@ -630,55 +631,71 @@ pub fn exp_e12_width3(scale: ExperimentScale) -> String {
         let elapsed = t.elapsed();
         writeln!(
             out,
-            "{name} ({} rows × {} attrs): {} minimal statements in {elapsed:?} — \
-             {} validated, {} propagated away, {} nodes created / {} key-deleted, \
-             peak {} cached partitions",
+            "{name} ({} rows × {} attrs): {} minimal statements in {elapsed:?}",
             rel.len(),
             rel.schema().arity(),
             d.minimal_statements().len(),
-            d.stats.validated,
-            d.stats.propagated_away,
-            d.stats.nodes_created,
-            d.stats.nodes_deleted,
-            d.stats.peak_cached_partitions,
         )
         .unwrap();
-        writeln!(
-            out,
-            "{:>6} {:>6} {:>8} {:>10} {:>10} {:>10} {:>8} {:>7} {:>6}",
-            "level",
-            "nodes",
-            "deleted",
-            "candidates",
-            "validated",
-            "propagated",
-            "inherit",
-            "decider",
-            "cached"
-        )
-        .unwrap();
-        for l in d.level_stats() {
-            writeln!(
-                out,
-                "{:>6} {:>6} {:>8} {:>10} {:>10} {:>10} {:>8} {:>7} {:>6}",
-                l.level,
-                l.nodes_created,
-                l.nodes_deleted,
-                l.candidates,
-                l.validated,
-                l.propagated_away,
-                l.inherited,
-                l.decider_pruned,
-                l.cached_partitions,
-            )
-            .unwrap();
-        }
+        write!(out, "{}", d.summary()).unwrap();
     }
     writeln!(
         out,
         "claim (FASTOD line): propagated candidate sets + key deletion make width-3 \
          contexts tractable  |  measured: validated counts stay a small fraction of \
          the propagated-away slots above"
+    )
+    .unwrap();
+    out
+}
+
+/// E13 — width-4 lattice discovery on bitset attribute sets: `u64`-mask
+/// contexts, candidate sets and partition keys, context-sharded level
+/// expansion, and decider implication batched into one round-trip per level
+/// make the fourth context level (the new default) interactive.
+pub fn exp_e13_width4(scale: ExperimentScale, max_context: usize) -> String {
+    use od_setbased::{discover_statements, LatticeConfig};
+    let mut out = String::new();
+    writeln!(
+        out,
+        "## E13  Width-{max_context} bitset lattice traversal (AttrSet masks)"
+    )
+    .unwrap();
+    for (name, rel) in [
+        ("taxes", tax::generate_taxes(scale.tax_rows, 7)),
+        (
+            "date_dim",
+            generate_date_dim(1998, scale.calendar_days, 2_450_000),
+        ),
+    ] {
+        let config = LatticeConfig {
+            max_context,
+            ..Default::default()
+        };
+        let t = Instant::now();
+        let d = discover_statements(&rel, &config);
+        let elapsed = t.elapsed();
+        writeln!(
+            out,
+            "{name} ({} rows × {} attrs): {} minimal statements in {elapsed:?} — \
+             {} decider round-trips over {} levels",
+            rel.len(),
+            rel.schema().arity(),
+            d.minimal_statements().len(),
+            d.stats.decider_rounds,
+            d.level_stats().len(),
+        )
+        .unwrap();
+        write!(out, "{}", d.summary()).unwrap();
+        if d.stats.decider_rounds > d.level_stats().len() {
+            writeln!(out, "  UNEXPECTED: more decider rounds than levels").unwrap();
+        }
+    }
+    writeln!(
+        out,
+        "claim: bitset candidate propagation + per-level decider batching keep \
+         width-{max_context} interactive  |  measured: one decider round per level and \
+         propagation-dominated deep levels above"
     )
     .unwrap();
     out
@@ -732,6 +749,7 @@ mod tests {
             exp_e8_fd_subsumption(),
             exp_e9_implication(),
             exp_e12_width3(scale),
+            exp_e13_width4(scale, 4),
         ] {
             assert!(
                 !report.contains("UNEXPECTED"),

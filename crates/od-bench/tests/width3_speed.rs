@@ -30,8 +30,8 @@ fn statements_within(rel: &Relation, max_context: usize) -> Vec<SetOd> {
         let mut next = Vec::new();
         for ctx in &contexts {
             for &a in &universe {
-                if !ctx.contains(&a) {
-                    let mut bigger = ctx.clone();
+                if !ctx.contains(a) {
+                    let mut bigger = *ctx;
                     bigger.insert(a);
                     next.push(bigger);
                 }
@@ -44,13 +44,13 @@ fn statements_within(rel: &Relation, max_context: usize) -> Vec<SetOd> {
     let mut out = Vec::new();
     for ctx in &contexts {
         for &a in &universe {
-            let c = SetOd::constancy(ctx.clone(), a);
+            let c = SetOd::constancy(*ctx, a);
             if !c.is_trivial() {
                 out.push(c);
             }
             for &b in &universe {
                 if b > a {
-                    let k = SetOd::compatibility(ctx.clone(), a, b);
+                    let k = SetOd::compatibility(*ctx, a, b);
                     if !k.is_trivial() {
                         out.push(k);
                     }

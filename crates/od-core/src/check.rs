@@ -176,8 +176,8 @@ pub fn compatibility_holds(rel: &Relation, compat: &OrderCompatibility) -> bool 
 /// Check a functional dependency `X → Y` on the instance by hashing on the
 /// left-hand side. `Err` carries a split witness.
 pub fn check_fd(rel: &Relation, fd: &FunctionalDependency) -> Result<(), Violation> {
-    let lhs: AttrList = fd.lhs.iter().copied().collect();
-    let rhs: AttrList = fd.rhs.iter().copied().collect();
+    let lhs: AttrList = fd.lhs.iter().collect();
+    let rhs: AttrList = fd.rhs.iter().collect();
     let mut seen: HashMap<Vec<Value>, usize> = HashMap::new();
     for i in 0..rel.len() {
         let key = rel.project_tuple(i, &lhs);

@@ -10,7 +10,8 @@
 //!   OD `X' ↦ X'Y'` for arbitrary permutations `X'`, `Y'` of the two sides.
 
 use crate::attr::{AttrId, Schema};
-use crate::list::{AttrList, AttrSet};
+use crate::list::AttrList;
+use crate::set::AttrSet;
 use std::fmt;
 
 /// An order dependency `X ↦ Y` ("X orders Y").
@@ -203,15 +204,15 @@ impl FunctionalDependency {
 
     /// All attributes mentioned.
     pub fn attributes(&self) -> AttrSet {
-        self.lhs.union(&self.rhs).copied().collect()
+        self.lhs.union(self.rhs)
     }
 
     /// The canonical OD representative of this FD per Theorem 13: `X' ↦ X'Y'`,
     /// where `X'`/`Y'` enumerate the sets in ascending attribute-id order.
     /// (Any other permutation is equivalent by the Permutation theorem.)
     pub fn to_od(&self) -> OrderDependency {
-        let lhs: AttrList = self.lhs.iter().copied().collect();
-        let rhs: AttrList = lhs.concat(&self.rhs.iter().copied().collect());
+        let lhs: AttrList = self.lhs.iter().collect();
+        let rhs: AttrList = lhs.concat(&self.rhs.iter().collect());
         OrderDependency { lhs, rhs }
     }
 
@@ -255,7 +256,7 @@ impl fmt::Display for DisplayWithSchema<'_> {
             format!("[{}]", names.join(", "))
         };
         let set = |s: &AttrSet| {
-            let names: Vec<&str> = s.iter().map(|a| self.schema.attr_name(*a)).collect();
+            let names: Vec<&str> = s.iter().map(|a| self.schema.attr_name(a)).collect();
             format!("{{{}}}", names.join(", "))
         };
         match self.kind {

@@ -23,6 +23,9 @@ pub enum CoreError {
     EmptyList(&'static str),
     /// Two values of incomparable types were compared.
     IncomparableValues(String),
+    /// An attribute id does not fit the 64-attribute [`crate::AttrSet`]
+    /// domain (bit-packed sets cap the universe; see `AttrSet::MAX_ATTRS`).
+    AttrSetOverflow(u32),
 }
 
 impl fmt::Display for CoreError {
@@ -41,6 +44,10 @@ impl fmt::Display for CoreError {
             }
             CoreError::EmptyList(what) => write!(f, "{what} must not be empty"),
             CoreError::IncomparableValues(msg) => write!(f, "incomparable values: {msg}"),
+            CoreError::AttrSetOverflow(id) => write!(
+                f,
+                "attribute id {id} exceeds the 64-attribute AttrSet domain"
+            ),
         }
     }
 }

@@ -77,6 +77,7 @@ pub mod fixtures;
 pub mod lex;
 pub mod list;
 pub mod relation;
+pub mod set;
 pub mod value;
 
 pub use attr::{AttrId, Attribute, DataType, Schema};
@@ -84,6 +85,7 @@ pub use check::{check_od, od_holds, Violation};
 pub use dep::{FunctionalDependency, OrderCompatibility, OrderDependency, OrderEquivalence};
 pub use error::{CoreError, Result};
 pub use lex::{lex_cmp, lex_eq, lex_le, lex_lt};
-pub use list::{AttrList, AttrSet};
+pub use list::AttrList;
 pub use relation::{Relation, Tuple};
+pub use set::{AttrSet, AttrSetIter};
 pub use value::{date_from_days, days_from_date, Value};

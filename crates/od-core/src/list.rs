@@ -12,12 +12,10 @@
 //! `[A, B, A, C] ↔ [A, B, C]`.
 
 use crate::attr::AttrId;
+use crate::set::AttrSet;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::ops::Index;
-
-/// A set of attributes (used for the functional-dependency side of the theory).
-pub type AttrSet = BTreeSet<AttrId>;
 
 /// An ordered list of attributes, the `X` in `ORDER BY X` and in `X ↦ Y`.
 ///

@@ -1,0 +1,489 @@
+//! Copy-free attribute **sets** as 64-bit masks.
+//!
+//! Every hot structure of set-based OD discovery — lattice contexts, candidate
+//! sets, partition-cache keys, engine memo keys — is an attribute *set*, and
+//! the FASTOD-style traversal spends its time intersecting, subsuming and
+//! hashing them.  [`AttrSet`] therefore packs a set of [`AttrId`]s into one
+//! `u64`: membership is a mask test, intersection and union are single bitwise
+//! instructions, subsumption is a compare-and-mask, and the set is `Copy`, so
+//! contexts move through the lattice without a heap allocation in sight.
+//!
+//! The price is a domain cap of [`AttrSet::MAX_ATTRS`] = 64 attributes —
+//! comfortably above every schema in the paper's workloads.  Out-of-range ids
+//! are reported gracefully through [`AttrSet::try_insert`] /
+//! [`AttrSet::try_from_iter`] (the infallible constructors panic with the same
+//! diagnostic); discovery entry points surface the condition as a
+//! [`CoreError::AttrSetOverflow`] instead of producing wrong answers.
+//!
+//! Ordering is **lexicographic on the ascending attribute sequence** — exactly
+//! the `Ord` of the `BTreeSet<AttrId>` this type replaced — so every sorted
+//! statement list, canonical enumeration order and deduplication produced on
+//! top of it is bit-identical to the pre-bitset representation.
+
+use crate::attr::AttrId;
+use crate::error::{CoreError, Result};
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Sub};
+
+/// A set of attributes, packed as a 64-bit mask (bit `i` ⇔ [`AttrId`]`(i)`).
+///
+/// See the [module docs](self) for the representation contract.  The set used
+/// for the functional-dependency side of the theory (Lemma 1, Theorems 13 and
+/// 16) and for every context of the set-based canonical form.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AttrSet {
+    mask: u64,
+}
+
+impl AttrSet {
+    /// Largest number of distinct attributes (ids `0..64`) a set can hold.
+    pub const MAX_ATTRS: usize = 64;
+
+    /// The empty set.
+    #[inline]
+    pub const fn new() -> Self {
+        AttrSet { mask: 0 }
+    }
+
+    /// A set containing exactly one attribute.
+    ///
+    /// Panics if the id is out of range (see [`Self::try_insert`]).
+    #[inline]
+    pub fn singleton(attr: AttrId) -> Self {
+        let mut s = AttrSet::new();
+        s.insert(attr);
+        s
+    }
+
+    /// Build a set directly from its bit mask.
+    #[inline]
+    pub const fn from_mask(mask: u64) -> Self {
+        AttrSet { mask }
+    }
+
+    /// The raw bit mask (bit `i` set ⇔ `AttrId(i)` is a member).
+    #[inline]
+    pub const fn mask(self) -> u64 {
+        self.mask
+    }
+
+    #[inline]
+    fn bit(attr: AttrId) -> Result<u64> {
+        if attr.index() < Self::MAX_ATTRS {
+            Ok(1u64 << attr.index())
+        } else {
+            Err(CoreError::AttrSetOverflow(attr.0))
+        }
+    }
+
+    /// Insert an attribute; returns `true` if it was not already present.
+    ///
+    /// Panics when the id is ≥ [`Self::MAX_ATTRS`]; use [`Self::try_insert`]
+    /// where out-of-range ids are reachable from user input.
+    #[inline]
+    pub fn insert(&mut self, attr: AttrId) -> bool {
+        self.try_insert(attr)
+            .expect("attribute id exceeds the 64-attribute AttrSet domain")
+    }
+
+    /// Fallible insert: `Err(CoreError::AttrSetOverflow)` when the id does not
+    /// fit the 64-attribute domain, otherwise whether the attribute was new.
+    #[inline]
+    pub fn try_insert(&mut self, attr: AttrId) -> Result<bool> {
+        let bit = Self::bit(attr)?;
+        let fresh = self.mask & bit == 0;
+        self.mask |= bit;
+        Ok(fresh)
+    }
+
+    /// Build a set from any id iterator, reporting the first out-of-range id
+    /// instead of panicking (the graceful path for >64-attribute schemas).
+    pub fn try_from_iter(ids: impl IntoIterator<Item = AttrId>) -> Result<Self> {
+        let mut s = AttrSet::new();
+        for id in ids {
+            s.try_insert(id)?;
+        }
+        Ok(s)
+    }
+
+    /// Remove an attribute; returns `true` if it was present.  Accepts the id
+    /// by value or by reference.  Out-of-range ids are never members.
+    #[inline]
+    pub fn remove(&mut self, attr: impl Borrow<AttrId>) -> bool {
+        match Self::bit(*attr.borrow()) {
+            Ok(bit) => {
+                let had = self.mask & bit != 0;
+                self.mask &= !bit;
+                had
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The set with one attribute removed (a copy — `self` is untouched).
+    #[inline]
+    pub fn without(self, attr: impl Borrow<AttrId>) -> Self {
+        let mut s = self;
+        s.remove(attr);
+        s
+    }
+
+    /// The set with one attribute added.
+    ///
+    /// Panics when the id is out of range (see [`Self::try_insert`]).
+    #[inline]
+    pub fn with(self, attr: AttrId) -> Self {
+        let mut s = self;
+        s.insert(attr);
+        s
+    }
+
+    /// Membership test.  Accepts the id by value or by reference; ids outside
+    /// the 64-attribute domain are simply not members.
+    #[inline]
+    pub fn contains(&self, attr: impl Borrow<AttrId>) -> bool {
+        matches!(Self::bit(*attr.borrow()), Ok(bit) if self.mask & bit != 0)
+    }
+
+    /// Number of attributes in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.mask.count_ones() as usize
+    }
+
+    /// True for the empty set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.mask == 0
+    }
+
+    /// Iterate over the attributes in ascending id order.
+    #[inline]
+    pub fn iter(&self) -> AttrSetIter {
+        AttrSetIter { mask: self.mask }
+    }
+
+    /// Smallest member, if any.
+    #[inline]
+    pub fn first(&self) -> Option<AttrId> {
+        (self.mask != 0).then(|| AttrId(self.mask.trailing_zeros()))
+    }
+
+    /// Largest member, if any.
+    #[inline]
+    pub fn last(&self) -> Option<AttrId> {
+        (self.mask != 0).then(|| AttrId(63 - self.mask.leading_zeros()))
+    }
+
+    /// Set union (`self ∪ other`).
+    #[inline]
+    pub fn union(self, other: AttrSet) -> AttrSet {
+        AttrSet {
+            mask: self.mask | other.mask,
+        }
+    }
+
+    /// Set intersection (`self ∩ other`).
+    #[inline]
+    pub fn intersect(self, other: AttrSet) -> AttrSet {
+        AttrSet {
+            mask: self.mask & other.mask,
+        }
+    }
+
+    /// Set difference (`self ∖ other`).
+    #[inline]
+    pub fn difference(self, other: AttrSet) -> AttrSet {
+        AttrSet {
+            mask: self.mask & !other.mask,
+        }
+    }
+
+    /// Is every member of `self` a member of `other`?  (The subsumption test
+    /// of the lattice: one mask-and-compare.)
+    #[inline]
+    pub fn is_subset(&self, other: &AttrSet) -> bool {
+        self.mask & other.mask == self.mask
+    }
+
+    /// Is every member of `other` a member of `self`?
+    #[inline]
+    pub fn is_superset(&self, other: &AttrSet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Do the two sets share no member?
+    #[inline]
+    pub fn is_disjoint(&self, other: &AttrSet) -> bool {
+        self.mask & other.mask == 0
+    }
+}
+
+/// Ascending-id iterator over an [`AttrSet`] (yields `AttrId`s by value — the
+/// set is bit-packed, so there is nothing to hand out a reference to).
+#[derive(Debug, Clone)]
+pub struct AttrSetIter {
+    mask: u64,
+}
+
+impl Iterator for AttrSetIter {
+    type Item = AttrId;
+
+    #[inline]
+    fn next(&mut self) -> Option<AttrId> {
+        if self.mask == 0 {
+            return None;
+        }
+        let low = self.mask.trailing_zeros();
+        self.mask &= self.mask - 1; // clear lowest set bit
+        Some(AttrId(low))
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.mask.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for AttrSetIter {}
+
+impl DoubleEndedIterator for AttrSetIter {
+    #[inline]
+    fn next_back(&mut self) -> Option<AttrId> {
+        if self.mask == 0 {
+            return None;
+        }
+        let high = 63 - self.mask.leading_zeros();
+        self.mask &= !(1u64 << high);
+        Some(AttrId(high))
+    }
+}
+
+impl IntoIterator for AttrSet {
+    type Item = AttrId;
+    type IntoIter = AttrSetIter;
+    fn into_iter(self) -> AttrSetIter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for &AttrSet {
+    type Item = AttrId;
+    type IntoIter = AttrSetIter;
+    fn into_iter(self) -> AttrSetIter {
+        self.iter()
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = AttrId>>(iter: T) -> Self {
+        let mut s = AttrSet::new();
+        for id in iter {
+            s.insert(id);
+        }
+        s
+    }
+}
+
+impl<'a> FromIterator<&'a AttrId> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = &'a AttrId>>(iter: T) -> Self {
+        iter.into_iter().copied().collect()
+    }
+}
+
+impl Extend<AttrId> for AttrSet {
+    fn extend<T: IntoIterator<Item = AttrId>>(&mut self, iter: T) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+impl<'a> Extend<&'a AttrId> for AttrSet {
+    fn extend<T: IntoIterator<Item = &'a AttrId>>(&mut self, iter: T) {
+        self.extend(iter.into_iter().copied());
+    }
+}
+
+impl BitAnd for AttrSet {
+    type Output = AttrSet;
+    /// Intersection — the lattice's parent-set propagation is literally `&`.
+    fn bitand(self, rhs: AttrSet) -> AttrSet {
+        self.intersect(rhs)
+    }
+}
+
+impl BitOr for AttrSet {
+    type Output = AttrSet;
+    fn bitor(self, rhs: AttrSet) -> AttrSet {
+        self.union(rhs)
+    }
+}
+
+impl Sub for AttrSet {
+    type Output = AttrSet;
+    fn sub(self, rhs: AttrSet) -> AttrSet {
+        self.difference(rhs)
+    }
+}
+
+impl Ord for AttrSet {
+    /// Lexicographic on the ascending id sequence — identical to the ordering
+    /// of the `BTreeSet<AttrId>` this type replaced, so sorted statement
+    /// vectors and canonical enumeration orders survive the representation
+    /// change bit for bit.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.mask == other.mask {
+            return std::cmp::Ordering::Equal;
+        }
+        self.iter().cmp(other.iter())
+    }
+}
+
+impl PartialOrd for AttrSet {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn set(ids: &[u32]) -> AttrSet {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = AttrSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(AttrId(3)));
+        assert!(!s.insert(AttrId(3)));
+        assert!(s.insert(AttrId(63)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(AttrId(3)) && s.contains(AttrId(63)));
+        assert!(!s.contains(AttrId(4)));
+        assert!(s.remove(AttrId(3)));
+        assert!(!s.remove(AttrId(3)));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.first(), Some(AttrId(63)));
+        assert_eq!(s.last(), Some(AttrId(63)));
+    }
+
+    #[test]
+    fn out_of_range_ids_error_gracefully() {
+        let mut s = AttrSet::new();
+        assert_eq!(
+            s.try_insert(AttrId(64)),
+            Err(CoreError::AttrSetOverflow(64))
+        );
+        assert_eq!(s.try_insert(AttrId(63)), Ok(true));
+        assert!(AttrSet::try_from_iter((0..65).map(AttrId)).is_err());
+        assert_eq!(
+            AttrSet::try_from_iter((0..64).map(AttrId)).unwrap().len(),
+            64
+        );
+        // Out-of-range ids are never members and remove is a no-op.
+        assert!(!s.contains(AttrId(1000)));
+        assert!(!s.remove(AttrId(1000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "64-attribute")]
+    fn infallible_insert_panics_out_of_range() {
+        AttrSet::new().insert(AttrId(64));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = set(&[0, 2, 5]);
+        let b = set(&[2, 5, 9]);
+        assert_eq!(a.union(b), set(&[0, 2, 5, 9]));
+        assert_eq!(a.intersect(b), set(&[2, 5]));
+        assert_eq!(a.difference(b), set(&[0]));
+        assert_eq!(a | b, a.union(b));
+        assert_eq!(a & b, a.intersect(b));
+        assert_eq!(a - b, a.difference(b));
+        assert!(set(&[2, 5]).is_subset(&a));
+        assert!(!a.is_subset(&b));
+        assert!(a.is_superset(&set(&[0])));
+        assert!(set(&[1, 3]).is_disjoint(&a));
+        assert!(!a.is_disjoint(&b));
+        assert_eq!(a.without(AttrId(0)), set(&[2, 5]));
+        assert_eq!(set(&[1]).with(AttrId(4)), set(&[1, 4]));
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_double_ended() {
+        let s = set(&[9, 0, 33]);
+        let fwd: Vec<u32> = s.iter().map(|a| a.0).collect();
+        assert_eq!(fwd, vec![0, 9, 33]);
+        let back: Vec<u32> = s.iter().rev().map(|a| a.0).collect();
+        assert_eq!(back, vec![33, 9, 0]);
+        assert_eq!(s.iter().len(), 3);
+        let by_ref: Vec<AttrId> = (&s).into_iter().collect();
+        assert_eq!(by_ref.len(), 3);
+    }
+
+    #[test]
+    fn ordering_matches_the_btreeset_it_replaced() {
+        // Exhaustive over small universes: lexicographic-on-sorted-sequence,
+        // exactly BTreeSet<AttrId>'s derived Ord.
+        let masks: Vec<u64> = (0u64..64).collect();
+        for &m1 in &masks {
+            for &m2 in &masks {
+                let a = AttrSet::from_mask(m1);
+                let b = AttrSet::from_mask(m2);
+                let ba: BTreeSet<AttrId> = a.iter().collect();
+                let bb: BTreeSet<AttrId> = b.iter().collect();
+                assert_eq!(a.cmp(&b), ba.cmp(&bb), "masks {m1:#b} vs {m2:#b}");
+            }
+        }
+        // Spot-check the prefix rule: {0} < {0,1} < {1}.
+        assert!(set(&[0]) < set(&[0, 1]));
+        assert!(set(&[0, 1]) < set(&[1]));
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let ids = [AttrId(1), AttrId(1), AttrId(4)];
+        let s: AttrSet = ids.iter().collect();
+        assert_eq!(s, set(&[1, 4]));
+        let mut t = AttrSet::new();
+        t.extend(ids);
+        t.extend(&[AttrId(7)][..]);
+        assert_eq!(t, set(&[1, 4, 7]));
+        assert_eq!(AttrSet::from_mask(s.mask()), s);
+    }
+
+    #[test]
+    fn rendering() {
+        assert_eq!(set(&[0, 2]).to_string(), "{#0, #2}");
+        // Debug matches the BTreeSet rendering this type replaced.
+        assert_eq!(format!("{:?}", set(&[0, 2])), "{AttrId(0), AttrId(2)}");
+        assert_eq!(AttrSet::new().to_string(), "{}");
+    }
+}

@@ -78,8 +78,9 @@ pub struct DiscoveryConfig {
 impl Default for DiscoveryConfig {
     /// Width 2/2 so the lattice is actually exercised (the original default of
     /// `max_lhs = 1` never produced a composite left-hand side), with the
-    /// set-based engine, implication pruning, and the width-3 lattice bound
-    /// on.
+    /// set-based engine, implication pruning, and the width-4 lattice bound on
+    /// (the bitset node store made the fourth level interactive; the effective
+    /// depth still clamps to what the candidate widths can use).
     fn default() -> Self {
         DiscoveryConfig {
             max_lhs: 2,
@@ -88,7 +89,7 @@ impl Default for DiscoveryConfig {
             engine: DiscoveryEngine::SetBased,
             parallel: false,
             epsilon: 0.0,
-            max_context: 3,
+            max_context: 4,
         }
     }
 }
@@ -143,7 +144,28 @@ impl Discovery {
     }
 }
 
+/// Discover ODs holding on the relation, reporting schemas beyond the
+/// 64-attribute [`od_core::AttrSet`] domain as a
+/// [`CoreError::AttrSetOverflow`](od_core::CoreError::AttrSetOverflow)
+/// instead of panicking.
+pub fn try_discover_ods(
+    rel: &Relation,
+    config: DiscoveryConfig,
+) -> Result<Discovery, od_core::CoreError> {
+    if rel.schema().arity() > od_core::AttrSet::MAX_ATTRS {
+        return Err(od_core::CoreError::AttrSetOverflow(
+            rel.schema().arity() as u32 - 1,
+        ));
+    }
+    Ok(discover_ods(rel, config))
+}
+
 /// Discover ODs holding on the relation, bounded by the configuration.
+///
+/// Panics when the schema exceeds the 64-attribute bitset
+/// [`od_core::AttrSet`] domain (candidate translation packs every attribute
+/// set into a `u64` mask); use [`try_discover_ods`] where such schemas are
+/// reachable.
 pub fn discover_ods(rel: &Relation, config: DiscoveryConfig) -> Discovery {
     let budget = error_budget(rel.len(), config.epsilon);
     match config.engine {
@@ -565,6 +587,23 @@ mod tests {
         };
         assert_eq!(approx.install_into(&mut dirty_registry, s.name()), 0);
         assert_eq!(dirty_registry.ods(s.name()).len(), 0);
+    }
+
+    #[test]
+    fn oversized_schemas_are_reported_not_panicked() {
+        let mut schema = od_core::Schema::new("wide");
+        for i in 0..70 {
+            schema.add_attr(format!("c{i}"));
+        }
+        let rel = od_core::Relation::from_rows(schema, Vec::<Vec<od_core::Value>>::new()).unwrap();
+        assert!(matches!(
+            try_discover_ods(&rel, DiscoveryConfig::default()),
+            Err(od_core::CoreError::AttrSetOverflow(_))
+        ));
+        // Within the bitset domain the fallible entry answers normally.
+        let rel = fixtures::example_5_taxes();
+        let d = try_discover_ods(&rel, DiscoveryConfig::default()).unwrap();
+        assert!(!d.ods.is_empty());
     }
 
     #[test]

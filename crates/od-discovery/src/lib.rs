@@ -45,7 +45,8 @@ pub mod monitor;
 pub mod monotone;
 
 pub use discover::{
-    discover_fds, discover_ods, discover_ods_naive, Discovery, DiscoveryConfig, DiscoveryEngine,
+    discover_fds, discover_ods, discover_ods_naive, try_discover_ods, Discovery, DiscoveryConfig,
+    DiscoveryEngine,
 };
 pub use monitor::{Monitor, MonitorReport, OdStatus, SubscriptionId};
 pub use monotone::{derived_column_ods, monotonicity, DerivedColumn, Monotonicity};

@@ -77,6 +77,33 @@ proptest! {
         }
     }
 
+    /// Width-4 candidates exercise the bitset lattice's fourth level (the new
+    /// default `max_context`): the traversal must still pin the seed's naive
+    /// oracle exactly, at ε = 0 and ε > 0, with every candidate answered from
+    /// the profile scan-free.
+    #[test]
+    fn node_lattice_agrees_with_naive_at_width_four(rel in relation_strategy(4, 9)) {
+        for epsilon in [0.0, 0.2] {
+            let config = DiscoveryConfig {
+                max_lhs: 4,
+                max_rhs: 1,
+                epsilon,
+                ..Default::default()
+            };
+            let set_based = discover_ods(&rel, config);
+            let naive = discover_ods_naive(&rel, config);
+            prop_assert_eq!(&set_based.ods, &naive.ods, "ε = {}", epsilon);
+            // Every candidate was answerable from the width-4 profile: no
+            // fallback scans beyond it.
+            let stats = set_based.lattice_stats.expect("set-based runs profile");
+            prop_assert_eq!(set_based.statement_validations, stats.validated);
+            prop_assert_eq!(set_based.validated, 0);
+            // Decider rounds stay per level even under discovery's clamped
+            // depth (levels 0..=min(4, needed)).
+            prop_assert!(stats.decider_rounds <= 5, "{:?}", stats);
+        }
+    }
+
     /// When the configured lattice depth undercuts the candidate widths, the
     /// per-candidate engine fallback keeps the result identical.
     #[test]

@@ -17,13 +17,13 @@ pub fn implied_fds(m: &OdSet) -> Vec<FunctionalDependency> {
 /// `X⁺` computation used by Ullman's completeness construction and by
 /// `split(ℳ)`).
 pub fn attr_closure(fds: &[FunctionalDependency], attrs: &AttrSet) -> AttrSet {
-    let mut closure = attrs.clone();
+    let mut closure = *attrs;
     let mut changed = true;
     while changed {
         changed = false;
         for fd in fds {
             if fd.lhs.is_subset(&closure) && !fd.rhs.is_subset(&closure) {
-                closure.extend(fd.rhs.iter().copied());
+                closure = closure.union(fd.rhs);
                 changed = true;
             }
         }
@@ -93,9 +93,9 @@ mod tests {
         m.add_constant(AttrId(1));
         m.add_od(od(&[1], &[2])); // a constant orders 2, so 2 is constant as well
         let k = constants(&m);
-        assert!(k.contains(&AttrId(1)));
-        assert!(k.contains(&AttrId(2)));
-        assert!(!k.contains(&AttrId(0)));
+        assert!(k.contains(AttrId(1)));
+        assert!(k.contains(AttrId(2)));
+        assert!(!k.contains(AttrId(0)));
     }
 
     #[test]

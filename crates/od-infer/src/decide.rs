@@ -208,10 +208,10 @@ impl Decider {
     /// hook: candidates implied by already-confirmed statements are never
     /// validated against data.
     pub fn implies_context_constancy(&self, context: &AttrSet, attr: AttrId) -> bool {
-        if context.contains(&attr) {
+        if context.contains(attr) {
             return true;
         }
-        let ctx: AttrList = context.iter().copied().collect();
+        let ctx: AttrList = context.iter().collect();
         self.implies(&OrderDependency::new(ctx.clone(), ctx.with_suffix(attr)))
     }
 
@@ -220,10 +220,10 @@ impl Decider {
     /// *compatibility* statement of the FASTOD canonical form, equivalent to
     /// `C'A ~ C'B` for any linearization `C'` of the context.
     pub fn implies_context_compatibility(&self, context: &AttrSet, a: AttrId, b: AttrId) -> bool {
-        if a == b || context.contains(&a) || context.contains(&b) {
+        if a == b || context.contains(a) || context.contains(b) {
             return true;
         }
-        let ctx: AttrList = context.iter().copied().collect();
+        let ctx: AttrList = context.iter().collect();
         self.implies_compatibility(&OrderCompatibility::new(
             ctx.with_suffix(a),
             ctx.with_suffix(b),
@@ -232,77 +232,225 @@ impl Decider {
 
     /// Find a two-tuple counterexample to `ℳ ⊨ X ↦ Y`, if one exists.
     pub fn counterexample(&self, goal: &OrderDependency) -> Option<TwoTuplePattern> {
-        // The attributes that matter: those of ℳ plus those of the goal.
-        let mut attrs: Vec<AttrId> = self.universe.clone();
-        for a in goal.attributes() {
-            if !attrs.contains(&a) {
-                attrs.push(a);
-            }
+        search_counterexample(&self.ods, &self.universe, self.max_attr, goal)
+    }
+}
+
+/// Find a two-tuple pattern satisfying every OD of `ods` and violating `goal`,
+/// if one exists (the shared search behind [`Decider`] and [`DeciderBatch`]).
+fn search_counterexample(
+    ods: &[OrderDependency],
+    universe: &[AttrId],
+    max_attr: usize,
+    goal: &OrderDependency,
+) -> Option<TwoTuplePattern> {
+    // The attributes that matter: those of ℳ plus those of the goal.
+    let mut attrs: Vec<AttrId> = universe.to_vec();
+    for a in goal.attributes() {
+        if !attrs.contains(&a) {
+            attrs.push(a);
         }
-        let width = attrs
+    }
+    let width = attrs
+        .iter()
+        .map(|a| a.index() + 1)
+        .max()
+        .unwrap_or(0)
+        .max(max_attr);
+    // Explore goal attributes first so the goal check can fail fast.
+    let mut order: Vec<AttrId> = Vec::with_capacity(attrs.len());
+    for a in goal.lhs.iter().chain(goal.rhs.iter()) {
+        if !order.contains(&a) {
+            order.push(a);
+        }
+    }
+    for a in attrs {
+        if !order.contains(&a) {
+            order.push(a);
+        }
+    }
+    let mut pattern = TwoTuplePattern::unassigned(width);
+    search(ods, &mut pattern, &order, 0, goal).then_some(pattern)
+}
+
+/// Depth-first search for a pattern satisfying every OD of `ods` and violating
+/// `goal`.  Returns true (leaving the assignment in place) when one is found.
+fn search(
+    ods: &[OrderDependency],
+    pattern: &mut TwoTuplePattern,
+    order: &[AttrId],
+    depth: usize,
+    goal: &OrderDependency,
+) -> bool {
+    // Prune: if any constraint is already definitely violated, this branch is dead.
+    if ods.iter().any(|od| pattern.definitely_violates(od)) {
+        return false;
+    }
+    if depth == order.len() {
+        // Fully assigned: every constraint is decided; require goal violated.
+        return ods.iter().all(|od| pattern.satisfies(od) == Some(true))
+            && pattern.satisfies(goal) == Some(false);
+    }
+    // If the goal is already decided as satisfied, no extension can violate it
+    // only if all its attributes are assigned; `satisfies` is None otherwise,
+    // so a Some(true) here is safe to prune on only when fully determined.
+    if pattern.satisfies(goal) == Some(true)
+        && goal
+            .attributes()
             .iter()
-            .map(|a| a.index() + 1)
-            .max()
-            .unwrap_or(0)
-            .max(self.max_attr);
-        // Explore goal attributes first so the goal check can fail fast.
-        let mut order: Vec<AttrId> = Vec::with_capacity(attrs.len());
-        for a in goal.lhs.iter().chain(goal.rhs.iter()) {
-            if !order.contains(&a) {
-                order.push(a);
-            }
+            .all(|a| pattern.orientation(a).is_some())
+    {
+        return false;
+    }
+    let attr = order[depth];
+    for o in Orientation::ALL {
+        pattern.assignment[attr.index()] = Some(o);
+        if search(ods, pattern, order, depth + 1, goal) {
+            return true;
         }
-        for a in attrs {
-            if !order.contains(&a) {
-                order.push(a);
-            }
+    }
+    pattern.assignment[attr.index()] = None;
+    false
+}
+
+/// Cap on counterexample patterns a [`DeciderBatch`] keeps for reuse.
+const WITNESS_CACHE_CAP: usize = 64;
+
+/// Resolution counters of one [`DeciderBatch`] round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeciderBatchStats {
+    /// Context-statement queries answered.
+    pub queries: usize,
+    /// Queries refuted by a cached counterexample pattern, search-free.
+    pub witness_hits: usize,
+    /// Backtracking searches actually run.
+    pub searches: usize,
+    /// Premises appended after construction.
+    pub premises_added: usize,
+}
+
+/// One **batched decider round-trip**: a premise snapshot taken once (per
+/// lattice level), grown incrementally with [`DeciderBatch::add_premise`], and
+/// queried many times with **counterexample reuse**.
+///
+/// The per-candidate pattern the lattice used to follow — rebuild a
+/// [`Decider`] after every confirmation, run a fresh exponential search per
+/// query — priced each candidate at a full decider round-trip.  A batch
+/// replaces that with one round-trip per level:
+///
+/// * premises are *appended* (an `OdSet` re-snapshot per confirmation is
+///   gone); implication is monotone in the premise set, so every earlier
+///   positive answer stays valid;
+/// * every counterexample pattern found by a search is cached; a later query
+///   refuted by a cached pattern costs an `O(|pattern|)` evaluation instead
+///   of a `3^|U|` search.  Cached patterns satisfy every current premise by
+///   construction (on `add_premise` the cache drops patterns the new premise
+///   does not definitely satisfy), so a cached pattern violating a goal is a
+///   genuine counterexample — answers are bit-identical to fresh
+///   [`Decider`] queries, only the work changes.
+///
+/// Queries take `&mut self` (they may grow the witness cache); answers depend
+/// only on the premises added so far, exactly like a fresh `Decider` over the
+/// same set.
+#[derive(Debug, Clone)]
+pub struct DeciderBatch {
+    ods: Vec<OrderDependency>,
+    universe: Vec<AttrId>,
+    max_attr: usize,
+    witnesses: Vec<TwoTuplePattern>,
+    /// How the round resolved its queries.
+    pub stats: DeciderBatchStats,
+}
+
+impl DeciderBatch {
+    /// Open a batch round over the premise snapshot `ℳ`.
+    pub fn new(m: &OdSet) -> Self {
+        let ods = m.ods();
+        let mut universe: Vec<AttrId> = m.attributes().into_iter().collect();
+        universe.sort();
+        let max_attr = universe.iter().map(|a| a.index() + 1).max().unwrap_or(0);
+        DeciderBatch {
+            ods,
+            universe,
+            max_attr,
+            witnesses: Vec::new(),
+            stats: DeciderBatchStats::default(),
         }
-        let mut pattern = TwoTuplePattern::unassigned(width);
-        self.search(&mut pattern, &order, 0, goal)
-            .then_some(pattern)
     }
 
-    /// Depth-first search for a pattern satisfying `ℳ` and violating `goal`.
-    /// Returns true (leaving the assignment in place) when one is found.
-    fn search(
-        &self,
-        pattern: &mut TwoTuplePattern,
-        order: &[AttrId],
-        depth: usize,
-        goal: &OrderDependency,
-    ) -> bool {
-        // Prune: if any constraint is already definitely violated, this branch is dead.
-        if self.ods.iter().any(|od| pattern.definitely_violates(od)) {
-            return false;
-        }
-        if depth == order.len() {
-            // Fully assigned: every constraint is decided; require goal violated.
-            return self
-                .ods
-                .iter()
-                .all(|od| pattern.satisfies(od) == Some(true))
-                && pattern.satisfies(goal) == Some(false);
-        }
-        // If the goal is already decided as satisfied, no extension can violate it
-        // only if all its attributes are assigned; `satisfies` is None otherwise,
-        // so a Some(true) here is safe to prune on only when fully determined.
-        if pattern.satisfies(goal) == Some(true)
-            && goal
-                .attributes()
-                .iter()
-                .all(|a| pattern.orientation(*a).is_some())
-        {
-            return false;
-        }
-        let attr = order[depth];
-        for o in Orientation::ALL {
-            pattern.assignment[attr.index()] = Some(o);
-            if self.search(pattern, order, depth + 1, goal) {
-                return true;
+    /// Number of premises currently in force.
+    pub fn premise_count(&self) -> usize {
+        self.ods.len()
+    }
+
+    /// Append one confirmed OD to the premise set.
+    ///
+    /// Cached counterexamples that do not *definitely* satisfy the new premise
+    /// are dropped (sound: a kept pattern still models every premise, so it
+    /// still refutes whatever it violates).
+    pub fn add_premise(&mut self, od: OrderDependency) {
+        self.witnesses.retain(|w| w.satisfies(&od) == Some(true));
+        for a in od.attributes() {
+            if let Err(pos) = self.universe.binary_search(&a) {
+                self.universe.insert(pos, a);
+                self.max_attr = self.max_attr.max(a.index() + 1);
             }
         }
-        pattern.assignment[attr.index()] = None;
-        false
+        self.ods.push(od);
+        self.stats.premises_added += 1;
+    }
+
+    /// Decide `ℳ ⊨ goal` against the current premises, reusing and growing
+    /// the counterexample cache.
+    fn implies_od(&mut self, goal: &OrderDependency) -> bool {
+        if self
+            .witnesses
+            .iter()
+            .any(|w| w.satisfies(goal) == Some(false))
+        {
+            self.stats.witness_hits += 1;
+            return false;
+        }
+        self.stats.searches += 1;
+        match search_counterexample(&self.ods, &self.universe, self.max_attr, goal) {
+            Some(pattern) => {
+                if self.witnesses.len() < WITNESS_CACHE_CAP {
+                    self.witnesses.push(pattern);
+                }
+                false
+            }
+            None => true,
+        }
+    }
+
+    /// Batched form of [`Decider::implies_context_constancy`].
+    pub fn implies_context_constancy(&mut self, context: &AttrSet, attr: AttrId) -> bool {
+        self.stats.queries += 1;
+        if context.contains(attr) {
+            return true;
+        }
+        let ctx: AttrList = context.iter().collect();
+        let goal = OrderDependency::new(ctx.clone(), ctx.with_suffix(attr));
+        self.implies_od(&goal)
+    }
+
+    /// Batched form of [`Decider::implies_context_compatibility`].
+    pub fn implies_context_compatibility(
+        &mut self,
+        context: &AttrSet,
+        a: AttrId,
+        b: AttrId,
+    ) -> bool {
+        self.stats.queries += 1;
+        if a == b || context.contains(a) || context.contains(b) {
+            return true;
+        }
+        let ctx: AttrList = context.iter().collect();
+        OrderCompatibility::new(ctx.with_suffix(a), ctx.with_suffix(b))
+            .as_equivalence()
+            .as_ods()
+            .iter()
+            .all(|od| self.implies_od(od))
     }
 }
 
@@ -459,5 +607,81 @@ mod tests {
         assert!(implies(&m, &od(&[0], &[])));
         assert!(implies(&m, &od(&[], &[])));
         assert!(!implies(&m, &od(&[], &[0])));
+    }
+
+    #[test]
+    fn batch_answers_match_fresh_deciders_under_premise_growth() {
+        // Replay a premise-growing sequence through one batch and compare
+        // every answer against a fresh Decider over the same premise set.
+        let premises = [od(&[0], &[1]), od(&[1], &[2]), od(&[3], &[0])];
+        let ctx = |ids: &[u32]| ids.iter().map(|&i| AttrId(i)).collect::<AttrSet>();
+        let queries: Vec<(AttrSet, u32, Option<u32>)> = vec![
+            (ctx(&[0]), 1, None),
+            (ctx(&[0]), 2, None),
+            (ctx(&[]), 0, Some(1)),
+            (ctx(&[]), 0, Some(2)),
+            (ctx(&[2]), 1, Some(0)),
+            (ctx(&[3]), 2, None),
+            (ctx(&[1]), 3, None),
+        ];
+        let mut m = OdSet::new();
+        let mut batch = DeciderBatch::new(&m);
+        for premise in premises {
+            for &(ref c, a, b) in &queries {
+                let fresh = Decider::new(&m);
+                match b {
+                    None => assert_eq!(
+                        batch.implies_context_constancy(c, AttrId(a)),
+                        fresh.implies_context_constancy(c, AttrId(a)),
+                        "constancy {c:?} ↦ {a} with {} premises",
+                        batch.premise_count()
+                    ),
+                    Some(b) => assert_eq!(
+                        batch.implies_context_compatibility(c, AttrId(a), AttrId(b)),
+                        fresh.implies_context_compatibility(c, AttrId(a), AttrId(b)),
+                        "compatibility {c:?}: {a} ~ {b} with {} premises",
+                        batch.premise_count()
+                    ),
+                }
+            }
+            m.add_od(premise.clone());
+            batch.add_premise(premise);
+        }
+        assert_eq!(batch.premise_count(), 3);
+        assert_eq!(batch.stats.premises_added, 3);
+        assert!(batch.stats.queries >= queries.len());
+    }
+
+    #[test]
+    fn batch_reuses_counterexamples_across_queries() {
+        // An empty premise set refutes every non-trivial constancy with the
+        // same two-tuple shape: after the first search, later refutations
+        // must come from the witness cache.
+        let mut batch = DeciderBatch::new(&OdSet::new());
+        let empty = AttrSet::new();
+        assert!(!batch.implies_context_constancy(&empty, AttrId(0)));
+        let searches_after_first = batch.stats.searches;
+        assert!(!batch.implies_context_constancy(&empty, AttrId(0)));
+        assert_eq!(batch.stats.searches, searches_after_first);
+        assert!(batch.stats.witness_hits >= 1);
+        // Trivial queries never search at all.
+        let before = batch.stats.searches;
+        assert!(batch.implies_context_constancy(&AttrSet::singleton(AttrId(5)), AttrId(5)));
+        assert!(batch.implies_context_compatibility(&empty, AttrId(7), AttrId(7)));
+        assert_eq!(batch.stats.searches, before);
+    }
+
+    #[test]
+    fn batch_drops_witnesses_invalidated_by_new_premises() {
+        // The counterexample to {}: [] ↦ #1 (two rows differing on #1) stops
+        // modelling ℳ once [] ↦ #1 itself becomes a premise; the query must
+        // flip to implied rather than reuse the stale pattern.
+        let mut batch = DeciderBatch::new(&OdSet::new());
+        let empty = AttrSet::new();
+        assert!(!batch.implies_context_constancy(&empty, AttrId(1)));
+        batch.add_premise(OrderDependency::new(AttrList::empty(), vec![AttrId(1)]));
+        assert!(batch.implies_context_constancy(&empty, AttrId(1)));
+        // And a constant slots into any compatibility.
+        assert!(batch.implies_context_compatibility(&empty, AttrId(0), AttrId(1)));
     }
 }

@@ -57,12 +57,12 @@ pub fn prove_fd(m: &OdSet, goal: &FunctionalDependency) -> Option<Proof> {
     if !fd_implied(m, goal) {
         return None;
     }
-    let x_list: AttrList = goal.lhs.iter().copied().collect();
-    let y_list: AttrList = goal.rhs.iter().copied().collect();
+    let x_list: AttrList = goal.lhs.iter().collect();
+    let y_list: AttrList = goal.rhs.iter().collect();
 
     let mut b = ProofBuilder::new();
     // cur: X′ ↦ C where C is the closed attribute list so far (starts as X′).
-    let mut closed: AttrSet = goal.lhs.clone();
+    let mut closed: AttrSet = goal.lhs;
     let mut cur = b.normalization(x_list.clone(), x_list.clone()); // X′ ↦ X′
 
     let ods = m.ods();
@@ -75,8 +75,8 @@ pub fn prove_fd(m: &OdSet, goal: &FunctionalDependency) -> Option<Proof> {
             if fd.lhs.is_subset(&closed) && !fd.rhs.is_subset(&closed) {
                 // Cite the OD and permute it into U′ ↦ U′V′ with U′, V′ ascending.
                 let given = b.given(od.clone());
-                let u: AttrList = fd.lhs.iter().copied().collect();
-                let v: AttrList = fd.rhs.iter().copied().collect();
+                let u: AttrList = fd.lhs.iter().collect();
+                let v: AttrList = fd.rhs.iter().collect();
                 let perm = theorems::permutation(&mut b, given, &u, &v); // U′ ↦ U′V′
                                                                          // C ↦ C·U′  (U′ ⊆ C, so this is Normalization).
                 let c_list = b.step(cur).rhs.clone();
@@ -89,7 +89,7 @@ pub fn prove_fd(m: &OdSet, goal: &FunctionalDependency) -> Option<Proof> {
                 let new_c: AttrList = b.step(t2).rhs.normalize();
                 let n2 = b.normalization(b.step(t2).rhs.clone(), new_c.clone());
                 cur = b.transitivity(t2, n2); // X′ ↦ new C
-                closed.extend(fd.rhs.iter().copied());
+                closed = closed.union(fd.rhs);
                 progress = true;
             }
         }
@@ -114,8 +114,8 @@ pub mod armstrong {
         if !y.is_subset(x) {
             return None;
         }
-        let x_list: AttrList = x.iter().copied().collect();
-        let y_list: AttrList = y.iter().copied().collect();
+        let x_list: AttrList = x.iter().collect();
+        let y_list: AttrList = y.iter().collect();
         let mut b = ProofBuilder::new();
         // X′ and X′Y′ normalize identically when Y ⊆ X.
         b.normalization(x_list.clone(), x_list.concat(&y_list));
@@ -124,16 +124,13 @@ pub mod armstrong {
 
     /// FD Augmentation: from `X → Y` conclude `XZ → YZ`.
     pub fn augmentation(m: &OdSet, x: &AttrSet, y: &AttrSet, z: &AttrSet) -> Option<Proof> {
-        let goal = FunctionalDependency::new(
-            x.union(z).copied().collect::<AttrSet>(),
-            y.union(z).copied().collect::<AttrSet>(),
-        );
+        let goal = FunctionalDependency::new(x.union(*z), y.union(*z));
         prove_fd(m, &goal)
     }
 
     /// FD Transitivity: from `X → Y` and `Y → Z` conclude `X → Z`.
     pub fn transitivity(m: &OdSet, x: &AttrSet, z: &AttrSet) -> Option<Proof> {
-        prove_fd(m, &FunctionalDependency::new(x.clone(), z.clone()))
+        prove_fd(m, &FunctionalDependency::new(*x, *z))
     }
 }
 

@@ -42,7 +42,7 @@ pub mod prover;
 pub mod theorems;
 pub mod witness;
 
-pub use decide::{Decider, Orientation, TwoTuplePattern};
+pub use decide::{Decider, DeciderBatch, DeciderBatchStats, Orientation, TwoTuplePattern};
 pub use odset::{Constraint, OdSet};
 pub use proof::{Proof, ProofBuilder, ProofError, ProofStep, Rule};
 pub use prover::{Outcome, Prover, SearchLimits};

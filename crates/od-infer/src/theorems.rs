@@ -215,7 +215,7 @@ pub fn permutation(b: &mut ProofBuilder, p: usize, x_perm: &AttrList, y_perm: &A
     let mut allowed = x.to_set();
     allowed.extend(y.to_set());
     assert!(
-        y_perm.iter().all(|a| allowed.contains(&a)),
+        y_perm.iter().all(|a| allowed.contains(a)),
         "Permutation: y_perm may only mention attributes of the premise"
     );
 

@@ -27,7 +27,7 @@ pub fn reduce_order_by_fd(order_by: &AttrList, fds: &[FunctionalDependency]) -> 
     while i > 0 {
         i -= 1;
         let prefix: od_core::AttrSet = kept[..i].iter().copied().collect();
-        if attr_closure(fds, &prefix).contains(&kept[i]) {
+        if attr_closure(fds, &prefix).contains(kept[i]) {
             kept.remove(i);
         }
     }
@@ -75,7 +75,7 @@ pub fn reduce_group_by(group_by: &AttrList, fds: &[FunctionalDependency]) -> Att
             .filter(|(j, _)| *j != i)
             .map(|(_, a)| *a)
             .collect();
-        if attr_closure(fds, &rest).contains(&kept[i]) {
+        if attr_closure(fds, &rest).contains(kept[i]) {
             kept.remove(i);
         }
     }

@@ -30,7 +30,7 @@ use od_core::{AttrId, AttrList, AttrSet, OrderDependency, Schema};
 use std::fmt;
 
 /// A canonical set-based OD statement (see the module docs).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SetOd {
     /// `𝒞 : [] ↦ A` — `A` is constant within every class of context `𝒞`.
     Constancy {
@@ -77,7 +77,7 @@ impl SetOd {
     pub fn normalized(&self) -> Option<SetOd> {
         match self {
             SetOd::Compatibility { context, a, b } if a > b => {
-                Some(SetOd::compatibility(context.clone(), *a, *b))
+                Some(SetOd::compatibility(*context, *a, *b))
             }
             _ => None,
         }
@@ -109,7 +109,7 @@ impl SetOd {
     /// Render with attribute names resolved against a schema.
     pub fn display(&self, schema: &Schema) -> String {
         let ctx = |c: &AttrSet| {
-            let names: Vec<&str> = c.iter().map(|a| schema.attr_name(*a)).collect();
+            let names: Vec<&str> = c.iter().map(|a| schema.attr_name(a)).collect();
             format!("{{{}}}", names.join(", "))
         };
         match self {
@@ -145,14 +145,14 @@ impl fmt::Display for SetOd {
 /// context is equivalent by the Permutation theorem; ascending id order is the
 /// canonical representative).
 pub fn constancy_as_od(context: &AttrSet, attr: AttrId) -> OrderDependency {
-    let ctx: AttrList = context.iter().copied().collect();
+    let ctx: AttrList = context.iter().collect();
     OrderDependency::new(ctx.clone(), ctx.with_suffix(attr))
 }
 
 /// The two list ODs whose conjunction states `𝒞 : A ~ B`
 /// (`C'AB ↔ C'BA`, Definition 5 applied under the context).
 pub fn compatibility_as_ods(context: &AttrSet, a: AttrId, b: AttrId) -> [OrderDependency; 2] {
-    let ctx: AttrList = context.iter().copied().collect();
+    let ctx: AttrList = context.iter().collect();
     let cab = ctx.with_suffix(a).with_suffix(b);
     let cba = ctx.with_suffix(b).with_suffix(a);
     [
@@ -176,7 +176,7 @@ pub fn translate_od(od: &OrderDependency) -> Vec<SetOd> {
 
     // Split freedom: every RHS attribute is constant within Π_set(X).
     for &b in &rhs {
-        let stmt = SetOd::constancy(lhs_set.clone(), b);
+        let stmt = SetOd::constancy(lhs_set, b);
         if !stmt.is_trivial() {
             out.push(stmt);
         }

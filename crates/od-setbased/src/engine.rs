@@ -147,12 +147,12 @@ impl<'r> SetBasedEngine<'r> {
         }
         if let Some(premise) = self.inherited(stmt) {
             self.stats.axiom_hits += 1;
-            self.verdicts.insert(stmt.clone(), premise.clone());
+            self.verdicts.insert(*stmt, premise.clone());
             return premise;
         }
         self.stats.data_validations += 1;
         let v = validate::statement_verdict(&mut self.cache, stmt, self.threads, self.budget);
-        self.verdicts.insert(stmt.clone(), v.clone());
+        self.verdicts.insert(*stmt, v.clone());
         v
     }
 
@@ -173,8 +173,7 @@ impl<'r> SetBasedEngine<'r> {
         };
         let context = stmt.context();
         for drop in context.iter() {
-            let mut sub = context.clone();
-            sub.remove(drop);
+            let sub = context.without(drop);
             let sub_stmt = match stmt {
                 SetOd::Constancy { attr, .. } => SetOd::constancy(sub, *attr),
                 SetOd::Compatibility { a, b, .. } => SetOd::compatibility(sub, *a, *b),
@@ -187,7 +186,7 @@ impl<'r> SetBasedEngine<'r> {
         }
         if let SetOd::Compatibility { context, a, b } = stmt {
             for attr in [*a, *b] {
-                if let Some(v) = self.verdicts.get(&SetOd::constancy(context.clone(), attr)) {
+                if let Some(v) = self.verdicts.get(&SetOd::constancy(*context, attr)) {
                     if v.within(self.budget) {
                         return Some(upper_bound(v));
                     }
@@ -217,7 +216,7 @@ impl<'r> SetBasedEngine<'r> {
             .iter()
             .zip(profile.verdicts().iter())
         {
-            self.verdicts.entry(stmt.clone()).or_insert_with(|| {
+            self.verdicts.entry(*stmt).or_insert_with(|| {
                 adopted += 1;
                 verdict.clone()
             });
@@ -325,7 +324,7 @@ mod tests {
         let bracket = s.attr_by_name("bracket").unwrap();
         let mut engine = SetBasedEngine::new(&rel);
         let empty: od_core::AttrSet = Default::default();
-        let canonical = SetOd::compatibility(empty.clone(), income, bracket);
+        let canonical = SetOd::compatibility(empty, income, bracket);
         let misordered = SetOd::Compatibility {
             context: empty,
             a: income.max(bracket),

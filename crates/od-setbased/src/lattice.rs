@@ -1,5 +1,5 @@
 //! Node-based lattice engine: level-wise discovery of all valid canonical
-//! statements with **candidate-set propagation**.
+//! statements with **bitset candidate-set propagation**.
 //!
 //! Earlier revisions walked the context lattice generate-then-check: every
 //! `(|U| choose k)` context was materialized and every candidate statement was
@@ -9,17 +9,22 @@
 //! explicit store of **nodes**, one per surviving context, and each node
 //! carries the *candidate sets* that are still worth asking about:
 //!
-//! * the **constancy candidates** `A` for which `𝒞 : [] ↦ A` did not hold at
-//!   any parent context, and
-//! * the **compatibility candidates** `{A, B}` for which `𝒞 : A ~ B` did not
-//!   hold at (and was not subsumed away at) any parent.
+//! * the **constancy candidates** — an [`AttrSet`] bit mask of attributes `A`
+//!   for which `𝒞 : [] ↦ A` did not hold at any parent context, and
+//! * the **compatibility candidates** — a `PairSet` (one partner mask per
+//!   attribute) of pairs `{A, B}` for which `𝒞 : A ~ B` did not hold at (and
+//!   was not subsumed away at) any parent.
 //!
 //! A node's candidate sets are the **intersection of its parents'** surviving
 //! sets: a statement confirmed at some context holds at every superset context
 //! (context monotonicity), so the moment a candidate is confirmed it is
-//! removed from its node and — by intersection — from every descendant.
-//! Subsumed candidates are never enumerated and never allocate a [`SetOd`] at
-//! all.  Three further mechanisms keep deep levels tractable:
+//! removed from its node and — by intersection — from every descendant.  With
+//! candidate sets on bit masks, that intersection is a single `&` per word and
+//! subsumption a compare-and-mask; subsumed candidates are never enumerated
+//! and never allocate a [`SetOd`] at all.  Contexts themselves, the node-store
+//! index and the partition-cache keys are the same `u64` masks, so moving a
+//! context through the lattice never touches the heap.  Four further
+//! mechanisms keep deep levels tractable:
 //!
 //! 1. **Key-based node deletion** — a context whose stripped partition is
 //!    empty is a superkey: no two tuples agree on it, so every candidate above
@@ -27,28 +32,39 @@
 //!    clean verdicts, its pairs are subsumed by them (rule 2 below), and the
 //!    node is deleted *before expansion*: none of its `2^(|U|−k)` ancestors is
 //!    ever generated.
-//! 2. **Batched per-level validation** — all of a level's surviving candidates
+//! 2. **Context-sharded level expansion** — a level's partitions are
+//!    materialized in one pass sharded *by context*
+//!    ([`PartitionCache::partitions_batch`]): every context's refinement is a
+//!    pure function of its parent partition and one attribute's rank codes,
+//!    so the products are computed on worker threads and are bit-identical on
+//!    every thread count.
+//! 3. **Batched per-level validation** — all of a level's surviving candidates
 //!    are scanned in one sharded pass
 //!    ([`parallel::validate_statement_batch`]), statements claimed from an
 //!    atomic cursor, each scanned serially so verdicts are bit-identical on
 //!    every thread count.
-//! 3. **Per-level partition eviction** — level `k` partitions are refinement
+//! 4. **Per-level partition eviction** — level `k` partitions are refinement
 //!    bases only for level `k + 1`, so they are evicted as soon as level
 //!    `k + 1` is materialized ([`PartitionCache::evict_sets_of_size`]); a
-//!    width-3 run never holds every level-2 product alive.
+//!    width-4 run never holds every level-3 product alive.
 //!    [`LatticeStats::peak_cached_partitions`] records the high-water mark.
 //!
 //! Two same-context rules complete the pruning: **constancy subsumes
 //! compatibility** (rule 2: if `𝒞 : [] ↦ A` holds, `A` never swaps against
 //! anything in `𝒞`'s classes), and the optional **implication decider**
-//! (rule 3: the exact [`od_infer::Decider`] over everything confirmed so far,
-//! which catches non-subset consequences such as FD transitivity).  With a
-//! non-zero error threshold `ε`, candidates are accepted when their `g3`
-//! removal count stays within `⌊ε·n⌋`; propagation and rule 2 remain sound
-//! (they rest on a single premise and statement satisfaction is monotone under
-//! context growth and tuple removal), but rule 3 combines *many* premises —
-//! whose removal sets may differ — so the decider is only consulted in exact
-//! mode.
+//! (rule 3: the exact [`od_infer::DeciderBatch`] over everything confirmed so
+//! far, which catches non-subset consequences such as FD transitivity).
+//! Decider queries are issued in **one batched round-trip per level**, not per
+//! candidate: a [`DeciderBatch`] snapshots the premises once at level start
+//! (counted in [`LatticeStats::decider_rounds`]), its premise set is appended
+//! to — never re-snapshotted — as the replay confirms statements, and every
+//! counterexample found by a search is reused to refute later queries
+//! search-free.  With a non-zero error threshold `ε`, candidates are accepted
+//! when their `g3` removal count stays within `⌊ε·n⌋`; propagation and rule 2
+//! remain sound (they rest on a single premise and statement satisfaction is
+//! monotone under context growth and tuple removal), but rule 3 combines
+//! *many* premises — whose removal sets may differ — so the decider is only
+//! consulted in exact mode.
 //!
 //! The decider is consulted in the traversal's canonical sequential order
 //! (contexts in enumeration order, constancies before pairs), so its pruning
@@ -61,8 +77,9 @@ use crate::canonical::SetOd;
 use crate::parallel::{self, StatementJob};
 use crate::partition::{PartitionCache, StrippedPartition};
 use crate::validate::{self, Verdict};
-use od_core::{AttrId, AttrSet, OrderDependency, Relation};
-use od_infer::{Decider, OdSet};
+use od_core::{AttrId, AttrSet, CoreError, OrderDependency, Relation};
+#[cfg(feature = "decider")]
+use od_infer::{DeciderBatch, OdSet};
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
@@ -72,9 +89,11 @@ pub struct LatticeConfig {
     /// Largest context size to visit (level bound).
     pub max_context: usize,
     /// Consult the exact implication decider before validating a candidate
-    /// (only sound — and only consulted — when `epsilon == 0`).
+    /// (only sound — and only consulted — when `epsilon == 0`; requires the
+    /// `decider` feature, on by default, and is inert without it).
     pub use_decider: bool,
-    /// Threads for the batched per-level validation pass (1 = serial).
+    /// Threads for the sharded level expansion and the batched per-level
+    /// validation pass (1 = serial).
     pub threads: usize,
     /// `g3` error threshold: accept statements that hold after removing at
     /// most `⌊ε·n⌋` tuples (0.0 = exact discovery).
@@ -82,12 +101,13 @@ pub struct LatticeConfig {
 }
 
 impl Default for LatticeConfig {
-    /// Width 3 by default: candidate-set propagation plus key-based node
-    /// deletion keep the third level interactive (the pre-node-store traversal
-    /// was pinned at 2).
+    /// Width 4 by default: bitset candidate sets, key-based node deletion and
+    /// context-sharded expansion keep the fourth level interactive (the
+    /// pre-node-store traversal was pinned at 2, the `Vec`-set node store at
+    /// 3).
     fn default() -> Self {
         LatticeConfig {
-            max_context: 3,
+            max_context: 4,
             use_decider: true,
             threads: 1,
             epsilon: 0.0,
@@ -107,6 +127,12 @@ pub struct LatticeStats {
     pub inherited: usize,
     /// Candidates resolved by the implication decider.
     pub decider_pruned: usize,
+    /// Batched decider round-trips issued: **one per level** (level-start
+    /// premise snapshot, grown in place), never one per candidate.
+    pub decider_rounds: usize,
+    /// Decider queries answered by a cached counterexample pattern instead of
+    /// a fresh backtracking search.
+    pub decider_witness_hits: usize,
     /// Lattice nodes created across all levels.
     pub nodes_created: usize,
     /// Nodes deleted by the superkey rule before expansion.
@@ -145,6 +171,63 @@ pub struct LevelStats {
     pub cached_partitions: usize,
 }
 
+impl std::fmt::Display for LevelStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:>6} {:>6} {:>8} {:>10} {:>10} {:>10} {:>8} {:>7} {:>6}",
+            self.level,
+            self.nodes_created,
+            self.nodes_deleted,
+            self.candidates,
+            self.validated,
+            self.propagated_away,
+            self.inherited,
+            self.decider_pruned,
+            self.cached_partitions,
+        )
+    }
+}
+
+impl LevelStats {
+    /// The column header matching [`LevelStats`]'s `Display` row.
+    pub fn header() -> String {
+        format!(
+            "{:>6} {:>6} {:>8} {:>10} {:>10} {:>10} {:>8} {:>7} {:>6}",
+            "level",
+            "nodes",
+            "deleted",
+            "candidates",
+            "validated",
+            "propagated",
+            "inherit",
+            "decider",
+            "cached"
+        )
+    }
+}
+
+impl std::fmt::Display for LatticeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} candidates — {} validated, {} rule-2 inherited, {} decider-pruned \
+             ({} rounds, {} witness hits), {} propagated away; {} nodes created / \
+             {} key-deleted; peak {} cached partitions",
+            self.candidates,
+            self.validated,
+            self.inherited,
+            self.decider_pruned,
+            self.decider_rounds,
+            self.decider_witness_hits,
+            self.propagated_away,
+            self.nodes_created,
+            self.nodes_deleted,
+            self.peak_cached_partitions,
+        )
+    }
+}
+
 /// The result of a traversal: all valid canonical statements up to the context
 /// bound, in minimal form.
 #[derive(Debug, Clone)]
@@ -167,7 +250,7 @@ pub struct SetBasedDiscovery {
 }
 
 /// Does `premise` subsume `query` by context monotonicity (rule 1) or
-/// constancy-subsumes-compatibility (rule 2)?
+/// constancy-subsumes-compatibility (rule 2)?  Pure mask arithmetic.
 fn subsumes(premise: &SetOd, query: &SetOd) -> bool {
     let ctx = query.context();
     match (premise, query) {
@@ -207,6 +290,20 @@ impl SetBasedDiscovery {
     /// Per-level resolution counters, one entry per visited level.
     pub fn level_stats(&self) -> &[LevelStats] {
         &self.level_stats
+    }
+
+    /// A multi-line human-readable summary: the aggregate counters plus the
+    /// per-level breakdown table (used by `examples/discovery_setbased.rs`
+    /// and the `reproduce` binary).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.stats);
+        let _ = writeln!(out, "{}", LevelStats::header());
+        for l in &self.level_stats {
+            let _ = writeln!(out, "{l}");
+        }
+        out
     }
 
     /// Does a statement hold on the profiled instance (within the traversal's
@@ -268,45 +365,117 @@ impl SetBasedDiscovery {
     }
 }
 
-/// Enumerate all `k`-subsets of `universe` (in lexicographic index order).
+/// Enumerate all `k`-subsets of the first `universe_len` attribute ids, in
+/// lexicographic order of their ascending id sequences (the canonical
+/// traversal order; identical to the recursive enumeration the `Vec`-based
+/// store used).
 fn subsets_of_size(universe: &[AttrId], k: usize) -> Vec<AttrSet> {
-    fn rec(
-        universe: &[AttrId],
-        k: usize,
-        start: usize,
-        cur: &mut Vec<AttrId>,
-        out: &mut Vec<AttrSet>,
-    ) {
+    fn rec(universe: &[AttrId], k: usize, start: usize, cur: AttrSet, out: &mut Vec<AttrSet>) {
         if cur.len() == k {
-            out.push(cur.iter().copied().collect());
+            out.push(cur);
             return;
         }
         for i in start..universe.len() {
-            cur.push(universe[i]);
-            rec(universe, k, i + 1, cur, out);
-            cur.pop();
+            rec(universe, k, i + 1, cur.with(universe[i]), out);
         }
     }
     let mut out = Vec::new();
-    rec(universe, k, 0, &mut Vec::new(), &mut out);
+    rec(universe, k, 0, AttrSet::new(), &mut out);
     out
 }
 
-/// A lattice node: one surviving context with its propagated candidate sets
-/// (both kept sorted, so intersection is a merge and enumeration order is the
-/// canonical ascending-id order).
-struct Node {
-    context: AttrSet,
-    consts: Vec<AttrId>,
-    pairs: Vec<(AttrId, AttrId)>,
+/// The compatibility candidate set of one node: `partners[i]` is the
+/// [`AttrSet`] of partners `b > AttrId(i)` such that the pair
+/// `{AttrId(i), b}` is still a candidate.  Intersection is a per-slot `&`,
+/// cardinality a popcount sum, and no pair ever allocates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct PairSet {
+    partners: Vec<AttrSet>,
 }
 
-/// One level's node store: nodes in context-enumeration order plus an index
-/// for parent lookups during expansion.
+impl PairSet {
+    /// All pairs `a < b` over the universe.
+    fn full(universe: &[AttrId]) -> PairSet {
+        let above: AttrSet = universe.iter().collect();
+        let partners = universe
+            .iter()
+            .map(|&a| {
+                // Partners strictly above `a`.
+                AttrSet::from_mask(
+                    above.mask() & !((1u64 << a.index()) | ((1u64 << a.index()) - 1)),
+                )
+            })
+            .collect();
+        PairSet { partners }
+    }
+
+    /// The empty pair set shaped for a universe of `n` attributes.
+    fn empty(n: usize) -> PairSet {
+        PairSet {
+            partners: vec![AttrSet::new(); n],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.partners.iter().map(|p| p.len()).sum()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.partners.iter().all(|p| p.is_empty())
+    }
+
+    fn contains(&self, a: AttrId, b: AttrId) -> bool {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.partners.get(a.index()).is_some_and(|p| p.contains(b))
+    }
+
+    fn insert(&mut self, a: AttrId, b: AttrId) {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.partners[a.index()].insert(b);
+    }
+
+    /// Per-slot intersection: the single-`&` propagation step.
+    fn intersect_with(&mut self, other: &PairSet) {
+        for (mine, theirs) in self.partners.iter_mut().zip(&other.partners) {
+            *mine = *mine & *theirs;
+        }
+    }
+
+    /// Drop every pair touching an attribute of `context` (context attributes
+    /// are trivial, not candidates).
+    fn remove_touching(&mut self, context: AttrSet) {
+        for (i, p) in self.partners.iter_mut().enumerate() {
+            if context.contains(AttrId(i as u32)) {
+                *p = AttrSet::new();
+            } else {
+                *p = *p - context;
+            }
+        }
+    }
+
+    /// Pairs in canonical `(a, b)` ascending order.
+    fn iter(&self) -> impl Iterator<Item = (AttrId, AttrId)> + '_ {
+        self.partners
+            .iter()
+            .enumerate()
+            .flat_map(|(i, p)| p.iter().map(move |b| (AttrId(i as u32), b)))
+    }
+}
+
+/// A lattice node: one surviving context with its propagated candidate sets,
+/// all on bit masks (enumeration order is the canonical ascending-id order).
+struct Node {
+    context: AttrSet,
+    consts: AttrSet,
+    pairs: PairSet,
+}
+
+/// One level's node store: nodes in context-enumeration order plus a
+/// mask-keyed index for parent lookups during expansion.
 #[derive(Default)]
 struct LevelStore {
     nodes: Vec<Node>,
-    index: HashMap<Vec<AttrId>, usize>,
+    index: HashMap<AttrSet, usize>,
 }
 
 impl LevelStore {
@@ -314,7 +483,7 @@ impl LevelStore {
         let index = nodes
             .iter()
             .enumerate()
-            .map(|(i, n)| (n.context.iter().copied().collect::<Vec<AttrId>>(), i))
+            .map(|(i, n)| (n.context, i))
             .collect();
         LevelStore { nodes, index }
     }
@@ -333,21 +502,14 @@ fn full_slots(u: usize, level: usize) -> usize {
 /// propagation or sitting above a deleted/exhausted parent.
 fn generate_level(universe: &[AttrId], level: usize, prev: &LevelStore) -> (Vec<Node>, usize) {
     if level == 0 {
-        let consts: Vec<AttrId> = universe.to_vec();
-        let mut pairs = Vec::new();
-        for (i, &a) in universe.iter().enumerate() {
-            for &b in &universe[i + 1..] {
-                pairs.push((a, b));
-            }
-        }
-        if consts.is_empty() {
+        if universe.is_empty() {
             return (Vec::new(), 0);
         }
         return (
             vec![Node {
                 context: AttrSet::new(),
-                consts,
-                pairs,
+                consts: universe.iter().collect(),
+                pairs: PairSet::full(universe),
             }],
             0,
         );
@@ -356,14 +518,12 @@ fn generate_level(universe: &[AttrId], level: usize, prev: &LevelStore) -> (Vec<
     let mut nodes = Vec::new();
     let mut propagated = 0usize;
     for context in subsets_of_size(universe, level) {
-        let ids: Vec<AttrId> = context.iter().copied().collect();
         // Every (level−1)-subset must be a live parent: a deleted (superkey)
         // or candidate-exhausted ancestor prunes the whole cone above it.
         let mut parents: Vec<&Node> = Vec::with_capacity(level);
         let mut orphan = false;
-        for drop in &ids {
-            let parent_key: Vec<AttrId> = ids.iter().copied().filter(|a| a != drop).collect();
-            match prev.index.get(&parent_key) {
+        for drop in context.iter() {
+            match prev.index.get(&context.without(drop)) {
                 Some(&p) => parents.push(&prev.nodes[p]),
                 None => {
                     orphan = true;
@@ -376,30 +536,18 @@ fn generate_level(universe: &[AttrId], level: usize, prev: &LevelStore) -> (Vec<
             continue;
         }
         // Intersection propagation: a candidate survives only where it
-        // survived at every parent (context attributes are trivial, not
-        // candidates).
-        let consts: Vec<AttrId> = parents[0]
-            .consts
-            .iter()
-            .copied()
-            .filter(|a| !context.contains(a))
-            .filter(|a| {
-                parents[1..]
-                    .iter()
-                    .all(|p| p.consts.binary_search(a).is_ok())
-            })
-            .collect();
-        let pairs: Vec<(AttrId, AttrId)> = parents[0]
-            .pairs
-            .iter()
-            .copied()
-            .filter(|&(a, b)| !context.contains(&a) && !context.contains(&b))
-            .filter(|pr| {
-                parents[1..]
-                    .iter()
-                    .all(|p| p.pairs.binary_search(pr).is_ok())
-            })
-            .collect();
+        // survived at every parent — one `&` per parent for the constancy
+        // mask, one `&` per partner slot for the pairs (context attributes
+        // are trivial, not candidates).
+        let mut consts = parents[0].consts - context;
+        for p in &parents[1..] {
+            consts = consts & p.consts;
+        }
+        let mut pairs = parents[0].pairs.clone();
+        for p in &parents[1..] {
+            pairs.intersect_with(&p.pairs);
+        }
+        pairs.remove_touching(context);
         propagated += slots - consts.len() - pairs.len();
         if consts.is_empty() && pairs.is_empty() {
             continue;
@@ -413,15 +561,46 @@ fn generate_level(universe: &[AttrId], level: usize, prev: &LevelStore) -> (Vec<
     (nodes, propagated)
 }
 
-/// The traversal's implication state: confirmed statements and a decider over
-/// them, invalidated whenever a new statement is confirmed.
+/// The traversal's confirmed-statement state (premises for rule 3).
+#[cfg(feature = "decider")]
+#[derive(Default)]
 struct TraversalState {
     confirmed: OdSet,
-    decider: Option<Decider>,
+}
+
+#[cfg(not(feature = "decider"))]
+#[derive(Default)]
+struct TraversalState {}
+
+impl TraversalState {
+    fn record(&mut self, stmt: &SetOd) {
+        #[cfg(feature = "decider")]
+        for od in stmt.as_list_ods() {
+            self.confirmed.add_od(od);
+        }
+        #[cfg(not(feature = "decider"))]
+        let _ = stmt;
+    }
+}
+
+/// Run the node-based level-wise traversal over the relation's attribute
+/// lattice, reporting schemas beyond the 64-attribute [`AttrSet`] domain as a
+/// [`CoreError::AttrSetOverflow`] instead of panicking.
+pub fn try_discover_statements(
+    rel: &Relation,
+    config: &LatticeConfig,
+) -> Result<SetBasedDiscovery, CoreError> {
+    if rel.schema().arity() > AttrSet::MAX_ATTRS {
+        return Err(CoreError::AttrSetOverflow(rel.schema().arity() as u32 - 1));
+    }
+    Ok(discover_statements(rel, config))
 }
 
 /// Run the node-based level-wise traversal over the relation's attribute
 /// lattice.
+///
+/// Panics when the schema exceeds the 64-attribute [`AttrSet`] domain; use
+/// [`try_discover_statements`] where such schemas are reachable.
 pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDiscovery {
     let universe: Vec<AttrId> = rel.schema().attr_ids().collect();
     let mut cache = PartitionCache::new(rel);
@@ -439,13 +618,11 @@ pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDi
     let budget = result.budget;
     // Rule 3 is exact-only: the decider combines many confirmed premises, and
     // with a non-zero budget those premises may each lean on a *different*
-    // removal set whose union busts the budget.
-    let decider_active = config.use_decider && budget == 0;
+    // removal set whose union busts the budget.  Without the `decider`
+    // feature the pruning hook is compiled out entirely.
+    let decider_active = cfg!(feature = "decider") && config.use_decider && budget == 0;
     let threads = config.threads.max(1);
-    let mut state = TraversalState {
-        confirmed: OdSet::new(),
-        decider: None,
-    };
+    let mut state = TraversalState::default();
     // Per-attribute rank codes, prefetched once: the batch phase reads them
     // from worker threads, which the `Rc`-handing cache cannot serve directly.
     let all_codes: Vec<Rc<Vec<u32>>> = universe.iter().map(|&a| cache.codes(a)).collect();
@@ -463,10 +640,11 @@ pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDi
             roll_up(&mut result, lstats);
             break; // no live parents: every deeper level is empty too
         }
-        // Materialize this level's partitions (serial — each is one
-        // incremental refinement of a level−1 partition still in the cache).
-        let parts: Vec<Rc<StrippedPartition>> =
-            nodes.iter().map(|n| cache.partition(&n.context)).collect();
+        // Materialize this level's partitions in one pass sharded by context
+        // (each is one incremental refinement of a level−1 partition still in
+        // the cache; see `PartitionCache::partitions_batch`).
+        let contexts: Vec<AttrSet> = nodes.iter().map(|n| n.context).collect();
+        let parts: Vec<Rc<StrippedPartition>> = cache.partitions_batch(&contexts, threads);
         lstats.cached_partitions = cache.cached_sets();
         result.stats.peak_cached_partitions = result
             .stats
@@ -474,25 +652,48 @@ pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDi
             .max(lstats.cached_partitions);
         let keyed: Vec<bool> = parts.iter().map(|p| p.is_key()).collect();
 
-        // Level-start decider pre-filter: implication is monotone in the
-        // premise set, so anything implied now stays implied at its replay
-        // position — its scan can be skipped outright.
-        let prefilter = decider_active.then(|| Decider::new(&state.confirmed));
+        // One batched decider round-trip for the whole level: the premise
+        // snapshot is taken here, queried during scheduling (the pre-filter)
+        // and replay, and grown in place as statements are confirmed.
+        // Implication is monotone in the premise set, so a pre-filter answer
+        // stays valid at its replay position — its scan can be skipped
+        // outright and the answer reused without a second query.
+        #[cfg(feature = "decider")]
+        let mut batch = if decider_active {
+            result.stats.decider_rounds += 1;
+            Some(DeciderBatch::new(&state.confirmed))
+        } else {
+            None
+        };
+        #[cfg(not(feature = "decider"))]
+        let mut batch: Option<()> = None;
 
         // ---- Batch A: all surviving constancy scans, one sharded pass -----
         let mut const_slots: Vec<(usize, AttrId)> = Vec::new();
         let mut const_jobs: Vec<StatementJob<'_>> = Vec::new();
-        let mut pre_pruned_consts: HashSet<(usize, AttrId)> = HashSet::new();
+        // Pre-filter hits per node, as bit masks (no per-candidate hashing in
+        // the level loop).
+        let mut pre_pruned_consts: Vec<AttrSet> = vec![AttrSet::new(); nodes.len()];
+        let mut pre_pruned_pairs: Vec<PairSet> = Vec::new();
+        #[cfg(feature = "decider")]
         for (i, node) in nodes.iter().enumerate() {
             if keyed[i] {
                 continue; // clean by the superkey rule, no scan needed
             }
-            for &attr in &node.consts {
-                if prefilter
-                    .as_ref()
-                    .is_some_and(|d| d.implies_context_constancy(&node.context, attr))
-                {
-                    pre_pruned_consts.insert((i, attr));
+            if let Some(batch) = batch.as_mut() {
+                for attr in node.consts.iter() {
+                    if batch.implies_context_constancy(&node.context, attr) {
+                        pre_pruned_consts[i].insert(attr);
+                    }
+                }
+            }
+        }
+        for (i, node) in nodes.iter().enumerate() {
+            if keyed[i] {
+                continue;
+            }
+            for attr in node.consts.iter() {
+                if pre_pruned_consts[i].contains(attr) {
                     continue;
                 }
                 const_slots.push((i, attr));
@@ -510,30 +711,40 @@ pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDi
         // Which constancies hold on the data (key contexts: all of them;
         // pre-filtered ones hold because the decider is sound and exact-mode
         // accepted statements are violation-free).
-        let data_clean = |i: usize, attr: AttrId| -> bool {
+        let data_clean = |pruned: &[AttrSet],
+                          verdicts: &HashMap<(usize, AttrId), Verdict>,
+                          i: usize,
+                          attr: AttrId|
+         -> bool {
             keyed[i]
-                || pre_pruned_consts.contains(&(i, attr))
-                || const_verdicts
-                    .get(&(i, attr))
-                    .is_some_and(|v| v.within(budget))
+                || pruned[i].contains(attr)
+                || verdicts.get(&(i, attr)).is_some_and(|v| v.within(budget))
         };
 
         // ---- Batch B: pair scans for pairs rule 2 cannot resolve ----------
         let mut pair_slots: Vec<(usize, (AttrId, AttrId))> = Vec::new();
         let mut pair_jobs: Vec<StatementJob<'_>> = Vec::new();
+        // Only the decider writes or reads the pre-pruned pair masks; with it
+        // inactive, skip the per-node allocations outright.
+        if decider_active {
+            pre_pruned_pairs.resize_with(nodes.len(), || PairSet::empty(universe.len()));
+        }
         for (i, node) in nodes.iter().enumerate() {
             if keyed[i] {
                 continue;
             }
-            for &(a, b) in &node.pairs {
-                if data_clean(i, a) || data_clean(i, b) {
+            for (a, b) in node.pairs.iter() {
+                if data_clean(&pre_pruned_consts, &const_verdicts, i, a)
+                    || data_clean(&pre_pruned_consts, &const_verdicts, i, b)
+                {
                     continue; // rule 2 (or the decider) resolves it scan-free
                 }
-                if prefilter
-                    .as_ref()
-                    .is_some_and(|d| d.implies_context_compatibility(&node.context, a, b))
-                {
-                    continue;
+                #[cfg(feature = "decider")]
+                if let Some(batch) = batch.as_mut() {
+                    if batch.implies_context_compatibility(&node.context, a, b) {
+                        pre_pruned_pairs[i].insert(a, b);
+                        continue;
+                    }
                 }
                 pair_slots.push((i, (a, b)));
                 pair_jobs.push(StatementJob::Compatibility {
@@ -550,7 +761,7 @@ pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDi
 
         // ---- Sequential replay in canonical order -------------------------
         // Confirmation order (contexts as enumerated, constancies before
-        // pairs) is what the decider's premise set grows along, so pruning
+        // pairs) is what the batch's premise set grows along, so pruning
         // decisions match a statement-at-a-time traversal exactly.
         let mut next_alive: Vec<Node> = Vec::new();
         for (i, node) in nodes.into_iter().enumerate() {
@@ -559,18 +770,26 @@ pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDi
                 consts,
                 pairs,
             } = node;
-            let mut confirmed_here: HashSet<AttrId> = HashSet::new();
-            let mut surviving_consts: Vec<AttrId> = Vec::new();
-            for attr in consts {
+            let mut confirmed_here = AttrSet::new();
+            let mut surviving_consts = AttrSet::new();
+            for attr in consts.iter() {
                 lstats.candidates += 1;
-                let stmt = SetOd::constancy(ctx.clone(), attr);
+                let stmt = SetOd::constancy(ctx, attr);
                 if decider_active {
-                    let d = state
-                        .decider
-                        .get_or_insert_with(|| Decider::new(&state.confirmed));
-                    if d.implies_context_constancy(&ctx, attr) {
+                    // Pre-filter hits were answered in this level's batch
+                    // round; candidates it missed may have become implied by
+                    // mid-level confirmations, which only the grown premise
+                    // set can see.
+                    #[cfg(feature = "decider")]
+                    let implied = pre_pruned_consts[i].contains(attr)
+                        || batch
+                            .as_mut()
+                            .is_some_and(|b| b.implies_context_constancy(&ctx, attr));
+                    #[cfg(not(feature = "decider"))]
+                    let implied = false;
+                    if implied {
                         lstats.decider_pruned += 1;
-                        result.holding.insert(stmt.clone());
+                        result.holding.insert(stmt);
                         result.pruned.push(stmt);
                         continue;
                     }
@@ -584,29 +803,33 @@ pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDi
                 };
                 lstats.validated += 1;
                 if verdict.within(budget) {
-                    confirm(&mut result, &mut state, stmt, verdict);
+                    confirm(&mut result, &mut state, &mut batch, stmt, verdict);
                     confirmed_here.insert(attr);
                 } else {
-                    surviving_consts.push(attr);
+                    surviving_consts.insert(attr);
                 }
             }
-            let mut surviving_pairs: Vec<(AttrId, AttrId)> = Vec::new();
-            for (a, b) in pairs {
+            let mut surviving_pairs = PairSet::empty(universe.len());
+            for (a, b) in pairs.iter() {
                 lstats.candidates += 1;
                 // Rule 2 at this very context: a constancy confirmed above
                 // makes the pair swap-free for free.
-                if confirmed_here.contains(&a) || confirmed_here.contains(&b) {
+                if confirmed_here.contains(a) || confirmed_here.contains(b) {
                     lstats.inherited += 1;
                     continue;
                 }
-                let stmt = SetOd::compatibility(ctx.clone(), a, b);
+                let stmt = SetOd::compatibility(ctx, a, b);
                 if decider_active {
-                    let d = state
-                        .decider
-                        .get_or_insert_with(|| Decider::new(&state.confirmed));
-                    if d.implies_context_compatibility(&ctx, a, b) {
+                    #[cfg(feature = "decider")]
+                    let implied = pre_pruned_pairs[i].contains(a, b)
+                        || batch
+                            .as_mut()
+                            .is_some_and(|b2| b2.implies_context_compatibility(&ctx, a, b));
+                    #[cfg(not(feature = "decider"))]
+                    let implied = false;
+                    if implied {
                         lstats.decider_pruned += 1;
-                        result.holding.insert(stmt.clone());
+                        result.holding.insert(stmt);
                         result.pruned.push(stmt);
                         continue;
                     }
@@ -620,9 +843,9 @@ pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDi
                 };
                 lstats.validated += 1;
                 if verdict.within(budget) {
-                    confirm(&mut result, &mut state, stmt, verdict);
+                    confirm(&mut result, &mut state, &mut batch, stmt, verdict);
                 } else {
-                    surviving_pairs.push((a, b));
+                    surviving_pairs.insert(a, b);
                 }
             }
             if keyed[i] {
@@ -640,6 +863,10 @@ pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDi
                 pairs: surviving_pairs,
             });
         }
+        #[cfg(feature = "decider")]
+        if let Some(batch) = batch.take() {
+            result.stats.decider_witness_hits += batch.stats.witness_hits;
+        }
         roll_up(&mut result, lstats);
         // Partitions of level − 1 were refinement bases for this level only.
         if level >= 1 {
@@ -650,22 +877,27 @@ pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDi
     result
 }
 
-/// Record a confirmed minimal statement: it joins the decider's premise set,
-/// the `holds` index, and the minimal output.
+/// Record a confirmed minimal statement: it joins the level batch's premise
+/// set, the `holds` index, and the minimal output.
 fn confirm(
     result: &mut SetBasedDiscovery,
     state: &mut TraversalState,
+    #[cfg(feature = "decider")] batch: &mut Option<DeciderBatch>,
+    #[cfg(not(feature = "decider"))] batch: &mut Option<()>,
     stmt: SetOd,
     verdict: Verdict,
 ) {
-    for od in stmt.as_list_ods() {
-        state.confirmed.add_od(od);
+    state.record(&stmt);
+    #[cfg(feature = "decider")]
+    if let Some(batch) = batch.as_mut() {
+        for od in stmt.as_list_ods() {
+            batch.add_premise(od);
+        }
     }
-    state.decider = None;
-    result.holding.insert(stmt.clone());
-    result
-        .minimal_index
-        .insert(stmt.clone(), result.minimal.len());
+    #[cfg(not(feature = "decider"))]
+    let _ = batch;
+    result.holding.insert(stmt);
+    result.minimal_index.insert(stmt, result.minimal.len());
     result.minimal.push(stmt);
     result.verdicts.push(verdict);
 }
@@ -722,6 +954,7 @@ mod tests {
         }
     }
 
+    #[cfg(feature = "decider")]
     #[test]
     fn decider_pruning_only_removes_work_not_answers() {
         let rel = fixtures::example_5_taxes();
@@ -744,6 +977,38 @@ mod tests {
                 "{stmt} fabricated under decider pruning"
             );
         }
+    }
+
+    #[cfg(feature = "decider")]
+    #[test]
+    fn decider_rounds_are_per_level_not_per_candidate() {
+        let rel = fixtures::example_5_taxes();
+        let d = discover_statements(&rel, &LatticeConfig::default());
+        assert!(d.stats.decider_rounds >= 1);
+        assert!(
+            d.stats.decider_rounds <= d.level_stats().len(),
+            "at most one batched round per level: {:?}",
+            d.stats
+        );
+        assert!(d.stats.candidates > d.stats.decider_rounds);
+        // Disabled decider issues no rounds at all.
+        let off = discover_statements(
+            &rel,
+            &LatticeConfig {
+                use_decider: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(off.stats.decider_rounds, 0);
+        // And ε > 0 keeps rule 3 (and its rounds) off too.
+        let approx = discover_statements(
+            &rel,
+            &LatticeConfig {
+                epsilon: 0.5,
+                ..Default::default()
+            },
+        );
+        assert_eq!(approx.stats.decider_rounds, 0);
     }
 
     #[test]
@@ -805,14 +1070,14 @@ mod tests {
         assert!(d.stats.nodes_deleted >= 1, "{:?}", d.stats);
         // Everything above the key holds, answered by subsumption.
         let ka: AttrSet = [k, a].into_iter().collect();
-        assert!(d.holds(&SetOd::constancy(ka.clone(), b)));
+        assert!(d.holds(&SetOd::constancy(ka, b)));
         assert!(d.holds(&SetOd::compatibility([k].into_iter().collect(), a, b)));
         // The key constancies themselves are minimal, with clean verdicts.
         let key_ctx: AttrSet = [k].into_iter().collect();
         let idx = d
             .minimal_statements()
             .iter()
-            .position(|s| s == &SetOd::constancy(key_ctx.clone(), a))
+            .position(|s| s == &SetOd::constancy(key_ctx, a))
             .expect("{k}: [] ↦ a is minimal");
         assert!(d.verdicts()[idx].holds());
         // No node above the key contributed: contexts {k,a}, {k,b}, {k,a,b}
@@ -846,6 +1111,7 @@ mod tests {
         );
     }
 
+    #[cfg(feature = "decider")]
     #[test]
     fn decider_pruning_fires_on_fd_chains() {
         // B determines C and A determines B (ids ordered so context {B} is
@@ -971,6 +1237,20 @@ mod tests {
     }
 
     #[test]
+    fn stats_render_for_humans() {
+        let rel = fixtures::example_5_taxes();
+        let d = discover_statements(&rel, &LatticeConfig::default());
+        let summary = d.summary();
+        assert!(summary.contains("candidates"));
+        assert!(summary.contains("level"));
+        // One table row per visited level, plus the aggregate and header lines.
+        assert_eq!(summary.lines().count(), 2 + d.level_stats().len());
+        for l in d.level_stats() {
+            assert!(summary.contains(&l.to_string()));
+        }
+    }
+
+    #[test]
     fn tiny_universes_and_empty_relations_terminate_cleanly() {
         // Universe smaller than the context bound: the loop stops at the
         // universe size and a single-attribute relation yields at most the
@@ -1006,10 +1286,60 @@ mod tests {
     }
 
     #[test]
-    fn subsets_enumerate_binomially() {
+    fn oversized_schemas_error_gracefully() {
+        let mut schema = Schema::new("wide");
+        for i in 0..(AttrSet::MAX_ATTRS + 1) {
+            schema.add_attr(format!("c{i}"));
+        }
+        let rel = Relation::from_rows(schema, Vec::<Vec<Value>>::new()).unwrap();
+        assert_eq!(
+            try_discover_statements(&rel, &LatticeConfig::default()).unwrap_err(),
+            CoreError::AttrSetOverflow(AttrSet::MAX_ATTRS as u32)
+        );
+        // At exactly 64 attributes the bitset domain still fits.
+        let mut schema = Schema::new("exact");
+        for i in 0..AttrSet::MAX_ATTRS {
+            schema.add_attr(format!("c{i}"));
+        }
+        let rel = Relation::from_rows(schema, Vec::<Vec<Value>>::new()).unwrap();
+        assert!(try_discover_statements(
+            &rel,
+            &LatticeConfig {
+                max_context: 1,
+                ..Default::default()
+            }
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn subsets_enumerate_binomially_in_canonical_order() {
         let u: Vec<AttrId> = (0..5).map(AttrId).collect();
         assert_eq!(subsets_of_size(&u, 0).len(), 1);
-        assert_eq!(subsets_of_size(&u, 2).len(), 10);
+        let twos = subsets_of_size(&u, 2);
+        assert_eq!(twos.len(), 10);
+        // Lexicographic on ascending id sequences — the canonical order.
+        let mut sorted = twos.clone();
+        sorted.sort();
+        assert_eq!(twos, sorted);
         assert_eq!(subsets_of_size(&u, 5).len(), 1);
+    }
+
+    #[test]
+    fn pair_sets_intersect_and_enumerate_canonically() {
+        let u: Vec<AttrId> = (0..4).map(AttrId).collect();
+        let full = PairSet::full(&u);
+        assert_eq!(full.len(), 6);
+        let pairs: Vec<(u32, u32)> = full.iter().map(|(a, b)| (a.0, b.0)).collect();
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let mut pruned = full.clone();
+        pruned.remove_touching([AttrId(1)].into_iter().collect());
+        assert_eq!(pruned.len(), 3);
+        assert!(!pruned.contains(AttrId(0), AttrId(1)));
+        assert!(pruned.contains(AttrId(2), AttrId(3)));
+        let mut both = full.clone();
+        both.intersect_with(&pruned);
+        assert_eq!(both, pruned);
+        assert!(PairSet::empty(4).is_empty());
     }
 }

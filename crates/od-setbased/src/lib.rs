@@ -11,9 +11,9 @@
 //! | [`partition`] | stripped partitions `Π_X` over tuple ids, memoized incremental products, sorted partitions |
 //! | [`canonical`] | the set-based canonical statements and the exact list ↔ set translation |
 //! | [`validate`]  | evidence-returning ([`Verdict`]) statement validation over rank codes, exact per-class `g3` removal counts |
-//! | [`lattice`]   | node-based level-wise traversal: candidate-set propagation, key-based node deletion, batched per-level validation, partition eviction, `g3` thresholds |
+//! | [`lattice`]   | node-based level-wise traversal on bitset candidate sets: mask propagation, key-based node deletion, batched per-level validation and decider rounds, partition eviction, `g3` thresholds |
 //! | [`engine`]    | the memoizing demand-driven validator `od-discovery` uses as its default engine |
-//! | [`parallel`]  | partition-class sharding across threads with an atomic error-budget counter |
+//! | [`parallel`]  | sharding across threads: partition classes (atomic error budget), statements per level, and contexts per level expansion |
 //! | [`stream`]    | incremental monitoring: delta-maintained live partitions and per-statement [`VerdictLedger`]s |
 //!
 //! ## The stripped-partition model, in one paragraph
@@ -55,10 +55,18 @@
 //! let mut engine = SetBasedEngine::new(&rel);
 //! assert!(engine.od_holds(&OrderDependency::new(vec![income], vec![bracket])));
 //!
-//! // Bulk: profile every canonical statement up to context size 2.
+//! // Bulk: profile every canonical statement up to the default context
+//! // bound (width 4 on bitset attribute sets).
 //! let profile = od_setbased::discover_statements(&rel, &LatticeConfig::default());
 //! assert!(!profile.minimal_statements().is_empty());
 //! ```
+//!
+//! ## Feature flags
+//!
+//! * `decider` *(default)* — pulls in `od-infer` for rule-3 implication
+//!   pruning (one batched [`od_infer::DeciderBatch`] round-trip per lattice
+//!   level).  Without it the bitset core — partitions, canonical statements,
+//!   lattice, engine, streaming — builds standalone on `od-core` alone.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -74,7 +82,8 @@ pub mod validate;
 pub use canonical::{compatibility_as_ods, constancy_as_od, translate_od, SetOd};
 pub use engine::{EngineStats, SetBasedEngine};
 pub use lattice::{
-    discover_statements, LatticeConfig, LatticeStats, LevelStats, SetBasedDiscovery,
+    discover_statements, try_discover_statements, LatticeConfig, LatticeStats, LevelStats,
+    SetBasedDiscovery,
 };
 pub use partition::{PartitionCache, RefineScratch, SortedPartition, StrippedPartition};
 pub use stream::{

@@ -15,7 +15,7 @@
 //! complete, exact removal count.  For rejected verdicts the overshoot and the
 //! witness sample depend on scheduling.
 
-use crate::partition::StrippedPartition;
+use crate::partition::{RefineScratch, StrippedPartition};
 use crate::validate::{
     class_compatibility_removal, class_constancy_removal, class_is_compatible, class_is_constant,
     Verdict, WITNESS_SAMPLE_CAP,
@@ -214,6 +214,50 @@ pub fn validate_statement_batch(
     out.into_iter()
         .map(|v| v.expect("every job index is claimed exactly once"))
         .collect()
+}
+
+/// Shard a level's partition refinements **by context** across threads.
+///
+/// Each job is one context's incremental product: refine a base partition (the
+/// context minus its last attribute) by that attribute's rank codes.  `None`
+/// jobs (contexts already cached) pass through untouched.  Jobs are claimed
+/// from contiguous chunks with one reused [`RefineScratch`] per worker;
+/// refinement is a pure function of its inputs, so the output vector is
+/// bit-identical on every thread count.  This is the third sharding axis of
+/// the crate — classes within a scan ([`scan_classes`]), statements within a
+/// level ([`validate_statement_batch`]), and now contexts within a level
+/// expansion.
+pub fn refine_batch(
+    jobs: &[Option<(&StrippedPartition, &[u32])>],
+    threads: usize,
+) -> Vec<Option<StrippedPartition>> {
+    let live = jobs.iter().filter(|j| j.is_some()).count();
+    let threads = threads.clamp(1, live.max(1));
+    if threads <= 1 || live < 2 {
+        let mut scratch = RefineScratch::default();
+        return jobs
+            .iter()
+            .map(|job| job.map(|(base, codes)| base.refine_by_with(codes, &mut scratch)))
+            .collect();
+    }
+    let chunk_size = jobs.len().div_ceil(threads);
+    let mut out: Vec<Option<StrippedPartition>> = Vec::with_capacity(jobs.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in jobs.chunks(chunk_size) {
+            handles.push(scope.spawn(move || {
+                let mut scratch = RefineScratch::default();
+                chunk
+                    .iter()
+                    .map(|job| job.map(|(base, codes)| base.refine_by_with(codes, &mut scratch)))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for handle in handles {
+            out.extend(handle.join().expect("refinement worker panicked"));
+        }
+    });
+    out
 }
 
 /// Run `patch` over every ledger, sharded over up to `threads` threads.

@@ -159,7 +159,9 @@ fn emit_runs(pairs: &mut [(u32, u32)], classes: &mut Vec<Vec<u32>>) {
 pub struct PartitionCache<'r> {
     rel: &'r Relation,
     codes: Vec<Option<Rc<Vec<u32>>>>,
-    partitions: HashMap<Vec<AttrId>, Rc<StrippedPartition>>,
+    /// Memoized partitions, keyed directly by the attribute-set bit mask —
+    /// hashing a context costs one `u64` hash, not a `Vec<AttrId>` walk.
+    partitions: HashMap<AttrSet, Rc<StrippedPartition>>,
     scratch: RefineScratch,
     /// Number of partition products (refinements) performed.
     pub products: usize,
@@ -192,26 +194,79 @@ impl<'r> PartitionCache<'r> {
 
     /// The stripped partition `Π_X` (memoized).
     pub fn partition(&mut self, set: &AttrSet) -> Rc<StrippedPartition> {
-        let key: Vec<AttrId> = set.iter().copied().collect();
-        if let Some(p) = self.partitions.get(&key) {
+        if let Some(p) = self.partitions.get(set) {
             return p.clone();
         }
-        let part = if key.is_empty() {
-            StrippedPartition::full(self.rel.len())
-        } else {
-            // Refine the partition of X minus its last attribute — under
-            // level-wise traversal that subset is already cached, making every
-            // product incremental.
-            let (&last, rest) = key.split_last().expect("non-empty");
-            let base: AttrSet = rest.iter().copied().collect();
-            let base_part = self.partition(&base);
-            let codes = self.codes(last);
-            self.products += 1;
-            base_part.refine_by_with(&codes, &mut self.scratch)
+        let part = match set.last() {
+            None => StrippedPartition::full(self.rel.len()),
+            Some(last) => {
+                // Refine the partition of X minus its last attribute — under
+                // level-wise traversal that subset is already cached, making
+                // every product incremental.
+                let base = set.without(last);
+                let base_part = self.partition(&base);
+                let codes = self.codes(last);
+                self.products += 1;
+                base_part.refine_by_with(&codes, &mut self.scratch)
+            }
         };
         let rc = Rc::new(part);
-        self.partitions.insert(key, rc.clone());
+        self.partitions.insert(*set, rc.clone());
         rc
+    }
+
+    /// Materialize a whole level's partitions in one pass, sharding the
+    /// refinement work **by context** across up to `threads` threads.
+    ///
+    /// Each set's base (the set minus its last attribute) is resolved serially
+    /// — under level-wise traversal it is already cached, and the `Rc`-handing
+    /// cache cannot be touched from workers — then the per-context
+    /// `refine_by` products run sharded ([`crate::parallel::refine_batch`]):
+    /// refinement is a pure function of the base partition and the attribute's
+    /// rank codes, so the results are bit-identical on every thread count.
+    /// Sets whose base is not cached (possible only outside the lattice's
+    /// level discipline) fall back to the serial recursive path.
+    pub fn partitions_batch(
+        &mut self,
+        sets: &[AttrSet],
+        threads: usize,
+    ) -> Vec<Rc<StrippedPartition>> {
+        // Keep the base `Rc`s alive on this thread; workers see plain `&`s.
+        type Base = (Rc<StrippedPartition>, Rc<Vec<u32>>);
+        let mut bases: Vec<Option<Base>> = Vec::with_capacity(sets.len());
+        for set in sets {
+            if self.partitions.contains_key(set) {
+                bases.push(None);
+                continue;
+            }
+            let base = match set.last() {
+                Some(last) if self.partitions.contains_key(&set.without(last)) => {
+                    let base_part = self.partitions[&set.without(last)].clone();
+                    let codes = self.codes(last);
+                    Some((base_part, codes))
+                }
+                _ => None, // cached already handled; uncached base → serial fallback
+            };
+            if base.is_none() {
+                // Serial fallback (also materializes the base for siblings).
+                self.partition(set);
+            }
+            bases.push(base);
+        }
+        let jobs: Vec<Option<(&StrippedPartition, &[u32])>> = bases
+            .iter()
+            .map(|o| o.as_ref().map(|(b, c)| (&**b, &c[..])))
+            .collect();
+        let fresh = crate::parallel::refine_batch(&jobs, threads);
+        for (set, part) in sets.iter().zip(fresh) {
+            if let Some(part) = part {
+                self.products += 1;
+                self.partitions.insert(*set, Rc::new(part));
+            }
+        }
+        sets.iter()
+            .map(|set| self.partitions[set].clone())
+            .collect()
     }
 
     /// Number of distinct attribute sets whose partition has been materialized.

@@ -321,7 +321,7 @@ struct LivePartition {
 
 impl LivePartition {
     fn build(context: &AttrSet, rows: &[Tuple], alive: &[bool]) -> Self {
-        let attrs: Vec<AttrId> = context.iter().copied().collect();
+        let attrs: Vec<AttrId> = context.iter().collect();
         let mut classes: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::new();
         for (id, row) in rows.iter().enumerate() {
             if alive[id] {
@@ -835,12 +835,12 @@ impl StreamMonitor {
     /// full scan; every later [`Self::apply_delta`] keeps it current
     /// incrementally.  Returns the ledger index.
     pub fn monitor_statement(&mut self, stmt: &SetOd) -> usize {
-        let stmt = stmt.normalized().unwrap_or_else(|| stmt.clone());
+        let stmt = stmt.normalized().unwrap_or(*stmt);
         if let Some(&idx) = self.ledger_index.get(&stmt) {
             return idx;
         }
         let mut ledger = VerdictLedger {
-            stmt: stmt.clone(),
+            stmt,
             partition: None,
             classes: HashMap::new(),
             total: 0,
@@ -1082,7 +1082,7 @@ impl StreamMonitor {
     /// renumbered densely in id order.  Lifetime [`StreamStats`] are kept.
     pub fn compact(&mut self) {
         let rel = self.to_relation();
-        let stmts: Vec<SetOd> = self.ledgers.iter().map(|l| l.stmt.clone()).collect();
+        let stmts: Vec<SetOd> = self.ledgers.iter().map(|l| l.stmt).collect();
         let stats = self.stats;
         *self = StreamMonitor::new(&rel, self.threads);
         self.stats = stats;
@@ -1127,7 +1127,7 @@ impl StreamMonitor {
         let idx = self.partitions.len();
         self.partitions
             .push(LivePartition::build(context, &self.rows, &self.alive));
-        self.partition_index.insert(context.clone(), idx);
+        self.partition_index.insert(*context, idx);
         idx
     }
 }

@@ -68,8 +68,8 @@ fn all_statements(cols: u32, max_context: usize) -> Vec<SetOd> {
         let mut next = Vec::new();
         for ctx in &contexts {
             for &a in &universe {
-                if !ctx.contains(&a) {
-                    let mut bigger = ctx.clone();
+                if !ctx.contains(a) {
+                    let mut bigger = *ctx;
                     bigger.insert(a);
                     next.push(bigger);
                 }
@@ -82,13 +82,13 @@ fn all_statements(cols: u32, max_context: usize) -> Vec<SetOd> {
     let mut out = Vec::new();
     for ctx in &contexts {
         for &a in &universe {
-            let c = SetOd::constancy(ctx.clone(), a);
+            let c = SetOd::constancy(*ctx, a);
             if !c.is_trivial() {
                 out.push(c);
             }
             for &b in &universe {
                 if b > a {
-                    let k = SetOd::compatibility(ctx.clone(), a, b);
+                    let k = SetOd::compatibility(*ctx, a, b);
                     if !k.is_trivial() {
                         out.push(k);
                     }
@@ -291,6 +291,92 @@ proptest! {
             let lattice_verdict = stmts.iter().all(|s| profile.holds(s));
             prop_assert_eq!(lattice_verdict, od_holds(&rel, &od), "on {}", od);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The width-4 bitset traversal (the new default) answers every in-bound
+    /// statement exactly like the seed's sort-based oracle, at ε = 0 and
+    /// ε > 0: a statement holds iff its list-OD removal count fits the
+    /// budget.  Level-4 contexts over a 5-attribute universe exercise the
+    /// deepest mask-propagation paths.
+    #[test]
+    fn width4_bitset_traversal_matches_naive_oracle(
+        rel in relation_strategy(5, 9),
+    ) {
+        for epsilon in [0.0, 0.25] {
+            let profile = discover_statements(
+                &rel,
+                &LatticeConfig { max_context: 4, epsilon, ..Default::default() },
+            );
+            for stmt in all_statements(5, 4) {
+                let removal = od_removal_count(&rel, &stmt.as_list_ods()[0]);
+                prop_assert_eq!(
+                    profile.holds(&stmt),
+                    removal <= profile.budget(),
+                    "ε = {}: {} (oracle removal {}, budget {})",
+                    epsilon, stmt, removal, profile.budget()
+                );
+                if let Some(bound) = profile.removal_upper_bound(&stmt) {
+                    prop_assert!(bound >= removal, "{}: bound {} under oracle {}", stmt, bound, removal);
+                    prop_assert!(bound <= profile.budget(), "{}", stmt);
+                }
+            }
+        }
+    }
+
+    /// Context-sharded expansion and batched validation stay bit-identical to
+    /// the serial traversal on arbitrary relations at width 4.
+    #[test]
+    fn width4_sharded_traversal_is_deterministic(
+        rel in relation_strategy(5, 12),
+    ) {
+        let config = LatticeConfig { max_context: 4, ..Default::default() };
+        let serial = discover_statements(&rel, &config);
+        let par = discover_statements(
+            &rel,
+            &LatticeConfig { threads: 4, ..config },
+        );
+        prop_assert_eq!(serial.minimal_statements(), par.minimal_statements());
+        prop_assert_eq!(serial.verdicts(), par.verdicts());
+        prop_assert_eq!(serial.stats, par.stats);
+    }
+}
+
+/// The bitset attribute-set domain cap: schemas past 64 attributes are
+/// reported gracefully, never silently mis-profiled.
+mod attr_set_domain_edge_cases {
+    use super::*;
+    use od_core::CoreError;
+    use od_setbased::try_discover_statements;
+
+    #[test]
+    fn oversized_schemas_are_rejected_not_mangled() {
+        let mut schema = Schema::new("wide");
+        for i in 0..70 {
+            schema.add_attr(format!("c{i}"));
+        }
+        let rel = Relation::from_rows(
+            schema,
+            (0..3i64).map(|i| (0..70).map(|c| Value::Int(i * c)).collect::<Vec<_>>()),
+        )
+        .unwrap();
+        let err = try_discover_statements(&rel, &Default::default()).unwrap_err();
+        assert!(matches!(err, CoreError::AttrSetOverflow(_)), "{err}");
+        // The set type itself reports the first offending id.
+        assert_eq!(
+            AttrSet::try_from_iter((0..70).map(AttrId)),
+            Err(CoreError::AttrSetOverflow(64))
+        );
+        let mut s = AttrSet::new();
+        assert!(s.try_insert(AttrId(63)).is_ok());
+        assert_eq!(
+            s.try_insert(AttrId(64)),
+            Err(CoreError::AttrSetOverflow(64))
+        );
+        assert_eq!(s.len(), 1, "failed inserts must not corrupt the set");
     }
 }
 

@@ -23,8 +23,8 @@ fn all_statements(max_context: usize) -> Vec<SetOd> {
         let mut next = Vec::new();
         for ctx in &contexts {
             for &a in &universe {
-                if !ctx.contains(&a) {
-                    let mut bigger = ctx.clone();
+                if !ctx.contains(a) {
+                    let mut bigger = *ctx;
                     bigger.insert(a);
                     next.push(bigger);
                 }
@@ -37,13 +37,13 @@ fn all_statements(max_context: usize) -> Vec<SetOd> {
     let mut out = Vec::new();
     for ctx in &contexts {
         for &a in &universe {
-            let c = SetOd::constancy(ctx.clone(), a);
+            let c = SetOd::constancy(*ctx, a);
             if !c.is_trivial() {
                 out.push(c);
             }
             for &b in &universe {
                 if b > a {
-                    let k = SetOd::compatibility(ctx.clone(), a, b);
+                    let k = SetOd::compatibility(*ctx, a, b);
                     if !k.is_trivial() {
                         out.push(k);
                     }

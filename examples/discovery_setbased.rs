@@ -54,26 +54,15 @@ fn main() {
     }
 
     // The node-based lattice profile behind the engine: every minimal
-    // set-based statement up to context size 3 (the default since the node
-    // store made width 3 interactive).
+    // set-based statement up to context size 4 (the default since bitset
+    // candidate sets made width 4 interactive), with the stats' own
+    // `Display`/`summary()` rendering the per-level breakdown.
     let profile = discover_statements(&rel, &LatticeConfig::default());
     println!(
-        "\nnode-based lattice profile (width {}): {} candidates → {} validated, \
-         {} rule-2 inherited, {} decider-pruned",
-        profile.max_context(),
-        profile.stats.candidates,
-        profile.stats.validated,
-        profile.stats.inherited,
-        profile.stats.decider_pruned
+        "\nbitset lattice profile (width {}):",
+        profile.max_context()
     );
-    println!(
-        "propagation resolved {} candidate slots without enumeration; {} nodes \
-         created, {} key-deleted; peak {} cached partitions",
-        profile.stats.propagated_away,
-        profile.stats.nodes_created,
-        profile.stats.nodes_deleted,
-        profile.stats.peak_cached_partitions
-    );
+    print!("{}", profile.summary());
     println!(
         "{} minimal statements, e.g.:",
         profile.minimal_statements().len()
