@@ -8,6 +8,8 @@
 //! cargo run --release -p od-bench --bin reproduce -- --tiny          # small data sizes (quick smoke run)
 //! cargo run --release -p od-bench --bin reproduce -- e13 --max-context 5
 //! #                       deepest lattice level for E13 (default 4)
+//! cargo run --release -p od-bench --bin reproduce -- e12 e13 --metrics-out out/
+//! #                       also write BENCH_<exp>.json canonical-metrics artifacts
 //! ```
 
 use od_bench::*;
@@ -34,11 +36,34 @@ fn main() {
         },
         None => 4,
     };
-    let value_pos = flag_pos.map(|i| i + 1);
+    // `--metrics-out DIR` captures E12/E13 under a scoped registry and writes
+    // `BENCH_<experiment>.json` (full) plus `.deterministic.json` (the
+    // run-comparable section) into DIR, creating it if needed.
+    let metrics_pos = args.iter().position(|a| a == "--metrics-out");
+    let metrics_out: Option<std::path::PathBuf> = match metrics_pos {
+        Some(i) => match args.get(i + 1) {
+            Some(dir) if !dir.starts_with("--") => Some(dir.into()),
+            _ => {
+                eprintln!("--metrics-out requires a directory, e.g. --metrics-out out/");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    let value_positions: Vec<usize> = [flag_pos, metrics_pos]
+        .iter()
+        .flatten()
+        .map(|i| i + 1)
+        .collect();
     let selected: Vec<String> = args
         .iter()
         .enumerate()
-        .filter(|&(i, a)| Some(i) != flag_pos && Some(i) != value_pos && !a.starts_with("--"))
+        .filter(|&(i, a)| {
+            Some(i) != flag_pos
+                && Some(i) != metrics_pos
+                && !value_positions.contains(&i)
+                && !a.starts_with("--")
+        })
         .map(|(_, a)| a.to_lowercase())
         .collect();
     let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
@@ -75,9 +100,41 @@ fn main() {
         println!("{}", exp_e9_implication());
     }
     if want("e12") {
-        println!("{}", exp_e12_width3(scale));
+        match &metrics_out {
+            Some(dir) => {
+                let (report, metrics) = exp_e12_width3_with_metrics(scale);
+                println!("{report}");
+                emit(&metrics, dir);
+            }
+            None => println!("{}", exp_e12_width3(scale)),
+        }
     }
     if want("e13") {
-        println!("{}", exp_e13_width4(scale, max_context));
+        match &metrics_out {
+            Some(dir) => {
+                let (report, metrics) = exp_e13_width4_with_metrics(scale, max_context);
+                println!("{report}");
+                emit(&metrics, dir);
+            }
+            None => println!("{}", exp_e13_width4(scale, max_context)),
+        }
+    }
+}
+
+/// Write one experiment's metrics artifacts, failing loudly: a bench-smoke CI
+/// run that silently skips its artifacts would defeat the diff step.
+fn emit(metrics: &od_obs::MetricsReport, dir: &std::path::Path) {
+    match metrics.write_to(dir) {
+        Ok((full, deterministic)) => {
+            println!(
+                "metrics: {} + {}\n",
+                full.display(),
+                deterministic.display()
+            );
+        }
+        Err(err) => {
+            eprintln!("failed to write metrics into {}: {err}", dir.display());
+            std::process::exit(1);
+        }
     }
 }

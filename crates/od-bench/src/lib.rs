@@ -26,7 +26,9 @@ use od_workload::{
 use std::fmt::Write as _;
 use std::time::Instant;
 
+pub mod metrics;
 pub mod streaming;
+pub mod timing;
 
 /// Sizing for the experiment runs (kept configurable so tests can run tiny
 /// versions and the `reproduce` binary a fuller one).
@@ -264,17 +266,9 @@ pub fn exp_e4_tpcds(scale: ExperimentScale) -> (String, Vec<SuiteOutcome>) {
             .expect("rewrite");
         // Run baseline and rewritten plans (two repetitions, keep the better).
         let time = |plan: &od_engine::PhysicalPlan| {
-            let mut best = std::time::Duration::MAX;
-            let mut result = None;
-            let mut metrics = None;
-            for _ in 0..2 {
-                let t = Instant::now();
-                let (b, m) = execute(plan, &wh.catalog);
-                best = best.min(t.elapsed());
-                result = Some(b);
-                metrics = Some(m);
-            }
-            (result.unwrap(), metrics.unwrap(), best)
+            let ((b, m), best) =
+                timing::best_of_with(2, "bench.e4.execute", || execute(plan, &wh.catalog));
+            (b, m, best)
         };
         let (b1, _m1, t1) = time(&baseline);
         let (b2, m2, t2) = time(&optimized);
@@ -699,6 +693,21 @@ pub fn exp_e13_width4(scale: ExperimentScale, max_context: usize) -> String {
     )
     .unwrap();
     out
+}
+
+/// [`exp_e12_width3`] under a scoped metrics registry: the report's
+/// deterministic section carries the lattice counters (nodes, cache,
+/// propagation, partition-class histograms) for `BENCH_e12.json`.
+pub fn exp_e12_width3_with_metrics(scale: ExperimentScale) -> (String, od_obs::MetricsReport) {
+    metrics::capture("e12", || exp_e12_width3(scale))
+}
+
+/// [`exp_e13_width4`] under a scoped metrics registry, for `BENCH_e13.json`.
+pub fn exp_e13_width4_with_metrics(
+    scale: ExperimentScale,
+    max_context: usize,
+) -> (String, od_obs::MetricsReport) {
+    metrics::capture("e13", || exp_e13_width4(scale, max_context))
 }
 
 fn ok(b: bool) -> &'static str {

@@ -1,0 +1,42 @@
+//! Per-experiment metrics capture: run an experiment under a scoped
+//! [`od_obs::Registry`] and package everything it recorded as a
+//! [`MetricsReport`] ready for canonical-JSON emission.
+//!
+//! The scoped registry is what makes `BENCH_<experiment>.json` artifacts
+//! comparable across runs: each capture starts from empty counters, so the
+//! deterministic section reflects exactly one experiment's work — never
+//! leakage from a previous experiment or another test sharing the process —
+//! and diffs clean against any other run of the same experiment.
+
+use od_obs::{MetricsReport, Registry};
+use std::sync::Arc;
+
+/// Run `f` with a fresh metrics registry scoped to the calling thread and
+/// return its result together with a [`MetricsReport`] of everything it
+/// recorded.  Counters, gauges, and histograms land in the report's
+/// deterministic section; span durations and peak RSS in the
+/// non-deterministic one.
+pub fn capture<R>(experiment: &str, f: impl FnOnce() -> R) -> (R, MetricsReport) {
+    let registry = Arc::new(Registry::new());
+    let result = od_obs::scoped(Arc::clone(&registry), f);
+    let report = MetricsReport::from_snapshot(experiment, &registry.snapshot()).with_peak_rss();
+    (result, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_scopes_counters_to_one_experiment() {
+        let (out, first) = capture("one", || {
+            od_obs::add("bench.test.counter", 3);
+            "done"
+        });
+        assert_eq!(out, "done");
+        assert!(first.canonical_json().contains("\"bench.test.counter\":3"));
+        // A second capture starts from empty state.
+        let (_, second) = capture("two", || ());
+        assert!(!second.canonical_json().contains("bench.test.counter"));
+    }
+}

@@ -1,0 +1,61 @@
+//! Shared wall-clock measurement helpers for the speed guards and the E4
+//! suite — one implementation of the best-of-N loop instead of a hand-rolled
+//! copy per test file.  Built on [`od_obs::timed`], so every guard
+//! measurement also lands in the ambient metrics registry as a span duration
+//! (non-deterministic section of a [`od_obs::MetricsReport`]).
+
+use std::time::Duration;
+
+/// Run `f` `passes` times (at least once), recording each pass under the
+/// od-obs span `label`.  Returns the final pass's result together with the
+/// best (minimum) wall-clock duration — the quantity the speed guards assert
+/// on, so a single scheduler stall on a noisy CI runner cannot invert a
+/// margin.
+pub fn best_of_with<R>(passes: usize, label: &str, mut f: impl FnMut() -> R) -> (R, Duration) {
+    let (mut result, mut best) = od_obs::timed(label, &mut f);
+    for _ in 1..passes {
+        let (r, t) = od_obs::timed(label, &mut f);
+        result = r;
+        best = best.min(t);
+    }
+    (result, best)
+}
+
+/// [`best_of_with`] discarding the result — the shape of the speed guards'
+/// timing loops, where the work's output is checked separately.
+pub fn best_of(passes: usize, label: &str, mut f: impl FnMut()) -> Duration {
+    best_of_with(passes, label, &mut f).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_of_keeps_the_minimum_and_runs_every_pass() {
+        let mut runs = 0usize;
+        let best = best_of(3, "bench.test.best_of", || {
+            runs += 1;
+            std::thread::sleep(Duration::from_micros(50));
+        });
+        assert_eq!(runs, 3);
+        assert!(best >= Duration::from_micros(50));
+    }
+
+    #[test]
+    fn best_of_with_returns_the_last_result() {
+        let mut n = 0u32;
+        let (last, _) = best_of_with(4, "bench.test.best_of_with", || {
+            n += 1;
+            n
+        });
+        assert_eq!(last, 4);
+    }
+
+    #[test]
+    fn zero_passes_still_runs_once() {
+        let mut runs = 0usize;
+        best_of(0, "bench.test.zero", || runs += 1);
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Determinism guard for the canonical metrics artifacts: the deterministic
+//! section of a `BENCH_<experiment>.json` must be **byte-identical** across
+//! repeated runs and across worker thread counts — that is the property that
+//! makes the artifacts diffable in CI.  Wall-clock durations and RSS live in
+//! the non-deterministic section and are deliberately not compared.
+
+use od_bench::{exp_e12_width3_with_metrics, exp_e13_width4_with_metrics, ExperimentScale};
+use od_core::{Relation, Schema, Value};
+use od_setbased::{discover_statements, LatticeConfig};
+use od_workload::generate_date_dim;
+use proptest::prelude::*;
+
+/// One discovery run on `rel` under a scoped registry; returns the
+/// deterministic section's canonical bytes.
+fn deterministic_bytes(
+    experiment: &str,
+    rel: &Relation,
+    max_context: usize,
+    threads: usize,
+) -> String {
+    let (_, report) = od_bench::metrics::capture(experiment, || {
+        discover_statements(
+            rel,
+            &LatticeConfig {
+                max_context,
+                threads,
+                ..Default::default()
+            },
+        )
+    });
+    report.deterministic_json()
+}
+
+#[test]
+fn e12_deterministic_section_is_byte_identical_across_runs_and_threads() {
+    let rel = generate_date_dim(1998, 1_000, 2_450_000);
+    let reference = deterministic_bytes("e12", &rel, 3, 1);
+    assert!(reference.contains("discovery.candidates"));
+    assert!(reference.contains("discovery.partition_classes"));
+    for threads in [1, 4, 8] {
+        for run in 0..2 {
+            assert_eq!(
+                deterministic_bytes("e12", &rel, 3, threads),
+                reference,
+                "e12 deterministic section drifted (threads={threads}, run={run})"
+            );
+        }
+    }
+}
+
+#[test]
+fn e13_deterministic_section_is_byte_identical_across_runs_and_threads() {
+    let rel = generate_date_dim(1998, 1_000, 2_450_000);
+    let reference = deterministic_bytes("e13", &rel, 4, 1);
+    assert!(reference.contains("discovery.decider_rounds"));
+    for threads in [1, 4, 8] {
+        for run in 0..2 {
+            assert_eq!(
+                deterministic_bytes("e13", &rel, 4, threads),
+                reference,
+                "e13 deterministic section drifted (threads={threads}, run={run})"
+            );
+        }
+    }
+}
+
+#[test]
+fn experiment_level_captures_are_byte_identical_across_runs() {
+    // The reproduce binary's own capture path: the full tiny E12/E13
+    // experiments (two workloads each), deterministic sections compared
+    // byte-for-byte across two consecutive runs — exactly what the CI
+    // bench-smoke diff step asserts on the release binary.
+    let scale = ExperimentScale::tiny();
+    let (_, first) = exp_e12_width3_with_metrics(scale);
+    let (_, second) = exp_e12_width3_with_metrics(scale);
+    assert_eq!(first.deterministic_json(), second.deterministic_json());
+    let (_, first) = exp_e13_width4_with_metrics(scale, 4);
+    let (_, second) = exp_e13_width4_with_metrics(scale, 4);
+    assert_eq!(first.deterministic_json(), second.deterministic_json());
+}
+
+fn relation_strategy(cols: usize, max_rows: usize) -> impl Strategy<Value = Relation> {
+    prop::collection::vec(prop::collection::vec(0i64..3, cols), 0..max_rows).prop_map(move |rows| {
+        let mut schema = Schema::new("prop");
+        for i in 0..cols {
+            schema.add_attr(format!("c{i}"));
+        }
+        Relation::from_rows(
+            schema,
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Value::Int).collect()),
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On random relations the deterministic section stays byte-identical
+    /// across two runs at each of 1/4/8 worker threads — randomized cover for
+    /// the fixed-workload guards above.
+    #[test]
+    fn deterministic_section_is_thread_and_run_invariant(rel in relation_strategy(4, 12)) {
+        let reference = deterministic_bytes("prop", &rel, 3, 1);
+        for threads in [1usize, 4, 8] {
+            prop_assert_eq!(
+                &deterministic_bytes("prop", &rel, 3, threads),
+                &reference,
+                "threads={}",
+                threads
+            );
+            prop_assert_eq!(
+                &deterministic_bytes("prop", &rel, 3, threads),
+                &reference,
+                "threads={} (second run)",
+                threads
+            );
+        }
+    }
+}

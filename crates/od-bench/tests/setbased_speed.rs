@@ -3,9 +3,9 @@
 //! sort-per-candidate engine in wall-clock time (the margin is ~15× in release
 //! builds, so asserting a plain win is safe even under CI noise).
 
+use od_bench::timing::best_of;
 use od_discovery::{discover_ods, discover_ods_naive, DiscoveryConfig};
 use od_workload::tax;
-use std::time::Instant;
 
 #[test]
 fn set_based_discovery_beats_naive_on_ten_thousand_rows() {
@@ -19,20 +19,10 @@ fn set_based_discovery_beats_naive_on_ten_thousand_rows() {
 
     // Best of three per engine: a single scheduler stall on a noisy CI
     // runner must not invert a ~15× margin.
-    let best_of = |f: &dyn Fn()| {
-        (0..3)
-            .map(|_| {
-                let start = Instant::now();
-                f();
-                start.elapsed()
-            })
-            .min()
-            .expect("three runs")
-    };
-    let set_based_time = best_of(&|| {
+    let set_based_time = best_of(3, "bench.setbased.discover", || {
         discover_ods(&rel, config);
     });
-    let naive_time = best_of(&|| {
+    let naive_time = best_of(3, "bench.setbased.naive", || {
         discover_ods_naive(&rel, config);
     });
     assert!(

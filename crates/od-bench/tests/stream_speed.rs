@@ -7,10 +7,10 @@
 //! [`od_bench::streaming`].
 
 use od_bench::streaming::{churn_batch, full_revalidation, monitored_statements};
+use od_bench::timing::best_of;
 use od_discovery::{discover_ods, DiscoveryConfig, Monitor};
 use od_setbased::stream::DeltaBatch;
 use od_workload::generate_date_dim;
-use std::time::Instant;
 
 const BASE_ROWS: usize = 10_000;
 const DELTA_ROWS: usize = 100; // 1% of the base table
@@ -38,33 +38,27 @@ fn delta_maintenance_beats_full_revalidation_five_fold() {
     monitor.apply(&batches[0]).expect("warm-up batch");
 
     // Streaming path: apply every delta, reading fresh verdicts each time.
-    let monitor_time = (0..PASSES)
-        .map(|pass| {
-            let start = Instant::now();
-            for batch in &batches[1 + pass * ROUNDS..1 + (pass + 1) * ROUNDS] {
-                monitor.apply(batch).expect("valid churn batch");
-            }
-            start.elapsed()
-        })
-        .min()
-        .expect("three passes");
+    // Each pass must consume its own slice of batches (the table evolves),
+    // so the pass index advances outside the timed closure.
+    let mut pass = 0;
+    let monitor_time = best_of(PASSES, "bench.stream.monitor", || {
+        for batch in &batches[1 + pass * ROUNDS..1 + (pass + 1) * ROUNDS] {
+            monitor.apply(batch).expect("valid churn batch");
+        }
+        pass += 1;
+    });
 
     // Full path: what every delta used to cost — snapshot the live rows
     // (each delta changes the table, so every re-validation starts from a
     // fresh copy) and re-validate every monitored statement with a fresh
     // partition scan.
     let mut full_worst = 0usize;
-    let full_time = (0..PASSES)
-        .map(|_| {
-            let start = Instant::now();
-            for _ in 0..ROUNDS {
-                let snapshot = monitor.stream().to_relation();
-                full_worst = full_revalidation(&snapshot, &stmts);
-            }
-            start.elapsed()
-        })
-        .min()
-        .expect("three passes");
+    let full_time = best_of(PASSES, "bench.stream.full_revalidation", || {
+        for _ in 0..ROUNDS {
+            let snapshot = monitor.stream().to_relation();
+            full_worst = full_revalidation(&snapshot, &stmts);
+        }
+    });
 
     // Correctness first: the ledgers agree with the from-scratch scan.
     let ledger_worst = discovery

@@ -16,10 +16,10 @@
 //!    validated candidates stays a small fraction of the candidate slots the
 //!    propagation resolved without enumeration.
 
+use od_bench::timing::best_of_with;
 use od_core::{AttrId, AttrSet, Relation};
 use od_setbased::{discover_statements, LatticeConfig, SetBasedEngine, SetOd};
 use od_workload::{generate_date_dim, tax};
-use std::time::Instant;
 
 /// Every non-trivial canonical statement over the relation's attributes with a
 /// context of at most `max_context` attributes.
@@ -69,15 +69,15 @@ fn width3_traversal_is_interactive_with_node_deletion_and_propagation() {
         tax::generate_taxes(10_000, 7),
         generate_date_dim(1998, 10_000, 2_450_000),
     ] {
-        let start = Instant::now();
-        let d = discover_statements(
-            &rel,
-            &LatticeConfig {
-                max_context: 3,
-                ..Default::default()
-            },
-        );
-        let elapsed = start.elapsed();
+        let (d, elapsed) = best_of_with(1, "bench.width3.traversal", || {
+            discover_statements(
+                &rel,
+                &LatticeConfig {
+                    max_context: 3,
+                    ..Default::default()
+                },
+            )
+        });
         // Release-only wall-clock bound: measured ~6 ms (taxes) and ~55 ms
         // (date_dim) on this container, so 2 s absorbs heavy CI noise while
         // still falsifying any return to generate-then-check scaling.

@@ -54,6 +54,17 @@ impl Relation {
         self.tuples.is_empty()
     }
 
+    /// Approximate in-memory footprint of the tuple store in bytes, summing
+    /// [`Value::approx_bytes`] over every cell.  Deterministic for logically
+    /// equal instances (lengths, never capacities), so memory-accounting
+    /// metrics built on it diff clean across runs.
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.tuples
+            .iter()
+            .map(|t| t.iter().map(Value::approx_bytes).sum::<usize>())
+            .sum()
+    }
+
     /// Append a tuple, validating its arity against the schema.
     pub fn push(&mut self, tuple: Tuple) -> Result<()> {
         if tuple.len() != self.schema.arity() {

@@ -49,6 +49,19 @@ impl Value {
         matches!(self, Value::Null)
     }
 
+    /// Approximate in-memory footprint in bytes: the enum itself plus owned
+    /// heap payload.  Deliberately counts string *lengths*, not capacities, so
+    /// the estimate is deterministic for logically equal values — memory
+    /// accounting (e.g. stream-monitor compaction metrics) stays bit-identical
+    /// across runs.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Value>()
+            + match self {
+                Value::Str(s) => s.len(),
+                _ => 0,
+            }
+    }
+
     /// Interpret the value as an integer if it is one.
     pub fn as_int(&self) -> Option<i64> {
         match self {

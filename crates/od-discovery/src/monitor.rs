@@ -23,7 +23,9 @@
 use crate::discover::Discovery;
 use od_core::{OrderDependency, Relation};
 use od_optimizer::OdRegistry;
-use od_setbased::stream::{DeltaBatch, DeltaSummary, StreamError, StreamMonitor, TupleId};
+use od_setbased::stream::{
+    CompactStats, DeltaBatch, DeltaSummary, StreamError, StreamMonitor, TupleId,
+};
 use od_setbased::SetOd;
 use std::collections::HashSet;
 
@@ -186,6 +188,16 @@ impl Monitor {
         &self.stream
     }
 
+    /// Compact the underlying stream monitor
+    /// ([`StreamMonitor::compact`]): dead tuple ids, their retained codes,
+    /// and distinct values only dead rows carried are dropped, and **every
+    /// previously returned [`TupleId`] is invalidated**.  Watched ODs, their
+    /// verdicts, and lifetime stats are preserved.  Returns what the rebuild
+    /// reclaimed.
+    pub fn compact(&mut self) -> CompactStats {
+        self.stream.compact()
+    }
+
     /// Register a synchronous consumer: `callback` is invoked by every
     /// successful [`Self::apply`], after the ledgers are patched, with the
     /// batch's [`MonitorReport`] — ε-boundary flips arrive as
@@ -230,6 +242,8 @@ impl Monitor {
             deleted: summary.deleted,
             touched_classes: summary.touched_classes,
         };
+        od_obs::add("monitor.deltas", 1);
+        od_obs::add("monitor.flips", report.flips().count() as u64);
         for (_, callback) in &mut self.subscribers {
             callback(&report);
         }
@@ -284,6 +298,8 @@ impl Monitor {
                 retracted += 1;
             }
         }
+        od_obs::add("monitor.installs", installed as u64);
+        od_obs::add("monitor.retracts", retracted as u64);
         (installed, retracted)
     }
 

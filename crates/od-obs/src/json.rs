@@ -1,0 +1,214 @@
+//! Canonical JSON values and serialization.
+//!
+//! The emitter produces *canonical* JSON so that two runs producing the same
+//! logical report yield byte-identical artifacts (diffable in CI):
+//!
+//! * object keys are sorted (objects are [`BTreeMap`]s, so this is structural),
+//! * integers print without sign-padding or exponents,
+//! * floats print with **fixed nine-decimal rounding** (`{:.9}`), never in
+//!   exponent notation; non-finite floats serialize as `null`,
+//! * strings escape `"`/`\\` and control characters only, and
+//! * there is no insignificant whitespace.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value with canonical (sorted-key, fixed-rounding) serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer, printed in full.
+    UInt(u64),
+    /// Signed integer, printed in full.
+    Int(i64),
+    /// Float, printed with fixed nine-decimal rounding.
+    Float(f64),
+    /// String with minimal escaping.
+    Str(String),
+    /// Array; element order is preserved.
+    Array(Vec<Json>),
+    /// Object; keys serialize in sorted (BTreeMap) order.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Serialize to the canonical compact form.
+    pub fn canonical(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v:.9}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Build an object from an iterator of `(key, value)` pairs.
+    pub fn object(pairs: impl IntoIterator<Item = (String, Json)>) -> Json {
+        Json::Object(pairs.into_iter().collect())
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::UInt(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::UInt(v as u64)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::UInt(u64::from(v))
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Float(v)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Self {
+        Json::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_serialize_sorted() {
+        let mut map = BTreeMap::new();
+        map.insert("zeta".to_string(), Json::from(1u64));
+        map.insert("alpha".to_string(), Json::from(2u64));
+        map.insert("mid".to_string(), Json::from("x"));
+        let json = Json::Object(map);
+        assert_eq!(json.canonical(), r#"{"alpha":2,"mid":"x","zeta":1}"#);
+    }
+
+    #[test]
+    fn floats_round_to_nine_decimals() {
+        assert_eq!(Json::Float(0.1).canonical(), "0.100000000");
+        assert_eq!(Json::Float(1.0 / 3.0).canonical(), "0.333333333");
+        assert_eq!(Json::Float(-2.5).canonical(), "-2.500000000");
+        assert_eq!(Json::Float(f64::NAN).canonical(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).canonical(), "null");
+    }
+
+    #[test]
+    fn integers_print_in_full() {
+        assert_eq!(Json::UInt(u64::MAX).canonical(), "18446744073709551615");
+        assert_eq!(Json::Int(i64::MIN).canonical(), "-9223372036854775808");
+    }
+
+    #[test]
+    fn strings_escape_controls() {
+        assert_eq!(
+            Json::from("a\"b\\c\nd\u{1}").canonical(),
+            r#""a\"b\\c\nd\u0001""#
+        );
+    }
+
+    #[test]
+    fn nested_structures_are_compact() {
+        let json = Json::object([
+            ("arr".to_string(), Json::from(vec![1u64, 2, 3])),
+            (
+                "obj".to_string(),
+                Json::object([("k".to_string(), Json::Null)]),
+            ),
+        ]);
+        assert_eq!(json.canonical(), r#"{"arr":[1,2,3],"obj":{"k":null}}"#);
+    }
+}

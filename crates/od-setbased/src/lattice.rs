@@ -74,6 +74,7 @@
 //! monotone in the premise set).
 
 use crate::canonical::SetOd;
+use crate::obs;
 use crate::parallel::{self, StatementJob};
 use crate::partition::{PartitionCache, StrippedPartition};
 use crate::validate::{self, Verdict};
@@ -144,6 +145,12 @@ pub struct LatticeStats {
     /// High-water mark of simultaneously cached partitions (the eviction
     /// policy's effectiveness measure).
     pub peak_cached_partitions: usize,
+    /// Partition-cache memo hits across the traversal.
+    pub cache_hits: usize,
+    /// Partition-cache memo misses (materializations) across the traversal.
+    pub cache_misses: usize,
+    /// Partitions evicted by the per-level eviction policy.
+    pub cache_evictions: usize,
 }
 
 /// Per-level breakdown of a traversal (see [`SetBasedDiscovery::level_stats`]).
@@ -213,7 +220,8 @@ impl std::fmt::Display for LatticeStats {
             f,
             "{} candidates — {} validated, {} rule-2 inherited, {} decider-pruned \
              ({} rounds, {} witness hits), {} propagated away; {} nodes created / \
-             {} key-deleted; peak {} cached partitions",
+             {} key-deleted; peak {} cached partitions \
+             ({} hits / {} misses / {} evicted)",
             self.candidates,
             self.validated,
             self.inherited,
@@ -224,6 +232,9 @@ impl std::fmt::Display for LatticeStats {
             self.nodes_created,
             self.nodes_deleted,
             self.peak_cached_partitions,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
         )
     }
 }
@@ -626,14 +637,19 @@ pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDi
     // Per-attribute rank codes, prefetched once: the batch phase reads them
     // from worker threads, which the `Rc`-handing cache cannot serve directly.
     let all_codes: Vec<Rc<Vec<u32>>> = universe.iter().map(|&a| cache.codes(a)).collect();
+    let _discovery_span = obs::span("discovery");
 
     let mut prev = LevelStore::default();
     for level in 0..=config.max_context.min(universe.len()) {
+        let _level_span = obs::level_span(level);
         let mut lstats = LevelStats {
             level,
             ..Default::default()
         };
-        let (nodes, propagated) = generate_level(&universe, level, &prev);
+        let (nodes, propagated) = {
+            let _s = obs::span("expand");
+            generate_level(&universe, level, &prev)
+        };
         lstats.propagated_away = propagated;
         lstats.nodes_created = nodes.len();
         if nodes.is_empty() {
@@ -644,7 +660,13 @@ pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDi
         // (each is one incremental refinement of a level−1 partition still in
         // the cache; see `PartitionCache::partitions_batch`).
         let contexts: Vec<AttrSet> = nodes.iter().map(|n| n.context).collect();
-        let parts: Vec<Rc<StrippedPartition>> = cache.partitions_batch(&contexts, threads);
+        let parts: Vec<Rc<StrippedPartition>> = {
+            let _s = obs::span("refine");
+            cache.partitions_batch(&contexts, threads)
+        };
+        for part in &parts {
+            obs::record("discovery.partition_classes", part.num_classes() as u64);
+        }
         lstats.cached_partitions = cache.cached_sets();
         result.stats.peak_cached_partitions = result
             .stats
@@ -676,14 +698,17 @@ pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDi
         let mut pre_pruned_consts: Vec<AttrSet> = vec![AttrSet::new(); nodes.len()];
         let mut pre_pruned_pairs: Vec<PairSet> = Vec::new();
         #[cfg(feature = "decider")]
-        for (i, node) in nodes.iter().enumerate() {
-            if keyed[i] {
-                continue; // clean by the superkey rule, no scan needed
-            }
-            if let Some(batch) = batch.as_mut() {
-                for attr in node.consts.iter() {
-                    if batch.implies_context_constancy(&node.context, attr) {
-                        pre_pruned_consts[i].insert(attr);
+        {
+            let _s = decider_active.then(|| obs::span("decider"));
+            for (i, node) in nodes.iter().enumerate() {
+                if keyed[i] {
+                    continue; // clean by the superkey rule, no scan needed
+                }
+                if let Some(batch) = batch.as_mut() {
+                    for attr in node.consts.iter() {
+                        if batch.implies_context_constancy(&node.context, attr) {
+                            pre_pruned_consts[i].insert(attr);
+                        }
                     }
                 }
             }
@@ -703,7 +728,10 @@ pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDi
                 });
             }
         }
-        let verdicts = parallel::validate_statement_batch(&const_jobs, threads, budget);
+        let verdicts = {
+            let _s = obs::span("validate");
+            parallel::validate_statement_batch(&const_jobs, threads, budget)
+        };
         drop(const_jobs);
         let mut const_verdicts: HashMap<(usize, AttrId), Verdict> =
             const_slots.into_iter().zip(verdicts).collect();
@@ -754,7 +782,10 @@ pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDi
                 });
             }
         }
-        let verdicts = parallel::validate_statement_batch(&pair_jobs, threads, budget);
+        let verdicts = {
+            let _s = obs::span("validate");
+            parallel::validate_statement_batch(&pair_jobs, threads, budget)
+        };
         drop(pair_jobs);
         let mut pair_verdicts: HashMap<(usize, (AttrId, AttrId)), Verdict> =
             pair_slots.into_iter().zip(verdicts).collect();
@@ -763,6 +794,7 @@ pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDi
         // Confirmation order (contexts as enumerated, constancies before
         // pairs) is what the batch's premise set grows along, so pruning
         // decisions match a statement-at-a-time traversal exactly.
+        let replay_span = obs::span("validate");
         let mut next_alive: Vec<Node> = Vec::new();
         for (i, node) in nodes.into_iter().enumerate() {
             let Node {
@@ -863,6 +895,7 @@ pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDi
                 pairs: surviving_pairs,
             });
         }
+        drop(replay_span);
         #[cfg(feature = "decider")]
         if let Some(batch) = batch.take() {
             result.stats.decider_witness_hits += batch.stats.witness_hits;
@@ -870,10 +903,31 @@ pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDi
         roll_up(&mut result, lstats);
         // Partitions of level − 1 were refinement bases for this level only.
         if level >= 1 {
-            cache.evict_sets_of_size(level - 1);
+            result.stats.cache_evictions += cache.evict_sets_of_size(level - 1);
         }
         prev = LevelStore::new(next_alive);
     }
+    result.stats.cache_hits = cache.hits;
+    result.stats.cache_misses = cache.misses;
+    obs::add("discovery.partition_cache.hits", cache.hits as u64);
+    obs::add("discovery.partition_cache.misses", cache.misses as u64);
+    obs::add(
+        "discovery.partition_cache.evictions",
+        result.stats.cache_evictions as u64,
+    );
+    obs::add("discovery.partition_products", cache.products as u64);
+    obs::gauge_max(
+        "discovery.partition_cache.peak",
+        result.stats.peak_cached_partitions as u64,
+    );
+    obs::add(
+        "discovery.decider_rounds",
+        result.stats.decider_rounds as u64,
+    );
+    obs::add(
+        "discovery.decider_witness_hits",
+        result.stats.decider_witness_hits as u64,
+    );
     result
 }
 
@@ -902,8 +956,17 @@ fn confirm(
     result.verdicts.push(verdict);
 }
 
-/// Fold one level's counters into the traversal totals.
+/// Fold one level's counters into the traversal totals (and flush them to the
+/// ambient recorder — deterministic counts only, recorded on the
+/// orchestrating thread).
 fn roll_up(result: &mut SetBasedDiscovery, lstats: LevelStats) {
+    obs::add("discovery.candidates", lstats.candidates as u64);
+    obs::add("discovery.validated", lstats.validated as u64);
+    obs::add("discovery.inherited", lstats.inherited as u64);
+    obs::add("discovery.decider_pruned", lstats.decider_pruned as u64);
+    obs::add("discovery.nodes_created", lstats.nodes_created as u64);
+    obs::add("discovery.nodes_deleted", lstats.nodes_deleted as u64);
+    obs::add("discovery.propagated_away", lstats.propagated_away as u64);
     result.stats.candidates += lstats.candidates;
     result.stats.validated += lstats.validated;
     result.stats.inherited += lstats.inherited;

@@ -67,6 +67,12 @@
 //!   pruning (one batched [`od_infer::DeciderBatch`] round-trip per lattice
 //!   level).  Without it the bitset core — partitions, canonical statements,
 //!   lattice, engine, streaming — builds standalone on `od-core` alone.
+//! * `obs` *(default)* — pulls in `od-obs` and records phase spans
+//!   (`discovery/level<k>/{expand,refine,validate,decider}`,
+//!   `stream/batch/{splice,patch}`), deterministic counters (nodes, cache
+//!   hits/misses/evictions, rows patched, LIS invocations, …) and histograms
+//!   on the ambient recorder.  Without it every hook compiles to a no-op, so
+//!   the hot paths are exactly the uninstrumented code.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -74,6 +80,7 @@
 pub mod canonical;
 pub mod engine;
 pub mod lattice;
+mod obs;
 pub mod parallel;
 pub mod partition;
 pub mod stream;
@@ -87,6 +94,7 @@ pub use lattice::{
 };
 pub use partition::{PartitionCache, RefineScratch, SortedPartition, StrippedPartition};
 pub use stream::{
-    DeltaBatch, DeltaSummary, StreamError, StreamMonitor, StreamStats, TupleId, VerdictLedger,
+    CompactStats, DeltaBatch, DeltaSummary, StreamError, StreamMonitor, StreamStats, TupleId,
+    VerdictLedger,
 };
 pub use validate::{error_budget, od_holds_with_partitions, Verdict, WITNESS_SAMPLE_CAP};

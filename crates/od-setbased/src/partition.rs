@@ -165,6 +165,11 @@ pub struct PartitionCache<'r> {
     scratch: RefineScratch,
     /// Number of partition products (refinements) performed.
     pub products: usize,
+    /// Memo hits: partition requests answered from the cache.
+    pub hits: usize,
+    /// Memo misses: partition requests that had to materialize (each recursive
+    /// subset build counts as its own miss).
+    pub misses: usize,
 }
 
 impl<'r> PartitionCache<'r> {
@@ -176,6 +181,8 @@ impl<'r> PartitionCache<'r> {
             partitions: HashMap::new(),
             scratch: RefineScratch::default(),
             products: 0,
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -195,8 +202,10 @@ impl<'r> PartitionCache<'r> {
     /// The stripped partition `Π_X` (memoized).
     pub fn partition(&mut self, set: &AttrSet) -> Rc<StrippedPartition> {
         if let Some(p) = self.partitions.get(set) {
+            self.hits += 1;
             return p.clone();
         }
+        self.misses += 1;
         let part = match set.last() {
             None => StrippedPartition::full(self.rel.len()),
             Some(last) => {
@@ -236,6 +245,7 @@ impl<'r> PartitionCache<'r> {
         let mut bases: Vec<Option<Base>> = Vec::with_capacity(sets.len());
         for set in sets {
             if self.partitions.contains_key(set) {
+                self.hits += 1;
                 bases.push(None);
                 continue;
             }
@@ -243,12 +253,14 @@ impl<'r> PartitionCache<'r> {
                 Some(last) if self.partitions.contains_key(&set.without(last)) => {
                     let base_part = self.partitions[&set.without(last)].clone();
                     let codes = self.codes(last);
+                    self.misses += 1;
                     Some((base_part, codes))
                 }
                 _ => None, // cached already handled; uncached base → serial fallback
             };
             if base.is_none() {
-                // Serial fallback (also materializes the base for siblings).
+                // Serial fallback (also materializes the base for siblings;
+                // counts its own misses).
                 self.partition(set);
             }
             bases.push(base);
@@ -416,10 +428,16 @@ mod tests {
         let mut cache = PartitionCache::new(&rel);
         cache.partition(&set(&[0, 1]));
         let products_after_first = cache.products;
+        let hits_after_first = cache.hits;
         cache.partition(&set(&[0, 1]));
         assert_eq!(
             cache.products, products_after_first,
             "second lookup must hit the cache"
+        );
+        assert_eq!(cache.hits, hits_after_first + 1);
+        assert!(
+            cache.misses >= 2,
+            "the set and its subset base are distinct materializations"
         );
         assert!(
             cache.cached_sets() >= 2,

@@ -50,6 +50,7 @@
 //! the ledger total.
 
 use crate::canonical::{translate_od, SetOd};
+use crate::obs;
 use crate::parallel;
 use crate::validate::{
     class_compatibility_removal, class_constancy_removal, error_budget, Verdict, WITNESS_SAMPLE_CAP,
@@ -59,6 +60,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::ops::Bound;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Stable identifier of a tuple in a [`StreamMonitor`]'s live table.
 ///
@@ -198,6 +200,50 @@ pub struct StreamStats {
     pub classes_recomputed: usize,
     /// Column renumberings triggered by gap exhaustion in [`StreamCodes`].
     pub renumbers: usize,
+    /// Rows moved through ledger class patches (delta rows advanced in place,
+    /// plus full memberships on rebuild paths).
+    pub rows_patched: usize,
+    /// Point events filter-merged into pre-sorted compatibility classes.
+    pub splice_events: usize,
+    /// `O(k log k)` LIS tails passes actually run — only classes whose linear
+    /// non-decreasing check failed pay for one.
+    pub lis_invocations: usize,
+    /// [`StreamMonitor::compact`] calls performed.
+    pub compactions: usize,
+}
+
+/// What one [`StreamMonitor::compact`] call reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Dead tuple ids dropped from the id space.
+    pub dead_ids_reclaimed: usize,
+    /// Approximate bytes released (per [`StreamMonitor::approx_heap_bytes`];
+    /// deterministic — lengths, never capacities).
+    pub bytes_freed: usize,
+    /// Wall-clock time of the rebuild (non-deterministic; kept out of
+    /// canonical metrics output).
+    pub rebuild: Duration,
+}
+
+/// Per-delta ledger patch work, accumulated across classes (and, for large
+/// deltas, across patch worker threads via atomics — the totals are
+/// deterministic because the per-class work is).
+#[derive(Debug, Clone, Copy, Default)]
+struct PatchEffort {
+    /// Rows moved through class patches.
+    rows: usize,
+    /// Point events merged into sorted compatibility classes.
+    splices: usize,
+    /// LIS tails passes run.
+    lis: usize,
+}
+
+impl PatchEffort {
+    fn absorb(&mut self, other: PatchEffort) {
+        self.rows += other.rows;
+        self.splices += other.splices;
+        self.lis += other.lis;
+    }
 }
 
 /// Order-preserving, insert-friendly `u64` codes for one column of the live
@@ -440,10 +486,12 @@ impl ClassState {
     /// Exact removal count of a compatibility class from its pre-sorted
     /// triples: the linear swap-free check first (a `(A, B)`-sorted class is
     /// swap-free iff its `B`-sequence is globally non-decreasing), the
-    /// `O(k log k)` LIS tails pass only when it actually violates.
-    fn compat_removal(sorted: &[(u64, u64, TupleId)]) -> usize {
+    /// `O(k log k)` LIS tails pass only when it actually violates.  The
+    /// boolean reports whether the LIS pass actually ran (the cost metric
+    /// behind [`StreamStats::lis_invocations`]).
+    fn compat_removal(sorted: &[(u64, u64, TupleId)]) -> (usize, bool) {
         if sorted.windows(2).all(|w| w[0].1 <= w[1].1) {
-            return 0;
+            return (0, false);
         }
         let mut tails: Vec<u64> = Vec::new();
         for &(_, b, _) in sorted {
@@ -454,16 +502,16 @@ impl ClassState {
                 tails[pos] = b;
             }
         }
-        sorted.len() - tails.len()
+        (sorted.len() - tails.len(), true)
     }
 
-    /// Advance this state by one delta, in place.
+    /// Advance this state by one delta, in place, reporting the work done.
     fn advance(
         &mut self,
         stmt: &SetOd,
         delta: &ClassDelta,
         columns: &HashMap<AttrId, StreamCodes>,
-    ) {
+    ) -> PatchEffort {
         match (self, stmt) {
             (
                 ClassState::Constancy {
@@ -483,6 +531,11 @@ impl ClassState {
                 for &row in &delta.added {
                     ClassState::constancy_add(counts, freq, max_count, codes[row as usize]);
                     *size += 1;
+                }
+                PatchEffort {
+                    rows: delta.removed.len() + delta.added.len(),
+                    splices: 0,
+                    lis: 0,
                 }
             }
             (
@@ -526,7 +579,14 @@ impl ClassState {
                 }
                 merged.extend_from_slice(&sorted[src..]);
                 *sorted = merged;
-                *removal = ClassState::compat_removal(sorted);
+                let splices = delta.added.len() + delta.removed.len();
+                let (new_removal, lis_ran) = ClassState::compat_removal(sorted);
+                *removal = new_removal;
+                PatchEffort {
+                    rows: splices,
+                    splices,
+                    lis: lis_ran as usize,
+                }
             }
             _ => unreachable!("a ledger's states always match its statement kind"),
         }
@@ -599,21 +659,21 @@ impl VerdictLedger {
 
     /// Patch one touched class.  `class` is the class's current membership
     /// (`None`/short when it shrank away); `delta` lists the ids the batch
-    /// moved in or out.
+    /// moved in or out.  Returns the patch work performed.
     fn patch_class(
         &mut self,
         key: &[Value],
         class: Option<&[TupleId]>,
         delta: &ClassDelta,
         columns: &HashMap<AttrId, StreamCodes>,
-    ) {
+    ) -> PatchEffort {
         let size = class.map_or(0, |c| c.len());
         if size < 2 {
             // Singletons and emptied classes cannot violate; drop any state.
             if let Some(old) = self.classes.remove(key) {
                 self.total -= old.removal();
             }
-            return;
+            return PatchEffort::default();
         }
         let class = class.expect("size ≥ 2 implies membership");
         let current = self.code_version(columns);
@@ -623,26 +683,31 @@ impl VerdictLedger {
         if let Some(state) = self.classes.get_mut(key) {
             if state.version() == current {
                 let old_removal = state.removal();
-                state.advance(stmt, delta, columns);
+                let effort = state.advance(stmt, delta, columns);
                 let new_removal = state.removal();
                 self.total = self.total - old_removal + new_removal;
-                return;
+                return effort;
             }
         }
         // First touch of this class, or cached magnitudes went stale after a
         // renumbering: build from the full membership.
-        let fresh = self.build_state(class, columns);
+        let (fresh, effort) = self.build_state(class, columns);
         let new_removal = fresh.removal();
         let old_removal = self
             .classes
             .insert(key.to_vec(), fresh)
             .map_or(0, |s| s.removal());
         self.total = self.total - old_removal + new_removal;
+        effort
     }
 
     /// Build a class's state from scratch (the one place a compatibility
-    /// class is sorted).
-    fn build_state(&self, class: &[TupleId], columns: &HashMap<AttrId, StreamCodes>) -> ClassState {
+    /// class is sorted), reporting the full-membership work it cost.
+    fn build_state(
+        &self,
+        class: &[TupleId],
+        columns: &HashMap<AttrId, StreamCodes>,
+    ) -> (ClassState, PatchEffort) {
         let version = self.code_version(columns);
         match &self.stmt {
             SetOd::Constancy { attr, .. } => {
@@ -658,13 +723,20 @@ impl VerdictLedger {
                         codes[row as usize],
                     );
                 }
-                ClassState::Constancy {
-                    counts,
-                    freq,
-                    max_count,
-                    size: class.len(),
-                    version,
-                }
+                (
+                    ClassState::Constancy {
+                        counts,
+                        freq,
+                        max_count,
+                        size: class.len(),
+                        version,
+                    },
+                    PatchEffort {
+                        rows: class.len(),
+                        splices: 0,
+                        lis: 0,
+                    },
+                )
             }
             SetOd::Compatibility { a, b, .. } => {
                 let ca = columns[a].codes();
@@ -674,38 +746,46 @@ impl VerdictLedger {
                     .map(|&row| (ca[row as usize], cb[row as usize], row))
                     .collect();
                 sorted.sort_unstable();
-                let removal = ClassState::compat_removal(&sorted);
-                ClassState::Compatibility {
-                    sorted,
-                    removal,
-                    version,
-                }
+                let (removal, lis_ran) = ClassState::compat_removal(&sorted);
+                (
+                    ClassState::Compatibility {
+                        sorted,
+                        removal,
+                        version,
+                    },
+                    PatchEffort {
+                        rows: class.len(),
+                        splices: 0,
+                        lis: lis_ran as usize,
+                    },
+                )
             }
         }
     }
 
     /// Apply every touched class of this ledger's partition.  Returns the
-    /// number of class patches performed.
+    /// number of class patches performed and the work they cost.
     fn patch(
         &mut self,
         touched: &TouchedClasses,
         partition: &LivePartition,
         columns: &HashMap<AttrId, StreamCodes>,
-    ) -> usize {
+    ) -> (usize, PatchEffort) {
         let mut patches = 0;
+        let mut effort = PatchEffort::default();
         for (key, delta) in touched {
             if delta.was_len < 2 && delta.now_len < 2 {
                 continue; // never tracked, still nothing to track
             }
             patches += 1;
-            self.patch_class(
+            effort.absorb(self.patch_class(
                 key,
                 partition.classes.get(key).map(|c| c.as_slice()),
                 delta,
                 columns,
-            );
+            ));
         }
-        patches
+        (patches, effort)
     }
 }
 
@@ -854,7 +934,7 @@ impl StreamMonitor {
             // Initial scan: build incremental state per class of size ≥ 2.
             for (key, class) in &self.partitions[pidx].classes {
                 if class.len() >= 2 {
-                    let state = ledger.build_state(class, &self.columns);
+                    let (state, _) = ledger.build_state(class, &self.columns);
                     ledger.total += state.removal();
                     ledger.classes.insert(key.clone(), state);
                 }
@@ -962,6 +1042,11 @@ impl StreamMonitor {
             }
         }
 
+        // All mutation happens under stream/batch spans; the batch is valid by
+        // now, so the spans never cover a rejected (no-op) delta.
+        let _span_stream = obs::span("stream");
+        let _span_batch = obs::span("batch");
+
         // Phase 1: the table and the column codes.  (If a column renumbers
         // here, cached class-state magnitudes go stale; the version stamps in
         // `ClassState` make every later patch rebuild instead of advance.)
@@ -990,6 +1075,7 @@ impl StreamMonitor {
 
         // Phase 2: group the delta per partition per class and splice the
         // class member lists with one filtering/extending pass each.
+        let splice_span = obs::span("splice");
         let mut touched: Vec<TouchedClasses> = Vec::with_capacity(self.partitions.len());
         let mut touched_rows = 0usize;
         let rows = &self.rows;
@@ -1018,6 +1104,7 @@ impl StreamMonitor {
                 }
                 class.extend(&delta.added); // fresh ids grow: order is kept
                 delta.now_len = class.len();
+                obs::record("stream.touched_class_size", delta.now_len as u64);
                 if class.is_empty() {
                     partition.classes.remove(key);
                 } else {
@@ -1026,6 +1113,7 @@ impl StreamMonitor {
             }
             touched.push(changes);
         }
+        drop(splice_span);
 
         // Phase 3: patch every ledger's touched classes.  Ledgers are
         // independent, so large deltas shard across threads.
@@ -1034,12 +1122,22 @@ impl StreamMonitor {
         } else {
             1
         };
+        let patch_span = obs::span("patch");
         let recomputed = AtomicUsize::new(0);
+        // Worker threads only bump these atomics; the effort totals are
+        // deterministic regardless of thread count because the per-class work
+        // is, and the orchestrating thread alone flushes them to metrics.
+        let rows_patched = AtomicUsize::new(0);
+        let splice_events = AtomicUsize::new(0);
+        let lis_invocations = AtomicUsize::new(0);
         {
             let partitions = &self.partitions;
             let columns = &self.columns;
             let touched = &touched;
             let recomputed = &recomputed;
+            let rows_patched = &rows_patched;
+            let splice_events = &splice_events;
+            let lis_invocations = &lis_invocations;
             parallel::for_each_ledger(&mut self.ledgers, patch_threads, move |ledger| {
                 let Some(pidx) = ledger.partition else {
                     return; // trivial statement: nothing can perturb it
@@ -1047,10 +1145,17 @@ impl StreamMonitor {
                 if touched[pidx].is_empty() {
                     return;
                 }
-                let patches = ledger.patch(&touched[pidx], &partitions[pidx], columns);
+                let (patches, effort) = ledger.patch(&touched[pidx], &partitions[pidx], columns);
                 recomputed.fetch_add(patches, Ordering::Relaxed);
+                rows_patched.fetch_add(effort.rows, Ordering::Relaxed);
+                splice_events.fetch_add(effort.splices, Ordering::Relaxed);
+                lis_invocations.fetch_add(effort.lis, Ordering::Relaxed);
             });
         }
+        drop(patch_span);
+        let rows_patched = rows_patched.into_inner();
+        let splice_events = splice_events.into_inner();
+        let lis_invocations = lis_invocations.into_inner();
 
         let summary = DeltaSummary {
             inserted,
@@ -1068,6 +1173,20 @@ impl StreamMonitor {
         self.stats.classes_touched += summary.touched_classes;
         self.stats.classes_recomputed += summary.recomputed_classes;
         self.stats.renumbers = self.columns.values().map(|c| c.renumbers).sum();
+        self.stats.rows_patched += rows_patched;
+        self.stats.splice_events += splice_events;
+        self.stats.lis_invocations += lis_invocations;
+        obs::add("stream.deltas_applied", 1);
+        obs::add("stream.rows_inserted", summary.inserted.len() as u64);
+        obs::add("stream.rows_deleted", summary.deleted as u64);
+        obs::add("stream.classes_touched", summary.touched_classes as u64);
+        obs::add(
+            "stream.classes_recomputed",
+            summary.recomputed_classes as u64,
+        );
+        obs::add("stream.rows_patched", rows_patched as u64);
+        obs::add("stream.splice_events", splice_events as u64);
+        obs::add("stream.lis_invocations", lis_invocations as u64);
         Ok(summary)
     }
 
@@ -1080,7 +1199,15 @@ impl StreamMonitor {
     /// as initial monitoring) for a reset id space and working set.  All
     /// previously returned [`TupleId`]s are invalidated — alive tuples are
     /// renumbered densely in id order.  Lifetime [`StreamStats`] are kept.
-    pub fn compact(&mut self) {
+    ///
+    /// Returns what the call reclaimed; only its `rebuild` duration is
+    /// wall-clock (and hence non-deterministic) — the id and byte counts diff
+    /// clean across runs.
+    pub fn compact(&mut self) -> CompactStats {
+        let _span = obs::span("stream/compact");
+        let start = Instant::now();
+        let bytes_before = self.approx_heap_bytes();
+        let dead_ids_reclaimed = self.rows.len() - self.alive_count;
         let rel = self.to_relation();
         let stmts: Vec<SetOd> = self.ledgers.iter().map(|l| l.stmt).collect();
         let stats = self.stats;
@@ -1089,6 +1216,59 @@ impl StreamMonitor {
         for stmt in &stmts {
             self.monitor_statement(stmt);
         }
+        self.stats.compactions += 1;
+        let compact = CompactStats {
+            dead_ids_reclaimed,
+            bytes_freed: bytes_before.saturating_sub(self.approx_heap_bytes()),
+            rebuild: start.elapsed(),
+        };
+        obs::add("stream.compact.runs", 1);
+        obs::add(
+            "stream.compact.dead_ids_reclaimed",
+            compact.dead_ids_reclaimed as u64,
+        );
+        obs::add("stream.compact.bytes_freed", compact.bytes_freed as u64);
+        compact
+    }
+
+    /// Approximate bytes held by the monitor's core stores: the row store
+    /// (dead rows included — they are what compaction reclaims), per-column
+    /// code tables, the alive bitmap, and live-partition memberships.
+    /// Deterministic for logically equal monitors — lengths, never
+    /// capacities — so compaction metrics built on it diff clean across runs.
+    /// Ledger class states are excluded: their size depends on touch history,
+    /// not on logical content.
+    pub fn approx_heap_bytes(&self) -> usize {
+        let rows: usize = self
+            .rows
+            .iter()
+            .map(|t| t.iter().map(Value::approx_bytes).sum::<usize>())
+            .sum();
+        let codes: usize = self
+            .columns
+            .values()
+            .map(|c| {
+                c.codes.len() * std::mem::size_of::<u64>()
+                    + c.map
+                        .keys()
+                        .map(|v| v.approx_bytes() + std::mem::size_of::<u64>())
+                        .sum::<usize>()
+            })
+            .sum();
+        let partitions: usize = self
+            .partitions
+            .iter()
+            .map(|p| {
+                p.classes
+                    .iter()
+                    .map(|(key, members)| {
+                        key.iter().map(Value::approx_bytes).sum::<usize>()
+                            + members.len() * std::mem::size_of::<TupleId>()
+                    })
+                    .sum::<usize>()
+            })
+            .sum();
+        rows + codes + self.alive.len() + partitions
     }
 
     /// The live code table of one column, if any monitored statement uses it.
@@ -1438,10 +1618,13 @@ mod tests {
             "dead ids retained before compaction"
         );
         let deltas_before = monitor.stats.deltas_applied;
-        monitor.compact();
+        let compacted = monitor.compact();
+        assert_eq!(compacted.dead_ids_reclaimed, 2);
+        assert!(compacted.bytes_freed > 0, "dead rows must free bytes");
         assert_eq!(monitor.total_rows(), monitor.alive_rows());
         assert_eq!(monitor.alive_rows(), 3);
         assert_eq!(monitor.stats.deltas_applied, deltas_before, "stats survive");
+        assert_eq!(monitor.stats.compactions, 1);
         // Verdicts are unchanged and maintenance keeps working on fresh ids.
         assert_eq!(monitor.od_removal(&od), Some(before));
         assert_ledgers_match_oracle(&monitor, &stmts);

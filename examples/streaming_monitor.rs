@@ -96,14 +96,33 @@ fn main() {
         repair.deletes.len()
     );
     assert!(registry.order_satisfies(schema.name(), &provided, &required));
+
+    // --- Compact: reclaim the dead ids the churn left behind -----------------
+    // Tuple ids are never reused, so deleted rows linger until a compaction
+    // rebuilds the monitor from its alive rows (verdicts survive untouched).
+    let before = monitor.stream().total_rows();
+    let compacted = monitor.compact();
+    println!(
+        "\ncompacted: {} dead ids reclaimed of {before} ({} KiB freed, rebuilt in {:?})",
+        compacted.dead_ids_reclaimed,
+        compacted.bytes_freed / 1024,
+        compacted.rebuild
+    );
+    assert!(registry.order_satisfies(schema.name(), &provided, &required));
+
     let stats = monitor.stream().stats;
     println!(
         "\nmonitor stats: {} deltas, {} rows in, {} rows out, {} classes touched, \
-         {} ledger patches",
+         {} ledger patches, {} rows patched, {} splice events, {} LIS passes, \
+         {} compactions",
         stats.deltas_applied,
         stats.rows_inserted,
         stats.rows_deleted,
         stats.classes_touched,
-        stats.classes_recomputed
+        stats.classes_recomputed,
+        stats.rows_patched,
+        stats.splice_events,
+        stats.lis_invocations,
+        stats.compactions
     );
 }
