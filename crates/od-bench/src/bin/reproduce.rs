@@ -10,6 +10,8 @@
 //! #                       deepest lattice level for E13 (default 4)
 //! cargo run --release -p od-bench --bin reproduce -- e12 e13 --metrics-out out/
 //! #                       also write BENCH_<exp>.json canonical-metrics artifacts
+//! cargo run --release -p od-bench --bin reproduce -- e14 --rows 250000
+//! #                       rows for the E14 columnar-scale table (default 1M; --tiny 20k)
 //! ```
 
 use od_bench::*;
@@ -50,7 +52,20 @@ fn main() {
         },
         None => None,
     };
-    let value_positions: Vec<usize> = [flag_pos, metrics_pos]
+    // `--rows N` sizes the E14 columnar-scale table (default 1M full, 20k tiny).
+    let rows_pos = args.iter().position(|a| a == "--rows");
+    let e14_rows = match rows_pos {
+        Some(i) => match args.get(i + 1).map(|v| v.parse::<usize>()) {
+            Some(Ok(rows)) => rows,
+            _ => {
+                eprintln!("--rows requires a numeric value, e.g. --rows 250000");
+                std::process::exit(2);
+            }
+        },
+        None if tiny => 20_000,
+        None => 1_000_000,
+    };
+    let value_positions: Vec<usize> = [flag_pos, metrics_pos, rows_pos]
         .iter()
         .flatten()
         .map(|i| i + 1)
@@ -117,6 +132,16 @@ fn main() {
                 emit(&metrics, dir);
             }
             None => println!("{}", exp_e13_width4(scale, max_context)),
+        }
+    }
+    if want("e14") {
+        match &metrics_out {
+            Some(dir) => {
+                let (report, metrics) = exp_e14_columnar_with_metrics(e14_rows);
+                println!("{report}");
+                emit(&metrics, dir);
+            }
+            None => println!("{}", exp_e14_columnar(e14_rows)),
         }
     }
 }

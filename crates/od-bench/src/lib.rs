@@ -710,6 +710,283 @@ pub fn exp_e13_width4_with_metrics(
     metrics::capture("e13", || exp_e13_width4(scale, max_context))
 }
 
+/// E14 — the columnar core at scale: struct-of-arrays dictionary encoding,
+/// radix-bucketed partition refinement, and width-2 discovery throughput on
+/// the million-row zipfian + sorted-with-noise table of
+/// [`od_workload::scale`].  Reports rows/sec for relation build (including
+/// the columnar encode), for partition refinement on code columns versus the
+/// row-oriented Value-comparison baseline (same products, same run), and for
+/// end-to-end width-2 discovery.
+pub fn exp_e14_columnar(rows: usize) -> String {
+    run_e14(rows, 1)
+}
+
+/// [`exp_e14_columnar`] under a scoped metrics registry, for
+/// `BENCH_e14.json`.  The relation is built *inside* the capture, so the
+/// encoder's `relation.encode` counters and the discovery layer's
+/// `discovery.radix_passes` land in the report's deterministic section —
+/// wall-clock readings stay confined to the human-readable text and the
+/// non-deterministic section.
+pub fn exp_e14_columnar_with_metrics(rows: usize) -> (String, od_obs::MetricsReport) {
+    metrics::capture("e14", || run_e14(rows, 1))
+}
+
+/// E14 with an explicit discovery thread count — exists so the determinism
+/// tests can pin the deterministic metrics section byte-identical across
+/// thread counts; the headline entry points stay serial.
+#[doc(hidden)]
+pub fn exp_e14_columnar_with_metrics_threads(
+    rows: usize,
+    threads: usize,
+) -> (String, od_obs::MetricsReport) {
+    metrics::capture("e14", || run_e14(rows, threads))
+}
+
+fn run_e14(rows: usize, threads: usize) -> String {
+    use od_setbased::{discover_statements, LatticeConfig, RefineScratch, StrippedPartition};
+    use od_workload::{generate_scale_rows, scale_schema, SCALE_1M};
+
+    let cfg = SCALE_1M.with_rows(rows);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "## E14  Columnar core at scale (SoA dictionaries + radix partitions)"
+    )
+    .unwrap();
+    let raw = generate_scale_rows(&cfg);
+    let t = Instant::now();
+    let rel = od_core::Relation::from_rows(scale_schema(), raw).expect("schema-conformant rows");
+    let build = t.elapsed();
+    od_obs::add("e14.rows", rel.len() as u64);
+    writeln!(
+        out,
+        "scale table: {} rows × {} attrs (zipfian + sorted-with-noise, seed {:#x})",
+        rel.len(),
+        rel.schema().arity(),
+        cfg.seed
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "build: from_rows incl. dictionary encode in {build:?} ({} rows/sec)",
+        rows_per_sec(rel.len(), build)
+    )
+    .unwrap();
+
+    // Refinement workload: Π_{{A}} for every attribute, each refined by every
+    // other attribute — all width-≤2 partition products, on three code paths.
+    let attrs: Vec<AttrId> = rel.schema().attr_ids().collect();
+
+    // Each path runs twice and keeps its best time: the first iteration in a
+    // fresh process pays page faults and CPU ramp-up that have nothing to do
+    // with the algorithms under test.
+
+    // 1. Row-at-a-time Value baseline: every bucketing sorts `(&Value, row)`
+    //    pairs with `Value::cmp` — what a row-oriented engine without rank
+    //    columns pays per product.
+    let (value_parts, value_time) = timed_best_of_2(|| {
+        let mut parts: Vec<Vec<Vec<u32>>> = Vec::new();
+        for (i, &a) in attrs.iter().enumerate() {
+            let single = value_bucket(&rel, a, 0..rel.len() as u32);
+            for (j, &b) in attrs.iter().enumerate() {
+                if i != j {
+                    let mut refined = Vec::new();
+                    for class in &single {
+                        refined.extend(value_bucket(&rel, b, class.iter().copied()));
+                    }
+                    refined.sort_by_key(|c| c[0]);
+                    parts.push(refined);
+                }
+            }
+            parts.push(single);
+        }
+        parts
+    });
+
+    // 2. The pre-refactor rank-column pipeline: codes from per-attribute
+    //    Value-comparison sorts, bucketing via comparison sorts of the
+    //    (code, row) pairs.
+    let (codesort_parts, codesort_time) = timed_best_of_2(|| {
+        let base_codes: Vec<Vec<u32>> = attrs.iter().map(|&a| rel.rank_column_by_sort(a)).collect();
+        let mut parts: Vec<Vec<Vec<u32>>> = Vec::new();
+        for (i, ca) in base_codes.iter().enumerate() {
+            let single =
+                comparison_bucket((0..rel.len() as u32).map(|row| (ca[row as usize], row)));
+            for (j, cb) in base_codes.iter().enumerate() {
+                if i != j {
+                    let mut refined = Vec::new();
+                    for class in &single {
+                        refined.extend(comparison_bucket(
+                            class.iter().map(|&row| (cb[row as usize], row)),
+                        ));
+                    }
+                    refined.sort_by_key(|c| c[0]);
+                    parts.push(refined);
+                }
+            }
+            parts.push(single);
+        }
+        parts
+    });
+
+    // 3. Columnar path: codes are a by-product of construction (shared
+    //    dictionary encoding), bucketing goes through the reused radix scratch.
+    let enc = rel.encoding();
+    let ((codes_parts, radix_passes), columnar) = timed_best_of_2(|| {
+        let mut scratch = RefineScratch::default();
+        let mut parts: Vec<StrippedPartition> = Vec::new();
+        for i in 0..attrs.len() {
+            let p = StrippedPartition::by_codes_with(enc.codes(i), &mut scratch);
+            for j in 0..attrs.len() {
+                if i != j {
+                    parts.push(p.refine_by_with(enc.codes(j), &mut scratch));
+                }
+            }
+            parts.push(p);
+        }
+        (parts, scratch.radix_passes())
+    });
+    od_obs::add("e14.refine.radix_passes", radix_passes);
+    let speedup = value_time.as_secs_f64() / columnar.as_secs_f64().max(1e-9);
+    let speedup_codesort = codesort_time.as_secs_f64() / columnar.as_secs_f64().max(1e-9);
+    let parts_match = codes_parts.len() == value_parts.len()
+        && codes_parts.len() == codesort_parts.len()
+        && codes_parts
+            .iter()
+            .zip(&value_parts)
+            .zip(&codesort_parts)
+            .all(|((p, v), c)| p.classes() == &v[..] && p.classes() == &c[..]);
+    writeln!(
+        out,
+        "refinement ({} width-≤2 products, identical partitions on all three paths):",
+        codes_parts.len()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  row-at-a-time Value comparisons:               {value_time:?}"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  comparison-sorted rank codes (pre-refactor):   {codesort_time:?}"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  columnar radix codes:                          {columnar:?}  \
+         ({speedup:.1}x vs Values, {speedup_codesort:.1}x vs code sorts)"
+    )
+    .unwrap();
+    if !parts_match {
+        writeln!(
+            out,
+            "  UNEXPECTED: the three refinement paths produced different partitions"
+        )
+        .unwrap();
+    }
+    if rows >= 250_000 && speedup < 3.0 {
+        writeln!(
+            out,
+            "  UNEXPECTED: columnar refinement below the 3x bar against Value comparisons"
+        )
+        .unwrap();
+    }
+
+    // End-to-end width-2 discovery on the codes path.
+    let config = LatticeConfig {
+        max_context: 2,
+        threads,
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let d = discover_statements(&rel, &config);
+    let disc = t.elapsed();
+    writeln!(
+        out,
+        "width-2 discovery: {} minimal statements in {disc:?} ({} rows/sec)",
+        d.minimal_statements().len(),
+        rows_per_sec(rel.len(), disc)
+    )
+    .unwrap();
+    write!(out, "{}", d.summary()).unwrap();
+    writeln!(
+        out,
+        "claim: dictionary codes + radix bucketing turn refinement into linear counting \
+         passes, ≥3x over row-at-a-time comparisons at scale  |  measured: {speedup:.1}x \
+         on {} rows",
+        rel.len()
+    )
+    .unwrap();
+    out
+}
+
+/// Row-at-a-time bucketing for E14's Value baseline: sort `(&Value, row)`
+/// pairs with `Value::cmp` and emit runs of equal values as classes —
+/// what partition refinement costs without any integer codes at all.  Same
+/// output contract as the partition builders: classes in first-member order,
+/// members ascending.
+fn value_bucket(
+    rel: &od_core::Relation,
+    attr: AttrId,
+    rows: impl Iterator<Item = u32>,
+) -> Vec<Vec<u32>> {
+    let mut pairs: Vec<(&od_core::Value, u32)> = rows
+        .map(|row| (rel.value(row as usize, attr), row))
+        .collect();
+    pairs.sort_unstable_by(|x, y| x.0.cmp(y.0).then(x.1.cmp(&y.1)));
+    let mut classes: Vec<Vec<u32>> = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=pairs.len() {
+        if i == pairs.len() || pairs[i].0.cmp(pairs[start].0) != std::cmp::Ordering::Equal {
+            if i - start >= 2 {
+                classes.push(pairs[start..i].iter().map(|&(_, row)| row).collect());
+            }
+            start = i;
+        }
+    }
+    classes.sort_by_key(|c| c[0]);
+    classes
+}
+
+/// Comparison-sorted bucketing of `(code, row)` pairs into classes of size
+/// ≥ 2 — the pre-refactor rank-code reference E14 times the radix path
+/// against.  Same output contract as the partition builders: classes in
+/// first-member order, members ascending.
+fn comparison_bucket(pairs: impl Iterator<Item = (u32, u32)>) -> Vec<Vec<u32>> {
+    let mut pairs: Vec<(u32, u32)> = pairs.collect();
+    pairs.sort_unstable();
+    let mut classes = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=pairs.len() {
+        if i == pairs.len() || pairs[i].0 != pairs[start].0 {
+            if i - start >= 2 {
+                classes.push(pairs[start..i].iter().map(|&(_, row)| row).collect());
+            }
+            start = i;
+        }
+    }
+    classes.sort_by_key(|c: &Vec<u32>| c[0]);
+    classes
+}
+
+fn rows_per_sec(rows: usize, elapsed: std::time::Duration) -> String {
+    format!("{:.0}", rows as f64 / elapsed.as_secs_f64().max(1e-9))
+}
+
+/// Run `f` twice and report its result with the smaller elapsed time — the
+/// standard guard against cold-start noise (page faults, frequency ramp) in
+/// single-shot comparisons.  The result is taken from the second run; E14's
+/// paths are deterministic, so both runs return the same value.
+fn timed_best_of_2<R>(mut f: impl FnMut() -> R) -> (R, std::time::Duration) {
+    let t = Instant::now();
+    let _warm = f();
+    let first = t.elapsed();
+    let t = Instant::now();
+    let result = f();
+    (result, first.min(t.elapsed()))
+}
+
 fn ok(b: bool) -> &'static str {
     if b {
         "holds"
@@ -759,6 +1036,7 @@ mod tests {
             exp_e9_implication(),
             exp_e12_width3(scale),
             exp_e13_width4(scale, 4),
+            exp_e14_columnar(5_000),
         ] {
             assert!(
                 !report.contains("UNEXPECTED"),

@@ -65,6 +65,29 @@ fn e13_deterministic_section_is_byte_identical_across_runs_and_threads() {
 }
 
 #[test]
+fn e14_deterministic_section_is_byte_identical_across_runs_and_threads() {
+    // The whole E14 pipeline — scale-table generation, columnar encode,
+    // three-way refinement, width-2 discovery — under the capture, at a CI
+    // scale that still clears the radix thresholds.
+    let (_, reference) = od_bench::exp_e14_columnar_with_metrics_threads(30_000, 1);
+    let reference = reference.deterministic_json();
+    assert!(reference.contains("relation.encode.radix_passes"));
+    assert!(reference.contains("relation.encode.dict_entries"));
+    assert!(reference.contains("discovery.radix_passes"));
+    assert!(reference.contains("e14.refine.radix_passes"));
+    for threads in [1, 4, 8] {
+        for run in 0..2 {
+            let (_, report) = od_bench::exp_e14_columnar_with_metrics_threads(30_000, threads);
+            assert_eq!(
+                report.deterministic_json(),
+                reference,
+                "e14 deterministic section drifted (threads={threads}, run={run})"
+            );
+        }
+    }
+}
+
+#[test]
 fn experiment_level_captures_are_byte_identical_across_runs() {
     // The reproduce binary's own capture path: the full tiny E12/E13
     // experiments (two workloads each), deterministic sections compared

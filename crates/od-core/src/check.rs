@@ -91,7 +91,7 @@ pub fn check_od(rel: &Relation, od: &OrderDependency) -> Result<(), Violation> {
     }
     let tuples = rel.tuples();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| lex_cmp(&tuples[a], &tuples[b], &od.lhs));
+    idx.sort_unstable_by(|&a, &b| lex_cmp(&tuples[a], &tuples[b], &od.lhs));
 
     let mut group_start = 0usize;
     let mut prev_group_rep: Option<usize> = None;
@@ -298,11 +298,11 @@ pub fn od_evidence(rel: &Relation, od: &OrderDependency, witness_cap: usize) -> 
     }
     let tuples = rel.tuples();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| lex_cmp(&tuples[a], &tuples[b], &od.lhs));
+    idx.sort_unstable_by(|&a, &b| lex_cmp(&tuples[a], &tuples[b], &od.lhs));
 
     // Dense Y-ranks (equal rank ⟺ equal Y-projection).
     let mut by_y: Vec<usize> = (0..n).collect();
-    by_y.sort_by(|&a, &b| lex_cmp(&tuples[a], &tuples[b], &od.rhs));
+    by_y.sort_unstable_by(|&a, &b| lex_cmp(&tuples[a], &tuples[b], &od.rhs));
     let mut y_rank = vec![0usize; n];
     let mut rank = 0usize;
     for w in 0..n {

@@ -71,17 +71,21 @@
 
 pub mod attr;
 pub mod check;
+pub mod columnar;
 pub mod dep;
 pub mod error;
 pub mod fixtures;
 pub mod lex;
 pub mod list;
+mod obs;
+pub mod radix;
 pub mod relation;
 pub mod set;
 pub mod value;
 
 pub use attr::{AttrId, Attribute, DataType, Schema};
 pub use check::{check_od, od_holds, Violation};
+pub use columnar::{ColumnarEncoding, EncodedColumn};
 pub use dep::{FunctionalDependency, OrderCompatibility, OrderDependency, OrderEquivalence};
 pub use error::{CoreError, Result};
 pub use lex::{lex_cmp, lex_eq, lex_le, lex_lt};

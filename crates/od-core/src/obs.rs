@@ -1,0 +1,44 @@
+//! Crate-internal observability shim over `od_obs` (same idiom as the
+//! od-setbased shim: with the `obs` feature every hook forwards to the
+//! ambient recorder; without it the hooks are inlined empty functions, so the
+//! instrumented encoder compiles down to exactly the uninstrumented code).
+
+#[cfg(feature = "obs")]
+mod hooks {
+    /// RAII phase-span guard (records its duration on drop).
+    pub type Span = od_obs::SpanGuard;
+
+    #[inline]
+    pub fn span(name: &str) -> Span {
+        od_obs::span(name)
+    }
+
+    #[inline]
+    pub fn add(name: &str, delta: u64) {
+        od_obs::add(name, delta);
+    }
+
+    #[inline]
+    pub fn record(name: &str, value: u64) {
+        od_obs::record(name, value);
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+mod hooks {
+    /// Unit span guard: no state, no `Drop`.
+    pub struct Span;
+
+    #[inline(always)]
+    pub fn span(_name: &str) -> Span {
+        Span
+    }
+
+    #[inline(always)]
+    pub fn add(_name: &str, _delta: u64) {}
+
+    #[inline(always)]
+    pub fn record(_name: &str, _value: u64) {}
+}
+
+pub(crate) use hooks::*;

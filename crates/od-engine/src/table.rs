@@ -120,7 +120,7 @@ impl Partitioning {
     /// order).
     pub fn build(rel: &Relation, column: AttrId, n_partitions: usize) -> Self {
         let mut ids: Vec<usize> = (0..rel.len()).collect();
-        ids.sort_by(|&a, &b| rel.value(a, column).cmp(rel.value(b, column)));
+        ids.sort_unstable_by(|&a, &b| rel.value(a, column).cmp(rel.value(b, column)));
         let n_partitions = n_partitions.max(1);
         let chunk = ids.len().div_ceil(n_partitions).max(1);
         let partitions = ids

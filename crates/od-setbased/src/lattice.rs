@@ -76,7 +76,7 @@
 use crate::canonical::SetOd;
 use crate::obs;
 use crate::parallel::{self, StatementJob};
-use crate::partition::{PartitionCache, StrippedPartition};
+use crate::partition::{ColCodes, PartitionCache, StrippedPartition};
 use crate::validate::{self, Verdict};
 use od_core::{AttrId, AttrSet, CoreError, OrderDependency, Relation};
 #[cfg(feature = "decider")]
@@ -634,9 +634,10 @@ pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDi
     let decider_active = cfg!(feature = "decider") && config.use_decider && budget == 0;
     let threads = config.threads.max(1);
     let mut state = TraversalState::default();
-    // Per-attribute rank codes, prefetched once: the batch phase reads them
-    // from worker threads, which the `Rc`-handing cache cannot serve directly.
-    let all_codes: Vec<Rc<Vec<u32>>> = universe.iter().map(|&a| cache.codes(a)).collect();
+    // Per-attribute code-column views into the relation's shared columnar
+    // encoding — cheap handles that deref to `&[u32]` for the batch phase's
+    // worker threads.
+    let all_codes: Vec<ColCodes> = universe.iter().map(|&a| cache.codes(a)).collect();
     let _discovery_span = obs::span("discovery");
 
     let mut prev = LevelStore::default();
@@ -916,6 +917,7 @@ pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDi
         result.stats.cache_evictions as u64,
     );
     obs::add("discovery.partition_products", cache.products as u64);
+    obs::add("discovery.radix_passes", cache.radix_passes());
     obs::gauge_max(
         "discovery.partition_cache.peak",
         result.stats.peak_cached_partitions as u64,

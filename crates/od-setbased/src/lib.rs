@@ -92,7 +92,7 @@ pub use lattice::{
     discover_statements, try_discover_statements, LatticeConfig, LatticeStats, LevelStats,
     SetBasedDiscovery,
 };
-pub use partition::{PartitionCache, RefineScratch, SortedPartition, StrippedPartition};
+pub use partition::{ColCodes, PartitionCache, RefineScratch, SortedPartition, StrippedPartition};
 pub use stream::{
     CompactStats, DeltaBatch, DeltaSummary, StreamError, StreamMonitor, StreamStats, TupleId,
     VerdictLedger,

@@ -18,7 +18,7 @@
 use crate::partition::{RefineScratch, StrippedPartition};
 use crate::validate::{
     class_compatibility_removal, class_constancy_removal, class_is_compatible, class_is_constant,
-    Verdict, WITNESS_SAMPLE_CAP,
+    ClassCode, Verdict, WITNESS_SAMPLE_CAP,
 };
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -101,7 +101,7 @@ where
 }
 
 /// Parallel variant of [`crate::validate::constancy_verdict`].
-pub fn constancy_verdict_parallel<C: Copy + Ord + Sync>(
+pub fn constancy_verdict_parallel<C: ClassCode>(
     part: &StrippedPartition,
     codes: &[C],
     threads: usize,
@@ -117,7 +117,7 @@ pub fn constancy_verdict_parallel<C: Copy + Ord + Sync>(
 }
 
 /// Parallel variant of [`crate::validate::compatibility_verdict`].
-pub fn compatibility_verdict_parallel<C: Copy + Ord + Sync>(
+pub fn compatibility_verdict_parallel<C: ClassCode>(
     part: &StrippedPartition,
     codes_a: &[C],
     codes_b: &[C],
@@ -227,37 +227,48 @@ pub fn validate_statement_batch(
 /// the crate — classes within a scan ([`scan_classes`]), statements within a
 /// level ([`validate_statement_batch`]), and now contexts within a level
 /// expansion.
+///
+/// The second return value is the total number of radix counting passes the
+/// workers spent bucketing classes — a deterministic function of the jobs (it
+/// is a per-class property, independent of how classes were sharded), summed
+/// here so the orchestrating thread can fold it into its own metrics; the
+/// workers themselves never touch od-obs.
 pub fn refine_batch(
     jobs: &[Option<(&StrippedPartition, &[u32])>],
     threads: usize,
-) -> Vec<Option<StrippedPartition>> {
+) -> (Vec<Option<StrippedPartition>>, u64) {
     let live = jobs.iter().filter(|j| j.is_some()).count();
     let threads = threads.clamp(1, live.max(1));
     if threads <= 1 || live < 2 {
         let mut scratch = RefineScratch::default();
-        return jobs
+        let out = jobs
             .iter()
             .map(|job| job.map(|(base, codes)| base.refine_by_with(codes, &mut scratch)))
             .collect();
+        return (out, scratch.radix_passes());
     }
     let chunk_size = jobs.len().div_ceil(threads);
     let mut out: Vec<Option<StrippedPartition>> = Vec::with_capacity(jobs.len());
+    let mut passes = 0u64;
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for chunk in jobs.chunks(chunk_size) {
             handles.push(scope.spawn(move || {
                 let mut scratch = RefineScratch::default();
-                chunk
+                let fresh = chunk
                     .iter()
                     .map(|job| job.map(|(base, codes)| base.refine_by_with(codes, &mut scratch)))
-                    .collect::<Vec<_>>()
+                    .collect::<Vec<_>>();
+                (fresh, scratch.radix_passes())
             }));
         }
         for handle in handles {
-            out.extend(handle.join().expect("refinement worker panicked"));
+            let (fresh, worker_passes) = handle.join().expect("refinement worker panicked");
+            out.extend(fresh);
+            passes += worker_passes;
         }
     });
-    out
+    (out, passes)
 }
 
 /// Run `patch` over every ledger, sharded over up to `threads` threads.

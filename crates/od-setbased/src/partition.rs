@@ -8,10 +8,17 @@
 //! stripping is what makes level-wise traversal near-linear per candidate.
 //!
 //! Partitions compose: `Π_{X ∪ {A}}` is computed from `Π_X` by bucketing each
-//! class by `A`'s order-preserving [rank codes](od_core::Relation::rank_column)
-//! — a linear pass over the tuples still in classes, *not* an `O(n log n)`
-//! re-sort.  [`PartitionCache`] memoizes partitions per attribute set so the
-//! lattice visits each set once.
+//! class by `A`'s order-preserving code column (see
+//! [`od_core::ColumnarEncoding`]) — a linear pass over the tuples still in
+//! classes, *not* an `O(n log n)` re-sort.  Bucketing sorts `(code, row)`
+//! pairs; large classes go through the stable LSB
+//! [radix sort](od_core::radix) (dense codes over `n` rows need at most
+//! `⌈log₂ n / 8⌉` counting passes), small ones through `sort_unstable` —
+//! both produce the identical `(code, row)` lexicographic order, so the
+//! resulting classes are bit-identical either way.  [`PartitionCache`]
+//! memoizes partitions per attribute set so the lattice visits each set once,
+//! and hands out code columns as cheap [`ColCodes`] views into the relation's
+//! shared columnar encoding.
 //!
 //! [`SortedPartition`] orders the classes (plus the stripped-out singletons) of
 //! `Π_set(X)` by the list `X`'s value order, which turns whole-OD validation
@@ -19,18 +26,75 @@
 //! non-decreasing across consecutive groups) — the partition-powered
 //! replacement for the sort-based `od-core` checker.
 
-use od_core::{AttrId, AttrList, AttrSet, Relation};
+use od_core::{radix, AttrId, AttrList, AttrSet, ColumnarEncoding, Relation};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
+
+/// Pair count from which class bucketing switches from `sort_unstable` to the
+/// radix sort (below it, the radix histogram pre-pass dominates).
+const RADIX_MIN_PAIRS: usize = 256;
+
+/// One attribute's code column, borrowed from the relation's shared
+/// [`ColumnarEncoding`] — a cheap `Arc` + column-index handle that derefs to
+/// the `&[u32]` slice every validator and refinement works on.
+#[derive(Clone)]
+pub struct ColCodes {
+    enc: Arc<ColumnarEncoding>,
+    col: usize,
+}
+
+impl ColCodes {
+    /// A view of column `col` of `enc`.
+    pub fn new(enc: Arc<ColumnarEncoding>, col: usize) -> Self {
+        ColCodes { enc, col }
+    }
+}
+
+impl std::ops::Deref for ColCodes {
+    type Target = [u32];
+
+    fn deref(&self) -> &[u32] {
+        self.enc.codes(self.col)
+    }
+}
+
+impl std::fmt::Debug for ColCodes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColCodes")
+            .field("col", &self.col)
+            .field("len", &self.enc.n_rows())
+            .finish()
+    }
+}
 
 /// Reusable scratch buffers for partition construction, held per
 /// [`PartitionCache`] so the thousands of `refine_by` calls of a lattice
 /// traversal stop re-allocating their working set (the only allocations left
-/// are the surviving classes themselves).
+/// are the surviving classes themselves).  Also accumulates the number of
+/// radix counting passes spent, surfaced as the `discovery.radix_passes`
+/// counter.
 #[derive(Debug, Default)]
 pub struct RefineScratch {
     /// `(code, row)` pairs of the class currently being bucketed.
     pairs: Vec<(u32, u32)>,
+    /// Radix ping-pong buffer.
+    radix: Vec<(u32, u32)>,
+    /// Radix counting passes performed through this scratch.
+    passes: u64,
+}
+
+impl RefineScratch {
+    /// Total radix counting passes performed through this scratch so far.
+    pub fn radix_passes(&self) -> u64 {
+        self.passes
+    }
+
+    /// Fold another scratch's pass count into this one (used when sharded
+    /// workers refine with their own scratches).
+    pub fn absorb_passes(&mut self, passes: u64) {
+        self.passes += passes;
+    }
 }
 
 /// A stripped partition: equivalence classes (of size ≥ 2) of tuple ids.
@@ -52,7 +116,7 @@ impl StrippedPartition {
         StrippedPartition { classes, n_rows }
     }
 
-    /// Build `Π_{{A}}` from an attribute's rank codes.
+    /// Build `Π_{{A}}` from an attribute's code column.
     pub fn by_codes(codes: &[u32]) -> Self {
         Self::by_codes_with(codes, &mut RefineScratch::default())
     }
@@ -64,7 +128,7 @@ impl StrippedPartition {
         scratch
             .pairs
             .extend(codes.iter().enumerate().map(|(row, &c)| (c, row as u32)));
-        emit_runs(&mut scratch.pairs, &mut classes);
+        emit_runs(scratch, &mut classes);
         // Deterministic class order (by first member) keeps traversal stable.
         classes.sort_by_key(|c| c[0]);
         StrippedPartition {
@@ -73,18 +137,19 @@ impl StrippedPartition {
         }
     }
 
-    /// Refine by one more attribute's rank codes: `Π_X · Π_{{A}}` restricted to
-    /// the tuples `Π_X` still tracks.  Linear in [`Self::covered_rows`] up to
-    /// the per-class sort on `(code, row)` pairs.
+    /// Refine by one more attribute's code column: `Π_X · Π_{{A}}` restricted
+    /// to the tuples `Π_X` still tracks.  Linear in [`Self::covered_rows`] up
+    /// to the per-class sort on `(code, row)` pairs.
     pub fn refine_by(&self, codes: &[u32]) -> Self {
         self.refine_by_with(codes, &mut RefineScratch::default())
     }
 
     /// [`Self::refine_by`] with caller-provided scratch buffers: each class is
-    /// bucketed by sorting its `(code, row)` pairs in a reused buffer and
+    /// bucketed by sorting its `(code, row)` pairs in a reused buffer —
+    /// radix passes for large classes, `sort_unstable` for small ones — and
     /// emitting the runs of equal codes, instead of hashing into freshly
-    /// allocated per-bucket vectors.  Output is identical (classes in
-    /// first-member order, members in ascending row order).
+    /// allocated per-bucket vectors.  Output is identical on either sort path
+    /// (classes in first-member order, members in ascending row order).
     pub fn refine_by_with(&self, codes: &[u32], scratch: &mut RefineScratch) -> Self {
         let mut classes = Vec::new();
         for class in &self.classes {
@@ -92,7 +157,7 @@ impl StrippedPartition {
             scratch
                 .pairs
                 .extend(class.iter().map(|&row| (codes[row as usize], row)));
-            emit_runs(&mut scratch.pairs, &mut classes);
+            emit_runs(scratch, &mut classes);
         }
         classes.sort_by_key(|c| c[0]);
         StrippedPartition {
@@ -134,10 +199,17 @@ impl StrippedPartition {
     }
 }
 
-/// Sort `(code, row)` pairs and push every run of ≥ 2 equal codes as a class
-/// (rows come out in ascending order because `row` tie-breaks the sort).
-fn emit_runs(pairs: &mut [(u32, u32)], classes: &mut Vec<Vec<u32>>) {
-    pairs.sort_unstable();
+/// Sort `scratch.pairs` by `(code, row)` and push every run of ≥ 2 equal codes
+/// as a class (rows come out in ascending order because the pairs enter in
+/// ascending row order: the radix path is stable and the comparison path
+/// tie-breaks on `row`, so both yield the same lexicographic order).
+fn emit_runs(scratch: &mut RefineScratch, classes: &mut Vec<Vec<u32>>) {
+    let pairs = &mut scratch.pairs;
+    if pairs.len() >= RADIX_MIN_PAIRS {
+        scratch.passes += u64::from(radix::sort_pairs(pairs, &mut scratch.radix));
+    } else {
+        pairs.sort_unstable();
+    }
     let mut start = 0usize;
     for i in 1..=pairs.len() {
         if i == pairs.len() || pairs[i].0 != pairs[start].0 {
@@ -150,7 +222,8 @@ fn emit_runs(pairs: &mut [(u32, u32)], classes: &mut Vec<Vec<u32>>) {
 }
 
 /// Memoizing builder of stripped partitions per attribute set, plus the
-/// per-attribute rank codes all validators work on.
+/// per-attribute code columns all validators work on (served as [`ColCodes`]
+/// views into the relation's eagerly built [`ColumnarEncoding`]).
 ///
 /// `Π_X` is computed once per distinct `X`, by refining the partition of a
 /// maximal cached subset (in practice `X` minus its last attribute, which the
@@ -158,7 +231,7 @@ fn emit_runs(pairs: &mut [(u32, u32)], classes: &mut Vec<Vec<u32>>) {
 /// product* of FASTOD.
 pub struct PartitionCache<'r> {
     rel: &'r Relation,
-    codes: Vec<Option<Rc<Vec<u32>>>>,
+    enc: Arc<ColumnarEncoding>,
     /// Memoized partitions, keyed directly by the attribute-set bit mask —
     /// hashing a context costs one `u64` hash, not a `Vec<AttrId>` walk.
     partitions: HashMap<AttrSet, Rc<StrippedPartition>>,
@@ -173,11 +246,12 @@ pub struct PartitionCache<'r> {
 }
 
 impl<'r> PartitionCache<'r> {
-    /// A cache over one relation instance.
+    /// A cache over one relation instance (grabs the shared columnar
+    /// encoding, building it if the relation was mutated since construction).
     pub fn new(rel: &'r Relation) -> Self {
         PartitionCache {
             rel,
-            codes: vec![None; rel.schema().arity()],
+            enc: rel.encoding(),
             partitions: HashMap::new(),
             scratch: RefineScratch::default(),
             products: 0,
@@ -191,12 +265,16 @@ impl<'r> PartitionCache<'r> {
         self.rel
     }
 
-    /// Order-preserving dense codes of one column (memoized).
-    pub fn codes(&mut self, attr: AttrId) -> Rc<Vec<u32>> {
-        let rel = self.rel;
-        self.codes[attr.index()]
-            .get_or_insert_with(|| Rc::new(rel.rank_column(attr)))
-            .clone()
+    /// Order-preserving dense codes of one column — an O(1) view into the
+    /// shared encoding (historically this memoized per-attribute sorts).
+    pub fn codes(&self, attr: AttrId) -> ColCodes {
+        ColCodes::new(self.enc.clone(), attr.index())
+    }
+
+    /// Radix counting passes spent on partition construction so far
+    /// (serial and sharded refinements both accumulate here).
+    pub fn radix_passes(&self) -> u64 {
+        self.scratch.radix_passes()
     }
 
     /// The stripped partition `Π_X` (memoized).
@@ -232,7 +310,8 @@ impl<'r> PartitionCache<'r> {
     /// cache cannot be touched from workers — then the per-context
     /// `refine_by` products run sharded ([`crate::parallel::refine_batch`]):
     /// refinement is a pure function of the base partition and the attribute's
-    /// rank codes, so the results are bit-identical on every thread count.
+    /// code column, so the results are bit-identical on every thread count
+    /// (and so is the total radix pass count the workers hand back).
     /// Sets whose base is not cached (possible only outside the lattice's
     /// level discipline) fall back to the serial recursive path.
     pub fn partitions_batch(
@@ -241,7 +320,7 @@ impl<'r> PartitionCache<'r> {
         threads: usize,
     ) -> Vec<Rc<StrippedPartition>> {
         // Keep the base `Rc`s alive on this thread; workers see plain `&`s.
-        type Base = (Rc<StrippedPartition>, Rc<Vec<u32>>);
+        type Base = (Rc<StrippedPartition>, ColCodes);
         let mut bases: Vec<Option<Base>> = Vec::with_capacity(sets.len());
         for set in sets {
             if self.partitions.contains_key(set) {
@@ -269,7 +348,8 @@ impl<'r> PartitionCache<'r> {
             .iter()
             .map(|o| o.as_ref().map(|(b, c)| (&**b, &c[..])))
             .collect();
-        let fresh = crate::parallel::refine_batch(&jobs, threads);
+        let (fresh, worker_passes) = crate::parallel::refine_batch(&jobs, threads);
+        self.scratch.absorb_passes(worker_passes);
         for (set, part) in sets.iter().zip(fresh) {
             if let Some(part) = part {
                 self.products += 1;
@@ -337,7 +417,7 @@ impl SortedPartition {
         }
         // Sort representatives by the list's per-attribute codes: integer
         // comparisons, and only one row per class.
-        let key_codes: Vec<Rc<Vec<u32>>> = list.iter().map(|a| cache.codes(a)).collect();
+        let key_codes: Vec<ColCodes> = list.iter().map(|a| cache.codes(a)).collect();
         groups.sort_by(|a, b| {
             for codes in &key_codes {
                 let ord = codes[a.0 as usize].cmp(&codes[b.0 as usize]);
@@ -412,6 +492,48 @@ mod tests {
     }
 
     #[test]
+    fn radix_and_comparison_bucketing_agree() {
+        // Enough rows to clear RADIX_MIN_PAIRS, few enough distinct values
+        // that classes stay large: the full-relation bucketing takes the
+        // radix path while tiny per-class refinements take sort_unstable,
+        // and both must produce identical partitions.
+        let rows: Vec<Vec<i64>> = (0..600i64).map(|i| vec![i % 7, i % 3]).collect();
+        let rows: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let rel = rel_from(&rows);
+        let codes = rel.rank_column(AttrId(0));
+        let mut scratch = RefineScratch::default();
+        let via_radix = StrippedPartition::by_codes_with(&codes, &mut scratch);
+        assert!(
+            scratch.radix_passes() > 0,
+            "600 pairs must take the radix path"
+        );
+        // Reference: comparison-sorted bucketing of the same pairs.
+        let mut pairs: Vec<(u32, u32)> = codes
+            .iter()
+            .enumerate()
+            .map(|(row, &c)| (c, row as u32))
+            .collect();
+        pairs.sort_unstable();
+        let mut expected: Vec<Vec<u32>> = Vec::new();
+        let mut start = 0;
+        for i in 1..=pairs.len() {
+            if i == pairs.len() || pairs[i].0 != pairs[start].0 {
+                if i - start >= 2 {
+                    expected.push(pairs[start..i].iter().map(|&(_, r)| r).collect());
+                }
+                start = i;
+            }
+        }
+        expected.sort_by_key(|c| c[0]);
+        assert_eq!(via_radix.classes(), &expected[..]);
+        // And refining by the second column matches the cache-built product.
+        let mut cache = PartitionCache::new(&rel);
+        let pab = cache.partition(&set(&[0, 1]));
+        let manual = via_radix.refine_by(&rel.rank_column(AttrId(1)));
+        assert_eq!(*pab, manual);
+    }
+
+    #[test]
     fn key_sets_strip_to_nothing() {
         let rel = rel_from(&[&[1, 7], &[2, 7], &[3, 7]]);
         let mut cache = PartitionCache::new(&rel);
@@ -443,6 +565,16 @@ mod tests {
             cache.cached_sets() >= 2,
             "subset partitions are cached on the way"
         );
+    }
+
+    #[test]
+    fn cache_codes_view_matches_rank_column() {
+        let rel = rel_from(&[&[5, 1], &[3, 1], &[5, 2]]);
+        let cache = PartitionCache::new(&rel);
+        for attr in [AttrId(0), AttrId(1)] {
+            let view = cache.codes(attr);
+            assert_eq!(&view[..], rel.rank_column(attr).as_slice());
+        }
     }
 
     #[test]

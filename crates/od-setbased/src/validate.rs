@@ -34,7 +34,7 @@
 use crate::canonical::SetOd;
 use crate::parallel;
 use crate::partition::{PartitionCache, SortedPartition, StrippedPartition};
-use od_core::OrderDependency;
+use od_core::{radix, OrderDependency};
 
 /// Row-coverage threshold below which threaded validation is not worth the
 /// spawning overhead.
@@ -42,6 +42,90 @@ pub const PARALLEL_ROW_THRESHOLD: usize = 8_192;
 
 /// Maximum number of violating row pairs a verdict samples as witnesses.
 pub const WITNESS_SAMPLE_CAP: usize = 8;
+
+/// Class size from which the `u32` validators switch their per-class sorts
+/// from `sort_unstable` to counting-sort radix passes.
+const CLASS_RADIX_MIN: usize = 256;
+
+/// An order-preserving code type the class validators can sort on.
+///
+/// Implemented for `u32` (the snapshot path's dense rank codes, see
+/// [`od_core::ColumnarEncoding`]) and `u64` (the streaming path's gapped live
+/// codes, see [`crate::stream`]).  The provided methods are plain
+/// `sort_unstable` calls; the `u32` impl overrides them with stable LSB
+/// [`od_core::radix`] counting passes once a class is large enough to
+/// amortize the histogram pre-pass, packing `(a, b)` code pairs into a single
+/// `u64` key.  Both routes produce the same sorted order — validators are
+/// bit-identical either way.
+///
+/// **Precondition** shared by all three sorts: callers push class rows in
+/// ascending row order, which lets the stable radix path stand in for a full
+/// lexicographic `sort_unstable` (equal keys keep ascending rows either way).
+/// These per-class sorts run inside worker threads, so unlike partition
+/// refinement they record no `radix_passes` metrics — the scoped od-obs
+/// registry is thread-local to the orchestrator.
+pub trait ClassCode: Copy + Ord + Send + Sync {
+    /// Sort `(code, row)` pairs by code, rows ascending within equal codes.
+    fn sort_group_pairs(pairs: &mut Vec<(Self, u32)>) {
+        pairs.sort_unstable();
+    }
+
+    /// Sort `(code_a, code_b)` pairs lexicographically.
+    fn sort_key_pairs(pairs: &mut Vec<(Self, Self)>) {
+        pairs.sort_unstable();
+    }
+
+    /// Sort `(code_a, code_b, row)` triples lexicographically.
+    fn sort_triples(triples: &mut Vec<(Self, Self, u32)>) {
+        triples.sort_unstable();
+    }
+}
+
+/// Streaming live codes: class sizes in the ledger path stay small, so the
+/// comparison-sort defaults are the right tool.
+impl ClassCode for u64 {}
+
+impl ClassCode for u32 {
+    fn sort_group_pairs(pairs: &mut Vec<(u32, u32)>) {
+        if pairs.len() < CLASS_RADIX_MIN {
+            pairs.sort_unstable();
+        } else {
+            radix::sort_pairs(pairs, &mut Vec::new());
+        }
+    }
+
+    fn sort_key_pairs(pairs: &mut Vec<(u32, u32)>) {
+        if pairs.len() < CLASS_RADIX_MIN {
+            pairs.sort_unstable();
+            return;
+        }
+        // Pack both codes into one u64 key (payload unused — equal packed
+        // keys are identical pairs, so any stable order is the sorted order).
+        let mut keyed: Vec<(u64, u32)> = pairs
+            .iter()
+            .map(|&(a, b)| ((u64::from(a) << 32) | u64::from(b), 0))
+            .collect();
+        radix::sort_pairs(&mut keyed, &mut Vec::new());
+        for (dst, &(key, _)) in pairs.iter_mut().zip(keyed.iter()) {
+            *dst = ((key >> 32) as u32, key as u32);
+        }
+    }
+
+    fn sort_triples(triples: &mut Vec<(u32, u32, u32)>) {
+        if triples.len() < CLASS_RADIX_MIN {
+            triples.sort_unstable();
+            return;
+        }
+        let mut keyed: Vec<(u64, u32)> = triples
+            .iter()
+            .map(|&(a, b, row)| ((u64::from(a) << 32) | u64::from(b), row))
+            .collect();
+        radix::sort_pairs(&mut keyed, &mut Vec::new());
+        for (dst, &(key, row)) in triples.iter_mut().zip(keyed.iter()) {
+            *dst = ((key >> 32) as u32, key as u32, row);
+        }
+    }
+}
 
 /// The tuple-removal budget `⌊ε·n⌋` corresponding to an error threshold ε on
 /// an `n`-row relation (non-finite or negative ε clamps to 0, ε ≥ 1 to `n`).
@@ -136,7 +220,7 @@ pub fn class_is_constant<C: Copy + Ord>(class: &[u32], codes: &[C]) -> bool {
 /// Minimal tuples to remove so the class becomes constant on `attr`:
 /// `|class| − max value-group size`.  Appends up to the remaining witness
 /// capacity pairs of rows holding different values.
-pub fn class_constancy_removal<C: Copy + Ord>(
+pub fn class_constancy_removal<C: ClassCode>(
     class: &[u32],
     codes: &[C],
     witnesses: &mut Vec<(u32, u32)>,
@@ -145,7 +229,7 @@ pub fn class_constancy_removal<C: Copy + Ord>(
     // reaching this path are known non-constant, so the work is proportional
     // to actual violations.
     let mut sorted: Vec<(C, u32)> = class.iter().map(|&r| (codes[r as usize], r)).collect();
-    sorted.sort_unstable();
+    C::sort_group_pairs(&mut sorted);
     let mut max_group = 0usize;
     let mut start = 0usize;
     for i in 1..=sorted.len() {
@@ -175,7 +259,7 @@ pub fn class_constancy_removal<C: Copy + Ord>(
 /// Runs by sorting the class's `(code_a, code_b)` pairs and requiring that the
 /// minimum `B` of each successive `A`-group is no smaller than the maximum `B`
 /// seen in earlier groups.  Ties on `A` never produce swaps.
-pub fn class_is_compatible<C: Copy + Ord>(class: &[u32], codes_a: &[C], codes_b: &[C]) -> bool {
+pub fn class_is_compatible<C: ClassCode>(class: &[u32], codes_a: &[C], codes_b: &[C]) -> bool {
     if class.len() < 2 {
         return true;
     }
@@ -183,7 +267,7 @@ pub fn class_is_compatible<C: Copy + Ord>(class: &[u32], codes_a: &[C], codes_b:
         .iter()
         .map(|&row| (codes_a[row as usize], codes_b[row as usize]))
         .collect();
-    pairs.sort_unstable();
+    C::sort_key_pairs(&mut pairs);
     let mut prev_groups_max_b: Option<C> = None;
     let mut group_a = pairs[0].0;
     let mut group_max_b = pairs[0].1;
@@ -212,7 +296,7 @@ pub fn class_is_compatible<C: Copy + Ord>(class: &[u32], codes_a: &[C], codes_b:
 /// is swap-free and vice versa).  The largest such subset is the longest
 /// non-decreasing subsequence of `B`, found with the `O(k log k)` patience
 /// pass.  Appends up to the remaining witness capacity swap pairs.
-pub fn class_compatibility_removal<C: Copy + Ord>(
+pub fn class_compatibility_removal<C: ClassCode>(
     class: &[u32],
     codes_a: &[C],
     codes_b: &[C],
@@ -225,7 +309,7 @@ pub fn class_compatibility_removal<C: Copy + Ord>(
         .iter()
         .map(|&row| (codes_a[row as usize], codes_b[row as usize], row))
         .collect();
-    triples.sort_unstable();
+    C::sort_triples(&mut triples);
     // Longest non-decreasing subsequence of B: `tails[k]` is the smallest tail
     // of any non-decreasing subsequence of length `k + 1`.
     let mut tails: Vec<C> = Vec::new();
@@ -406,9 +490,9 @@ mod tests {
     #[test]
     fn swap_detection_needs_strictly_smaller_b_in_later_group() {
         // a: 0 1, b: 3 3 — equal b across groups is fine (non-decreasing).
-        assert!(class_is_compatible(&[0, 1], &[0, 1], &[3, 3]));
+        assert!(class_is_compatible(&[0, 1], &[0u32, 1], &[3, 3]));
         // a: 0 1, b: 3 2 — genuine swap.
-        assert!(!class_is_compatible(&[0, 1], &[0, 1], &[3, 2]));
+        assert!(!class_is_compatible(&[0, 1], &[0u32, 1], &[3, 2]));
     }
 
     #[test]
@@ -462,6 +546,35 @@ mod tests {
             0
         );
         assert!(w3.is_empty());
+    }
+
+    #[test]
+    fn class_code_radix_overrides_match_comparison_defaults() {
+        // A class big enough to push every u32 sort onto the radix path; the
+        // u64 impl runs the provided sort_unstable defaults on the same data,
+        // so removal counts AND witness pairs must agree bit-for-bit.
+        let n = 2 * CLASS_RADIX_MIN as u32;
+        let class: Vec<u32> = (0..n).collect();
+        let codes_a: Vec<u32> = (0..n).map(|i| (i.wrapping_mul(7919)) % 13).collect();
+        let codes_b: Vec<u32> = (0..n).map(|i| (i.wrapping_mul(104_729)) % 11).collect();
+        let a64: Vec<u64> = codes_a.iter().map(|&c| u64::from(c)).collect();
+        let b64: Vec<u64> = codes_b.iter().map(|&c| u64::from(c)).collect();
+        let (mut w32, mut w64) = (Vec::new(), Vec::new());
+        assert_eq!(
+            class_constancy_removal(&class, &codes_a, &mut w32),
+            class_constancy_removal(&class, &a64, &mut w64)
+        );
+        assert_eq!(w32, w64);
+        let (mut w32, mut w64) = (Vec::new(), Vec::new());
+        assert_eq!(
+            class_compatibility_removal(&class, &codes_a, &codes_b, &mut w32),
+            class_compatibility_removal(&class, &a64, &b64, &mut w64)
+        );
+        assert_eq!(w32, w64);
+        assert_eq!(
+            class_is_compatible(&class, &codes_a, &codes_b),
+            class_is_compatible(&class, &a64, &b64)
+        );
     }
 
     #[test]

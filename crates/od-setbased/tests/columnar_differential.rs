@@ -1,0 +1,219 @@
+//! Differential proptests for the columnar code path.  The dictionary codes
+//! built at relation construction, the radix-bucketed partition refinement,
+//! and the code-based statement verdicts must be bit-for-bit interchangeable
+//! with their Value-comparison oracles — on relations with NULLs, heavy
+//! duplicates, mixed value types, and single-value columns, both below and
+//! above the radix thresholds (`RADIX_MIN_PAIRS` and `CLASS_RADIX_MIN` are
+//! both 256, so the "large" cases genuinely take the counting-sort paths).
+
+use od_core::check::od_removal_count;
+use od_core::{AttrId, AttrSet, Relation, Schema, Value};
+use od_setbased::validate::statement_verdict;
+use od_setbased::{error_budget, PartitionCache, RefineScratch, SetOd, StrippedPartition};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Small value pool: NULLs, duplicate-heavy small integers, and a couple of
+/// strings so the per-attribute dictionaries span value types (`Value`'s
+/// total order puts Null first, then Int, then Str).
+fn value_strategy() -> impl Strategy<Value = Value> {
+    (0u8..8).prop_map(|k| match k {
+        0..=3 => Value::Int(i64::from(k) % 3),
+        4 | 5 => Value::Null,
+        6 => Value::Str("x".into()),
+        _ => Value::Str("y".into()),
+    })
+}
+
+/// A relation with `cols` generated columns plus one appended single-value
+/// column (every row `Int(42)`) — the degenerate dictionary every real table
+/// has somewhere, and the case where radix bucketing must do zero passes.
+fn relation_strategy(cols: usize, rows: std::ops::Range<usize>) -> impl Strategy<Value = Relation> {
+    prop::collection::vec(prop::collection::vec(value_strategy(), cols), rows).prop_map(
+        move |rows| {
+            let mut schema = Schema::new("coldiff");
+            for i in 0..=cols {
+                schema.add_attr(format!("c{i}"));
+            }
+            Relation::from_rows(
+                schema,
+                rows.into_iter().map(|mut r| {
+                    r.push(Value::Int(42));
+                    r
+                }),
+            )
+            .expect("arity fixed by construction")
+        },
+    )
+}
+
+/// Value-path oracle for stripped bucketing: sort `(&Value, row)` pairs with
+/// `Value::cmp`, emit runs of ≥ 2 equal values, classes in first-member
+/// order, members ascending — the output contract of [`StrippedPartition`].
+fn bucket_by_value(rel: &Relation, attr: AttrId, rows: &[u32]) -> Vec<Vec<u32>> {
+    let mut pairs: Vec<(&Value, u32)> = rows
+        .iter()
+        .map(|&r| (rel.value(r as usize, attr), r))
+        .collect();
+    pairs.sort_by(|x, y| x.0.cmp(y.0).then(x.1.cmp(&y.1)));
+    let mut classes = Vec::new();
+    let mut i = 0;
+    while i < pairs.len() {
+        let mut j = i + 1;
+        while j < pairs.len() && pairs[j].0 == pairs[i].0 {
+            j += 1;
+        }
+        if j - i >= 2 {
+            classes.push(pairs[i..j].iter().map(|p| p.1).collect::<Vec<u32>>());
+        }
+        i = j;
+    }
+    classes.sort_by_key(|c| c[0]);
+    classes
+}
+
+/// Every non-trivial canonical statement over the relation's attributes with
+/// a context of at most `max_context` attributes.
+fn all_statements(cols: u32, max_context: usize) -> Vec<SetOd> {
+    let universe: Vec<AttrId> = (0..cols).map(AttrId).collect();
+    let mut contexts: Vec<AttrSet> = vec![AttrSet::new()];
+    for _ in 0..max_context {
+        let mut next = Vec::new();
+        for ctx in &contexts {
+            for &a in &universe {
+                if !ctx.contains(a) {
+                    let mut bigger = *ctx;
+                    bigger.insert(a);
+                    next.push(bigger);
+                }
+            }
+        }
+        contexts.extend(next);
+        contexts.sort();
+        contexts.dedup();
+    }
+    let mut out = Vec::new();
+    for ctx in &contexts {
+        for &a in &universe {
+            let c = SetOd::constancy(*ctx, a);
+            if !c.is_trivial() {
+                out.push(c);
+            }
+            for &b in &universe {
+                if b > a {
+                    let k = SetOd::compatibility(*ctx, a, b);
+                    if !k.is_trivial() {
+                        out.push(k);
+                    }
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Shared body: dictionary codes, stripped partitions and all width-2
+/// refinements against the Value-comparison oracles, bit for bit.
+fn assert_partitions_match_value_oracle(rel: &Relation) -> Result<u64, TestCaseError> {
+    let all_rows: Vec<u32> = (0..rel.len() as u32).collect();
+    let attrs: Vec<AttrId> = rel.schema().attr_ids().collect();
+    let enc = rel.encoding();
+    let mut scratch = RefineScratch::default();
+    for (i, &a) in attrs.iter().enumerate() {
+        // The encoding's code column is the same dense ranking the
+        // comparison-sort reference produces.
+        prop_assert_eq!(
+            rel.rank_column(a),
+            rel.rank_column_by_sort(a),
+            "codes of {:?}",
+            a
+        );
+        let p = StrippedPartition::by_codes_with(enc.codes(i), &mut scratch);
+        let single = bucket_by_value(rel, a, &all_rows);
+        prop_assert_eq!(p.classes(), &single[..], "Π_{{{:?}}}", a);
+        for (j, &b) in attrs.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let refined = p.refine_by_with(enc.codes(j), &mut scratch);
+            let mut oracle = Vec::new();
+            for class in &single {
+                oracle.extend(bucket_by_value(rel, b, class));
+            }
+            oracle.sort_by_key(|c| c[0]);
+            prop_assert_eq!(refined.classes(), &oracle[..], "Π_{{{:?},{:?}}}", a, b);
+        }
+    }
+    Ok(scratch.radix_passes())
+}
+
+/// Shared body: exact (`ε = 0`, unbounded budget) removal counts and budgeted
+/// (`ε > 0`) accept/reject decisions against the sort-based list-OD oracle.
+fn assert_verdicts_match_value_oracle(rel: &Relation) -> Result<(), TestCaseError> {
+    let cols = rel.schema().arity() as u32;
+    let mut cache = PartitionCache::new(rel);
+    for stmt in all_statements(cols, 2) {
+        let exact = statement_verdict(&mut cache, &stmt, 1, usize::MAX);
+        // Both list-OD directions of a compatibility share one removal count;
+        // one representative suffices as the Value-path oracle.
+        let oracle = od_removal_count(rel, &stmt.as_list_ods()[0]);
+        prop_assert_eq!(
+            exact.removal_count,
+            oracle,
+            "exact removal of {} on {} rows",
+            &stmt,
+            rel.len()
+        );
+        prop_assert_eq!(exact.holds(), oracle == 0);
+        for epsilon in [0.1, 0.25] {
+            let budget = error_budget(rel.len(), epsilon);
+            let approx = statement_verdict(&mut cache, &stmt, 1, budget);
+            // A budgeted scan may short-circuit, so only the decision is
+            // pinned — the overshoot of a rejected verdict is not exact.
+            prop_assert_eq!(
+                approx.within(budget),
+                oracle <= budget,
+                "ε = {}: {} (oracle {}, budget {})",
+                epsilon,
+                &stmt,
+                oracle,
+                budget
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Small relations: exhaustive shape coverage (empty, all-NULL columns,
+    /// every class below the radix thresholds → comparison fallback paths).
+    #[test]
+    fn small_relations_partition_and_verdict_parity(
+        rel in relation_strategy(2, 0usize..14),
+    ) {
+        assert_partitions_match_value_oracle(&rel)?;
+        assert_verdicts_match_value_oracle(&rel)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Large relations: few distinct values over hundreds of rows, so
+    /// partition classes and refinement pair sets clear `RADIX_MIN_PAIRS` /
+    /// `CLASS_RADIX_MIN` — this is the differential pin on the radix and
+    /// counting-sort code paths (plus the single-value column, whose
+    /// constant key must cost zero radix passes yet one full class).
+    #[test]
+    fn large_relations_take_radix_paths_and_agree(
+        rel in relation_strategy(2, 400usize..520),
+    ) {
+        let passes = assert_partitions_match_value_oracle(&rel)?;
+        prop_assert!(passes > 0, "expected radix passes above the threshold");
+        assert_verdicts_match_value_oracle(&rel)?;
+    }
+}

@@ -8,17 +8,23 @@
 //!   `daily_sales` table used by the Example 1 experiment;
 //! * [`star`] — the TPC-DS-style star schema (fact table keyed by date
 //!   surrogate) and the 18-query date-predicate suite of Section 2.3;
-//! * [`tax`] — the Example 5 progressive-tax workload.
+//! * [`tax`] — the Example 5 progressive-tax workload;
+//! * [`scale`] — seeded million-row relations (zipfian + sorted-with-noise
+//!   columns) for the columnar throughput experiment E14.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dates;
+pub mod scale;
 pub mod star;
 pub mod tax;
 
 pub use dates::{
     daily_sales_table, date_dim_table, figure_2_ods, figure_2_odset, generate_date_dim,
+};
+pub use scale::{
+    generate_scale_rows, scale_ods, scale_relation, scale_schema, ScaleConfig, SCALE_10M, SCALE_1M,
 };
 pub use star::{build_warehouse, date_query_suite, SuiteQuery, Warehouse, WarehouseConfig};
 pub use tax::{generate_taxes, tax_odset, tax_table};
