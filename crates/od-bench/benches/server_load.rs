@@ -1,0 +1,95 @@
+//! E15 bench — wire-protocol request round-trips against a live `od-server`
+//! on loopback TCP.  Three entries isolate the layers the E15 experiment
+//! composes:
+//!
+//! * `ping_roundtrip` — pure protocol + transport floor (frame, send, parse,
+//!   answer);
+//! * `status_roundtrip` — a `MonitorStatus` read: verdict-ledger reads plus
+//!   response serialization for three watched ODs;
+//! * `duplicate_delta_roundtrip` — an `ApplyDelta` inserting a duplicate row:
+//!   the full write path (stream patch, verdict re-read, broadcast check)
+//!   without ever flipping a verdict.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use od_core::{AttrId, OrderDependency};
+use od_server::proto::{Request, Response};
+use od_server::{Client, OdServer};
+use od_workload::tax;
+use std::time::Duration;
+
+const ROWS: usize = 5_000;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_load");
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+
+    let server = OdServer::bind("127.0.0.1:0").expect("bind loopback");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let rel = tax::generate_taxes(ROWS, 42);
+    let row = rel.tuples()[0].clone();
+    client
+        .request(&Request::CreateRelation {
+            name: "taxes".into(),
+            relation: rel,
+        })
+        .expect("create relation");
+    client
+        .request(&Request::CreateMonitor {
+            name: "ledger".into(),
+            relation: "taxes".into(),
+            epsilon: 0.0,
+            ods: vec![
+                OrderDependency::new(vec![AttrId(1)], vec![AttrId(2)]),
+                OrderDependency::new(vec![AttrId(1)], vec![AttrId(3)]),
+                OrderDependency::new(vec![AttrId(2)], vec![AttrId(3)]),
+            ],
+        })
+        .expect("create monitor");
+
+    group.bench_function("ping_roundtrip", |b| {
+        b.iter(|| {
+            let response = client.request(&Request::Ping).expect("ping");
+            assert!(matches!(response, Response::Pong));
+        })
+    });
+
+    group.bench_function("status_roundtrip", |b| {
+        b.iter(|| {
+            let response = client
+                .request(&Request::MonitorStatus {
+                    monitor: "ledger".into(),
+                })
+                .expect("status");
+            match response {
+                Response::Statuses { statuses, .. } => assert_eq!(statuses.len(), 3),
+                other => panic!("unexpected {other:?}"),
+            }
+        })
+    });
+
+    group.bench_function("duplicate_delta_roundtrip", |b| {
+        b.iter(|| {
+            let response = client
+                .request(&Request::ApplyDelta {
+                    monitor: "ledger".into(),
+                    inserts: vec![row.clone()],
+                    deletes: vec![],
+                })
+                .expect("delta");
+            match response {
+                Response::DeltaApplied { flipped, .. } => assert!(flipped.is_empty()),
+                other => panic!("unexpected {other:?}"),
+            }
+        })
+    });
+
+    group.finish();
+    drop(client);
+    server.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -12,6 +12,9 @@
 //! #                       also write BENCH_<exp>.json canonical-metrics artifacts
 //! cargo run --release -p od-bench --bin reproduce -- e14 --rows 250000
 //! #                       rows for the E14 columnar-scale table (default 1M; --tiny 20k)
+//! cargo run --release -p od-bench --bin reproduce -- e15 --metrics-out out/
+//! #                       service-layer load over loopback TCP (throughput, latency
+//! #                       percentiles, pub/sub flips, max-capacity saturation knee)
 //! ```
 
 use od_bench::*;
@@ -142,6 +145,21 @@ fn main() {
                 emit(&metrics, dir);
             }
             None => println!("{}", exp_e14_columnar(e14_rows)),
+        }
+    }
+    if want("e15") {
+        let config = if tiny {
+            LoadConfig::tiny()
+        } else {
+            LoadConfig::default()
+        };
+        match &metrics_out {
+            Some(dir) => {
+                let (report, metrics) = exp_e15_server_load_with_metrics(config);
+                println!("{report}");
+                emit(&metrics, dir);
+            }
+            None => println!("{}", exp_e15_server_load(config)),
         }
     }
 }

@@ -27,8 +27,11 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 pub mod metrics;
+pub mod server_load;
 pub mod streaming;
 pub mod timing;
+
+pub use server_load::{exp_e15_server_load, exp_e15_server_load_with_metrics, LoadConfig};
 
 /// Sizing for the experiment runs (kept configurable so tests can run tiny
 /// versions and the `reproduce` binary a fuller one).

@@ -1,0 +1,523 @@
+//! E15 — service-layer load: drive a live `od-server` over loopback TCP with
+//! a multi-threaded client fleet and measure end-to-end request throughput,
+//! latency percentiles, pub/sub flip delivery, and the saturation knee of an
+//! iterative max-capacity search.
+//!
+//! Three phases:
+//!
+//! 1. **Flip pub/sub (serial, deterministic)** — one subscriber, one driver
+//!    toggling a violating row in and out of the monitored table; every
+//!    toggle crosses the ε boundary twice, and the harness verifies each
+//!    broadcast arrives exactly once.
+//! 2. **Spot load (multi-threaded, fixed work)** — a fixed request total is
+//!    split across client threads, with the request *kind* assigned by global
+//!    index, so request/response/insert counts are a pure function of the
+//!    configuration — identical across runs and across thread counts.  The
+//!    deltas insert duplicates of existing rows: a duplicate can never
+//!    introduce a split or a swap, so verdicts stay pinned while the live
+//!    table still takes real writes.
+//! 3. **Max-capacity knee (iterative)** — client count doubles per round
+//!    against a read-only request mix until throughput stops improving; the
+//!    knee is the last round that still helped.  Wall-clock by nature: its
+//!    results go to the report text and the *non-deterministic* metrics
+//!    section only.
+//!
+//! The deterministic section of `BENCH_e15.json` therefore holds only
+//! phase-1/2 counts (requests by kind, responses, flip broadcasts and
+//! deliveries, final row count) and diffs byte-identical across runs and
+//! `--threads` settings; throughput, percentiles, and the knee live in the
+//! non-deterministic section.
+
+use od_core::{AttrId, OrderDependency, Tuple, Value};
+use od_server::proto::{Notification, Request, Response};
+use od_server::{Client, OdServer};
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Tax schema columns: id, income, bracket, payable.
+const INCOME: u32 = 1;
+const BRACKET: u32 = 2;
+const PAYABLE: u32 = 3;
+
+/// Flip toggles in phase 1 (each is one violating insert + one repairing
+/// delete: two boundary crossings).
+const TOGGLES: u64 = 16;
+
+/// E15 configuration: table size, fixed request total, and client threads
+/// for the spot-load phase.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Rows in the hosted tax relation.
+    pub rows: usize,
+    /// Total requests issued in the spot-load phase (split across threads).
+    pub requests: usize,
+    /// Client threads in the spot-load phase.
+    pub threads: usize,
+    /// Run the iterative max-capacity knee search (phase 3).  Off in the
+    /// determinism tests, which only compare deterministic sections.
+    pub knee_search: bool,
+}
+
+impl LoadConfig {
+    /// Quick smoke configuration for CI.
+    pub fn tiny() -> Self {
+        LoadConfig {
+            rows: 2_000,
+            requests: 1_200,
+            threads: 4,
+            knee_search: true,
+        }
+    }
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            rows: 20_000,
+            requests: 12_000,
+            threads: 4,
+            knee_search: true,
+        }
+    }
+}
+
+/// Wall-clock observations of an E15 run — everything here is
+/// run-to-run variable and lands only in the non-deterministic section.
+pub struct LoadStats {
+    /// Spot-phase throughput, requests per second.
+    pub throughput_rps: f64,
+    /// Spot-phase latency percentiles, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+    /// `(client_count, requests_per_second)` per max-capacity round.
+    pub capacity_curve: Vec<(usize, f64)>,
+    /// Client count at the saturation knee.
+    pub knee_clients: usize,
+    /// Throughput at the knee, requests per second.
+    pub knee_rps: f64,
+}
+
+fn watched_ods() -> Vec<OrderDependency> {
+    // Both hold *exactly* on the generated tax data (bracket and payable are
+    // monotone in income), so the duplicate-insert load phase keeps every
+    // verdict accepted and flip-free by construction.
+    vec![
+        OrderDependency::new(vec![AttrId(INCOME)], vec![AttrId(BRACKET)]),
+        OrderDependency::new(vec![AttrId(INCOME)], vec![AttrId(PAYABLE)]),
+    ]
+}
+
+/// The spot-phase request for global index `i` — a pure function of the
+/// index, so the issued mix does not depend on the thread count.
+fn request_for(i: usize, snapshot: &[Tuple]) -> Request {
+    match i % 4 {
+        0 => Request::ApplyDelta {
+            monitor: "ledger".into(),
+            inserts: vec![snapshot[(i * 31) % snapshot.len()].clone()],
+            deletes: vec![],
+        },
+        1 => Request::MonitorStatus {
+            monitor: "ledger".into(),
+        },
+        2 => Request::Implies {
+            premises: watched_ods(),
+            goal: OrderDependency::new(vec![AttrId(INCOME)], vec![AttrId(BRACKET)]),
+        },
+        _ => Request::Ping,
+    }
+}
+
+fn check_response(i: usize, response: &Response) {
+    match (i % 4, response) {
+        (
+            0,
+            Response::DeltaApplied {
+                inserted, flipped, ..
+            },
+        ) => {
+            assert_eq!(inserted.len(), 1);
+            assert!(
+                flipped.is_empty(),
+                "duplicate inserts must never flip a verdict"
+            );
+        }
+        (1, Response::Statuses { statuses, .. }) => assert_eq!(statuses.len(), 2),
+        (2, Response::Implication { implied }) => assert!(implied),
+        (3, Response::Pong) => {}
+        (kind, other) => panic!("request kind {kind} got unexpected response {other:?}"),
+    }
+}
+
+fn percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx]
+}
+
+/// Boot a server hosting the tax relation and the `ledger` monitor; returns
+/// the server, its address, and the relation's rows (for duplicate inserts).
+fn boot(rows: usize) -> (OdServer, SocketAddr, Vec<Tuple>) {
+    let server = OdServer::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+    let rel = od_workload::tax::generate_taxes(rows, 42);
+    let snapshot: Vec<Tuple> = rel.tuples().to_vec();
+    let mut client = Client::connect(addr).expect("connect");
+    match client
+        .request(&Request::CreateRelation {
+            name: "taxes".into(),
+            relation: rel,
+        })
+        .expect("create relation")
+    {
+        Response::RelationCreated { rows: n } => assert_eq!(n, rows as u64),
+        other => panic!("create relation failed: {other:?}"),
+    }
+    match client
+        .request(&Request::CreateMonitor {
+            name: "ledger".into(),
+            relation: "taxes".into(),
+            epsilon: 0.0,
+            ods: watched_ods(),
+        })
+        .expect("create monitor")
+    {
+        Response::MonitorCreated { watched } => assert_eq!(watched, 2),
+        other => panic!("create monitor failed: {other:?}"),
+    }
+    (server, addr, snapshot)
+}
+
+/// Phase 1: serial flip pub/sub.  Returns the total flip statuses broadcast
+/// (data-deterministic) after verifying exactly-once delivery.
+fn flip_phase(addr: SocketAddr, out: &mut String) -> u64 {
+    let mut subscriber = Client::connect(addr).expect("connect subscriber");
+    match subscriber
+        .request(&Request::Subscribe {
+            monitor: "ledger".into(),
+        })
+        .expect("subscribe")
+    {
+        Response::Subscribed => {}
+        other => panic!("subscribe failed: {other:?}"),
+    }
+    let mut driver = Client::connect(addr).expect("connect driver");
+    for k in 0..TOGGLES as i64 {
+        let inserted = match driver
+            .request(&Request::ApplyDelta {
+                monitor: "ledger".into(),
+                inserts: vec![vec![
+                    Value::Int(9_000_000 + k),
+                    Value::Int(399_000 + k),
+                    Value::Int(1), // wrong bracket: violates all three watched ODs
+                    Value::Int(0),
+                ]],
+                deletes: vec![],
+            })
+            .expect("violating insert")
+        {
+            Response::DeltaApplied {
+                inserted, flipped, ..
+            } => {
+                assert!(!flipped.is_empty(), "violating insert must flip");
+                inserted
+            }
+            other => panic!("insert failed: {other:?}"),
+        };
+        match driver
+            .request(&Request::ApplyDelta {
+                monitor: "ledger".into(),
+                inserts: vec![],
+                deletes: inserted,
+            })
+            .expect("repairing delete")
+        {
+            Response::DeltaApplied { flipped, .. } => {
+                assert!(!flipped.is_empty(), "repairing delete must flip back")
+            }
+            other => panic!("delete failed: {other:?}"),
+        }
+    }
+    // Exactly-once: 2 broadcasts per toggle, contiguous seqs, then silence.
+    let mut statuses_total = 0u64;
+    for want_seq in 1..=2 * TOGGLES {
+        match subscriber
+            .recv_notification(Duration::from_secs(10))
+            .expect("notification stream")
+        {
+            Some(Notification::Flips { seq, statuses, .. }) => {
+                assert_eq!(
+                    seq, want_seq,
+                    "flip broadcasts arrive exactly once, in order"
+                );
+                statuses_total += statuses.len() as u64;
+            }
+            other => panic!("expected flip #{want_seq}, got {other:?}"),
+        }
+    }
+    assert!(
+        subscriber
+            .recv_notification(Duration::from_millis(100))
+            .expect("quiet stream")
+            .is_none(),
+        "no duplicate flip notifications"
+    );
+    od_obs::add("e15.flip.toggles", TOGGLES);
+    od_obs::add("e15.flip.broadcasts", 2 * TOGGLES);
+    od_obs::add("e15.flip.delivered", 2 * TOGGLES);
+    od_obs::add("e15.flip.statuses", statuses_total);
+    writeln!(
+        out,
+        "flip pub/sub: {TOGGLES} toggles -> {} broadcasts, {} flip statuses, all delivered exactly once",
+        2 * TOGGLES,
+        statuses_total
+    )
+    .unwrap();
+    statuses_total
+}
+
+/// Phase 2: fixed-work spot load.  Returns merged per-request latencies (µs)
+/// and the wall-clock of the whole phase.
+fn spot_phase(
+    addr: SocketAddr,
+    snapshot: &[Tuple],
+    requests: usize,
+    threads: usize,
+) -> (Vec<u64>, Duration) {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let snapshot = snapshot.to_vec();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect load client");
+                let mut latencies = Vec::new();
+                let mut i = t;
+                while i < requests {
+                    let request = request_for(i, &snapshot);
+                    let sent = Instant::now();
+                    let response = client.request(&request).expect("load request");
+                    latencies.push(sent.elapsed().as_micros() as u64);
+                    check_response(i, &response);
+                    i += threads;
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut merged = Vec::with_capacity(requests);
+    for handle in handles {
+        merged.extend(handle.join().expect("load client thread"));
+    }
+    let wall = started.elapsed();
+    assert_eq!(merged.len(), requests);
+    merged.sort_unstable();
+    (merged, wall)
+}
+
+/// Phase 3: iterative max-capacity search over a read-only mix.  Doubles the
+/// client count until throughput stops improving by at least 10%, and
+/// reports the knee (the last round that still helped).
+fn capacity_phase(addr: SocketAddr, out: &mut String) -> (Vec<(usize, f64)>, usize, f64) {
+    const BURST_PER_CLIENT: usize = 300;
+    const MAX_CLIENTS: usize = 32;
+    let mut curve: Vec<(usize, f64)> = Vec::new();
+    let mut clients = 1usize;
+    let (mut knee_clients, mut knee_rps) = (1usize, 0.0f64);
+    while clients <= MAX_CLIENTS {
+        let started = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect capacity client");
+                    for i in 0..BURST_PER_CLIENT {
+                        // Read-only mix: state-neutral, so the knee search
+                        // cannot perturb the deterministic final row count.
+                        let request = if (t + i) % 2 == 0 {
+                            Request::MonitorStatus {
+                                monitor: "ledger".into(),
+                            }
+                        } else {
+                            Request::Ping
+                        };
+                        let response = client.request(&request).expect("capacity request");
+                        assert!(matches!(
+                            response,
+                            Response::Statuses { .. } | Response::Pong
+                        ));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("capacity client thread");
+        }
+        let wall = started.elapsed();
+        let rps = (clients * BURST_PER_CLIENT) as f64 / wall.as_secs_f64();
+        writeln!(out, "  capacity: {clients:>2} clients -> {rps:>10.0} req/s").unwrap();
+        curve.push((clients, rps));
+        if rps > knee_rps * 1.10 {
+            knee_clients = clients;
+            knee_rps = rps;
+        } else {
+            // Throughput saturated: the previous round was the knee.
+            break;
+        }
+        clients *= 2;
+    }
+    (curve, knee_clients, knee_rps)
+}
+
+/// Run E15 and return both the report text and the raw wall-clock stats —
+/// the entry point for the release speed guard, which asserts on the
+/// numbers rather than parsing the text.
+#[doc(hidden)]
+pub fn exp_e15_server_load_with_stats(config: LoadConfig) -> (String, LoadStats) {
+    run_e15(config)
+}
+
+fn run_e15(config: LoadConfig) -> (String, LoadStats) {
+    let LoadConfig {
+        rows,
+        requests,
+        threads,
+        knee_search,
+    } = config;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "## E15  Service-layer load (od-server over loopback TCP)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "hosted tax relation: {rows} rows; monitor 'ledger' watching {} ODs at eps=0",
+        watched_ods().len()
+    )
+    .unwrap();
+
+    let (server, addr, snapshot) = boot(rows);
+    od_obs::add("e15.rows", rows as u64);
+
+    flip_phase(addr, &mut out);
+
+    let (latencies, wall) = spot_phase(addr, &snapshot, requests, threads);
+    let delta_requests = requests.div_ceil(4); // indices ≡ 0 (mod 4)
+    od_obs::add("e15.load.requests", requests as u64);
+    od_obs::add("e15.load.responses", requests as u64);
+    od_obs::add("e15.load.deltas", delta_requests as u64);
+    od_obs::add("e15.load.statuses", ((requests + 2) / 4) as u64);
+    od_obs::add("e15.load.implications", ((requests + 1) / 4) as u64);
+    od_obs::add("e15.load.pings", (requests / 4) as u64);
+
+    // Final row count: initial snapshot + one duplicate per delta request
+    // (phase-1 toggles net to zero).  Read back over the wire and pinned.
+    let mut client = Client::connect(addr).expect("connect");
+    let final_rows = match client
+        .request(&Request::MonitorStatus {
+            monitor: "ledger".into(),
+        })
+        .expect("final status")
+    {
+        Response::Statuses { rows: n, statuses } => {
+            assert!(
+                statuses.iter().all(|s| s.accepted),
+                "duplicates cannot flip"
+            );
+            n
+        }
+        other => panic!("final status failed: {other:?}"),
+    };
+    assert_eq!(final_rows, (rows + delta_requests) as u64);
+    od_obs::add("e15.load.final_rows", final_rows);
+
+    let throughput_rps = requests as f64 / wall.as_secs_f64();
+    let (p50_us, p95_us, p99_us) = (
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+    writeln!(
+        out,
+        "spot load: {requests} requests over {threads} clients in {:.3}s -> {throughput_rps:.0} req/s",
+        wall.as_secs_f64()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "latency: p50 {p50_us} us, p95 {p95_us} us, p99 {p99_us} us"
+    )
+    .unwrap();
+
+    let (capacity_curve, knee_clients, knee_rps) = if knee_search {
+        writeln!(
+            out,
+            "max-capacity search (read-only mix, doubling clients):"
+        )
+        .unwrap();
+        let (curve, knee_clients, knee_rps) = capacity_phase(addr, &mut out);
+        writeln!(
+            out,
+            "saturation knee: {knee_clients} clients at {knee_rps:.0} req/s"
+        )
+        .unwrap();
+        (curve, knee_clients, knee_rps)
+    } else {
+        writeln!(out, "max-capacity search: skipped").unwrap();
+        (Vec::new(), 0, 0.0)
+    };
+
+    server.shutdown();
+    (
+        out,
+        LoadStats {
+            throughput_rps,
+            p50_us,
+            p95_us,
+            p99_us,
+            capacity_curve,
+            knee_clients,
+            knee_rps,
+        },
+    )
+}
+
+/// E15 as a plain text report.
+pub fn exp_e15_server_load(config: LoadConfig) -> String {
+    run_e15(config).0
+}
+
+/// [`exp_e15_server_load`] under a scoped metrics registry, for
+/// `BENCH_e15.json`.  Flip/request/response counts land in the
+/// deterministic section (byte-identical across runs and thread counts);
+/// throughput, percentiles, and the capacity curve land in the
+/// non-deterministic section.
+pub fn exp_e15_server_load_with_metrics(config: LoadConfig) -> (String, od_obs::MetricsReport) {
+    let ((out, stats), mut report) = crate::metrics::capture("e15", || run_e15(config));
+    report.set_nondeterministic("e15.throughput_rps", stats.throughput_rps);
+    report.set_nondeterministic("e15.latency_p50_us", stats.p50_us);
+    report.set_nondeterministic("e15.latency_p95_us", stats.p95_us);
+    report.set_nondeterministic("e15.latency_p99_us", stats.p99_us);
+    report.set_nondeterministic("e15.knee_clients", stats.knee_clients as u64);
+    report.set_nondeterministic("e15.knee_rps", stats.knee_rps);
+    report.set_nondeterministic(
+        "e15.capacity_curve",
+        od_obs::Json::Array(
+            stats
+                .capacity_curve
+                .iter()
+                .map(|&(clients, rps)| {
+                    od_obs::Json::Array(vec![
+                        od_obs::Json::from(clients as u64),
+                        od_obs::Json::from(rps),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    (out, report)
+}

@@ -88,6 +88,36 @@ fn e14_deterministic_section_is_byte_identical_across_runs_and_threads() {
 }
 
 #[test]
+fn e15_deterministic_section_is_byte_identical_across_runs_and_threads() {
+    // The whole E15 service-layer load harness — server boot, pub/sub flip
+    // phase, multi-threaded spot load over loopback TCP — with the wall-clock
+    // knee search disabled: the deterministic section records only request
+    // counts and verdict-flip accounting, both of which are functions of the
+    // workload alone, never of scheduling.
+    let config = |threads| od_bench::LoadConfig {
+        rows: 800,
+        requests: 400,
+        threads,
+        knee_search: false,
+    };
+    let (_, reference) = od_bench::exp_e15_server_load_with_metrics(config(1));
+    let reference = reference.deterministic_json();
+    assert!(reference.contains("e15.flip.broadcasts"));
+    assert!(reference.contains("e15.load.requests"));
+    assert!(reference.contains("e15.load.final_rows"));
+    for threads in [1, 2, 5] {
+        for run in 0..2 {
+            let (_, report) = od_bench::exp_e15_server_load_with_metrics(config(threads));
+            assert_eq!(
+                report.deterministic_json(),
+                reference,
+                "e15 deterministic section drifted (threads={threads}, run={run})"
+            );
+        }
+    }
+}
+
+#[test]
 fn experiment_level_captures_are_byte_identical_across_runs() {
     // The reproduce binary's own capture path: the full tiny E12/E13
     // experiments (two workloads each), deterministic sections compared

@@ -1,0 +1,83 @@
+//! CI guard for the E15 service layer: the loopback TCP spot-load phase must
+//! sustain a conservative throughput floor and keep tail latency bounded.
+//! The floors sit roughly 20x under the measured steady state (~40k req/s,
+//! p99 well under 1 ms on loopback), so they catch an accidental return to
+//! per-request connection setup or a lock held across the socket write — not
+//! scheduler jitter on a loaded CI machine.
+//!
+//! Wall-clock bounds follow the `columnar_speed` idiom: asserted only in
+//! release builds (debug timings measure the compiler, not the server), while
+//! the semantic report checks run in every profile at a debug-affordable
+//! request count.
+
+use od_bench::server_load::exp_e15_server_load_with_stats;
+use od_bench::LoadConfig;
+
+fn guard_config() -> LoadConfig {
+    // Debug builds shrink the workload ~4x and skip the wall-clock bars; the
+    // knee search stays off in both profiles — saturation probing is an
+    // experiment concern, not a regression guard.
+    if cfg!(debug_assertions) {
+        LoadConfig {
+            rows: 1_000,
+            requests: 600,
+            threads: 4,
+            knee_search: false,
+        }
+    } else {
+        LoadConfig {
+            rows: 5_000,
+            requests: 2_400,
+            threads: 4,
+            knee_search: false,
+        }
+    }
+}
+
+#[test]
+fn e15_report_is_clean_at_guard_scale() {
+    let config = guard_config();
+    let (report, stats) = exp_e15_server_load_with_stats(config);
+    assert!(
+        report.contains("all delivered exactly once"),
+        "E15 pub/sub phase lost or duplicated a flip:\n{report}"
+    );
+    assert!(
+        report.contains("max-capacity search: skipped"),
+        "knee search ran despite knee_search=false:\n{report}"
+    );
+    // Percentiles must be ordered regardless of profile — a sort bug in the
+    // latency merge would invert them long before any wall-clock bar trips.
+    assert!(
+        stats.p50_us <= stats.p95_us && stats.p95_us <= stats.p99_us,
+        "latency percentiles out of order: p50={} p95={} p99={}",
+        stats.p50_us,
+        stats.p95_us,
+        stats.p99_us
+    );
+}
+
+#[cfg(not(debug_assertions))]
+#[test]
+fn e15_clears_throughput_and_latency_floors_in_release() {
+    let (report, stats) = exp_e15_server_load_with_stats(guard_config());
+    assert!(
+        stats.throughput_rps >= 2_000.0,
+        "E15 spot throughput fell to {:.0} req/s (floor 2000):\n{report}",
+        stats.throughput_rps
+    );
+    // Loopback p99 is ~300 us steady state; 20 ms catches a blocking
+    // accept-loop or a verdict lock held across a socket write.
+    assert!(
+        stats.p99_us <= 20_000,
+        "E15 p99 latency hit {} us (budget 20000):\n{report}",
+        stats.p99_us
+    );
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn e15_speed_bars_skipped_in_debug_profile() {
+    // Placeholder so `cargo test` output shows the guard exists in debug
+    // builds; the throughput and latency floors only make sense in release.
+}

@@ -82,6 +82,7 @@ pub mod radix;
 pub mod relation;
 pub mod set;
 pub mod value;
+pub mod wire;
 
 pub use attr::{AttrId, Attribute, DataType, Schema};
 pub use check::{check_od, od_holds, Violation};

@@ -1,0 +1,85 @@
+//! A minimal blocking client for the od-server wire protocol.
+//!
+//! One [`Client`] owns one connection.  Requests are synchronous
+//! (send → wait for the matching [`Response`]); notification frames that
+//! arrive while waiting are queued and later drained with
+//! [`Client::recv_notification`].
+
+use crate::proto::{Notification, Request, Response, ServerMessage};
+use od_core::wire;
+use std::collections::VecDeque;
+use std::io::{self, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Blocking wire-protocol client.
+pub struct Client {
+    write: TcpStream,
+    reader: BufReader<TcpStream>,
+    pending: VecDeque<Notification>,
+}
+
+impl Client {
+    /// Connect to a running [`OdServer`](crate::OdServer).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let write = TcpStream::connect(addr)?;
+        write.set_nodelay(true)?;
+        let read = write.try_clone()?;
+        Ok(Client {
+            write,
+            reader: BufReader::new(read),
+            pending: VecDeque::new(),
+        })
+    }
+
+    /// Send `request` and wait for its [`Response`].  Notifications that
+    /// arrive in between are queued for [`Client::recv_notification`].
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        wire::write_frame(&mut self.write, &request.encode())?;
+        self.write.flush()?;
+        loop {
+            match self.read_message()? {
+                ServerMessage::Response(response) => return Ok(response),
+                ServerMessage::Notification(n) => self.pending.push_back(n),
+            }
+        }
+    }
+
+    /// Wait up to `timeout` for the next notification.  Returns `Ok(None)`
+    /// when none arrives in time.
+    pub fn recv_notification(&mut self, timeout: Duration) -> io::Result<Option<Notification>> {
+        if let Some(n) = self.pending.pop_front() {
+            return Ok(Some(n));
+        }
+        self.reader.get_ref().set_read_timeout(Some(timeout))?;
+        let result = self.read_message();
+        self.reader.get_ref().set_read_timeout(None)?;
+        match result {
+            Ok(ServerMessage::Notification(n)) => Ok(Some(n)),
+            Ok(ServerMessage::Response(_)) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unsolicited response frame",
+            )),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Drain every notification already buffered locally (never blocks).
+    pub fn drain_notifications(&mut self) -> Vec<Notification> {
+        self.pending.drain(..).collect()
+    }
+
+    fn read_message(&mut self) -> io::Result<ServerMessage> {
+        let payload = wire::read_frame(&mut self.reader, wire::MAX_FRAME_LEN)?;
+        ServerMessage::decode(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}

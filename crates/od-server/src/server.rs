@@ -1,0 +1,758 @@
+//! The od-server runtime: a thread-per-connection TCP server hosting
+//! relations and live monitors as named resources.
+//!
+//! ## Resource lifecycle
+//!
+//! * **Relations** are immutable snapshots (`Arc<Relation>`): created by
+//!   [`Request::CreateRelation`], read by discovery and implication handlers,
+//!   dropped by name.  Creating a monitor *snapshots* the relation — dropping
+//!   the relation afterwards never invalidates the monitor.
+//! * **Monitors** wrap an [`od_discovery::Monitor`] behind a per-monitor
+//!   mutex: concurrent `ApplyDelta`s serialize on that mutex (never on a
+//!   global lock), so two clients driving different monitors proceed fully in
+//!   parallel, while the per-monitor verdict stream stays identical to *some*
+//!   serial order of the submitted batches — and ledger verdicts depend only
+//!   on the final alive multiset, so any serial order of the same batches
+//!   lands on bit-identical final verdicts (pinned by the concurrent-client
+//!   integration test).
+//!
+//! ## Pub/sub
+//!
+//! [`od_discovery::Monitor::subscribe`]'s synchronous callback is lifted onto
+//! the wire here: each monitor entry registers exactly one callback at
+//! creation, and that callback fans a [`Notification::Flips`] frame out to
+//! every subscribed connection.  Delivery is **non-blocking**: each
+//! connection owns a bounded outbound queue drained by a dedicated writer
+//! thread, and flips are enqueued with `try_send` — a subscriber that has
+//! stopped reading overflows its own queue and loses notifications (flagged
+//! by a [`Notification::Lagged`] frame once it drains) while every other
+//! client keeps receiving.  A slow consumer can therefore never stall the
+//! monitor, the batch submitter, or other subscribers.
+
+use crate::proto::{ErrorCode, Notification, Request, Response, WireOdStatus};
+use od_core::wire::{self, WireError, MAX_FRAME_LEN};
+use od_core::{OrderDependency, Relation};
+use od_discovery::{DiscoveryConfig, Monitor, MonitorReport};
+use od_infer::{Decider, OdSet};
+use od_setbased::stream::DeltaBatch;
+use od_setbased::LatticeConfig;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Tuning knobs for [`OdServer::bind_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Per-frame payload cap for reads (writes share the global
+    /// [`MAX_FRAME_LEN`]).
+    pub max_frame: usize,
+    /// Outbound queue depth per connection.  Responses always fit (a
+    /// connection has at most a handful of requests in flight); notifications
+    /// beyond this bound are dropped for that subscriber only.
+    pub outbound_queue: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_frame: MAX_FRAME_LEN,
+            outbound_queue: 1024,
+        }
+    }
+}
+
+/// One subscribed connection of a monitor.
+struct SubEntry {
+    conn_id: u64,
+    tx: SyncSender<Vec<u8>>,
+    /// Flip broadcasts dropped since this subscriber last kept up.
+    dropped: u64,
+}
+
+impl SubEntry {
+    /// Try to deliver `frame`; returns `false` when the connection is gone
+    /// (the caller then unregisters the subscriber).  Never blocks.
+    fn push(&mut self, monitor: &str, frame: &[u8]) -> bool {
+        if self.dropped > 0 {
+            let lag = Notification::Lagged {
+                monitor: monitor.to_string(),
+                dropped: self.dropped,
+            }
+            .encode();
+            match self.tx.try_send(lag) {
+                Ok(()) => self.dropped = 0,
+                Err(TrySendError::Full(_)) => {
+                    // Still backed up: this broadcast is dropped too.
+                    self.dropped += 1;
+                    od_obs::add("server.notifications_dropped", 1);
+                    return true;
+                }
+                Err(TrySendError::Disconnected(_)) => return false,
+            }
+        }
+        match self.tx.try_send(frame.to_vec()) {
+            Ok(()) => {
+                od_obs::add("server.notifications_sent", 1);
+                true
+            }
+            Err(TrySendError::Full(_)) => {
+                self.dropped += 1;
+                od_obs::add("server.notifications_dropped", 1);
+                true
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        }
+    }
+}
+
+/// A hosted monitor: the live monitor itself plus its wire subscribers.
+struct MonitorEntry {
+    monitor: Mutex<Monitor>,
+    subs: Arc<Mutex<Vec<SubEntry>>>,
+}
+
+struct Shared {
+    config: ServerConfig,
+    relations: Mutex<HashMap<String, Arc<Relation>>>,
+    monitors: Mutex<HashMap<String, Arc<MonitorEntry>>>,
+    /// Write-half clones of every live connection, for shutdown.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    next_conn: AtomicU64,
+    shutting_down: AtomicBool,
+}
+
+/// A running od-server.  Bind with [`OdServer::bind`], stop with
+/// [`OdServer::shutdown`] (which joins every connection thread).
+pub struct OdServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl OdServer {
+    /// Bind and start serving with default [`ServerConfig`].
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<OdServer> {
+        Self::bind_with(addr, ServerConfig::default())
+    }
+
+    /// Bind and start serving.  Use port 0 to let the OS pick one
+    /// ([`OdServer::local_addr`] reports the choice).
+    pub fn bind_with(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<OdServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            config,
+            relations: Mutex::new(HashMap::new()),
+            monitors: Mutex::new(HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
+            threads: Mutex::new(Vec::new()),
+            next_conn: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("od-server-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(OdServer {
+            shared,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Has a shutdown been requested (via [`OdServer::shutdown`] or a
+    /// [`Request::Shutdown`] frame)?
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting connections, close every live connection, and join all
+    /// server threads.  Idempotent with a wire-initiated shutdown.
+    pub fn shutdown(mut self) {
+        trigger_shutdown(&self.shared, self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        // Connection threads exit once their sockets are shut down; writer
+        // threads exit once their queue senders drop.  Join everything so a
+        // test that calls shutdown() observes a quiescent process.
+        let threads = std::mem::take(&mut *self.shared.threads.lock().unwrap());
+        for handle in threads {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for OdServer {
+    fn drop(&mut self) {
+        // Best-effort: unblock the accept thread so an OdServer leaked by a
+        // failing test does not wedge the process on exit.  No joining here —
+        // shutdown() is the orderly path.
+        trigger_shutdown(&self.shared, self.addr);
+    }
+}
+
+fn trigger_shutdown(shared: &Shared, addr: SocketAddr) {
+    shared.shutting_down.store(true, Ordering::SeqCst);
+    // Wake the blocking accept() with a throwaway connection.
+    let _ = TcpStream::connect(addr);
+    // Shut every live connection's socket: readers unblock with EOF/error.
+    for stream in shared.conns.lock().unwrap().values() {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => break,
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        od_obs::add("server.connections", 1);
+        let (Ok(write_half), Ok(shutdown_half)) = (stream.try_clone(), stream.try_clone()) else {
+            continue;
+        };
+        shared.conns.lock().unwrap().insert(conn_id, shutdown_half);
+        // Depth ≥ 2 so a `Lagged` marker and the frame after it can coexist;
+        // with a single slot the marker would starve the payloads forever.
+        let (tx, rx) = sync_channel::<Vec<u8>>(shared.config.outbound_queue.max(2));
+        let writer = std::thread::Builder::new()
+            .name(format!("od-server-write-{conn_id}"))
+            .spawn(move || writer_loop(write_half, rx))
+            .expect("spawn writer thread");
+        let reader_shared = Arc::clone(&shared);
+        let reader = std::thread::Builder::new()
+            .name(format!("od-server-conn-{conn_id}"))
+            .spawn(move || {
+                conn_loop(stream, conn_id, tx, &reader_shared);
+                disconnect(conn_id, &reader_shared);
+            })
+            .expect("spawn reader thread");
+        let mut threads = shared.threads.lock().unwrap();
+        threads.push(writer);
+        threads.push(reader);
+    }
+}
+
+fn writer_loop(stream: TcpStream, rx: Receiver<Vec<u8>>) {
+    let mut w = BufWriter::new(stream);
+    while let Ok(payload) = rx.recv() {
+        if wire::write_frame(&mut w, &payload).is_err() {
+            // The peer is gone; drain silently so senders never block on a
+            // dead connection (the queue keeps accepting until dropped).
+            while rx.recv().is_ok() {}
+            return;
+        }
+    }
+}
+
+/// Remove a finished connection: its write half and any subscriptions it
+/// held.  Its queue sender drops with the reader thread, ending the writer.
+fn disconnect(conn_id: u64, shared: &Shared) {
+    shared.conns.lock().unwrap().remove(&conn_id);
+    for entry in shared.monitors.lock().unwrap().values() {
+        entry
+            .subs
+            .lock()
+            .unwrap()
+            .retain(|sub| sub.conn_id != conn_id);
+    }
+}
+
+/// Per-connection read → handle → respond loop.  Returns when the client
+/// closes, the framing breaks, or shutdown is requested.
+fn conn_loop(stream: TcpStream, conn_id: u64, tx: SyncSender<Vec<u8>>, shared: &Arc<Shared>) {
+    let max_frame = shared.config.max_frame;
+    let mut reader = BufReader::new(stream);
+    let respond = |resp: Response| {
+        od_obs::add("server.responses", 1);
+        // Blocking send: responses are never dropped.  The queue can only
+        // stay full if this very client stops reading — then its own reader
+        // thread (us) parks here, harming nobody else.
+        tx.send(resp.encode()).is_ok()
+    };
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match wire::read_frame_opt(&mut reader, max_frame) {
+            Ok(Some(payload)) => payload,
+            // Clean close between frames.
+            Ok(None) => return,
+            Err(err) if err.kind() == io::ErrorKind::InvalidData => {
+                // Oversized length prefix: report, then close — the stream
+                // position can no longer be trusted.
+                respond(Response::Error {
+                    code: ErrorCode::TooLarge,
+                    message: err.to_string(),
+                });
+                return;
+            }
+            // Mid-frame EOF or transport error: nothing to answer.
+            Err(_) => return,
+        };
+        od_obs::add("server.requests", 1);
+        let request = match Request::decode(&payload) {
+            Ok(request) => request,
+            Err(WireError::InvalidTag {
+                what: "Request",
+                tag,
+            }) => {
+                // Frame boundaries are intact — answer and keep serving.
+                respond(Response::Error {
+                    code: ErrorCode::UnknownOpcode,
+                    message: format!("unknown request opcode {tag:#04x}"),
+                });
+                continue;
+            }
+            Err(err) => {
+                respond(Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: err.to_string(),
+                });
+                continue;
+            }
+        };
+        let shutdown_requested = matches!(request, Request::Shutdown);
+        let response = handle(request, conn_id, &tx, shared);
+        if !respond(response) {
+            return;
+        }
+        if shutdown_requested {
+            trigger_shutdown(shared, conn_loop_addr(&reader));
+            return;
+        }
+    }
+}
+
+fn conn_loop_addr(reader: &BufReader<TcpStream>) -> SocketAddr {
+    reader
+        .get_ref()
+        .local_addr()
+        .unwrap_or_else(|_| SocketAddr::from(([127, 0, 0, 1], 0)))
+}
+
+fn err(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error {
+        code,
+        message: message.into(),
+    }
+}
+
+fn no_such(kind: &str, name: &str) -> Response {
+    err(
+        ErrorCode::NoSuchResource,
+        format!("no {kind} named '{name}'"),
+    )
+}
+
+/// Validate that an OD only names attributes the schema actually has —
+/// watching an out-of-range attribute would panic deep in partition code.
+fn od_fits_schema(od: &OrderDependency, arity: usize) -> bool {
+    od.lhs
+        .iter()
+        .chain(od.rhs.iter())
+        .all(|attr| attr.index() < arity)
+}
+
+fn wire_status(status: &od_discovery::OdStatus) -> WireOdStatus {
+    WireOdStatus {
+        od: status.od.clone(),
+        removal_count: status.removal_count as u64,
+        accepted: status.accepted,
+        flipped: status.flipped,
+    }
+}
+
+fn handle(
+    request: Request,
+    conn_id: u64,
+    tx: &SyncSender<Vec<u8>>,
+    shared: &Arc<Shared>,
+) -> Response {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return err(ErrorCode::ShuttingDown, "server is shutting down");
+    }
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Shutdown => Response::ShuttingDown,
+        Request::CreateRelation { name, relation } => {
+            let mut relations = shared.relations.lock().unwrap();
+            if relations.contains_key(&name) {
+                return err(
+                    ErrorCode::DuplicateResource,
+                    format!("relation '{name}' already exists"),
+                );
+            }
+            let rows = relation.len() as u64;
+            relations.insert(name, Arc::new(relation));
+            Response::RelationCreated { rows }
+        }
+        Request::DropRelation { name } => match shared.relations.lock().unwrap().remove(&name) {
+            Some(_) => Response::Ok,
+            None => no_such("relation", &name),
+        },
+        Request::ListResources => {
+            let mut relations: Vec<(String, u64)> = shared
+                .relations
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(name, rel)| (name.clone(), rel.len() as u64))
+                .collect();
+            relations.sort();
+            let mut monitors: Vec<(String, u64)> = shared
+                .monitors
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(name, entry)| {
+                    let watched = entry.monitor.lock().unwrap().statuses().len() as u64;
+                    (name.clone(), watched)
+                })
+                .collect();
+            monitors.sort();
+            Response::Resources {
+                relations,
+                monitors,
+            }
+        }
+        Request::Discover {
+            relation,
+            max_lhs,
+            max_rhs,
+            epsilon,
+            max_context,
+        } => {
+            let Some(rel) = shared.relations.lock().unwrap().get(&relation).cloned() else {
+                return no_such("relation", &relation);
+            };
+            if !(0.0..=1.0).contains(&epsilon) {
+                return err(ErrorCode::BadRequest, "epsilon must be within [0, 1]");
+            }
+            let config = DiscoveryConfig {
+                max_lhs: max_lhs as usize,
+                max_rhs: max_rhs as usize,
+                epsilon,
+                max_context: max_context as usize,
+                ..DiscoveryConfig::default()
+            };
+            match od_discovery::try_discover_ods(&rel, config) {
+                Ok(discovery) => Response::Discovered {
+                    ods: discovery.ods,
+                    errors: discovery.errors,
+                },
+                Err(e) => err(ErrorCode::BadRequest, e.to_string()),
+            }
+        }
+        Request::DiscoverStatements {
+            relation,
+            max_context,
+        } => {
+            let Some(rel) = shared.relations.lock().unwrap().get(&relation).cloned() else {
+                return no_such("relation", &relation);
+            };
+            let config = LatticeConfig {
+                max_context: max_context as usize,
+                ..LatticeConfig::default()
+            };
+            match od_setbased::try_discover_statements(&rel, &config) {
+                Ok(discovery) => Response::Statements {
+                    statements: discovery.minimal_statements().to_vec(),
+                },
+                Err(e) => err(ErrorCode::BadRequest, e.to_string()),
+            }
+        }
+        Request::CreateMonitor {
+            name,
+            relation,
+            epsilon,
+            ods,
+        } => {
+            let Some(rel) = shared.relations.lock().unwrap().get(&relation).cloned() else {
+                return no_such("relation", &relation);
+            };
+            if !(0.0..=1.0).contains(&epsilon) {
+                return err(ErrorCode::BadRequest, "epsilon must be within [0, 1]");
+            }
+            if rel.schema().arity() > od_core::AttrSet::MAX_ATTRS {
+                return err(
+                    ErrorCode::BadRequest,
+                    "monitors require schemas of at most 64 attributes",
+                );
+            }
+            if let Some(bad) = ods
+                .iter()
+                .find(|od| !od_fits_schema(od, rel.schema().arity()))
+            {
+                return err(
+                    ErrorCode::BadRequest,
+                    format!("OD names an attribute outside the schema: {bad:?}"),
+                );
+            }
+            {
+                let monitors = shared.monitors.lock().unwrap();
+                if monitors.contains_key(&name) {
+                    return err(
+                        ErrorCode::DuplicateResource,
+                        format!("monitor '{name}' already exists"),
+                    );
+                }
+            }
+            // Build outside the monitors lock: initial scans can be heavy and
+            // must not block unrelated monitors.
+            let mut monitor = if ods.is_empty() {
+                let discovery = od_discovery::discover_ods(&rel, DiscoveryConfig::default());
+                Monitor::watch_install_set(&rel, &discovery, epsilon)
+            } else {
+                Monitor::watch(&rel, ods, epsilon, 1)
+            };
+            let watched = monitor.statuses().len() as u64;
+            // Lift the sync callback onto the wire: one broadcast callback
+            // per monitor, fanning each report's flips to every subscriber.
+            let subs: Arc<Mutex<Vec<SubEntry>>> = Arc::new(Mutex::new(Vec::new()));
+            // Broadcast counter; `Flips.seq` values are contiguous per monitor.
+            let cb_seq = AtomicU64::new(0);
+            let cb_subs = Arc::clone(&subs);
+            let cb_name = name.clone();
+            monitor.subscribe(move |report: &MonitorReport| {
+                let statuses: Vec<WireOdStatus> = report.flips().map(wire_status).collect();
+                if statuses.is_empty() {
+                    return;
+                }
+                let seq = cb_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                let frame = Notification::Flips {
+                    monitor: cb_name.clone(),
+                    seq,
+                    statuses,
+                }
+                .encode();
+                cb_subs
+                    .lock()
+                    .unwrap()
+                    .retain_mut(|sub| sub.push(&cb_name, &frame));
+            });
+            let entry = Arc::new(MonitorEntry {
+                monitor: Mutex::new(monitor),
+                subs,
+            });
+            let mut monitors = shared.monitors.lock().unwrap();
+            if monitors.contains_key(&name) {
+                // Lost a create race while building; the later insert wins
+                // nothing — report the collision.
+                return err(
+                    ErrorCode::DuplicateResource,
+                    format!("monitor '{name}' already exists"),
+                );
+            }
+            monitors.insert(name, entry);
+            Response::MonitorCreated { watched }
+        }
+        Request::DropMonitor { name } => match shared.monitors.lock().unwrap().remove(&name) {
+            Some(_) => Response::Ok,
+            None => no_such("monitor", &name),
+        },
+        Request::ApplyDelta {
+            monitor,
+            inserts,
+            deletes,
+        } => {
+            let Some(entry) = shared.monitors.lock().unwrap().get(&monitor).cloned() else {
+                return no_such("monitor", &monitor);
+            };
+            let mut batch = DeltaBatch::new();
+            batch.inserts = inserts;
+            batch.deletes = deletes;
+            // The per-monitor lock is the serialization point: notification
+            // broadcast happens inside apply() while it is held, so seq order
+            // equals verdict order.
+            let mut live = entry.monitor.lock().unwrap();
+            match live.apply(&batch) {
+                Ok(report) => Response::DeltaApplied {
+                    inserted: report.inserted.clone(),
+                    deleted: report.deleted as u64,
+                    touched_classes: report.touched_classes as u64,
+                    rows: live.rows() as u64,
+                    flipped: report.flips().map(wire_status).collect(),
+                },
+                Err(e) => err(ErrorCode::BadRequest, e.to_string()),
+            }
+        }
+        Request::MonitorStatus { monitor } => {
+            let Some(entry) = shared.monitors.lock().unwrap().get(&monitor).cloned() else {
+                return no_such("monitor", &monitor);
+            };
+            let live = entry.monitor.lock().unwrap();
+            Response::Statuses {
+                rows: live.rows() as u64,
+                statuses: live.statuses().iter().map(wire_status).collect(),
+            }
+        }
+        Request::Implies { premises, goal } => {
+            let m = OdSet::from_ods(premises);
+            Response::Implication {
+                implied: Decider::new(&m).implies(&goal),
+            }
+        }
+        Request::Subscribe { monitor } => {
+            let Some(entry) = shared.monitors.lock().unwrap().get(&monitor).cloned() else {
+                return no_such("monitor", &monitor);
+            };
+            let mut subs = entry.subs.lock().unwrap();
+            if !subs.iter().any(|sub| sub.conn_id == conn_id) {
+                subs.push(SubEntry {
+                    conn_id,
+                    tx: tx.clone(),
+                    dropped: 0,
+                });
+            }
+            Response::Subscribed
+        }
+        Request::Unsubscribe { monitor } => {
+            let Some(entry) = shared.monitors.lock().unwrap().get(&monitor).cloned() else {
+                return no_such("monitor", &monitor);
+            };
+            let mut subs = entry.subs.lock().unwrap();
+            let before = subs.len();
+            subs.retain(|sub| sub.conn_id != conn_id);
+            Response::Unsubscribed {
+                was_subscribed: subs.len() < before,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::ServerMessage;
+
+    fn sub(depth: usize) -> (SubEntry, Receiver<Vec<u8>>) {
+        let (tx, rx) = sync_channel(depth);
+        (
+            SubEntry {
+                conn_id: 0,
+                tx,
+                dropped: 0,
+            },
+            rx,
+        )
+    }
+
+    fn decode(frame: Vec<u8>) -> Notification {
+        match ServerMessage::decode(&frame).unwrap() {
+            ServerMessage::Notification(n) => n,
+            ServerMessage::Response(r) => panic!("unexpected response {r:?}"),
+        }
+    }
+
+    /// A full queue never blocks the broadcaster: the push returns
+    /// immediately, counting the drop against this subscriber alone.
+    #[test]
+    fn full_queue_drops_without_blocking() {
+        let (mut entry, rx) = sub(2);
+        for i in 0..5u8 {
+            assert!(entry.push("m", &[i]));
+        }
+        assert_eq!(entry.dropped, 3);
+        // Only the first two broadcasts made it through.
+        assert_eq!(rx.try_recv().unwrap(), vec![0]);
+        assert_eq!(rx.try_recv().unwrap(), vec![1]);
+        assert!(rx.try_recv().is_err());
+    }
+
+    /// Once the subscriber drains its queue, the next broadcast is preceded
+    /// by a `Lagged` frame carrying the exact drop count, and the counter
+    /// resets.
+    #[test]
+    fn lagged_notification_reports_exact_drop_count() {
+        let (mut entry, rx) = sub(2);
+        for i in 0..6u8 {
+            assert!(entry.push("m", &[i]));
+        }
+        assert_eq!(entry.dropped, 4);
+        // Subscriber catches up.
+        rx.try_recv().unwrap();
+        rx.try_recv().unwrap();
+        // Next broadcast: Lagged{dropped: 4} first, then the fresh frame.
+        let fresh = Notification::Lagged {
+            monitor: "other".into(),
+            dropped: 0,
+        }
+        .encode();
+        assert!(entry.push("m", &fresh));
+        assert_eq!(entry.dropped, 0);
+        match decode(rx.try_recv().unwrap()) {
+            Notification::Lagged { monitor, dropped } => {
+                assert_eq!(monitor, "m");
+                assert_eq!(dropped, 4);
+            }
+            n => panic!("expected Lagged, got {n:?}"),
+        }
+        assert_eq!(rx.try_recv().unwrap(), fresh);
+    }
+
+    /// If there is room for the `Lagged` marker but not the payload, the
+    /// marker wins the slot and the payload counts as dropped — frames are
+    /// never delivered out of order relative to their gap marker.  (This is
+    /// why the server clamps queue depth to ≥ 2: with two slots the next
+    /// drain converges to `Lagged` + fresh frame.)
+    #[test]
+    fn lagged_marker_takes_the_slot_and_payload_counts_dropped() {
+        let (mut entry, rx) = sub(1);
+        assert!(entry.push("m", &[1]));
+        assert!(entry.push("m", &[2])); // dropped (queue full)
+        assert_eq!(entry.dropped, 1);
+        rx.try_recv().unwrap(); // drain [1]
+        assert!(entry.push("m", &[3])); // Lagged fills the single slot; [3] drops
+        assert_eq!(entry.dropped, 1);
+        match decode(rx.try_recv().unwrap()) {
+            Notification::Lagged { dropped, .. } => assert_eq!(dropped, 1),
+            n => panic!("expected Lagged, got {n:?}"),
+        }
+    }
+
+    /// With the server's minimum depth of two, a drained subscriber receives
+    /// the gap marker *and* the fresh frame in one push, and the counter
+    /// fully resets.
+    #[test]
+    fn depth_two_converges_to_lagged_plus_frame() {
+        let (mut entry, rx) = sub(2);
+        assert!(entry.push("m", &[1]));
+        assert!(entry.push("m", &[2]));
+        assert!(entry.push("m", &[3])); // dropped
+        assert_eq!(entry.dropped, 1);
+        rx.try_recv().unwrap();
+        rx.try_recv().unwrap();
+        assert!(entry.push("m", &[4]));
+        match decode(rx.try_recv().unwrap()) {
+            Notification::Lagged { dropped, .. } => assert_eq!(dropped, 1),
+            n => panic!("expected Lagged, got {n:?}"),
+        }
+        assert_eq!(rx.try_recv().unwrap(), vec![4]);
+        assert_eq!(entry.dropped, 0);
+    }
+
+    /// A subscriber whose connection is gone reports `false` so the
+    /// broadcaster unregisters it.
+    #[test]
+    fn disconnected_subscriber_is_reported_dead() {
+        let (mut entry, rx) = sub(1);
+        drop(rx);
+        assert!(!entry.push("m", &[1]));
+    }
+}

@@ -1,0 +1,381 @@
+//! Property tests for the wire protocol: every request, response, and
+//! notification frame must encode → decode → re-encode **bit-identically**
+//! (the canonical-encoding contract the deterministic bench artifacts and the
+//! cross-process tests rely on), including empty and maximum-size payloads.
+
+use od_core::wire;
+use od_core::{AttrId, AttrSet, OrderDependency, Relation, Schema, Value};
+use od_server::proto::{ErrorCode, Notification, Request, Response, ServerMessage, WireOdStatus};
+use od_setbased::SetOd;
+use proptest::prelude::*;
+
+/// Deterministic splitmix64 generator so one `u64` seed drives an entire
+/// message tree (the proptest shim's strategies compose over scalars, not
+/// recursive enums).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    fn string(&mut self) -> String {
+        let len = self.below(12) as usize;
+        (0..len)
+            .map(|_| char::from(b'a' + (self.below(26) as u8)))
+            .collect()
+    }
+
+    /// Finite floats only: value-level equality must hold alongside the
+    /// byte-level contract (NaN gets its own dedicated test below).
+    fn float(&mut self) -> f64 {
+        (self.next() as i64 % 1_000_000) as f64 / 128.0
+    }
+
+    fn value(&mut self) -> Value {
+        match self.below(6) {
+            0 => Value::Null,
+            1 => Value::Bool(self.next() & 1 == 0),
+            2 => Value::Int(self.next() as i64),
+            3 => Value::Float(self.float()),
+            4 => Value::Str(self.string()),
+            _ => Value::Date(self.next() as i32),
+        }
+    }
+
+    fn relation(&mut self) -> Relation {
+        let arity = 1 + self.below(4) as usize;
+        let rows = self.below(8) as usize;
+        let mut schema = Schema::new(self.string());
+        for i in 0..arity {
+            schema.add_attr(format!("c{i}"));
+        }
+        Relation::from_rows(
+            schema,
+            (0..rows).map(|_| (0..arity).map(|_| self.value()).collect()),
+        )
+        .expect("arity fixed by construction")
+    }
+
+    fn od(&mut self) -> OrderDependency {
+        let side = |g: &mut Gen| -> Vec<AttrId> {
+            (0..g.below(4))
+                .map(|_| AttrId(g.below(64) as u32))
+                .collect()
+        };
+        OrderDependency::new(side(self), side(self))
+    }
+
+    fn ods(&mut self) -> Vec<OrderDependency> {
+        (0..self.below(4)).map(|_| self.od()).collect()
+    }
+
+    fn statement(&mut self) -> SetOd {
+        let context = AttrSet::from_mask(self.next());
+        if self.next() & 1 == 0 {
+            SetOd::constancy(context, AttrId(self.below(64) as u32))
+        } else {
+            SetOd::compatibility(
+                context,
+                AttrId(self.below(64) as u32),
+                AttrId(self.below(64) as u32),
+            )
+        }
+    }
+
+    fn status(&mut self) -> WireOdStatus {
+        WireOdStatus {
+            od: self.od(),
+            removal_count: self.next(),
+            accepted: self.next() & 1 == 0,
+            flipped: self.next() & 1 == 0,
+        }
+    }
+
+    fn statuses(&mut self) -> Vec<WireOdStatus> {
+        (0..self.below(4)).map(|_| self.status()).collect()
+    }
+
+    fn error_code(&mut self) -> ErrorCode {
+        [
+            ErrorCode::Protocol,
+            ErrorCode::UnknownOpcode,
+            ErrorCode::NoSuchResource,
+            ErrorCode::DuplicateResource,
+            ErrorCode::BadRequest,
+            ErrorCode::TooLarge,
+            ErrorCode::ShuttingDown,
+        ][self.below(7) as usize]
+    }
+
+    fn request(&mut self, variant: u64) -> Request {
+        match variant {
+            0 => Request::Ping,
+            1 => Request::CreateRelation {
+                name: self.string(),
+                relation: self.relation(),
+            },
+            2 => Request::DropRelation {
+                name: self.string(),
+            },
+            3 => Request::ListResources,
+            4 => Request::Discover {
+                relation: self.string(),
+                max_lhs: self.next() as u32,
+                max_rhs: self.next() as u32,
+                epsilon: self.float(),
+                max_context: self.next() as u32,
+            },
+            5 => Request::DiscoverStatements {
+                relation: self.string(),
+                max_context: self.next() as u32,
+            },
+            6 => Request::CreateMonitor {
+                name: self.string(),
+                relation: self.string(),
+                epsilon: self.float(),
+                ods: self.ods(),
+            },
+            7 => Request::DropMonitor {
+                name: self.string(),
+            },
+            8 => Request::ApplyDelta {
+                monitor: self.string(),
+                inserts: (0..self.below(5))
+                    .map(|_| (0..3).map(|_| self.value()).collect())
+                    .collect(),
+                deletes: (0..self.below(5)).map(|_| self.next() as u32).collect(),
+            },
+            9 => Request::MonitorStatus {
+                monitor: self.string(),
+            },
+            10 => Request::Implies {
+                premises: self.ods(),
+                goal: self.od(),
+            },
+            11 => Request::Subscribe {
+                monitor: self.string(),
+            },
+            12 => Request::Unsubscribe {
+                monitor: self.string(),
+            },
+            _ => Request::Shutdown,
+        }
+    }
+
+    fn response(&mut self, variant: u64) -> Response {
+        match variant {
+            0 => Response::Pong,
+            1 => Response::Ok,
+            2 => Response::Error {
+                code: self.error_code(),
+                message: self.string(),
+            },
+            3 => Response::RelationCreated { rows: self.next() },
+            4 => Response::Resources {
+                relations: (0..self.below(4))
+                    .map(|_| (self.string(), self.next()))
+                    .collect(),
+                monitors: (0..self.below(4))
+                    .map(|_| (self.string(), self.next()))
+                    .collect(),
+            },
+            5 => {
+                let ods = self.ods();
+                let errors = ods.iter().map(|_| self.float()).collect();
+                Response::Discovered { ods, errors }
+            }
+            6 => Response::Statements {
+                statements: (0..self.below(5)).map(|_| self.statement()).collect(),
+            },
+            7 => Response::MonitorCreated {
+                watched: self.next(),
+            },
+            8 => Response::DeltaApplied {
+                inserted: (0..self.below(5)).map(|_| self.next() as u32).collect(),
+                deleted: self.next(),
+                touched_classes: self.next(),
+                rows: self.next(),
+                flipped: self.statuses(),
+            },
+            9 => Response::Statuses {
+                rows: self.next(),
+                statuses: self.statuses(),
+            },
+            10 => Response::Implication {
+                implied: self.next() & 1 == 0,
+            },
+            11 => Response::Subscribed,
+            12 => Response::Unsubscribed {
+                was_subscribed: self.next() & 1 == 0,
+            },
+            _ => Response::ShuttingDown,
+        }
+    }
+
+    fn notification(&mut self, variant: u64) -> Notification {
+        match variant {
+            0 => Notification::Flips {
+                monitor: self.string(),
+                seq: self.next(),
+                statuses: self.statuses(),
+            },
+            _ => Notification::Lagged {
+                monitor: self.string(),
+                dropped: self.next(),
+            },
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Requests: encode → decode → re-encode is the identity on bytes AND on
+    /// values.
+    #[test]
+    fn request_roundtrip(seed in 0u64..u64::MAX, variant in 0u64..14) {
+        let request = Gen(seed).request(variant);
+        let bytes = request.encode();
+        let decoded = Request::decode(&bytes).expect("self-encoded frame decodes");
+        prop_assert_eq!(&decoded, &request);
+        prop_assert_eq!(decoded.encode(), bytes);
+    }
+
+    /// Responses, via the framed `ServerMessage` path the client actually
+    /// reads.
+    #[test]
+    fn response_roundtrip(seed in 0u64..u64::MAX, variant in 0u64..14) {
+        let response = Gen(seed).response(variant);
+        let bytes = response.encode();
+        let decoded = match ServerMessage::decode(&bytes).expect("decodes") {
+            ServerMessage::Response(r) => r,
+            ServerMessage::Notification(n) => panic!("kind byte flipped: {n:?}"),
+        };
+        prop_assert_eq!(&decoded, &response);
+        prop_assert_eq!(decoded.encode(), bytes);
+    }
+
+    /// Notifications round-trip the same way.
+    #[test]
+    fn notification_roundtrip(seed in 0u64..u64::MAX, variant in 0u64..2) {
+        let notification = Gen(seed).notification(variant);
+        let bytes = notification.encode();
+        let decoded = match ServerMessage::decode(&bytes).expect("decodes") {
+            ServerMessage::Notification(n) => n,
+            ServerMessage::Response(r) => panic!("kind byte flipped: {r:?}"),
+        };
+        prop_assert_eq!(&decoded, &notification);
+        prop_assert_eq!(decoded.encode(), bytes);
+    }
+
+    /// Frame transport is the identity for arbitrary payloads, empty included.
+    #[test]
+    fn frame_roundtrip(payload in prop::collection::vec(0u8..255, 0..64)) {
+        let mut buf = Vec::new();
+        wire::write_frame(&mut buf, &payload).unwrap();
+        prop_assert_eq!(buf.len(), 4 + payload.len());
+        let back = wire::read_frame(&mut &buf[..], wire::MAX_FRAME_LEN).unwrap();
+        prop_assert_eq!(back, payload);
+    }
+}
+
+/// NaN payloads keep their exact bit pattern (floats travel as `to_bits`).
+#[test]
+fn nan_float_roundtrips_bitwise() {
+    let nan = f64::from_bits(0x7ff8_dead_beef_0123);
+    let request = Request::ApplyDelta {
+        monitor: "m".into(),
+        inserts: vec![vec![Value::Float(nan)]],
+        deletes: vec![],
+    };
+    let bytes = request.encode();
+    let decoded = Request::decode(&bytes).unwrap();
+    // `Value::Float(NaN) != Value::Float(NaN)` — the byte-level identity is
+    // the contract.
+    assert_eq!(decoded.encode(), bytes);
+    match decoded {
+        Request::ApplyDelta { inserts, .. } => match inserts[0][0] {
+            Value::Float(f) => assert_eq!(f.to_bits(), nan.to_bits()),
+            ref v => panic!("wrong value {v:?}"),
+        },
+        r => panic!("wrong request {r:?}"),
+    }
+}
+
+/// The empty payload is a valid frame (length prefix 0) and distinct from a
+/// closed connection.
+#[test]
+fn empty_payload_frame() {
+    let mut buf = Vec::new();
+    wire::write_frame(&mut buf, &[]).unwrap();
+    assert_eq!(buf, [0, 0, 0, 0]);
+    let back = wire::read_frame_opt(&mut &buf[..], wire::MAX_FRAME_LEN).unwrap();
+    assert_eq!(back, Some(Vec::new()));
+    // And after the empty frame, clean EOF reads as None.
+    let mut rest: &[u8] = &[];
+    assert_eq!(
+        wire::read_frame_opt(&mut rest, wire::MAX_FRAME_LEN).unwrap(),
+        None
+    );
+}
+
+/// A payload exactly at the cap round-trips; one byte over is rejected
+/// before any allocation happens.
+#[test]
+fn max_size_payload_frame() {
+    let cap = 1 << 16;
+    let payload = vec![0xabu8; cap];
+    let mut buf = Vec::new();
+    wire::write_frame(&mut buf, &payload).unwrap();
+    let back = wire::read_frame(&mut &buf[..], cap).unwrap();
+    assert_eq!(back, payload);
+
+    let mut over = Vec::new();
+    wire::write_frame(&mut over, &vec![0xcdu8; cap + 1]).unwrap();
+    let err = wire::read_frame(&mut &over[..], cap).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}
+
+/// A maximum-size *meaningful* message: a wide relation with long strings
+/// survives the round trip byte-for-byte.
+#[test]
+fn large_request_roundtrip() {
+    let mut schema = Schema::new("wide");
+    for i in 0..64 {
+        schema.add_attr(format!("c{i}"));
+    }
+    let big = "x".repeat(4096);
+    let rel = Relation::from_rows(
+        schema,
+        (0..32).map(|r| {
+            (0..64)
+                .map(|c| {
+                    if (r + c) % 2 == 0 {
+                        Value::Str(big.clone())
+                    } else {
+                        Value::Int(r as i64 * 64 + c as i64)
+                    }
+                })
+                .collect()
+        }),
+    )
+    .unwrap();
+    let request = Request::CreateRelation {
+        name: "big".into(),
+        relation: rel,
+    };
+    let bytes = request.encode();
+    assert!(bytes.len() > 4 * 1024 * 1024);
+    assert!(bytes.len() <= wire::MAX_FRAME_LEN);
+    let decoded = Request::decode(&bytes).unwrap();
+    assert_eq!(decoded.encode(), bytes);
+}

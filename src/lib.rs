@@ -15,6 +15,10 @@
 //! * [`setbased`] — the partition-powered set-based subsystem (stripped
 //!   partitions, canonical statements, level-wise lattice, and the
 //!   [`stream`](setbased::stream) module's delta-maintained verdict ledgers),
+//! * [`server`] — the service layer: a dependency-free TCP server hosting
+//!   relations and monitors as named resources behind a length-prefixed
+//!   binary protocol, with pub/sub verdict-flip notifications, and the
+//!   blocking [`Client`](server::Client),
 //! * [`workload`] — the date-warehouse and tax workloads used by the
 //!   experiments.
 //!
@@ -29,5 +33,6 @@ pub use od_discovery as discovery;
 pub use od_engine as engine;
 pub use od_infer as infer;
 pub use od_optimizer as optimizer;
+pub use od_server as server;
 pub use od_setbased as setbased;
 pub use od_workload as workload;
