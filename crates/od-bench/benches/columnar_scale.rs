@@ -34,7 +34,7 @@ fn bench(c: &mut Criterion) {
                     let p = StrippedPartition::by_codes_with(enc.codes(i), &mut scratch);
                     for j in 0..arity {
                         if i != j {
-                            classes += p.refine_by_with(enc.codes(j), &mut scratch).classes().len();
+                            classes += p.refine_by_with(enc.codes(j), &mut scratch).num_classes();
                         }
                     }
                 }

@@ -15,6 +15,9 @@
 //! cargo run --release -p od-bench --bin reproduce -- e15 --metrics-out out/
 //! #                       service-layer load over loopback TCP (throughput, latency
 //! #                       percentiles, pub/sub flips, max-capacity saturation knee)
+//! cargo run --release -p od-bench --bin reproduce -- e16 --rows 1000000
+//! #                       partition products (hash vs comparison vs radix CSR) and
+//! #                       width-2/3/4 discovery on the scale table (--rows as in e14)
 //! ```
 
 use od_bench::*;
@@ -55,9 +58,9 @@ fn main() {
         },
         None => None,
     };
-    // `--rows N` sizes the E14 columnar-scale table (default 1M full, 20k tiny).
+    // `--rows N` sizes the E14/E16 scale table (default 1M full, 20k tiny).
     let rows_pos = args.iter().position(|a| a == "--rows");
-    let e14_rows = match rows_pos {
+    let scale_rows = match rows_pos {
         Some(i) => match args.get(i + 1).map(|v| v.parse::<usize>()) {
             Some(Ok(rows)) => rows,
             _ => {
@@ -140,11 +143,11 @@ fn main() {
     if want("e14") {
         match &metrics_out {
             Some(dir) => {
-                let (report, metrics) = exp_e14_columnar_with_metrics(e14_rows);
+                let (report, metrics) = exp_e14_columnar_with_metrics(scale_rows);
                 println!("{report}");
                 emit(&metrics, dir);
             }
-            None => println!("{}", exp_e14_columnar(e14_rows)),
+            None => println!("{}", exp_e14_columnar(scale_rows)),
         }
     }
     if want("e15") {
@@ -160,6 +163,16 @@ fn main() {
                 emit(&metrics, dir);
             }
             None => println!("{}", exp_e15_server_load(config)),
+        }
+    }
+    if want("e16") {
+        match &metrics_out {
+            Some(dir) => {
+                let (report, metrics) = exp_e16_lattice_with_metrics(scale_rows);
+                println!("{report}");
+                emit(&metrics, dir);
+            }
+            None => println!("{}", exp_e16_lattice(scale_rows)),
         }
     }
 }

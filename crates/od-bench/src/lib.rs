@@ -858,7 +858,10 @@ fn run_e14(rows: usize, threads: usize) -> String {
             .iter()
             .zip(&value_parts)
             .zip(&codesort_parts)
-            .all(|((p, v), c)| p.classes() == &v[..] && p.classes() == &c[..]);
+            .all(|((p, v), c)| {
+                let classes = p.class_vecs();
+                classes == *v && classes == *c
+            });
     writeln!(
         out,
         "refinement ({} width-≤2 products, identical partitions on all three paths):",
@@ -917,6 +920,190 @@ fn run_e14(rows: usize, threads: usize) -> String {
         out,
         "claim: dictionary codes + radix bucketing turn refinement into linear counting \
          passes, ≥3x over row-at-a-time comparisons at scale  |  measured: {speedup:.1}x \
+         on {} rows",
+        rel.len()
+    )
+    .unwrap();
+    out
+}
+
+/// E16 — partition products through the deep lattice: every ordered pair of
+/// per-attribute CSR partitions Π_A · Π_B computed on three product paths in
+/// the same run — per-class hash grouping (the pre-refactor baseline),
+/// comparison sorts of the packed class-id keys, and the packed-u64 radix
+/// kernel — with bit-identical partitions asserted across all three.  Then
+/// width-2/3/4 discovery throughput on the same scale table, where every
+/// level ≥ 2 partition is a memoized radix product.
+pub fn exp_e16_lattice(rows: usize) -> String {
+    run_e16(rows, 1)
+}
+
+/// [`exp_e16_lattice`] under a scoped metrics registry, for
+/// `BENCH_e16.json`.  The product pass counts (`e16.product.radix_passes`,
+/// `discovery.product_radix_passes`) land in the report's deterministic
+/// section; wall-clock readings stay confined to the human-readable text and
+/// the non-deterministic section.
+pub fn exp_e16_lattice_with_metrics(rows: usize) -> (String, od_obs::MetricsReport) {
+    metrics::capture("e16", || run_e16(rows, 1))
+}
+
+/// E16 with an explicit discovery thread count — exists so the determinism
+/// tests can pin the deterministic metrics section byte-identical across
+/// thread counts; the headline entry points stay serial.
+#[doc(hidden)]
+pub fn exp_e16_lattice_with_metrics_threads(
+    rows: usize,
+    threads: usize,
+) -> (String, od_obs::MetricsReport) {
+    metrics::capture("e16", || run_e16(rows, threads))
+}
+
+fn run_e16(rows: usize, threads: usize) -> String {
+    use od_setbased::{
+        discover_statements, ClassCodes, LatticeConfig, RefineScratch, StrippedPartition,
+    };
+    use od_workload::{scale_relation, SCALE_1M};
+
+    let cfg = SCALE_1M.with_rows(rows);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "## E16  Partition products through the deep lattice (CSR + radix keys)"
+    )
+    .unwrap();
+    let rel = scale_relation(&cfg);
+    od_obs::add("e16.rows", rel.len() as u64);
+    writeln!(
+        out,
+        "scale table: {} rows × {} attrs (zipfian + sorted-with-noise, seed {:#x})",
+        rel.len(),
+        rel.schema().arity(),
+        cfg.seed
+    )
+    .unwrap();
+
+    // Base partitions and their dense class-code columns, shared by all three
+    // product paths — exactly what the lattice memoizes at level 1.
+    let enc = rel.encoding();
+    let arity = rel.schema().arity();
+    let mut scratch = RefineScratch::default();
+    let parts: Vec<StrippedPartition> = (0..arity)
+        .map(|i| StrippedPartition::by_codes_with(enc.codes(i), &mut scratch))
+        .collect();
+    let codes: Vec<ClassCodes> = parts.iter().map(StrippedPartition::class_codes).collect();
+
+    // Each path runs twice and keeps its best time (see `timed_best_of_2`).
+    // 1. Per-class hash grouping: what the pre-CSR product paid — one
+    //    HashMap insert per covered row.
+    let (hash_parts, hash_time) = timed_best_of_2(|| {
+        let mut v: Vec<StrippedPartition> = Vec::new();
+        for (i, p) in parts.iter().enumerate() {
+            for (j, c) in codes.iter().enumerate() {
+                if i != j {
+                    v.push(p.product_hash(c));
+                }
+            }
+        }
+        v
+    });
+
+    // 2. Comparison sorts of the same packed (class_a, class_b) u64 keys.
+    let (cmp_parts, cmp_time) = timed_best_of_2(|| {
+        let mut scratch = RefineScratch::default();
+        let mut v: Vec<StrippedPartition> = Vec::new();
+        for (i, p) in parts.iter().enumerate() {
+            for (j, c) in codes.iter().enumerate() {
+                if i != j {
+                    v.push(p.product_comparison(c, &mut scratch));
+                }
+            }
+        }
+        v
+    });
+
+    // 3. The radix kernel the lattice runs: one stable LSD pass set over the
+    //    packed keys through the reused scratch.
+    let ((radix_parts, product_passes), radix_time) = timed_best_of_2(|| {
+        let mut scratch = RefineScratch::default();
+        let mut v: Vec<StrippedPartition> = Vec::new();
+        for (i, p) in parts.iter().enumerate() {
+            for (j, c) in codes.iter().enumerate() {
+                if i != j {
+                    v.push(p.product_with(c, &mut scratch));
+                }
+            }
+        }
+        let passes = scratch.product_radix_passes();
+        (v, passes)
+    });
+    od_obs::add("e16.product.radix_passes", product_passes);
+    let speedup_hash = hash_time.as_secs_f64() / radix_time.as_secs_f64().max(1e-9);
+    let speedup_cmp = cmp_time.as_secs_f64() / radix_time.as_secs_f64().max(1e-9);
+    let parts_match = radix_parts == hash_parts && radix_parts == cmp_parts;
+    writeln!(
+        out,
+        "products ({} ordered pairs, identical CSR partitions on all three paths):",
+        radix_parts.len()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  per-class hash grouping (pre-CSR baseline):    {hash_time:?}"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  comparison-sorted packed keys:                 {cmp_time:?}"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  radix-sorted packed keys:                      {radix_time:?}  \
+         ({speedup_hash:.1}x vs hash, {speedup_cmp:.1}x vs comparison sorts, \
+         {product_passes} radix passes)"
+    )
+    .unwrap();
+    if !parts_match {
+        writeln!(
+            out,
+            "  UNEXPECTED: the three product paths produced different partitions"
+        )
+        .unwrap();
+    }
+    if rows >= 250_000 && speedup_hash < 3.0 {
+        writeln!(
+            out,
+            "  UNEXPECTED: radix products below the 3x bar against hash grouping"
+        )
+        .unwrap();
+    }
+
+    // Deep discovery on the same table: every level ≥ 2 partition is a
+    // memoized radix product of Π_{context \ last} with the last attribute's
+    // class codes.
+    for width in [2usize, 3, 4] {
+        let config = LatticeConfig {
+            max_context: width,
+            threads,
+            ..Default::default()
+        };
+        let t = Instant::now();
+        let d = discover_statements(&rel, &config);
+        let disc = t.elapsed();
+        writeln!(
+            out,
+            "width-{width} discovery: {} minimal statements in {disc:?} \
+             ({} rows/sec, {} product radix passes)",
+            d.minimal_statements().len(),
+            rows_per_sec(rel.len(), disc),
+            d.stats.product_radix_passes
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "claim: memoized partition products reduce to one packed-u64 radix pass set per \
+         pair, ≥3x over per-class hash grouping at scale  |  measured: {speedup_hash:.1}x \
          on {} rows",
         rel.len()
     )
@@ -1040,6 +1227,7 @@ mod tests {
             exp_e12_width3(scale),
             exp_e13_width4(scale, 4),
             exp_e14_columnar(5_000),
+            exp_e16_lattice(5_000),
         ] {
             assert!(
                 !report.contains("UNEXPECTED"),

@@ -56,6 +56,42 @@ fn e14_clears_speed_bar_at_bench_smoke_scale() {
     );
 }
 
+#[cfg(not(debug_assertions))]
+#[test]
+fn scale_10m_generator_sustains_throughput_sampled() {
+    use od_setbased::{RefineScratch, StrippedPartition};
+    use od_workload::{scale_ods, scale_relation_sampled, SCALE_10M};
+
+    // Walk the full 10M-row RNG stream but materialize every 16th tuple
+    // (625k rows): the generation path is exercised at its headline scale
+    // without CI holding ten million tuples, and the kept rows are
+    // bit-identical to their counterparts in the full table.
+    let start = Instant::now();
+    let rel = scale_relation_sampled(&SCALE_10M, 16);
+    let elapsed = start.elapsed();
+    assert_eq!(rel.len(), SCALE_10M.rows / 16);
+    // The constructed ODs hold row-wise, so they survive sampling.
+    for od in scale_ods(rel.schema()) {
+        assert!(od_core::check::od_holds(&rel, &od), "{od} must hold");
+    }
+    // The sampled table still refines like the full one: the ts column is a
+    // key (strips to nothing) and zipf_key × zipf_band is a real product.
+    let enc = rel.encoding();
+    let mut scratch = RefineScratch::default();
+    let ts = StrippedPartition::by_codes_with(enc.codes(0), &mut scratch);
+    assert!(ts.is_key(), "sampled ts must stay strictly increasing");
+    let zipf = StrippedPartition::by_codes_with(enc.codes(2), &mut scratch);
+    let refined = zipf.product_with(&zipf.class_codes(), &mut scratch);
+    assert_eq!(refined, zipf, "self-product must be idempotent");
+    // Generation + encode of the full stream is ~8s in release; 60s leaves
+    // room for loaded CI machines while catching a super-linear regression
+    // in the generator or encoder.
+    assert!(
+        elapsed.as_secs_f64() < 60.0,
+        "sampled 10M generation took {elapsed:?} (budget 60s)"
+    );
+}
+
 #[cfg(debug_assertions)]
 #[test]
 fn e14_speed_bar_skipped_in_debug_profile() {

@@ -88,6 +88,30 @@ fn e14_deterministic_section_is_byte_identical_across_runs_and_threads() {
 }
 
 #[test]
+fn e16_deterministic_section_is_byte_identical_across_runs_and_threads() {
+    // The whole E16 pipeline — scale-table generation, three-way partition
+    // products, width-2/3/4 discovery on memoized radix products — under the
+    // capture.  `discovery.product_radix_passes` is pinned across thread
+    // counts: products are sharded but the pass counts are absorbed on the
+    // orchestrating thread in lattice order.
+    let (_, reference) = od_bench::exp_e16_lattice_with_metrics_threads(30_000, 1);
+    let reference = reference.deterministic_json();
+    assert!(reference.contains("e16.rows"));
+    assert!(reference.contains("e16.product.radix_passes"));
+    assert!(reference.contains("discovery.product_radix_passes"));
+    for threads in [1, 4, 8] {
+        for run in 0..2 {
+            let (_, report) = od_bench::exp_e16_lattice_with_metrics_threads(30_000, threads);
+            assert_eq!(
+                report.deterministic_json(),
+                reference,
+                "e16 deterministic section drifted (threads={threads}, run={run})"
+            );
+        }
+    }
+}
+
+#[test]
 fn e15_deterministic_section_is_byte_identical_across_runs_and_threads() {
     // The whole E15 service-layer load harness — server boot, pub/sub flip
     // phase, multi-threaded spot load over loopback TCP — with the wall-clock

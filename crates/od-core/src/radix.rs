@@ -110,9 +110,34 @@ pub fn sort_pairs<K: RadixKey>(pairs: &mut Vec<(K, u32)>, scratch: &mut Vec<(K, 
     passes
 }
 
+/// Number of bits needed to represent every value in `0..=max` (`0` when `max`
+/// is `0`).  Callers packing two dense code spaces into one radix key use this
+/// to pick the shift that keeps the packing injective while leaving the high
+/// bytes zero for the OR-fold to skip.
+pub fn bits_for(max: u32) -> u32 {
+    32 - max.leading_zeros()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bits_for_covers_the_value_range() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+        assert_eq!(bits_for(u32::MAX), 32);
+        for max in [0u32, 1, 5, 100, 4096] {
+            let bits = bits_for(max);
+            if bits < 32 {
+                assert!(u64::from(max) < 1u64 << bits || max == 0);
+            }
+        }
+    }
 
     fn check_against_sort_unstable(mut input: Vec<(u32, u32)>) -> u32 {
         let mut expected = input.clone();

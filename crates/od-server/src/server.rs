@@ -109,21 +109,68 @@ impl SubEntry {
     }
 }
 
-/// A hosted monitor: the live monitor itself plus its wire subscribers.
+/// A hosted monitor: the live monitor itself plus its wire subscribers and
+/// the name of the relation it snapshotted (deltas against the monitor
+/// invalidate that relation's cached discovery profiles).
 struct MonitorEntry {
     monitor: Mutex<Monitor>,
     subs: Arc<Mutex<Vec<SubEntry>>>,
+    relation: String,
+}
+
+/// A hosted relation: the immutable snapshot plus a server-unique generation
+/// stamp.  The stamp keys the discovery cache, so re-creating a relation
+/// under a dropped name can never resurrect a stale cached profile.
+struct RelationEntry {
+    relation: Arc<Relation>,
+    generation: u64,
+}
+
+/// Cache key for a discovery profile: the named relation at a specific
+/// generation under a specific config.  `epsilon_bits` carries the f64
+/// through `to_bits` — requests with bitwise-equal epsilons (the only kind a
+/// client can repeat over the wire) hit the same entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct DiscoverKey {
+    relation: String,
+    generation: u64,
+    /// `true` for `DiscoverStatements`, `false` for `Discover`.
+    statements: bool,
+    max_lhs: u32,
+    max_rhs: u32,
+    epsilon_bits: u64,
+    max_context: u32,
 }
 
 struct Shared {
     config: ServerConfig,
-    relations: Mutex<HashMap<String, Arc<Relation>>>,
+    relations: Mutex<HashMap<String, RelationEntry>>,
     monitors: Mutex<HashMap<String, Arc<MonitorEntry>>>,
+    /// Memoized `Discover`/`DiscoverStatements` responses.  Discovery is
+    /// deterministic, so a cached response encodes to the byte-identical
+    /// frame a fresh run would produce.  Entries die with their relation
+    /// (drop, or generation bump on re-create) and whenever an `ApplyDelta`
+    /// lands on one of the relation's monitors — the snapshot itself is
+    /// immutable, but a delta signals the named dataset has moved on, so
+    /// serving a pre-delta profile for it would be misleading.
+    discover_cache: Mutex<HashMap<DiscoverKey, Response>>,
     /// Write-half clones of every live connection, for shutdown.
     conns: Mutex<HashMap<u64, TcpStream>>,
     threads: Mutex<Vec<JoinHandle<()>>>,
     next_conn: AtomicU64,
+    next_generation: AtomicU64,
     shutting_down: AtomicBool,
+}
+
+/// Drop every cached discovery profile of `relation`.
+fn invalidate_profiles(shared: &Shared, relation: &str) {
+    let mut cache = shared.discover_cache.lock().unwrap();
+    let before = cache.len();
+    cache.retain(|key, _| key.relation != relation);
+    od_obs::add(
+        "server.discover.cache_invalidations",
+        (before - cache.len()) as u64,
+    );
 }
 
 /// A running od-server.  Bind with [`OdServer::bind`], stop with
@@ -149,9 +196,11 @@ impl OdServer {
             config,
             relations: Mutex::new(HashMap::new()),
             monitors: Mutex::new(HashMap::new()),
+            discover_cache: Mutex::new(HashMap::new()),
             conns: Mutex::new(HashMap::new()),
             threads: Mutex::new(Vec::new()),
             next_conn: AtomicU64::new(0),
+            next_generation: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
         });
         let accept_shared = Arc::clone(&shared);
@@ -399,11 +448,20 @@ fn handle(
                 );
             }
             let rows = relation.len() as u64;
-            relations.insert(name, Arc::new(relation));
+            relations.insert(
+                name,
+                RelationEntry {
+                    relation: Arc::new(relation),
+                    generation: shared.next_generation.fetch_add(1, Ordering::Relaxed),
+                },
+            );
             Response::RelationCreated { rows }
         }
         Request::DropRelation { name } => match shared.relations.lock().unwrap().remove(&name) {
-            Some(_) => Response::Ok,
+            Some(_) => {
+                invalidate_profiles(shared, &name);
+                Response::Ok
+            }
             None => no_such("relation", &name),
         },
         Request::ListResources => {
@@ -412,7 +470,7 @@ fn handle(
                 .lock()
                 .unwrap()
                 .iter()
-                .map(|(name, rel)| (name.clone(), rel.len() as u64))
+                .map(|(name, entry)| (name.clone(), entry.relation.len() as u64))
                 .collect();
             relations.sort();
             let mut monitors: Vec<(String, u64)> = shared
@@ -438,12 +496,30 @@ fn handle(
             epsilon,
             max_context,
         } => {
-            let Some(rel) = shared.relations.lock().unwrap().get(&relation).cloned() else {
-                return no_such("relation", &relation);
+            let (rel, generation) = {
+                let relations = shared.relations.lock().unwrap();
+                let Some(entry) = relations.get(&relation) else {
+                    return no_such("relation", &relation);
+                };
+                (Arc::clone(&entry.relation), entry.generation)
             };
             if !(0.0..=1.0).contains(&epsilon) {
                 return err(ErrorCode::BadRequest, "epsilon must be within [0, 1]");
             }
+            let key = DiscoverKey {
+                relation,
+                generation,
+                statements: false,
+                max_lhs,
+                max_rhs,
+                epsilon_bits: epsilon.to_bits(),
+                max_context,
+            };
+            if let Some(cached) = shared.discover_cache.lock().unwrap().get(&key).cloned() {
+                od_obs::add("server.discover.cache_hits", 1);
+                return cached;
+            }
+            od_obs::add("server.discover.cache_misses", 1);
             let config = DiscoveryConfig {
                 max_lhs: max_lhs as usize,
                 max_rhs: max_rhs as usize,
@@ -451,11 +527,23 @@ fn handle(
                 max_context: max_context as usize,
                 ..DiscoveryConfig::default()
             };
+            // Discover outside the cache lock: profiling can be heavy and
+            // must not block unrelated requests.  A concurrent miss on the
+            // same key computes the same deterministic response — the
+            // duplicated work is bounded and the cache stays consistent.
             match od_discovery::try_discover_ods(&rel, config) {
-                Ok(discovery) => Response::Discovered {
-                    ods: discovery.ods,
-                    errors: discovery.errors,
-                },
+                Ok(discovery) => {
+                    let response = Response::Discovered {
+                        ods: discovery.ods,
+                        errors: discovery.errors,
+                    };
+                    shared
+                        .discover_cache
+                        .lock()
+                        .unwrap()
+                        .insert(key, response.clone());
+                    response
+                }
                 Err(e) => err(ErrorCode::BadRequest, e.to_string()),
             }
         }
@@ -463,17 +551,43 @@ fn handle(
             relation,
             max_context,
         } => {
-            let Some(rel) = shared.relations.lock().unwrap().get(&relation).cloned() else {
-                return no_such("relation", &relation);
+            let (rel, generation) = {
+                let relations = shared.relations.lock().unwrap();
+                let Some(entry) = relations.get(&relation) else {
+                    return no_such("relation", &relation);
+                };
+                (Arc::clone(&entry.relation), entry.generation)
             };
+            let key = DiscoverKey {
+                relation,
+                generation,
+                statements: true,
+                max_lhs: 0,
+                max_rhs: 0,
+                epsilon_bits: 0,
+                max_context,
+            };
+            if let Some(cached) = shared.discover_cache.lock().unwrap().get(&key).cloned() {
+                od_obs::add("server.discover.cache_hits", 1);
+                return cached;
+            }
+            od_obs::add("server.discover.cache_misses", 1);
             let config = LatticeConfig {
                 max_context: max_context as usize,
                 ..LatticeConfig::default()
             };
             match od_setbased::try_discover_statements(&rel, &config) {
-                Ok(discovery) => Response::Statements {
-                    statements: discovery.minimal_statements().to_vec(),
-                },
+                Ok(discovery) => {
+                    let response = Response::Statements {
+                        statements: discovery.minimal_statements().to_vec(),
+                    };
+                    shared
+                        .discover_cache
+                        .lock()
+                        .unwrap()
+                        .insert(key, response.clone());
+                    response
+                }
                 Err(e) => err(ErrorCode::BadRequest, e.to_string()),
             }
         }
@@ -483,8 +597,12 @@ fn handle(
             epsilon,
             ods,
         } => {
-            let Some(rel) = shared.relations.lock().unwrap().get(&relation).cloned() else {
-                return no_such("relation", &relation);
+            let rel = {
+                let relations = shared.relations.lock().unwrap();
+                let Some(entry) = relations.get(&relation) else {
+                    return no_such("relation", &relation);
+                };
+                Arc::clone(&entry.relation)
             };
             if !(0.0..=1.0).contains(&epsilon) {
                 return err(ErrorCode::BadRequest, "epsilon must be within [0, 1]");
@@ -549,6 +667,7 @@ fn handle(
             let entry = Arc::new(MonitorEntry {
                 monitor: Mutex::new(monitor),
                 subs,
+                relation,
             });
             let mut monitors = shared.monitors.lock().unwrap();
             if monitors.contains_key(&name) {
@@ -582,13 +701,18 @@ fn handle(
             // equals verdict order.
             let mut live = entry.monitor.lock().unwrap();
             match live.apply(&batch) {
-                Ok(report) => Response::DeltaApplied {
-                    inserted: report.inserted.clone(),
-                    deleted: report.deleted as u64,
-                    touched_classes: report.touched_classes as u64,
-                    rows: live.rows() as u64,
-                    flipped: report.flips().map(wire_status).collect(),
-                },
+                Ok(report) => {
+                    // The delta landed: the named dataset has moved past the
+                    // snapshot, so cached discovery profiles for it are stale.
+                    invalidate_profiles(shared, &entry.relation);
+                    Response::DeltaApplied {
+                        inserted: report.inserted.clone(),
+                        deleted: report.deleted as u64,
+                        touched_classes: report.touched_classes as u64,
+                        rows: live.rows() as u64,
+                        flipped: report.flips().map(wire_status).collect(),
+                    }
+                }
                 Err(e) => err(ErrorCode::BadRequest, e.to_string()),
             }
         }

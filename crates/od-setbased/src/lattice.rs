@@ -149,6 +149,10 @@ pub struct LatticeStats {
     pub cache_hits: usize,
     /// Partition-cache memo misses (materializations) across the traversal.
     pub cache_misses: usize,
+    /// Radix counting passes spent sorting packed u64 product keys (level ≥ 2
+    /// partition products).  A per-class property of the work done, so it is
+    /// bit-identical across thread counts.
+    pub product_radix_passes: u64,
     /// Partitions evicted by the per-level eviction policy.
     pub cache_evictions: usize,
 }
@@ -663,11 +667,15 @@ pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDi
         let contexts: Vec<AttrSet> = nodes.iter().map(|n| n.context).collect();
         let parts: Vec<Rc<StrippedPartition>> = {
             let _s = obs::span("refine");
+            // Level ≥ 2 batches are entirely packed-u64 products; the nested
+            // span separates product cost from level-1 code bucketing.
+            let _p = (level >= 2).then(|| obs::span("product"));
             cache.partitions_batch(&contexts, threads)
         };
         for part in &parts {
             obs::record("discovery.partition_classes", part.num_classes() as u64);
         }
+        obs::gauge_max("partition.csr_bytes", cache.approx_csr_bytes() as u64);
         lstats.cached_partitions = cache.cached_sets();
         result.stats.peak_cached_partitions = result
             .stats
@@ -910,6 +918,7 @@ pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDi
     }
     result.stats.cache_hits = cache.hits;
     result.stats.cache_misses = cache.misses;
+    result.stats.product_radix_passes = cache.product_radix_passes();
     obs::add("discovery.partition_cache.hits", cache.hits as u64);
     obs::add("discovery.partition_cache.misses", cache.misses as u64);
     obs::add(
@@ -918,6 +927,10 @@ pub fn discover_statements(rel: &Relation, config: &LatticeConfig) -> SetBasedDi
     );
     obs::add("discovery.partition_products", cache.products as u64);
     obs::add("discovery.radix_passes", cache.radix_passes());
+    obs::add(
+        "discovery.product_radix_passes",
+        cache.product_radix_passes(),
+    );
     obs::gauge_max(
         "discovery.partition_cache.peak",
         result.stats.peak_cached_partitions as u64,

@@ -8,7 +8,7 @@
 //!
 //! | Module | Contents |
 //! |---|---|
-//! | [`partition`] | stripped partitions `Π_X` over tuple ids, memoized incremental products, sorted partitions |
+//! | [`partition`] | CSR stripped partitions `Π_X` over tuple ids, memoized radix products over packed class-id keys, sorted partitions |
 //! | [`canonical`] | the set-based canonical statements and the exact list ↔ set translation |
 //! | [`validate`]  | evidence-returning ([`Verdict`]) statement validation over rank codes, exact per-class `g3` removal counts |
 //! | [`lattice`]   | node-based level-wise traversal on bitset candidate sets: mask propagation, key-based node deletion, batched per-level validation and decider rounds, partition eviction, `g3` thresholds |
@@ -92,7 +92,10 @@ pub use lattice::{
     discover_statements, try_discover_statements, LatticeConfig, LatticeStats, LevelStats,
     SetBasedDiscovery,
 };
-pub use partition::{ColCodes, PartitionCache, RefineScratch, SortedPartition, StrippedPartition};
+pub use partition::{
+    ClassCodes, ColCodes, PartitionCache, RefineScratch, SortedPartition, StrippedPartition,
+    CLASS_SENTINEL,
+};
 pub use stream::{
     CompactStats, DeltaBatch, DeltaSummary, StreamError, StreamMonitor, StreamStats, TupleId,
     VerdictLedger,

@@ -15,7 +15,7 @@
 //! complete, exact removal count.  For rejected verdicts the overshoot and the
 //! witness sample depend on scheduling.
 
-use crate::partition::{RefineScratch, StrippedPartition};
+use crate::partition::{ClassCodes, RefineScratch, StrippedPartition};
 use crate::validate::{
     class_compatibility_removal, class_constancy_removal, class_is_compatible, class_is_constant,
     ClassCode, Verdict, WITNESS_SAMPLE_CAP,
@@ -29,17 +29,24 @@ pub fn available_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Scan every class with `per_class` (which returns the class's removal count
-/// and may append witnesses), sharded over up to `threads` threads, stopping
-/// once the summed removal count exceeds `budget`.
-pub fn scan_classes<F>(classes: &[Vec<u32>], threads: usize, budget: usize, per_class: F) -> Verdict
+/// Scan every class of `part` with `per_class` (which returns the class's
+/// removal count and may append witnesses), sharded over up to `threads`
+/// threads, stopping once the summed removal count exceeds `budget`.  Classes
+/// are read directly as CSR slices; workers claim contiguous index ranges.
+pub fn scan_classes<F>(
+    part: &StrippedPartition,
+    threads: usize,
+    budget: usize,
+    per_class: F,
+) -> Verdict
 where
     F: Fn(&[u32], &mut Vec<(u32, u32)>) -> usize + Sync,
 {
-    let threads = threads.clamp(1, classes.len().max(1));
-    if threads <= 1 || classes.len() < 2 {
+    let n_classes = part.num_classes();
+    let threads = threads.clamp(1, n_classes.max(1));
+    if threads <= 1 || n_classes < 2 {
         let mut verdict = Verdict::clean();
-        for class in classes {
+        for class in part.classes() {
             verdict.classes_scanned += 1;
             verdict.removal_count += per_class(class, &mut verdict.violating_pairs);
             if verdict.removal_count > budget {
@@ -52,11 +59,13 @@ where
     let removal = AtomicUsize::new(0);
     let scanned = AtomicUsize::new(0);
     let exceeded = AtomicBool::new(false);
-    let chunk_size = classes.len().div_ceil(threads);
+    let chunk_size = n_classes.div_ceil(threads);
     let mut witnesses: Vec<(u32, u32)> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for chunk in classes.chunks(chunk_size) {
+        let mut start = 0usize;
+        while start < n_classes {
+            let end = (start + chunk_size).min(n_classes);
             let removal = &removal;
             let scanned = &scanned;
             let exceeded = &exceeded;
@@ -64,12 +73,12 @@ where
             handles.push(scope.spawn(move || {
                 let mut local_witnesses = Vec::new();
                 let mut local_scanned = 0usize;
-                for class in chunk {
+                for i in start..end {
                     if exceeded.load(Ordering::Relaxed) {
                         break;
                     }
                     local_scanned += 1;
-                    let r = per_class(class, &mut local_witnesses);
+                    let r = per_class(part.class(i), &mut local_witnesses);
                     if r > 0 {
                         let total = removal.fetch_add(r, Ordering::Relaxed) + r;
                         if total > budget {
@@ -81,6 +90,7 @@ where
                 scanned.fetch_add(local_scanned, Ordering::Relaxed);
                 local_witnesses
             }));
+            start = end;
         }
         for handle in handles {
             let local = handle.join().expect("validation worker panicked");
@@ -107,7 +117,7 @@ pub fn constancy_verdict_parallel<C: ClassCode>(
     threads: usize,
     budget: usize,
 ) -> Verdict {
-    scan_classes(part.classes(), threads, budget, |class, witnesses| {
+    scan_classes(part, threads, budget, |class, witnesses| {
         if class_is_constant(class, codes) {
             0
         } else {
@@ -124,7 +134,7 @@ pub fn compatibility_verdict_parallel<C: ClassCode>(
     threads: usize,
     budget: usize,
 ) -> Verdict {
-    scan_classes(part.classes(), threads, budget, |class, witnesses| {
+    scan_classes(part, threads, budget, |class, witnesses| {
         if class_is_compatible(class, codes_a, codes_b) {
             0
         } else {
@@ -216,40 +226,71 @@ pub fn validate_statement_batch(
         .collect()
 }
 
-/// Shard a level's partition refinements **by context** across threads.
+/// One context's partition composition for a sharded level expansion: either a
+/// level-1 bucketing of the full relation on an attribute's raw code column,
+/// or a level ≥ 2 packed-u64 product against the last attribute's class-code
+/// column.  Both are pure functions of their inputs.
+#[derive(Clone, Copy)]
+pub enum RefineJob<'a> {
+    /// Bucket `base` (the full-relation partition) on a raw code column.
+    Codes {
+        /// Partition of the context minus its last attribute.
+        base: &'a StrippedPartition,
+        /// The last attribute's order-preserving rank codes.
+        codes: &'a [u32],
+    },
+    /// Product of `base` with the last attribute's class-code column.
+    Product {
+        /// Partition of the context minus its last attribute.
+        base: &'a StrippedPartition,
+        /// The last attribute's dense class ids ([`ClassCodes`]).
+        other: &'a ClassCodes,
+    },
+}
+
+impl RefineJob<'_> {
+    fn run(&self, scratch: &mut RefineScratch) -> StrippedPartition {
+        match self {
+            RefineJob::Codes { base, codes } => base.refine_by_with(codes, scratch),
+            RefineJob::Product { base, other } => base.product_with(other, scratch),
+        }
+    }
+}
+
+/// Shard a level's partition products **by context** across threads.
 ///
-/// Each job is one context's incremental product: refine a base partition (the
-/// context minus its last attribute) by that attribute's rank codes.  `None`
-/// jobs (contexts already cached) pass through untouched.  Jobs are claimed
-/// from contiguous chunks with one reused [`RefineScratch`] per worker;
-/// refinement is a pure function of its inputs, so the output vector is
+/// Each job is one context's incremental composition (see [`RefineJob`]);
+/// `None` jobs (contexts already cached) pass through untouched.  Jobs are
+/// claimed from contiguous chunks with one reused [`RefineScratch`] per
+/// worker; every job is a pure function of its inputs, so the output vector is
 /// bit-identical on every thread count.  This is the third sharding axis of
 /// the crate — classes within a scan ([`scan_classes`]), statements within a
 /// level ([`validate_statement_batch`]), and now contexts within a level
 /// expansion.
 ///
-/// The second return value is the total number of radix counting passes the
-/// workers spent bucketing classes — a deterministic function of the jobs (it
-/// is a per-class property, independent of how classes were sharded), summed
-/// here so the orchestrating thread can fold it into its own metrics; the
-/// workers themselves never touch od-obs.
+/// The second and third return values are the total radix counting passes the
+/// workers spent on u32 refinement keys and packed u64 product keys — each a
+/// deterministic function of the jobs (a per-class property, independent of
+/// how jobs were sharded), summed here so the orchestrating thread can fold
+/// them into its own metrics; the workers themselves never touch od-obs.
 pub fn refine_batch(
-    jobs: &[Option<(&StrippedPartition, &[u32])>],
+    jobs: &[Option<RefineJob<'_>>],
     threads: usize,
-) -> (Vec<Option<StrippedPartition>>, u64) {
+) -> (Vec<Option<StrippedPartition>>, u64, u64) {
     let live = jobs.iter().filter(|j| j.is_some()).count();
     let threads = threads.clamp(1, live.max(1));
     if threads <= 1 || live < 2 {
         let mut scratch = RefineScratch::default();
         let out = jobs
             .iter()
-            .map(|job| job.map(|(base, codes)| base.refine_by_with(codes, &mut scratch)))
+            .map(|job| job.map(|j| j.run(&mut scratch)))
             .collect();
-        return (out, scratch.radix_passes());
+        return (out, scratch.radix_passes(), scratch.product_radix_passes());
     }
     let chunk_size = jobs.len().div_ceil(threads);
     let mut out: Vec<Option<StrippedPartition>> = Vec::with_capacity(jobs.len());
     let mut passes = 0u64;
+    let mut product_passes = 0u64;
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for chunk in jobs.chunks(chunk_size) {
@@ -257,18 +298,24 @@ pub fn refine_batch(
                 let mut scratch = RefineScratch::default();
                 let fresh = chunk
                     .iter()
-                    .map(|job| job.map(|(base, codes)| base.refine_by_with(codes, &mut scratch)))
+                    .map(|job| job.map(|j| j.run(&mut scratch)))
                     .collect::<Vec<_>>();
-                (fresh, scratch.radix_passes())
+                (
+                    fresh,
+                    scratch.radix_passes(),
+                    scratch.product_radix_passes(),
+                )
             }));
         }
         for handle in handles {
-            let (fresh, worker_passes) = handle.join().expect("refinement worker panicked");
+            let (fresh, worker_passes, worker_product) =
+                handle.join().expect("refinement worker panicked");
             out.extend(fresh);
             passes += worker_passes;
+            product_passes += worker_product;
         }
     });
-    (out, passes)
+    (out, passes, product_passes)
 }
 
 /// Run `patch` over every ledger, sharded over up to `threads` threads.
@@ -384,7 +431,7 @@ mod tests {
         let part = crate::partition::StrippedPartition::full(0);
         assert!(constancy_verdict_parallel::<u32>(&part, &[], 4, 0).holds());
         assert!(
-            scan_classes(&[], 4, 0, |_, _| 1).holds(),
+            scan_classes(&part, 4, 0, |_, _| 1).holds(),
             "vacuous truth over no classes"
         );
         assert!(available_threads() >= 1);

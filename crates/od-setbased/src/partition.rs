@@ -7,18 +7,34 @@
 //! split or a swap, and on real data most classes become singletons quickly, so
 //! stripping is what makes level-wise traversal near-linear per candidate.
 //!
-//! Partitions compose: `Π_{X ∪ {A}}` is computed from `Π_X` by bucketing each
-//! class by `A`'s order-preserving code column (see
-//! [`od_core::ColumnarEncoding`]) — a linear pass over the tuples still in
-//! classes, *not* an `O(n log n)` re-sort.  Bucketing sorts `(code, row)`
-//! pairs; large classes go through the stable LSB
-//! [radix sort](od_core::radix) (dense codes over `n` rows need at most
-//! `⌈log₂ n / 8⌉` counting passes), small ones through `sort_unstable` —
-//! both produce the identical `(code, row)` lexicographic order, so the
-//! resulting classes are bit-identical either way.  [`PartitionCache`]
-//! memoizes partitions per attribute set so the lattice visits each set once,
-//! and hands out code columns as cheap [`ColCodes`] views into the relation's
-//! shared columnar encoding.
+//! Partitions are stored in a flat **CSR layout**: one `Vec<u32>` of row ids
+//! plus one `Vec<u32>` of class offsets, classes in first-row order and
+//! members ascending — two cache-friendly arrays instead of a `Vec` of `Vec`s,
+//! with class `i` a plain slice `rows[offsets[i]..offsets[i + 1]]`.
+//!
+//! Partitions compose two ways, both through the same run-emission machinery:
+//!
+//! * **Refinement** builds `Π_{{A}}` (or `Π_X · Π_{{A}}` restricted to `Π_X`'s
+//!   tuples) by bucketing rows on `A`'s order-preserving code column (see
+//!   [`od_core::ColumnarEncoding`]) — a linear pass, *not* an `O(n log n)`
+//!   re-sort.
+//! * **Products** (`Π_X · Π_Y` for non-trivial `Y`) go through dense
+//!   [`ClassCodes`] columns (`row → class id`, singletons =
+//!   [`CLASS_SENTINEL`]): each surviving row contributes one packed
+//!   `(class_of_X, class_of_Y)` `u64` key and one global sort of the
+//!   `(key, row)` pairs emits the product's classes.  No hashing, no
+//!   [`od_core::Value`] comparisons.
+//!
+//! Both paths sort pairs with the stable LSB [radix sort](od_core::radix) when
+//! large (dense codes over `n` rows need at most `⌈log₂ n / 8⌉` counting
+//! passes) and `sort_unstable` when small — row payloads are distinct and
+//! enter in ascending order, so both produce the identical lexicographic
+//! order and the resulting classes are bit-identical either way.
+//! [`PartitionCache`] memoizes partitions per attribute set so the lattice
+//! visits each set once, hands out code columns as cheap [`ColCodes`] views
+//! into the relation's shared columnar encoding, and keeps per-attribute
+//! [`ClassCodes`] alive across level evictions so deep-lattice products never
+//! rebuild them.
 //!
 //! [`SortedPartition`] orders the classes (plus the stripped-out singletons) of
 //! `Π_set(X)` by the list `X`'s value order, which turns whole-OD validation
@@ -34,6 +50,11 @@ use std::sync::Arc;
 /// Pair count from which class bucketing switches from `sort_unstable` to the
 /// radix sort (below it, the radix histogram pre-pass dominates).
 const RADIX_MIN_PAIRS: usize = 256;
+
+/// Class id marking a row not covered by any (non-singleton) class in a
+/// [`ClassCodes`] column.  Products drop sentinel rows up front: a row that is
+/// a singleton in either operand is a singleton in the product.
+pub const CLASS_SENTINEL: u32 = u32::MAX;
 
 /// One attribute's code column, borrowed from the relation's shared
 /// [`ColumnarEncoding`] — a cheap `Arc` + column-index handle that derefs to
@@ -68,39 +89,177 @@ impl std::fmt::Debug for ColCodes {
     }
 }
 
+/// A dense class-id code column of one partition: `codes[row]` is the index
+/// (in first-row class order) of the class containing `row`, or
+/// [`CLASS_SENTINEL`] for stripped-out singletons.
+///
+/// This is the right-hand operand of a partition product: packing a base
+/// partition's class index with `codes[row]` into one `u64` key turns the
+/// product into a single radix sort over the base's surviving rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassCodes {
+    codes: Vec<u32>,
+    classes: u32,
+}
+
+impl ClassCodes {
+    /// The `row → class id` column (length = relation rows).
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Number of (non-singleton) classes the column indexes.
+    pub fn num_classes(&self) -> u32 {
+        self.classes
+    }
+
+    /// Bits needed to hold any valid class id of this column (`0` when at
+    /// most one class exists) — the shift a product packs the other operand's
+    /// class index above.
+    pub fn id_bits(&self) -> u32 {
+        if self.classes <= 1 {
+            0
+        } else {
+            radix::bits_for(self.classes - 1)
+        }
+    }
+
+    /// Heap bytes held by the code column.
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.codes.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
 /// Reusable scratch buffers for partition construction, held per
-/// [`PartitionCache`] so the thousands of `refine_by` calls of a lattice
-/// traversal stop re-allocating their working set (the only allocations left
-/// are the surviving classes themselves).  Also accumulates the number of
-/// radix counting passes spent, surfaced as the `discovery.radix_passes`
-/// counter.
+/// [`PartitionCache`] so the thousands of refinement and product calls of a
+/// lattice traversal stop re-allocating their working set (the only
+/// allocations left are the surviving CSR arrays themselves).  Also
+/// accumulates radix counting passes, surfaced as the
+/// `discovery.radix_passes` (refinement) and `discovery.product_radix_passes`
+/// (u64 product keys) counters.
 #[derive(Debug, Default)]
 pub struct RefineScratch {
     /// `(code, row)` pairs of the class currently being bucketed.
     pairs: Vec<(u32, u32)>,
-    /// Radix ping-pong buffer.
+    /// Radix ping-pong buffer for `pairs`.
     radix: Vec<(u32, u32)>,
-    /// Radix counting passes performed through this scratch.
+    /// Packed `(class_a, class_b)` product keys with their rows.
+    pairs64: Vec<(u64, u32)>,
+    /// Radix ping-pong buffer for `pairs64`.
+    radix64: Vec<(u64, u32)>,
+    /// Emitted run descriptors: (first row, start in `rows_acc`, length).
+    runs: Vec<(u32, u32, u32)>,
+    /// Row ids of emitted runs, in run order.
+    rows_acc: Vec<u32>,
+    /// Radix counting passes performed on u32 refinement keys.
     passes: u64,
+    /// Radix counting passes performed on u64 product keys.
+    product_passes: u64,
 }
 
 impl RefineScratch {
-    /// Total radix counting passes performed through this scratch so far.
+    /// Total radix counting passes performed on refinement (u32 code) keys
+    /// through this scratch so far.
     pub fn radix_passes(&self) -> u64 {
         self.passes
     }
 
-    /// Fold another scratch's pass count into this one (used when sharded
-    /// workers refine with their own scratches).
+    /// Total radix counting passes performed on packed u64 product keys
+    /// through this scratch so far.
+    pub fn product_radix_passes(&self) -> u64 {
+        self.product_passes
+    }
+
+    /// Fold another scratch's refinement pass count into this one (used when
+    /// sharded workers refine with their own scratches).
     pub fn absorb_passes(&mut self, passes: u64) {
         self.passes += passes;
     }
+
+    /// Fold another scratch's product pass count into this one.
+    pub fn absorb_product_passes(&mut self, passes: u64) {
+        self.product_passes += passes;
+    }
+
+    /// Sort `pairs` by `(code, row)` and append every run of ≥ 2 equal codes
+    /// as a run descriptor (rows come out ascending because the pairs enter
+    /// in ascending row order: the radix path is stable and the comparison
+    /// path tie-breaks on `row`, so both yield the same lexicographic order).
+    fn emit_u32_runs(&mut self) {
+        if self.pairs.len() >= RADIX_MIN_PAIRS {
+            self.passes += u64::from(radix::sort_pairs(&mut self.pairs, &mut self.radix));
+        } else {
+            self.pairs.sort_unstable();
+        }
+        let pairs = &self.pairs;
+        let mut start = 0usize;
+        for i in 1..=pairs.len() {
+            if i == pairs.len() || pairs[i].0 != pairs[start].0 {
+                if i - start >= 2 {
+                    let at = self.rows_acc.len() as u32;
+                    self.rows_acc
+                        .extend(pairs[start..i].iter().map(|&(_, row)| row));
+                    self.runs.push((pairs[start].1, at, (i - start) as u32));
+                }
+                start = i;
+            }
+        }
+    }
+
+    /// [`Self::emit_u32_runs`] over the packed u64 product keys.  `radix`
+    /// selects the production radix path; `false` forces the comparison sort
+    /// (the in-run baseline E16 compares against).
+    fn emit_u64_runs(&mut self, radix_path: bool) {
+        if radix_path && self.pairs64.len() >= RADIX_MIN_PAIRS {
+            self.product_passes +=
+                u64::from(radix::sort_pairs(&mut self.pairs64, &mut self.radix64));
+        } else {
+            self.pairs64.sort_unstable();
+        }
+        let pairs = &self.pairs64;
+        let mut start = 0usize;
+        for i in 1..=pairs.len() {
+            if i == pairs.len() || pairs[i].0 != pairs[start].0 {
+                if i - start >= 2 {
+                    let at = self.rows_acc.len() as u32;
+                    self.rows_acc
+                        .extend(pairs[start..i].iter().map(|&(_, row)| row));
+                    self.runs.push((pairs[start].1, at, (i - start) as u32));
+                }
+                start = i;
+            }
+        }
+    }
+
+    /// Materialize the accumulated run descriptors into a CSR partition:
+    /// runs sorted by first row (first rows are distinct across runs, so the
+    /// order is total and deterministic), rows copied out in that order.
+    fn finish(&mut self, n_rows: usize) -> StrippedPartition {
+        self.runs.sort_unstable_by_key(|&(first, _, _)| first);
+        let mut rows = Vec::with_capacity(self.rows_acc.len());
+        let mut offsets = Vec::with_capacity(self.runs.len() + 1);
+        offsets.push(0u32);
+        for &(_, at, len) in &self.runs {
+            rows.extend_from_slice(&self.rows_acc[at as usize..(at + len) as usize]);
+            offsets.push(rows.len() as u32);
+        }
+        self.runs.clear();
+        self.rows_acc.clear();
+        StrippedPartition {
+            rows,
+            offsets,
+            n_rows,
+        }
+    }
 }
 
-/// A stripped partition: equivalence classes (of size ≥ 2) of tuple ids.
+/// A stripped partition: equivalence classes (of size ≥ 2) of tuple ids, in a
+/// flat CSR layout — class `i` is `rows[offsets[i]..offsets[i + 1]]`, classes
+/// ordered by first member, members ascending.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StrippedPartition {
-    classes: Vec<Vec<u32>>,
+    rows: Vec<u32>,
+    offsets: Vec<u32>,
     n_rows: usize,
 }
 
@@ -108,12 +267,39 @@ impl StrippedPartition {
     /// The partition of the empty attribute set: one class holding every tuple
     /// (stripped away entirely when the relation has fewer than two rows).
     pub fn full(n_rows: usize) -> Self {
-        let classes = if n_rows >= 2 {
-            vec![(0..n_rows as u32).collect()]
+        if n_rows >= 2 {
+            StrippedPartition {
+                rows: (0..n_rows as u32).collect(),
+                offsets: vec![0, n_rows as u32],
+                n_rows,
+            }
         } else {
-            Vec::new()
-        };
-        StrippedPartition { classes, n_rows }
+            StrippedPartition {
+                rows: Vec::new(),
+                offsets: vec![0],
+                n_rows,
+            }
+        }
+    }
+
+    /// Build a partition from explicit class lists (classes need not arrive
+    /// sorted; they are put into canonical first-row order).  Test and oracle
+    /// constructor — the discovery paths build CSR directly.
+    pub fn from_classes(mut classes: Vec<Vec<u32>>, n_rows: usize) -> Self {
+        classes.sort_by_key(|c| c[0]);
+        let total: usize = classes.iter().map(|c| c.len()).sum();
+        let mut rows = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(classes.len() + 1);
+        offsets.push(0u32);
+        for class in &classes {
+            rows.extend_from_slice(class);
+            offsets.push(rows.len() as u32);
+        }
+        StrippedPartition {
+            rows,
+            offsets,
+            n_rows,
+        }
     }
 
     /// Build `Π_{{A}}` from an attribute's code column.
@@ -123,18 +309,12 @@ impl StrippedPartition {
 
     /// [`Self::by_codes`] with caller-provided scratch buffers.
     pub fn by_codes_with(codes: &[u32], scratch: &mut RefineScratch) -> Self {
-        let mut classes = Vec::new();
         scratch.pairs.clear();
         scratch
             .pairs
             .extend(codes.iter().enumerate().map(|(row, &c)| (c, row as u32)));
-        emit_runs(scratch, &mut classes);
-        // Deterministic class order (by first member) keeps traversal stable.
-        classes.sort_by_key(|c| c[0]);
-        StrippedPartition {
-            classes,
-            n_rows: codes.len(),
-        }
+        scratch.emit_u32_runs();
+        scratch.finish(codes.len())
     }
 
     /// Refine by one more attribute's code column: `Π_X · Π_{{A}}` restricted
@@ -151,34 +331,119 @@ impl StrippedPartition {
     /// allocated per-bucket vectors.  Output is identical on either sort path
     /// (classes in first-member order, members in ascending row order).
     pub fn refine_by_with(&self, codes: &[u32], scratch: &mut RefineScratch) -> Self {
-        let mut classes = Vec::new();
-        for class in &self.classes {
+        for class in self.classes() {
             scratch.pairs.clear();
             scratch
                 .pairs
                 .extend(class.iter().map(|&row| (codes[row as usize], row)));
-            emit_runs(scratch, &mut classes);
+            scratch.emit_u32_runs();
         }
-        classes.sort_by_key(|c| c[0]);
-        StrippedPartition {
-            classes,
-            n_rows: self.n_rows,
+        scratch.finish(self.n_rows)
+    }
+
+    /// The dense class-id column of this partition: `row → class index` in
+    /// first-row class order, [`CLASS_SENTINEL`] for stripped singletons.
+    pub fn class_codes(&self) -> ClassCodes {
+        let mut codes = vec![CLASS_SENTINEL; self.n_rows];
+        for (ci, class) in self.classes().enumerate() {
+            for &row in class {
+                codes[row as usize] = ci as u32;
+            }
+        }
+        ClassCodes {
+            codes,
+            classes: self.num_classes() as u32,
         }
     }
 
-    /// The equivalence classes (each of size ≥ 2).
-    pub fn classes(&self) -> &[Vec<u32>] {
-        &self.classes
+    /// The partition product `self · other` over packed `(class_a, class_b)`
+    /// u64 keys: one pass over `self`'s surviving rows collects
+    /// `(key, row)` pairs (rows that are singletons in `other` are dropped up
+    /// front — they are singletons in the product too), one global stable
+    /// radix sort groups them, and runs of ≥ 2 become the product's classes.
+    /// No hashing, no `Value` comparisons; radix passes land in
+    /// `scratch.product_radix_passes()`.
+    pub fn product_with(&self, other: &ClassCodes, scratch: &mut RefineScratch) -> Self {
+        self.product_keys(other, scratch);
+        scratch.emit_u64_runs(true);
+        scratch.finish(self.n_rows)
+    }
+
+    /// [`Self::product_with`] with the comparison sort forced — the
+    /// sorted-pairs baseline E16 measures the radix kernel against.  Output
+    /// is bit-identical to the radix path.
+    pub fn product_comparison(&self, other: &ClassCodes, scratch: &mut RefineScratch) -> Self {
+        self.product_keys(other, scratch);
+        scratch.emit_u64_runs(false);
+        scratch.finish(self.n_rows)
+    }
+
+    /// Hash-based product oracle: buckets `(class_a, class_b)` keys into a
+    /// `HashMap`, the pre-CSR strategy.  Kept as the differential baseline
+    /// for proptests and the E16 in-run comparison.
+    pub fn product_hash(&self, other: &ClassCodes) -> Self {
+        let shift = other.id_bits();
+        let ocodes = other.codes();
+        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (ci, class) in self.classes().enumerate() {
+            let hi = (ci as u64) << shift;
+            for &row in class {
+                let oc = ocodes[row as usize];
+                if oc == CLASS_SENTINEL {
+                    continue;
+                }
+                buckets.entry(hi | u64::from(oc)).or_default().push(row);
+            }
+        }
+        let classes: Vec<Vec<u32>> = buckets.into_values().filter(|c| c.len() >= 2).collect();
+        Self::from_classes(classes, self.n_rows)
+    }
+
+    /// Collect the packed product keys of `self · other` into
+    /// `scratch.pairs64`.
+    fn product_keys(&self, other: &ClassCodes, scratch: &mut RefineScratch) {
+        let shift = other.id_bits();
+        let ocodes = other.codes();
+        scratch.pairs64.clear();
+        for (ci, class) in self.classes().enumerate() {
+            let hi = (ci as u64) << shift;
+            for &row in class {
+                let oc = ocodes[row as usize];
+                if oc == CLASS_SENTINEL {
+                    continue;
+                }
+                scratch.pairs64.push((hi | u64::from(oc), row));
+            }
+        }
+    }
+
+    /// The equivalence classes (each of size ≥ 2), as CSR slices in first-row
+    /// order.
+    pub fn classes(&self) -> impl ExactSizeIterator<Item = &[u32]> + Clone {
+        self.offsets
+            .windows(2)
+            .map(|w| &self.rows[w[0] as usize..w[1] as usize])
+    }
+
+    /// Class `i` as a CSR slice.
+    pub fn class(&self, i: usize) -> &[u32] {
+        &self.rows[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// The classes copied out as owned row lists (test/oracle convenience —
+    /// hot paths stay on the CSR slices).
+    pub fn class_vecs(&self) -> Vec<Vec<u32>> {
+        self.classes().map(|c| c.to_vec()).collect()
     }
 
     /// Number of (non-singleton) classes.
     pub fn num_classes(&self) -> usize {
-        self.classes.len()
+        self.offsets.len() - 1
     }
 
     /// Total number of tuple ids still tracked (`‖Π‖` in TANE's notation).
     pub fn covered_rows(&self) -> usize {
-        self.classes.iter().map(|c| c.len()).sum()
+        self.rows.len()
     }
 
     /// Number of rows of the underlying relation.
@@ -189,35 +454,18 @@ impl StrippedPartition {
     /// True if every class is a singleton — the attribute set is a (super)key,
     /// so no two tuples agree on it and neither splits nor in-class swaps exist.
     pub fn is_key(&self) -> bool {
-        self.classes.is_empty()
+        self.offsets.len() == 1
     }
 
     /// True if a single class covers the whole relation (the attribute set is
     /// constant on the instance, or empty).
     pub fn is_single_class(&self) -> bool {
-        self.classes.len() == 1 && self.classes[0].len() == self.n_rows
+        self.offsets.len() == 2 && self.rows.len() == self.n_rows
     }
-}
 
-/// Sort `scratch.pairs` by `(code, row)` and push every run of ≥ 2 equal codes
-/// as a class (rows come out in ascending order because the pairs enter in
-/// ascending row order: the radix path is stable and the comparison path
-/// tie-breaks on `row`, so both yield the same lexicographic order).
-fn emit_runs(scratch: &mut RefineScratch, classes: &mut Vec<Vec<u32>>) {
-    let pairs = &mut scratch.pairs;
-    if pairs.len() >= RADIX_MIN_PAIRS {
-        scratch.passes += u64::from(radix::sort_pairs(pairs, &mut scratch.radix));
-    } else {
-        pairs.sort_unstable();
-    }
-    let mut start = 0usize;
-    for i in 1..=pairs.len() {
-        if i == pairs.len() || pairs[i].0 != pairs[start].0 {
-            if i - start >= 2 {
-                classes.push(pairs[start..i].iter().map(|&(_, row)| row).collect());
-            }
-            start = i;
-        }
+    /// Heap bytes held by the CSR arrays.
+    pub fn approx_heap_bytes(&self) -> usize {
+        (self.rows.capacity() + self.offsets.capacity()) * std::mem::size_of::<u32>()
     }
 }
 
@@ -225,16 +473,24 @@ fn emit_runs(scratch: &mut RefineScratch, classes: &mut Vec<Vec<u32>>) {
 /// per-attribute code columns all validators work on (served as [`ColCodes`]
 /// views into the relation's eagerly built [`ColumnarEncoding`]).
 ///
-/// `Π_X` is computed once per distinct `X`, by refining the partition of a
+/// `Π_X` is computed once per distinct `X`, by composing the partition of a
 /// maximal cached subset (in practice `X` minus its last attribute, which the
 /// level-wise lattice has always already visited) — the *incremental partition
-/// product* of FASTOD.
+/// product* of FASTOD.  Level-1 partitions bucket directly on the attribute's
+/// raw code column; deeper levels run the packed-u64 product against the last
+/// attribute's [`ClassCodes`], which are memoized per attribute and survive
+/// [`Self::evict_sets_of_size`] — eviction drops whole-partition CSR arrays,
+/// not the dense columns products keep re-reading.
 pub struct PartitionCache<'r> {
     rel: &'r Relation,
     enc: Arc<ColumnarEncoding>,
     /// Memoized partitions, keyed directly by the attribute-set bit mask —
     /// hashing a context costs one `u64` hash, not a `Vec<AttrId>` walk.
     partitions: HashMap<AttrSet, Rc<StrippedPartition>>,
+    /// Per-attribute class-id columns for the product path.  Never evicted:
+    /// one dense `u32` column per attribute is cheap and every level ≥ 2
+    /// product reuses them.
+    attr_codes: HashMap<AttrId, Rc<ClassCodes>>,
     scratch: RefineScratch,
     /// Number of partition products (refinements) performed.
     pub products: usize,
@@ -253,6 +509,7 @@ impl<'r> PartitionCache<'r> {
             rel,
             enc: rel.encoding(),
             partitions: HashMap::new(),
+            attr_codes: HashMap::new(),
             scratch: RefineScratch::default(),
             products: 0,
             hits: 0,
@@ -271,10 +528,53 @@ impl<'r> PartitionCache<'r> {
         ColCodes::new(self.enc.clone(), attr.index())
     }
 
-    /// Radix counting passes spent on partition construction so far
+    /// Radix counting passes spent bucketing u32 refinement keys so far
     /// (serial and sharded refinements both accumulate here).
     pub fn radix_passes(&self) -> u64 {
         self.scratch.radix_passes()
+    }
+
+    /// Radix counting passes spent sorting packed u64 product keys so far.
+    pub fn product_radix_passes(&self) -> u64 {
+        self.scratch.product_radix_passes()
+    }
+
+    /// Heap bytes held by the cached CSR partitions plus the per-attribute
+    /// class-code columns — the `partition.csr_bytes` gauge.
+    pub fn approx_csr_bytes(&self) -> usize {
+        let parts: usize = self
+            .partitions
+            .values()
+            .map(|p| p.approx_heap_bytes())
+            .sum();
+        let codes: usize = self
+            .attr_codes
+            .values()
+            .map(|c| c.approx_heap_bytes())
+            .sum();
+        parts + codes
+    }
+
+    /// The class-id column of `Π_{{attr}}`, memoized per attribute and immune
+    /// to [`Self::evict_sets_of_size`].  Served from the cached singleton
+    /// partition when present; otherwise built from the attribute's raw code
+    /// column without polluting the partition memo (temporary partitions are
+    /// not inserted, keeping the lattice's cached-set accounting exact).
+    pub fn attr_class_codes(&mut self, attr: AttrId) -> Rc<ClassCodes> {
+        if let Some(cc) = self.attr_codes.get(&attr) {
+            return cc.clone();
+        }
+        let single: AttrSet = std::iter::once(attr).collect();
+        let cc = match self.partitions.get(&single) {
+            Some(p) => p.class_codes(),
+            None => {
+                let codes = self.codes(attr);
+                StrippedPartition::by_codes_with(&codes, &mut self.scratch).class_codes()
+            }
+        };
+        let rc = Rc::new(cc);
+        self.attr_codes.insert(attr, rc.clone());
+        rc
     }
 
     /// The stripped partition `Π_X` (memoized).
@@ -287,14 +587,22 @@ impl<'r> PartitionCache<'r> {
         let part = match set.last() {
             None => StrippedPartition::full(self.rel.len()),
             Some(last) => {
-                // Refine the partition of X minus its last attribute — under
-                // level-wise traversal that subset is already cached, making
-                // every product incremental.
+                // Compose from the partition of X minus its last attribute —
+                // under level-wise traversal that subset is already cached,
+                // making every product incremental.
                 let base = set.without(last);
                 let base_part = self.partition(&base);
-                let codes = self.codes(last);
                 self.products += 1;
-                base_part.refine_by_with(&codes, &mut self.scratch)
+                if base.is_empty() {
+                    // Level 1: bucket the full relation on the raw codes.
+                    let codes = self.codes(last);
+                    base_part.refine_by_with(&codes, &mut self.scratch)
+                } else {
+                    // Level ≥ 2: packed-u64 product against the attribute's
+                    // class-code column.
+                    let other = self.attr_class_codes(last);
+                    base_part.product_with(&other, &mut self.scratch)
+                }
             }
         };
         let rc = Rc::new(part);
@@ -303,15 +611,15 @@ impl<'r> PartitionCache<'r> {
     }
 
     /// Materialize a whole level's partitions in one pass, sharding the
-    /// refinement work **by context** across up to `threads` threads.
+    /// product work **by context** across up to `threads` threads.
     ///
     /// Each set's base (the set minus its last attribute) is resolved serially
     /// — under level-wise traversal it is already cached, and the `Rc`-handing
-    /// cache cannot be touched from workers — then the per-context
-    /// `refine_by` products run sharded ([`crate::parallel::refine_batch`]):
-    /// refinement is a pure function of the base partition and the attribute's
-    /// code column, so the results are bit-identical on every thread count
-    /// (and so is the total radix pass count the workers hand back).
+    /// cache cannot be touched from workers — then the per-context products
+    /// run sharded ([`crate::parallel::refine_batch`]): a product is a pure
+    /// function of the base partition and the last attribute's code (or
+    /// class-code) column, so the results are bit-identical on every thread
+    /// count (and so are the total radix pass counts the workers hand back).
     /// Sets whose base is not cached (possible only outside the lattice's
     /// level discipline) fall back to the serial recursive path.
     pub fn partitions_batch(
@@ -319,9 +627,13 @@ impl<'r> PartitionCache<'r> {
         sets: &[AttrSet],
         threads: usize,
     ) -> Vec<Rc<StrippedPartition>> {
+        use crate::parallel::RefineJob;
         // Keep the base `Rc`s alive on this thread; workers see plain `&`s.
-        type Base = (Rc<StrippedPartition>, ColCodes);
-        let mut bases: Vec<Option<Base>> = Vec::with_capacity(sets.len());
+        enum Aux {
+            Codes(ColCodes),
+            Product(Rc<ClassCodes>),
+        }
+        let mut bases: Vec<Option<(Rc<StrippedPartition>, Aux)>> = Vec::with_capacity(sets.len());
         for set in sets {
             if self.partitions.contains_key(set) {
                 self.hits += 1;
@@ -330,10 +642,15 @@ impl<'r> PartitionCache<'r> {
             }
             let base = match set.last() {
                 Some(last) if self.partitions.contains_key(&set.without(last)) => {
-                    let base_part = self.partitions[&set.without(last)].clone();
-                    let codes = self.codes(last);
+                    let base_set = set.without(last);
+                    let base_part = self.partitions[&base_set].clone();
                     self.misses += 1;
-                    Some((base_part, codes))
+                    let aux = if base_set.is_empty() {
+                        Aux::Codes(self.codes(last))
+                    } else {
+                        Aux::Product(self.attr_class_codes(last))
+                    };
+                    Some((base_part, aux))
                 }
                 _ => None, // cached already handled; uncached base → serial fallback
             };
@@ -344,12 +661,24 @@ impl<'r> PartitionCache<'r> {
             }
             bases.push(base);
         }
-        let jobs: Vec<Option<(&StrippedPartition, &[u32])>> = bases
+        let jobs: Vec<Option<RefineJob<'_>>> = bases
             .iter()
-            .map(|o| o.as_ref().map(|(b, c)| (&**b, &c[..])))
+            .map(|o| {
+                o.as_ref().map(|(b, aux)| match aux {
+                    Aux::Codes(c) => RefineJob::Codes {
+                        base: b,
+                        codes: &c[..],
+                    },
+                    Aux::Product(cc) => RefineJob::Product {
+                        base: b,
+                        other: cc,
+                    },
+                })
+            })
             .collect();
-        let (fresh, worker_passes) = crate::parallel::refine_batch(&jobs, threads);
-        self.scratch.absorb_passes(worker_passes);
+        let (fresh, refine_passes, product_passes) = crate::parallel::refine_batch(&jobs, threads);
+        self.scratch.absorb_passes(refine_passes);
+        self.scratch.absorb_product_passes(product_passes);
         for (set, part) in sets.iter().zip(fresh) {
             if let Some(part) = part {
                 self.products += 1;
@@ -374,7 +703,8 @@ impl<'r> PartitionCache<'r> {
     /// level `k + 1` is fully materialized the level-`k` products are dead
     /// weight.  Eviction is safe, not merely sound: a later request for an
     /// evicted set transparently rebuilds it (recursively, from whatever
-    /// subsets remain cached).
+    /// subsets remain cached).  The per-attribute [`ClassCodes`] memo is
+    /// deliberately untouched — products at every later level keep reading it.
     pub fn evict_sets_of_size(&mut self, len: usize) -> usize {
         let before = self.partitions.len();
         self.partitions.retain(|key, _| key.len() != len);
@@ -408,7 +738,7 @@ impl SortedPartition {
             for &row in class {
                 in_class[row as usize] = true;
             }
-            groups.push((class[0], class.clone()));
+            groups.push((class[0], class.to_vec()));
         }
         for row in 0..n as u32 {
             if !in_class[row as usize] {
@@ -473,7 +803,9 @@ mod tests {
         let rel = rel_from(&[&[5], &[3], &[5], &[9], &[3]]);
         let codes = rel.rank_column(AttrId(0));
         let p = StrippedPartition::by_codes(&codes);
-        assert_eq!(p.classes(), &[vec![0, 2], vec![1, 4]]);
+        assert_eq!(p.class_vecs(), vec![vec![0, 2], vec![1, 4]]);
+        assert_eq!(p.class(0), &[0, 2]);
+        assert_eq!(p.class(1), &[1, 4]);
         assert_eq!(p.covered_rows(), 4);
         assert!(!p.is_key());
     }
@@ -486,7 +818,7 @@ mod tests {
         let pab = cache.partition(&set(&[0, 1]));
         // Direct: group rows by both columns.
         assert_eq!(pa.num_classes(), 2);
-        assert_eq!(pab.classes(), &[vec![0, 2], vec![1, 5], vec![3, 4]]);
+        assert_eq!(pab.class_vecs(), vec![vec![0, 2], vec![1, 5], vec![3, 4]]);
         // Refinement never increases covered rows.
         assert!(pab.covered_rows() <= pa.covered_rows());
     }
@@ -525,7 +857,7 @@ mod tests {
             }
         }
         expected.sort_by_key(|c| c[0]);
-        assert_eq!(via_radix.classes(), &expected[..]);
+        assert_eq!(via_radix.class_vecs(), expected);
         // And refining by the second column matches the cache-built product.
         let mut cache = PartitionCache::new(&rel);
         let pab = cache.partition(&set(&[0, 1]));
@@ -542,6 +874,110 @@ mod tests {
         assert!(cache.partition(&set(&[0, 1])).is_key());
         // A constant column is a single class.
         assert!(cache.partition(&set(&[1])).is_single_class());
+    }
+
+    #[test]
+    fn class_codes_mark_members_and_sentinel_singletons() {
+        // Column: [5, 3, 5, 9, 3] → class 0 = {0,2}, class 1 = {1,4}, row 3
+        // is a singleton.
+        let rel = rel_from(&[&[5], &[3], &[5], &[9], &[3]]);
+        let p = StrippedPartition::by_codes(&rel.rank_column(AttrId(0)));
+        let cc = p.class_codes();
+        assert_eq!(cc.num_classes(), 2);
+        assert_eq!(cc.codes(), &[0, 1, 0, CLASS_SENTINEL, 1]);
+        assert_eq!(cc.id_bits(), 1);
+        // Degenerate columns: one class → zero bits, key → zero classes.
+        let full = StrippedPartition::full(4).class_codes();
+        assert_eq!((full.num_classes(), full.id_bits()), (1, 0));
+        let key = StrippedPartition::full(1).class_codes();
+        assert_eq!((key.num_classes(), key.id_bits()), (0, 0));
+    }
+
+    #[test]
+    fn product_paths_agree_with_refinement_and_each_other() {
+        let rows: Vec<Vec<i64>> = (0..700i64).map(|i| vec![i % 6, i % 4, i % 35]).collect();
+        let rows: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let rel = rel_from(&rows);
+        let pa = StrippedPartition::by_codes(&rel.rank_column(AttrId(0)));
+        let pb = StrippedPartition::by_codes(&rel.rank_column(AttrId(1)));
+        let pc = StrippedPartition::by_codes(&rel.rank_column(AttrId(2)));
+        let mut scratch = RefineScratch::default();
+        for (base, other) in [(&pa, &pb), (&pb, &pa), (&pa, &pc), (&pc, &pb)] {
+            let cc = other.class_codes();
+            let radix = base.product_with(&cc, &mut scratch);
+            let comparison = base.product_comparison(&cc, &mut scratch);
+            let hash = base.product_hash(&cc);
+            // Refinement by the other partition's class ids equals the product
+            // when `other` has no sentinel rows (true here: every column is
+            // duplicate-heavy).
+            let refined = base.refine_by(cc.codes());
+            assert_eq!(radix, comparison);
+            assert_eq!(radix, hash);
+            // All columns here are duplicate-heavy (no singletons), so the
+            // class-code column is total and plain refinement agrees too.
+            assert!(cc.codes().iter().all(|&c| c != CLASS_SENTINEL));
+            assert_eq!(radix, refined);
+        }
+        assert!(
+            scratch.product_radix_passes() > 0,
+            "700-row products must take the radix path"
+        );
+    }
+
+    #[test]
+    fn product_drops_rows_singleton_in_either_operand() {
+        // a: [1,1,2,2,3] → classes {0,1},{2,3}; b: [7,8,8,9,9] → {1,2},{3,4}.
+        // Product: rows 0 (singleton in b via class id) and 4 (singleton in a)
+        // drop; {1},{2},{3} all become singletons → empty (key) product.
+        let rel = rel_from(&[&[1, 7], &[1, 8], &[2, 8], &[2, 9], &[3, 9]]);
+        let pa = StrippedPartition::by_codes(&rel.rank_column(AttrId(0)));
+        let pb = StrippedPartition::by_codes(&rel.rank_column(AttrId(1)));
+        let mut scratch = RefineScratch::default();
+        let prod = pa.product_with(&pb.class_codes(), &mut scratch);
+        assert!(prod.is_key());
+        assert_eq!(prod, pa.product_hash(&pb.class_codes()));
+        // A product with itself is idempotent.
+        let same = pa.product_with(&pa.class_codes(), &mut scratch);
+        assert_eq!(same, pa);
+    }
+
+    #[test]
+    fn cache_deep_products_match_serial_refinement_chain() {
+        let rows: Vec<Vec<i64>> = (0..300i64)
+            .map(|i| vec![i % 4, i % 3, i % 5, i % 2])
+            .collect();
+        let rows: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let rel = rel_from(&rows);
+        let mut cache = PartitionCache::new(&rel);
+        let deep = cache.partition(&set(&[0, 1, 2, 3]));
+        // Oracle: chain of raw-code refinements, no products involved.
+        let mut oracle = StrippedPartition::full(rel.len());
+        for a in 0..4 {
+            oracle = oracle.refine_by(&rel.rank_column(AttrId(a)));
+        }
+        assert_eq!(*deep, oracle);
+        assert!(
+            cache.product_radix_passes() > 0 || cache.radix_passes() > 0,
+            "large partitions must exercise a radix path"
+        );
+    }
+
+    #[test]
+    fn attr_class_codes_survive_eviction_and_skip_the_partition_memo() {
+        let rel = rel_from(&[&[1, 1], &[1, 2], &[2, 1], &[2, 2], &[1, 1]]);
+        let mut cache = PartitionCache::new(&rel);
+        // No partitions cached yet: codes build from the raw column without
+        // inserting a partition.
+        let cc = cache.attr_class_codes(AttrId(1));
+        assert_eq!(cache.cached_sets(), 0);
+        cache.partition(&set(&[0, 1]));
+        // Cached: Π_∅, Π_{0}, Π_{0,1} — evicting level 1 drops exactly Π_{0}.
+        assert_eq!(cache.cached_sets(), 3);
+        assert_eq!(cache.evict_sets_of_size(1), 1);
+        // The memoized codes are still served (same allocation).
+        let cc2 = cache.attr_class_codes(AttrId(1));
+        assert!(Rc::ptr_eq(&cc, &cc2));
+        assert!(cache.approx_csr_bytes() > 0);
     }
 
     #[test]
@@ -594,10 +1030,23 @@ mod tests {
         let mut cache = PartitionCache::new(&rel);
         let p = cache.partition(&set(&[0]));
         assert_eq!(
-            p.classes(),
-            &[vec![0, 2], vec![1, 3]],
+            p.class_vecs(),
+            vec![vec![0, 2], vec![1, 3]],
             "NULLs form their own class"
         );
+    }
+
+    #[test]
+    fn from_classes_builds_canonical_csr() {
+        let p = StrippedPartition::from_classes(vec![vec![4, 7], vec![0, 2, 9]], 10);
+        assert_eq!(p.class_vecs(), vec![vec![0, 2, 9], vec![4, 7]]);
+        assert_eq!(p.num_classes(), 2);
+        assert_eq!(p.covered_rows(), 5);
+        assert!(p.approx_heap_bytes() >= (5 + 3) * 4);
+        let empty = StrippedPartition::from_classes(Vec::new(), 3);
+        assert!(empty.is_key());
+        assert_eq!(empty.n_rows(), 3);
+        assert_eq!(empty.num_classes(), 0);
     }
 
     #[test]

@@ -55,7 +55,7 @@ use crate::parallel;
 use crate::validate::{
     class_compatibility_removal, class_constancy_removal, error_budget, Verdict, WITNESS_SAMPLE_CAP,
 };
-use od_core::{AttrId, AttrSet, OrderDependency, Relation, Schema, Tuple, Value};
+use od_core::{radix, AttrId, AttrSet, OrderDependency, Relation, Schema, Tuple, Value};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::ops::Bound;
@@ -84,6 +84,11 @@ pub const CODE_GAP: u64 = 1 << 32;
 /// [`crate::validate::PARALLEL_ROW_THRESHOLD`] but measured over the rows of
 /// the touched classes only).
 pub const PARALLEL_TOUCHED_ROW_THRESHOLD: usize = 8_192;
+
+/// Pair count from which a live-partition rebuild range switches from
+/// `sort_unstable` to the radix sort (the same crossover the snapshot
+/// partitions use).
+const REBUILD_RADIX_MIN_PAIRS: usize = 256;
 
 /// A batch of tuple-level changes to apply atomically to a live table.
 ///
@@ -220,6 +225,12 @@ pub struct CompactStats {
     /// Approximate bytes released (per [`StreamMonitor::approx_heap_bytes`];
     /// deterministic — lengths, never capacities).
     pub bytes_freed: usize,
+    /// Bytes released from the stores the columnar rebuild reconstructs —
+    /// per-column gapped code tables (dead ids' code slots, values no longer
+    /// present) plus live-partition class keys and memberships.  A subset of
+    /// `bytes_freed` (deterministic, like it); the row store's share is the
+    /// difference.
+    pub rebuild_bytes_freed: usize,
     /// Wall-clock time of the rebuild (non-deterministic; kept out of
     /// canonical metrics output).
     pub rebuild: Duration,
@@ -366,18 +377,68 @@ struct LivePartition {
 }
 
 impl LivePartition {
-    fn build(context: &AttrSet, rows: &[Tuple], alive: &[bool]) -> Self {
+    /// Build from the per-column gapped code tables instead of per-row value
+    /// projection: alive ids start as one range, and each context attribute
+    /// splits every range by sorting its `(code, id)` pairs — the same stable
+    /// radix kernel partition refinement uses ([`od_core::radix`]), with
+    /// `sort_unstable` below [`REBUILD_RADIX_MIN_PAIRS`]; both orders
+    /// coincide because ids are distinct and enter ascending.  Unlike a
+    /// stripped partition, singleton runs are kept — an insert may grow them.
+    /// Only one `Value` projection remains per final class: its key, read off
+    /// the first member (equal gapped codes are equal values by
+    /// construction).
+    ///
+    /// The second return value is the number of radix counting passes spent,
+    /// surfaced by callers as the `stream.rebuild.radix_passes` counter.
+    fn build(
+        context: &AttrSet,
+        rows: &[Tuple],
+        alive: &[bool],
+        columns: &HashMap<AttrId, StreamCodes>,
+    ) -> (Self, u64) {
         let attrs: Vec<AttrId> = context.iter().collect();
-        let mut classes: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::new();
-        for (id, row) in rows.iter().enumerate() {
-            if alive[id] {
-                classes
-                    .entry(attrs.iter().map(|a| row[a.index()].clone()).collect())
-                    .or_default()
-                    .push(id as TupleId);
+        let seed: Vec<TupleId> = (0..rows.len() as TupleId)
+            .filter(|&id| alive[id as usize])
+            .collect();
+        let mut cur: Vec<Vec<TupleId>> = vec![seed];
+        let mut passes = 0u64;
+        let mut pairs: Vec<(u64, u32)> = Vec::new();
+        let mut radix_buf: Vec<(u64, u32)> = Vec::new();
+        for attr in &attrs {
+            let codes = columns[attr].codes();
+            let mut next: Vec<Vec<TupleId>> = Vec::with_capacity(cur.len());
+            for class in &mut cur {
+                if class.len() <= 1 {
+                    next.push(std::mem::take(class));
+                    continue;
+                }
+                pairs.clear();
+                pairs.extend(class.iter().map(|&id| (codes[id as usize], id)));
+                if pairs.len() >= REBUILD_RADIX_MIN_PAIRS {
+                    passes += u64::from(radix::sort_pairs(&mut pairs, &mut radix_buf));
+                } else {
+                    pairs.sort_unstable();
+                }
+                let mut start = 0usize;
+                for i in 1..=pairs.len() {
+                    if i == pairs.len() || pairs[i].0 != pairs[start].0 {
+                        next.push(pairs[start..i].iter().map(|&(_, id)| id).collect());
+                        start = i;
+                    }
+                }
             }
+            cur = next;
         }
-        LivePartition { attrs, classes }
+        let mut classes: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::with_capacity(cur.len());
+        for class in cur {
+            let Some(&first) = class.first() else {
+                continue; // no alive rows at all
+            };
+            let row = &rows[first as usize];
+            let key: Vec<Value> = attrs.iter().map(|a| row[a.index()].clone()).collect();
+            classes.insert(key, class);
+        }
+        (LivePartition { attrs, classes }, passes)
     }
 
     fn key(&self, row: &Tuple) -> Vec<Value> {
@@ -1207,6 +1268,7 @@ impl StreamMonitor {
         let _span = obs::span("stream/compact");
         let start = Instant::now();
         let bytes_before = self.approx_heap_bytes();
+        let rebuild_bytes_before = self.rebuilt_store_bytes();
         let dead_ids_reclaimed = self.rows.len() - self.alive_count;
         let rel = self.to_relation();
         let stmts: Vec<SetOd> = self.ledgers.iter().map(|l| l.stmt).collect();
@@ -1220,6 +1282,7 @@ impl StreamMonitor {
         let compact = CompactStats {
             dead_ids_reclaimed,
             bytes_freed: bytes_before.saturating_sub(self.approx_heap_bytes()),
+            rebuild_bytes_freed: rebuild_bytes_before.saturating_sub(self.rebuilt_store_bytes()),
             rebuild: start.elapsed(),
         };
         obs::add("stream.compact.runs", 1);
@@ -1228,6 +1291,10 @@ impl StreamMonitor {
             compact.dead_ids_reclaimed as u64,
         );
         obs::add("stream.compact.bytes_freed", compact.bytes_freed as u64);
+        obs::add(
+            "stream.compact.rebuild_bytes_freed",
+            compact.rebuild_bytes_freed as u64,
+        );
         compact
     }
 
@@ -1244,6 +1311,14 @@ impl StreamMonitor {
             .iter()
             .map(|t| t.iter().map(Value::approx_bytes).sum::<usize>())
             .sum();
+        rows + self.alive.len() + self.rebuilt_store_bytes()
+    }
+
+    /// Approximate bytes held by the stores [`Self::compact`]'s columnar
+    /// rebuild reconstructs: per-column gapped code tables plus live-partition
+    /// class keys and memberships — the component [`CompactStats`] reports as
+    /// `rebuild_bytes_freed`.  Deterministic: lengths, never capacities.
+    pub fn rebuilt_store_bytes(&self) -> usize {
         let codes: usize = self
             .columns
             .values()
@@ -1268,7 +1343,7 @@ impl StreamMonitor {
                     .sum::<usize>()
             })
             .sum();
-        rows + codes + self.alive.len() + partitions
+        codes + partitions
     }
 
     /// The live code table of one column, if any monitored statement uses it.
@@ -1304,9 +1379,16 @@ impl StreamMonitor {
         if let Some(&idx) = self.partition_index.get(context) {
             return idx;
         }
+        // The columnar build reads the context attributes' gapped code
+        // tables, so materialize them first (idempotent; statement attrs are
+        // ensured separately by `monitor_statement`).
+        for attr in context.iter() {
+            self.ensure_column(attr);
+        }
         let idx = self.partitions.len();
-        self.partitions
-            .push(LivePartition::build(context, &self.rows, &self.alive));
+        let (part, passes) = LivePartition::build(context, &self.rows, &self.alive, &self.columns);
+        obs::add("stream.rebuild.radix_passes", passes);
+        self.partitions.push(part);
         self.partition_index.insert(*context, idx);
         idx
     }
@@ -1621,6 +1703,11 @@ mod tests {
         let compacted = monitor.compact();
         assert_eq!(compacted.dead_ids_reclaimed, 2);
         assert!(compacted.bytes_freed > 0, "dead rows must free bytes");
+        assert!(
+            compacted.rebuild_bytes_freed > 0,
+            "dropping dead ids' code slots must shrink the rebuilt stores"
+        );
+        assert!(compacted.rebuild_bytes_freed <= compacted.bytes_freed);
         assert_eq!(monitor.total_rows(), monitor.alive_rows());
         assert_eq!(monitor.alive_rows(), 3);
         assert_eq!(monitor.stats.deltas_applied, deltas_before, "stats survive");

@@ -9,7 +9,10 @@
 use od_core::check::od_removal_count;
 use od_core::{AttrId, AttrSet, Relation, Schema, Value};
 use od_setbased::validate::statement_verdict;
-use od_setbased::{error_budget, PartitionCache, RefineScratch, SetOd, StrippedPartition};
+use od_setbased::{
+    discover_statements, error_budget, ClassCodes, LatticeConfig, PartitionCache, RefineScratch,
+    SetOd, StrippedPartition,
+};
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 
@@ -25,20 +28,23 @@ fn value_strategy() -> impl Strategy<Value = Value> {
     })
 }
 
-/// A relation with `cols` generated columns plus one appended single-value
-/// column (every row `Int(42)`) — the degenerate dictionary every real table
-/// has somewhere, and the case where radix bucketing must do zero passes.
+/// A relation with `cols` generated columns plus two appended degenerate
+/// columns: a single-value column (every row `Int(42)` — one full class,
+/// zero radix passes) and a unique column (`Int(row)` — every class a
+/// singleton, so its stripped partition is empty and its class codes are all
+/// sentinel).  Together they pin both extremes of the product kernel.
 fn relation_strategy(cols: usize, rows: std::ops::Range<usize>) -> impl Strategy<Value = Relation> {
     prop::collection::vec(prop::collection::vec(value_strategy(), cols), rows).prop_map(
         move |rows| {
             let mut schema = Schema::new("coldiff");
-            for i in 0..=cols {
+            for i in 0..=cols + 1 {
                 schema.add_attr(format!("c{i}"));
             }
             Relation::from_rows(
                 schema,
-                rows.into_iter().map(|mut r| {
+                rows.into_iter().enumerate().map(|(i, mut r)| {
                     r.push(Value::Int(42));
+                    r.push(Value::Int(i as i64));
                     r
                 }),
             )
@@ -132,7 +138,7 @@ fn assert_partitions_match_value_oracle(rel: &Relation) -> Result<u64, TestCaseE
         );
         let p = StrippedPartition::by_codes_with(enc.codes(i), &mut scratch);
         let single = bucket_by_value(rel, a, &all_rows);
-        prop_assert_eq!(p.classes(), &single[..], "Π_{{{:?}}}", a);
+        prop_assert_eq!(p.class_vecs(), single.clone(), "Π_{{{:?}}}", a);
         for (j, &b) in attrs.iter().enumerate() {
             if i == j {
                 continue;
@@ -143,7 +149,7 @@ fn assert_partitions_match_value_oracle(rel: &Relation) -> Result<u64, TestCaseE
                 oracle.extend(bucket_by_value(rel, b, class));
             }
             oracle.sort_by_key(|c| c[0]);
-            prop_assert_eq!(refined.classes(), &oracle[..], "Π_{{{:?},{:?}}}", a, b);
+            prop_assert_eq!(refined.class_vecs(), oracle, "Π_{{{:?},{:?}}}", a, b);
         }
     }
     Ok(scratch.radix_passes())
@@ -186,6 +192,45 @@ fn assert_verdicts_match_value_oracle(rel: &Relation) -> Result<(), TestCaseErro
     Ok(())
 }
 
+/// Shared body: every ordered-pair product Π_A · Π_B on the radix,
+/// comparison-sort, and hash paths, bit for bit against the raw-code
+/// refinement oracle (`Π_A` refined by B's dictionary codes — the level-1
+/// path, which never sees the packed keys).  The three product paths drop
+/// rows singleton in either operand; refinement strips them afterwards, so
+/// all four land on the identical CSR partition.  Also pins self-product
+/// idempotence (Π · Π = Π).
+fn assert_products_match_oracles(rel: &Relation) -> Result<u64, TestCaseError> {
+    let attrs: Vec<AttrId> = rel.schema().attr_ids().collect();
+    let enc = rel.encoding();
+    let mut scratch = RefineScratch::default();
+    let parts: Vec<StrippedPartition> = (0..attrs.len())
+        .map(|i| StrippedPartition::by_codes_with(enc.codes(i), &mut scratch))
+        .collect();
+    let codes: Vec<ClassCodes> = parts.iter().map(StrippedPartition::class_codes).collect();
+    for (i, p) in parts.iter().enumerate() {
+        for (j, c) in codes.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let radix = p.product_with(c, &mut scratch);
+            let oracle = p.refine_by_with(enc.codes(j), &mut scratch);
+            prop_assert_eq!(&radix, &oracle, "product vs refinement {:?}x{:?}", i, j);
+            let comparison = p.product_comparison(c, &mut scratch);
+            prop_assert_eq!(&radix, &comparison, "product vs comparison {:?}x{:?}", i, j);
+            let hash = p.product_hash(c);
+            prop_assert_eq!(&radix, &hash, "product vs hash oracle {:?}x{:?}", i, j);
+        }
+        let self_product = p.product_with(&codes[i], &mut scratch);
+        prop_assert_eq!(
+            &self_product,
+            p,
+            "self-product of {:?} must be idempotent",
+            i
+        );
+    }
+    Ok(scratch.product_radix_passes())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -196,6 +241,7 @@ proptest! {
         rel in relation_strategy(2, 0usize..14),
     ) {
         assert_partitions_match_value_oracle(&rel)?;
+        assert_products_match_oracles(&rel)?;
         assert_verdicts_match_value_oracle(&rel)?;
     }
 }
@@ -214,6 +260,41 @@ proptest! {
     ) {
         let passes = assert_partitions_match_value_oracle(&rel)?;
         prop_assert!(passes > 0, "expected radix passes above the threshold");
+        let product_passes = assert_products_match_oracles(&rel)?;
+        prop_assert!(
+            product_passes > 0,
+            "expected product radix passes above the threshold"
+        );
         assert_verdicts_match_value_oracle(&rel)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `LatticeStats::product_radix_passes` (the counter behind
+    /// `discovery.product_radix_passes`) is a pure function of the input:
+    /// sharding the lattice's product jobs across worker threads must not
+    /// change it, nor the discovered statements.
+    #[test]
+    fn product_pass_counts_are_thread_invariant(
+        rel in relation_strategy(3, 0usize..40),
+    ) {
+        let config = |threads| LatticeConfig {
+            max_context: 3,
+            threads,
+            ..Default::default()
+        };
+        let reference = discover_statements(&rel, &config(1));
+        for threads in [4usize, 8] {
+            let d = discover_statements(&rel, &config(threads));
+            prop_assert_eq!(
+                d.stats.product_radix_passes,
+                reference.stats.product_radix_passes,
+                "product pass count drifted at {} threads",
+                threads
+            );
+            prop_assert_eq!(d.minimal_statements(), reference.minimal_statements());
+        }
     }
 }

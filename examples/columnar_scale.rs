@@ -48,8 +48,8 @@ fn main() {
     println!(
         "\nΠ_{{ts_day}} has {} classes; refined by zipf_band: {} classes \
          ({} radix passes, {:?})",
-        by_day.classes().len(),
-        refined.classes().len(),
+        by_day.num_classes(),
+        refined.num_classes(),
         scratch.radix_passes(),
         start.elapsed()
     );

@@ -103,9 +103,11 @@ fn main() {
     let before = monitor.stream().total_rows();
     let compacted = monitor.compact();
     println!(
-        "\ncompacted: {} dead ids reclaimed of {before} ({} KiB freed, rebuilt in {:?})",
+        "\ncompacted: {} dead ids reclaimed of {before} ({} KiB freed, {} B of that \
+         from code tables and live partitions, rebuilt in {:?})",
         compacted.dead_ids_reclaimed,
         compacted.bytes_freed / 1024,
+        compacted.rebuild_bytes_freed,
         compacted.rebuild
     );
     assert!(registry.order_satisfies(schema.name(), &provided, &required));
