@@ -18,11 +18,19 @@
 //! cargo run --release -p od-bench --bin reproduce -- e16 --rows 1000000
 //! #                       partition products (hash vs comparison vs radix CSR) and
 //! #                       width-2/3/4 discovery on the scale table (--rows as in e14)
+//! cargo run --release -p od-bench --bin reproduce -- e17 --workers 2
+//! #                       multi-process width-4 discovery: N worker processes
+//! #                       (this binary re-exec'd with --od-worker) shard the data
+//! #                       plane over pipes, bit-identical to the threaded engine
 //! ```
 
 use od_bench::*;
 
 fn main() {
+    // Worker-mode hook for E17's self-exec'd workers: with `--od-worker`
+    // among the arguments this process serves lattice frames on
+    // stdin/stdout and exits — it never reaches the harness below.
+    od_setbased::maybe_run_worker();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let tiny = args.iter().any(|a| a == "--tiny");
     let scale = if tiny {
@@ -71,7 +79,20 @@ fn main() {
         None if tiny => 20_000,
         None => 1_000_000,
     };
-    let value_positions: Vec<usize> = [flag_pos, metrics_pos, rows_pos]
+    // `--workers N` sizes the E17 worker pool (default 2 — the smallest
+    // count that demonstrates cross-process sharding).
+    let workers_pos = args.iter().position(|a| a == "--workers");
+    let workers = match workers_pos {
+        Some(i) => match args.get(i + 1).map(|v| v.parse::<usize>()) {
+            Some(Ok(n)) if n >= 1 => n,
+            _ => {
+                eprintln!("--workers requires a count of at least 1, e.g. --workers 2");
+                std::process::exit(2);
+            }
+        },
+        None => 2,
+    };
+    let value_positions: Vec<usize> = [flag_pos, metrics_pos, rows_pos, workers_pos]
         .iter()
         .flatten()
         .map(|i| i + 1)
@@ -173,6 +194,16 @@ fn main() {
                 emit(&metrics, dir);
             }
             None => println!("{}", exp_e16_lattice(scale_rows)),
+        }
+    }
+    if want("e17") {
+        match &metrics_out {
+            Some(dir) => {
+                let (report, metrics) = exp_e17_dist_with_metrics(scale_rows, workers);
+                println!("{report}");
+                emit(&metrics, dir);
+            }
+            None => println!("{}", exp_e17_dist(scale_rows, workers)),
         }
     }
 }

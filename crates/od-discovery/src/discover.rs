@@ -73,6 +73,12 @@ pub struct DiscoveryConfig {
     /// demand-driven validation, so lowering this trades profile coverage for
     /// per-candidate work without changing the result.
     pub max_context: usize,
+    /// Worker *processes* for the lattice profile's data plane (set-based
+    /// engine only; 0 = in-process).  Passed through to
+    /// [`od_setbased::LatticeConfig::workers`]: the hosting binary must call
+    /// [`od_setbased::maybe_run_worker`] first thing in `main`.  Results are
+    /// bit-identical on every worker count.
+    pub workers: usize,
 }
 
 impl Default for DiscoveryConfig {
@@ -90,6 +96,7 @@ impl Default for DiscoveryConfig {
             parallel: false,
             epsilon: 0.0,
             max_context: 4,
+            workers: 0,
         }
     }
 }
@@ -215,6 +222,7 @@ pub fn discover_ods(rel: &Relation, config: DiscoveryConfig) -> Discovery {
                     use_decider: true,
                     threads,
                     epsilon: config.epsilon,
+                    workers: config.workers,
                 },
             );
             // Fallback for candidates whose statements reach beyond the

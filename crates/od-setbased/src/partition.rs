@@ -482,7 +482,12 @@ impl StrippedPartition {
 /// [`Self::evict_sets_of_size`] — eviction drops whole-partition CSR arrays,
 /// not the dense columns products keep re-reading.
 pub struct PartitionCache<'r> {
-    rel: &'r Relation,
+    /// The backing row store, absent for caches built straight from a
+    /// columnar encoding ([`Self::from_encoding`]) — every partition and
+    /// scan path reads dense codes only, so distributed workers never pay
+    /// for tuple materialization.
+    rel: Option<&'r Relation>,
+    n_rows: usize,
     enc: Arc<ColumnarEncoding>,
     /// Memoized partitions, keyed directly by the attribute-set bit mask —
     /// hashing a context costs one `u64` hash, not a `Vec<AttrId>` walk.
@@ -506,7 +511,8 @@ impl<'r> PartitionCache<'r> {
     /// encoding, building it if the relation was mutated since construction).
     pub fn new(rel: &'r Relation) -> Self {
         PartitionCache {
-            rel,
+            rel: Some(rel),
+            n_rows: rel.len(),
             enc: rel.encoding(),
             partitions: HashMap::new(),
             attr_codes: HashMap::new(),
@@ -517,9 +523,35 @@ impl<'r> PartitionCache<'r> {
         }
     }
 
+    /// A cache over a columnar encoding alone, with no backing row store.
+    /// Partition products, class codes, and statement scans all read dense
+    /// codes, so this cache serves the full refinement/validation surface;
+    /// only [`Self::relation`] is off-limits.  Distributed workers use this
+    /// to skip rebuilding `n_rows` tuples from a snapshot they would never
+    /// row-access.
+    pub fn from_encoding(enc: Arc<ColumnarEncoding>) -> PartitionCache<'static> {
+        PartitionCache {
+            rel: None,
+            n_rows: enc.n_rows(),
+            enc,
+            partitions: HashMap::new(),
+            attr_codes: HashMap::new(),
+            scratch: RefineScratch::default(),
+            products: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
     /// The relation the cache serves.
+    ///
+    /// # Panics
+    ///
+    /// If the cache was built by [`Self::from_encoding`], which carries no
+    /// row store.
     pub fn relation(&self) -> &'r Relation {
         self.rel
+            .expect("PartitionCache::from_encoding carries no row store")
     }
 
     /// Order-preserving dense codes of one column — an O(1) view into the
@@ -585,7 +617,7 @@ impl<'r> PartitionCache<'r> {
         }
         self.misses += 1;
         let part = match set.last() {
-            None => StrippedPartition::full(self.rel.len()),
+            None => StrippedPartition::full(self.n_rows),
             Some(last) => {
                 // Compose from the partition of X minus its last attribute —
                 // under level-wise traversal that subset is already cached,

@@ -1,0 +1,172 @@
+//! Wire codecs for set-based statements and verdicts.
+//!
+//! Canonical byte layouts shared by every transport that ships [`SetOd`]s
+//! or [`Verdict`]s across a process boundary: the od-server protocol
+//! (`od-server::proto` delegates here) and the distributed lattice
+//! workers ([`crate::dist`]).  Layouts build on [`od_core::wire`]
+//! primitives — fixed-width little-endian integers, attribute sets as raw
+//! `u64` bitmasks — and stay canonical: `encode ∘ decode ∘ encode ==
+//! encode` bit-for-bit.
+//!
+//! | value                      | payload                                              |
+//! |----------------------------|------------------------------------------------------|
+//! | [`SetOd::Constancy`]       | `[0u8]` + context mask `u64` + attr `u32`            |
+//! | [`SetOd::Compatibility`]   | `[1u8]` + context mask `u64` + a `u32` + b `u32`     |
+//! | [`Verdict`]                | removals `u64` + exceeded `bool` + scanned `u64` + pair count `u32` + pairs `(u32, u32)*` |
+
+use crate::canonical::SetOd;
+use crate::validate::Verdict;
+use od_core::wire::{self, get_attr_set, put_attr_set, Reader, WireError, WireResult};
+use od_core::AttrId;
+
+/// Statement-kind tag for [`SetOd::Constancy`].
+pub const STMT_CONSTANCY: u8 = 0;
+/// Statement-kind tag for [`SetOd::Compatibility`].
+pub const STMT_COMPATIBILITY: u8 = 1;
+
+/// Encode a canonical set-based statement: the statement kind, its context
+/// as a raw `u64` bitmask, then the attribute ids.
+pub fn put_statement(buf: &mut Vec<u8>, stmt: &SetOd) {
+    match stmt {
+        SetOd::Constancy { context, attr } => {
+            wire::put_u8(buf, STMT_CONSTANCY);
+            put_attr_set(buf, context);
+            wire::put_u32(buf, attr.0);
+        }
+        SetOd::Compatibility { context, a, b } => {
+            wire::put_u8(buf, STMT_COMPATIBILITY);
+            put_attr_set(buf, context);
+            wire::put_u32(buf, a.0);
+            wire::put_u32(buf, b.0);
+        }
+    }
+}
+
+/// Decode one statement written by [`put_statement`].
+pub fn get_statement(r: &mut Reader<'_>) -> WireResult<SetOd> {
+    match r.u8()? {
+        STMT_CONSTANCY => Ok(SetOd::constancy(get_attr_set(r)?, AttrId(r.u32()?))),
+        STMT_COMPATIBILITY => Ok(SetOd::compatibility(
+            get_attr_set(r)?,
+            AttrId(r.u32()?),
+            AttrId(r.u32()?),
+        )),
+        tag => Err(WireError::InvalidTag { what: "SetOd", tag }),
+    }
+}
+
+/// Encode a validation verdict, including its sampled witness pairs.
+pub fn put_verdict(buf: &mut Vec<u8>, v: &Verdict) {
+    wire::put_u64(buf, v.removal_count as u64);
+    wire::put_bool(buf, v.exceeded);
+    wire::put_u64(buf, v.classes_scanned as u64);
+    wire::put_u32(buf, v.violating_pairs.len() as u32);
+    for &(a, b) in &v.violating_pairs {
+        wire::put_u32(buf, a);
+        wire::put_u32(buf, b);
+    }
+}
+
+/// Decode one verdict written by [`put_verdict`].
+pub fn get_verdict(r: &mut Reader<'_>) -> WireResult<Verdict> {
+    let removal_count = r.u64()? as usize;
+    let exceeded = r.bool()?;
+    let classes_scanned = r.u64()? as usize;
+    let n = r.seq_len(8)?;
+    let mut violating_pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        violating_pairs.push((r.u32()?, r.u32()?));
+    }
+    Ok(Verdict {
+        removal_count,
+        exceeded,
+        violating_pairs,
+        classes_scanned,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_core::AttrSet;
+
+    fn roundtrip_stmt(stmt: SetOd) {
+        let mut buf = Vec::new();
+        put_statement(&mut buf, &stmt);
+        let mut r = Reader::new(&buf);
+        let back = get_statement(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, stmt);
+        let mut again = Vec::new();
+        put_statement(&mut again, &back);
+        assert_eq!(again, buf);
+    }
+
+    #[test]
+    fn statements_roundtrip() {
+        roundtrip_stmt(SetOd::constancy(AttrSet::new(), AttrId(0)));
+        roundtrip_stmt(SetOd::constancy(
+            AttrSet::from_mask(0x8000_0000_0000_0001),
+            AttrId(63),
+        ));
+        roundtrip_stmt(SetOd::compatibility(
+            AttrSet::singleton(AttrId(5)),
+            AttrId(1),
+            AttrId(7),
+        ));
+    }
+
+    #[test]
+    fn bad_statement_tags_are_rejected() {
+        let mut r = Reader::new(&[9]);
+        assert!(matches!(
+            get_statement(&mut r),
+            Err(WireError::InvalidTag { what: "SetOd", .. })
+        ));
+    }
+
+    #[test]
+    fn verdicts_roundtrip() {
+        let cases = [
+            Verdict::clean(),
+            Verdict {
+                removal_count: 17,
+                exceeded: true,
+                violating_pairs: vec![(0, 1), (44, 2), (u32::MAX, 0)],
+                classes_scanned: 999,
+            },
+        ];
+        for v in cases {
+            let mut buf = Vec::new();
+            put_verdict(&mut buf, &v);
+            let mut r = Reader::new(&buf);
+            let back = get_verdict(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(back.removal_count, v.removal_count);
+            assert_eq!(back.exceeded, v.exceeded);
+            assert_eq!(back.violating_pairs, v.violating_pairs);
+            assert_eq!(back.classes_scanned, v.classes_scanned);
+            let mut again = Vec::new();
+            put_verdict(&mut again, &back);
+            assert_eq!(again, buf);
+        }
+    }
+
+    #[test]
+    fn truncated_verdicts_error() {
+        let mut buf = Vec::new();
+        put_verdict(
+            &mut buf,
+            &Verdict {
+                removal_count: 1,
+                exceeded: false,
+                violating_pairs: vec![(3, 4)],
+                classes_scanned: 2,
+            },
+        );
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(get_verdict(&mut r).and_then(|_| r.finish()).is_err());
+        }
+    }
+}
